@@ -1,0 +1,173 @@
+//! The atomic bus locking attack.
+//!
+//! Modern x86 processors serialise certain atomic operations — classically
+//! a locked read-modify-write spanning two cache lines — by locking the
+//! internal memory buses of the whole socket (§2.2, Intel SDM vol. 3B).
+//! The attack issues such operations back to back at a configurable duty
+//! cycle: at duty `d`, the bus is held locked roughly a fraction `d` of
+//! the time, so co-located VMs can complete only about a `1 − d` share of
+//! their normal LLC accesses — the `AccessNum` collapse of Figures 2–6(a).
+
+use memdos_sim::program::{MemOp, ProgramCtx, VmProgram};
+
+/// Intensity parameters of the bus-locking attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusLockConfig {
+    /// Target fraction of time the bus is held locked, in `(0, 1]`.
+    pub duty: f64,
+    /// Bus-lock duration of one atomic op in cycles; must match the
+    /// server's `atomic_lock_cycles` for the duty computation to be
+    /// exact.
+    pub lock_cycles: u64,
+    /// Number of distinct lines the attacker's atomics touch (it cycles
+    /// through a small buffer, as the real exploit does with a
+    /// line-spanning buffer).
+    pub buffer_lines: u64,
+}
+
+impl Default for BusLockConfig {
+    fn default() -> Self {
+        BusLockConfig { duty: 0.95, lock_cycles: 800, buffer_lines: 64 }
+    }
+}
+
+/// The bus-locking attack program.
+#[derive(Debug, Clone)]
+pub struct BusLockAttack {
+    cfg: BusLockConfig,
+    next_line: u64,
+    /// Alternation state: an atomic has just been issued and the duty
+    /// gap is owed.
+    gap_owed: bool,
+    atomics_issued: u64,
+}
+
+impl BusLockAttack {
+    /// Creates the attack with the given intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is not in `(0, 1]` or `lock_cycles == 0`.
+    pub fn new(cfg: BusLockConfig) -> Self {
+        assert!(
+            cfg.duty > 0.0 && cfg.duty <= 1.0,
+            "duty cycle must be in (0, 1]"
+        );
+        assert!(cfg.lock_cycles > 0, "lock duration must be positive");
+        assert!(cfg.buffer_lines > 0, "attack buffer must be non-empty");
+        BusLockAttack { cfg, next_line: 0, gap_owed: false, atomics_issued: 0 }
+    }
+
+    /// Number of atomic operations issued so far.
+    pub fn atomics_issued(&self) -> u64 {
+        self.atomics_issued
+    }
+
+    /// Average inter-atomic compute gap that realises the configured duty
+    /// cycle: `lock · (1 − d) / d`.
+    fn mean_gap_cycles(&self) -> f64 {
+        self.cfg.lock_cycles as f64 * (1.0 - self.cfg.duty) / self.cfg.duty
+    }
+}
+
+impl VmProgram for BusLockAttack {
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+        if self.gap_owed {
+            self.gap_owed = false;
+            let mean = self.mean_gap_cycles();
+            if mean >= 1.0 {
+                // Jitter the gap ±50 % so the lock train is not perfectly
+                // regular (the real attack contends with its own pipeline).
+                let jittered = mean * (0.5 + ctx.rng.next_f64());
+                return MemOp::Compute { cycles: jittered.max(1.0) as u32 };
+            }
+        }
+        self.gap_owed = true;
+        self.atomics_issued += 1;
+        let line = self.next_line;
+        self.next_line = (self.next_line + 1) % self.cfg.buffer_lines;
+        MemOp::Atomic { line }
+    }
+
+    fn name(&self) -> &str {
+        "bus-lock-attack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::rng::Rng;
+
+    fn ops(attack: &mut BusLockAttack, n: usize) -> Vec<MemOp> {
+        let mut rng = Rng::new(3);
+        let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick: 0 };
+        (0..n).map(|_| attack.next_op(&mut ctx)).collect()
+    }
+
+    #[test]
+    fn alternates_atomics_and_gaps() {
+        let mut a = BusLockAttack::new(BusLockConfig::default());
+        let seq = ops(&mut a, 10);
+        for pair in seq.chunks(2) {
+            assert!(matches!(pair[0], MemOp::Atomic { .. }));
+            assert!(matches!(pair[1], MemOp::Compute { .. }));
+        }
+        assert_eq!(a.atomics_issued(), 5);
+    }
+
+    #[test]
+    fn full_duty_never_pauses() {
+        let mut a = BusLockAttack::new(BusLockConfig {
+            duty: 1.0,
+            ..BusLockConfig::default()
+        });
+        assert!(ops(&mut a, 20)
+            .iter()
+            .all(|op| matches!(op, MemOp::Atomic { .. })));
+    }
+
+    #[test]
+    fn gap_realises_duty_cycle() {
+        let cfg = BusLockConfig { duty: 0.8, lock_cycles: 400, buffer_lines: 8 };
+        let mut a = BusLockAttack::new(cfg);
+        let seq = ops(&mut a, 2000);
+        let locked: u64 = seq
+            .iter()
+            .filter(|op| matches!(op, MemOp::Atomic { .. }))
+            .count() as u64
+            * cfg.lock_cycles;
+        let gaps: u64 = seq
+            .iter()
+            .filter_map(|op| match op {
+                MemOp::Compute { cycles } => Some(*cycles as u64),
+                _ => None,
+            })
+            .sum();
+        let duty = locked as f64 / (locked + gaps) as f64;
+        assert!((0.75..=0.85).contains(&duty), "realised duty {duty}");
+    }
+
+    #[test]
+    fn lines_cycle_through_buffer() {
+        let mut a = BusLockAttack::new(BusLockConfig {
+            buffer_lines: 4,
+            ..BusLockConfig::default()
+        });
+        let lines: Vec<u64> = ops(&mut a, 16)
+            .iter()
+            .filter_map(|op| match op {
+                MemOp::Atomic { line } => Some(*line),
+                _ => None,
+            })
+            .collect();
+        assert!(lines.iter().all(|&l| l < 4));
+        assert_eq!(&lines[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn rejects_zero_duty() {
+        BusLockAttack::new(BusLockConfig { duty: 0.0, ..BusLockConfig::default() });
+    }
+}

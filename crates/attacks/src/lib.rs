@@ -1,0 +1,119 @@
+//! # memdos-attacks
+//!
+//! The two memory denial-of-service attacks of §2.2, implemented as guest
+//! programs for the `memdos-sim` server:
+//!
+//! * [`bus_lock::BusLockAttack`] — the **atomic bus locking attack**:
+//!   "the attack VM ... generates continuous atomic locking signals by
+//!   repeatedly requesting atomic operations, which prevents the
+//!   co-located VMs from using the memory bus resources".
+//! * [`llc_cleanse::LlcCleanseAttack`] — the **LLC cleansing attack**,
+//!   including the probe prelude: the attacker first primes and probes
+//!   every cache set to discover which sets other VMs occupy, then
+//!   repeatedly cleanses exactly those sets.
+//!
+//! [`schedule::Scheduled`] wraps any program with an activation window so
+//! experiments can run the paper's protocol (benign stage, then attack
+//! stage at a known launch time), and [`AttackKind`] gives the experiment
+//! harness a uniform way to instantiate either attack.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use memdos_attacks::{AttackKind, schedule::Scheduled};
+//! use memdos_sim::server::{Server, ServerConfig};
+//!
+//! let mut server = Server::new(ServerConfig::default());
+//! let geometry = server.config().geometry;
+//! // Attack goes live at tick 1000.
+//! let attacker = Scheduled::starting_at(1000, AttackKind::BusLocking.build(geometry));
+//! server.add_vm("attacker", Box::new(attacker));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus_lock;
+pub mod llc_cleanse;
+pub mod schedule;
+
+use memdos_sim::cache::CacheGeometry;
+use memdos_sim::program::VmProgram;
+
+/// The two memory-DoS attack types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Atomic bus locking (victim signal: `AccessNum` drop).
+    BusLocking,
+    /// LLC cleansing (victim signal: `MissNum` rise).
+    LlcCleansing,
+}
+
+impl AttackKind {
+    /// Both attack kinds.
+    pub const ALL: [AttackKind; 2] = [AttackKind::BusLocking, AttackKind::LlcCleansing];
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::BusLocking => "bus-locking",
+            AttackKind::LlcCleansing => "llc-cleansing",
+        }
+    }
+
+    /// The memory-level parallelism the attack VM should run with:
+    /// the bus-locking attack is inherently serial (one lock stream
+    /// already saturates the bus), while the cleansing attack is run
+    /// multi-threaded, as in Zhang et al.'s implementation, to sweep the
+    /// LLC fast enough to keep victim lines evicted.
+    pub fn default_parallelism(&self) -> u8 {
+        match self {
+            AttackKind::BusLocking => 1,
+            AttackKind::LlcCleansing => 8,
+        }
+    }
+
+    /// Builds the attack program with default intensity for a cache of
+    /// the given geometry.
+    pub fn build(&self, geometry: CacheGeometry) -> Box<dyn VmProgram> {
+        match self {
+            AttackKind::BusLocking => Box::new(bus_lock::BusLockAttack::new(
+                bus_lock::BusLockConfig::default(),
+            )),
+            AttackKind::LlcCleansing => Box::new(llc_cleanse::LlcCleanseAttack::new(
+                llc_cleanse::LlcCleanseConfig::for_geometry(geometry),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_defaults() {
+        assert_eq!(AttackKind::BusLocking.default_parallelism(), 1);
+        assert_eq!(AttackKind::LlcCleansing.default_parallelism(), 8);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(AttackKind::BusLocking.name(), "bus-locking");
+        assert_eq!(AttackKind::LlcCleansing.to_string(), "llc-cleansing");
+        assert_eq!(AttackKind::ALL.len(), 2);
+    }
+
+    #[test]
+    fn builds_both_kinds() {
+        let g = CacheGeometry::default();
+        assert_eq!(AttackKind::BusLocking.build(g).name(), "bus-lock-attack");
+        assert_eq!(AttackKind::LlcCleansing.build(g).name(), "llc-cleanse-attack");
+    }
+}

@@ -1,0 +1,142 @@
+//! Attack scheduling: activation windows for guest programs.
+//!
+//! The paper's experiments run in stages — e.g. §5.1: "During the first
+//! 300 seconds, we did not launch any attacks ... During the last 300
+//! seconds, we performed the bus locking attack or LLC cleansing attack".
+//! [`Scheduled`] wraps any program so that outside its activation window
+//! the VM sits (almost) idle, exactly like an attack VM waiting for its
+//! launch command.
+
+use memdos_sim::program::{MemOp, ProgramCtx, VmProgram};
+
+/// Wraps a program with an activation window `[start_tick, stop_tick)`.
+///
+/// Outside the window the VM performs idle compute with a trickle of
+/// memory traffic (a real parked VM still touches memory occasionally,
+/// and a completely silent VM would itself be an anomaly).
+pub struct Scheduled<P> {
+    inner: P,
+    start_tick: u64,
+    stop_tick: u64,
+    idle_line: u64,
+}
+
+impl<P: VmProgram> Scheduled<P> {
+    /// Activates `inner` from `start_tick` onwards, forever.
+    pub fn starting_at(start_tick: u64, inner: P) -> Self {
+        Scheduled { inner, start_tick, stop_tick: u64::MAX, idle_line: 0 }
+    }
+
+    /// Activates `inner` during `[start_tick, stop_tick)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_tick >= stop_tick`.
+    pub fn window(start_tick: u64, stop_tick: u64, inner: P) -> Self {
+        assert!(start_tick < stop_tick, "activation window must be non-empty");
+        Scheduled { inner, start_tick, stop_tick, idle_line: 0 }
+    }
+
+    /// Tick at which the inner program activates.
+    pub fn start_tick(&self) -> u64 {
+        self.start_tick
+    }
+
+    /// Whether the inner program is active at `tick`.
+    pub fn is_active_at(&self, tick: u64) -> bool {
+        (self.start_tick..self.stop_tick).contains(&tick)
+    }
+
+    /// The wrapped program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Scheduled<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("start_tick", &self.start_tick)
+            .field("stop_tick", &self.stop_tick)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<P: VmProgram> VmProgram for Scheduled<P> {
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+        if self.is_active_at(ctx.tick) {
+            self.inner.next_op(ctx)
+        } else {
+            // Parked: long compute stretches with a rare touch of a tiny
+            // working set.
+            if ctx.rng.chance(0.02) {
+                self.idle_line = (self.idle_line + 1) % 16;
+                MemOp::read(self.idle_line)
+            } else {
+                MemOp::Compute { cycles: 5_000 }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn work_completed(&self) -> u64 {
+        self.inner.work_completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus_lock::{BusLockAttack, BusLockConfig};
+    use memdos_sim::rng::Rng;
+
+    fn ops_at_tick<P: VmProgram>(p: &mut Scheduled<P>, tick: u64, n: usize) -> Vec<MemOp> {
+        let mut rng = Rng::new(9);
+        let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick };
+        (0..n).map(|_| p.next_op(&mut ctx)).collect()
+    }
+
+    #[test]
+    fn idle_before_start() {
+        let mut s =
+            Scheduled::starting_at(100, BusLockAttack::new(BusLockConfig::default()));
+        let before = ops_at_tick(&mut s, 99, 50);
+        assert!(before.iter().all(|op| !matches!(op, MemOp::Atomic { .. })));
+        assert!(!s.is_active_at(99));
+    }
+
+    #[test]
+    fn active_within_window() {
+        let mut s =
+            Scheduled::window(100, 200, BusLockAttack::new(BusLockConfig::default()));
+        let during = ops_at_tick(&mut s, 150, 10);
+        assert!(during.iter().any(|op| matches!(op, MemOp::Atomic { .. })));
+        assert!(s.is_active_at(100));
+        assert!(!s.is_active_at(200));
+    }
+
+    #[test]
+    fn idle_after_stop() {
+        let mut s =
+            Scheduled::window(0, 10, BusLockAttack::new(BusLockConfig::default()));
+        let after = ops_at_tick(&mut s, 10, 50);
+        assert!(after.iter().all(|op| !matches!(op, MemOp::Atomic { .. })));
+    }
+
+    #[test]
+    fn name_delegates_to_inner() {
+        let s = Scheduled::starting_at(0, BusLockAttack::new(BusLockConfig::default()));
+        assert_eq!(s.name(), "bus-lock-attack");
+        assert_eq!(s.start_tick(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_window() {
+        Scheduled::window(5, 5, BusLockAttack::new(BusLockConfig::default()));
+    }
+}

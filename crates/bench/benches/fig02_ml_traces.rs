@@ -1,0 +1,18 @@
+//! Figure 2 — machine learning applications under both memory-DoS attacks (§3.3).
+//!
+//! Regenerates the paper's Figure 2 panels: 60 s of benign execution
+//! followed by 60 s under the bus-locking attack (AccessNum panel) or the
+//! LLC-cleansing attack (MissNum panel), rendered as per-second
+//! sparklines with the Observation 1/2 summary for every application.
+
+use memdos_bench::figures::figure;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig02_ml_traces");
+    figure(
+        "Figure 2 — machine learning applications",
+        &[Application::Bayes, Application::Svm, Application::KMeans, Application::Pca,],
+        0x2F16,
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 4 — data-intensive applications under both memory-DoS attacks (§3.3).
+//!
+//! Regenerates the paper's Figure 4 panels: 60 s of benign execution
+//! followed by 60 s under the bus-locking attack (AccessNum panel) or the
+//! LLC-cleansing attack (MissNum panel), rendered as per-second
+//! sparklines with the Observation 1/2 summary for every application.
+
+use memdos_bench::figures::figure;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig04_terasort_traces");
+    figure(
+        "Figure 4 — data-intensive applications",
+        &[Application::TeraSort,],
+        0x4F16,
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 9 — recall of SDS, SDS/B, SDS/P and KStest under both attacks,
+//! for every application.
+//!
+//! Paper expectations: "the median recalls of both SDS and KStest are
+//! 100 %, regardless of the applications or the types of attacks"; SDS/B
+//! and SDS/P alone also reach 100 % recall on the periodic applications.
+
+use memdos_attacks::AttackKind;
+use memdos_metrics::experiment::Scheme;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig09_recall");
+    let stages = memdos_bench::scale();
+    let cells = memdos_bench::accuracy_sweep(
+        &Application::ALL,
+        &AttackKind::ALL,
+        stages,
+        memdos_bench::runs(),
+    );
+    let table = memdos_bench::metric_table(
+        "Figure 9: recall (median [p10, p90])",
+        &cells,
+        |c| c.recall(),
+        2,
+    );
+    println!("{table}");
+
+    for scheme in [Scheme::Sds, Scheme::KsTest] {
+        let median = memdos_bench::median_where(
+            &cells,
+            |c| c.scheme == scheme,
+            |m| m.recall,
+        )
+        .unwrap_or(0.0);
+        memdos_bench::shape(
+            &format!("Fig. 9 {} recall", scheme.name()),
+            median >= 0.99,
+            format!("overall median recall {:.2} (paper: 1.00)", median),
+        );
+    }
+    for scheme in [Scheme::SdsB, Scheme::SdsP] {
+        let median = memdos_bench::median_where(
+            &cells,
+            |c| c.scheme == scheme && c.app.is_periodic(),
+            |m| m.recall,
+        )
+        .unwrap_or(0.0);
+        memdos_bench::shape(
+            &format!("Fig. 9 {} recall on periodic apps", scheme.name()),
+            median >= 0.99,
+            format!("median recall {:.2} (paper: 1.00)", median),
+        );
+    }
+}

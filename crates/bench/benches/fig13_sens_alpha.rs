@@ -1,0 +1,58 @@
+//! Figure 13 — sensitivity of the EWMA smoothing factor α (k-means,
+//! bus-locking attack).
+//!
+//! Paper expectations: recall and specificity stay near 1 over a wide
+//! range of α (notably [0.2, 0.4]) and decrease slightly for large α
+//! (less smoothing lets random variation through); detection delay
+//! decreases slightly as α grows (the EWMA follows the collapse faster).
+//! α = 1.0 makes the EWMA series equal to the MA series.
+
+use memdos_attacks::AttackKind;
+use memdos_bench::sensitivity::{median_delay, median_recall, median_specificity, print_sweep, sweep, SweepDetector};
+use memdos_core::config::SdsParams;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig13_sens_alpha");
+    let stages = memdos_bench::scale();
+    // The paper sweeps [0.0, 1.0]; α = 0 is degenerate (the EWMA never
+    // moves), so the sweep starts at 0.05.
+    let alphas = [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0];
+    let points: Vec<(String, SdsParams)> = alphas
+        .iter()
+        .map(|&alpha| {
+            let mut p = SdsParams::default();
+            p.sdsb.alpha = alpha;
+            (format!("{alpha}"), p)
+        })
+        .collect();
+    let result = sweep(
+        Application::KMeans,
+        AttackKind::BusLocking,
+        stages,
+        memdos_bench::runs(),
+        SweepDetector::Sds,
+        &points,
+    );
+    print_sweep("Figure 13: sensitivity of α (k-means)", "alpha", &result, &stages);
+
+    let mid: Vec<_> = result
+        .iter()
+        .filter(|p| ["0.2", "0.3", "0.4"].contains(&p.label.as_str()))
+        .collect();
+    let accurate = mid
+        .iter()
+        .all(|p| median_recall(p) >= 0.99 && median_specificity(p) >= 0.95);
+    memdos_bench::shape(
+        "Fig. 13 accuracy ≈ 1 over α ∈ [0.2, 0.4]",
+        accurate,
+        "recall and specificity near 1 in the recommended band".to_string(),
+    );
+    let d_small = median_delay(&result[1], &stages); // α = 0.1
+    let d_large = median_delay(&result[result.len() - 1], &stages); // α = 1.0
+    memdos_bench::shape(
+        "Fig. 13 delay decreases with α",
+        d_large <= d_small,
+        format!("delay {:.1} s at α=0.1 vs {:.1} s at α=1.0", d_small, d_large),
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 14 — sensitivity of the boundary factor k (k-means,
+//! bus-locking attack), with `H_C` re-derived from Eq. (4) to hold the
+//! 99.9 % confidence level at every point.
+//!
+//! Paper expectations: specificity rises slightly and recall falls
+//! slightly as k grows; both stay near 1 over k ∈ [1.1, 1.5]. Larger k
+//! means smaller `H_C` and hence shorter detection delay, partly offset
+//! by the EWMA taking longer to leave a wider band.
+
+use memdos_attacks::AttackKind;
+use memdos_bench::sensitivity::{median_delay, median_recall, median_specificity, print_sweep, sweep, SweepDetector};
+use memdos_core::config::SdsParams;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig14_sens_k");
+    let stages = memdos_bench::scale();
+    let ks = [1.1, 1.125, 1.2, 1.3, 1.5, 1.75, 2.0];
+    let points: Vec<(String, SdsParams)> = ks
+        .iter()
+        .map(|&k| {
+            let mut p = SdsParams::default();
+            p.sdsb = p.sdsb.with_confidence(k, 0.999).expect("valid k");
+            (format!("k={k} (H_C={})", p.sdsb.h_c), p)
+        })
+        .collect();
+    let result = sweep(
+        Application::KMeans,
+        AttackKind::BusLocking,
+        stages,
+        memdos_bench::runs(),
+        SweepDetector::Sds,
+        &points,
+    );
+    print_sweep("Figure 14: sensitivity of k (H_C adjusted for 99.9 %)", "k", &result, &stages);
+
+    let band: Vec<_> = result.iter().take(5).collect(); // k ∈ [1.1, 1.5]
+    let accurate = band
+        .iter()
+        .all(|p| median_recall(p) >= 0.99 && median_specificity(p) >= 0.95);
+    memdos_bench::shape(
+        "Fig. 14 accuracy ≈ 1 over k ∈ [1.1, 1.5]",
+        accurate,
+        "recall and specificity near 1 in the recommended band".to_string(),
+    );
+    let d_first = median_delay(&result[0], &stages);
+    let d_last = median_delay(&result[result.len() - 1], &stages);
+    memdos_bench::shape(
+        "Fig. 14 larger k shortens delay (smaller H_C)",
+        d_last <= d_first,
+        format!("delay {:.1} s at k=1.1 vs {:.1} s at k=2.0", d_first, d_last),
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 15 — sensitivity of the raw-data window size W (k-means,
+//! bus-locking attack).
+//!
+//! Paper expectations: accuracy barely changes with W (only W = 100 is
+//! too small to smooth the raw variation, costing some recall); delay
+//! rises slightly with W because the EWMA responds more slowly.
+
+use memdos_attacks::AttackKind;
+use memdos_bench::sensitivity::{median_delay, median_recall, print_sweep, sweep, SweepDetector};
+use memdos_core::config::SdsParams;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig15_sens_w");
+    let stages = memdos_bench::scale();
+    let ws = [100usize, 200, 400, 600, 800, 1000];
+    let points: Vec<(String, SdsParams)> = ws
+        .iter()
+        .map(|&w| {
+            let mut p = SdsParams::default();
+            p.sdsb.window = w;
+            p.sdsp.window = w;
+            (format!("{w}"), p)
+        })
+        .collect();
+    let result = sweep(
+        Application::KMeans,
+        AttackKind::BusLocking,
+        stages,
+        memdos_bench::runs(),
+        SweepDetector::Sds,
+        &points,
+    );
+    print_sweep("Figure 15: sensitivity of W (k-means)", "W", &result, &stages);
+
+    let accurate = result.iter().skip(1).all(|p| median_recall(p) >= 0.99);
+    memdos_bench::shape(
+        "Fig. 15 accuracy insensitive for W ≥ 200",
+        accurate,
+        "recall ≈ 1 at every W except possibly 100".to_string(),
+    );
+    let d_small = median_delay(&result[1], &stages);
+    let d_large = median_delay(&result[result.len() - 1], &stages);
+    memdos_bench::shape(
+        "Fig. 15 delay grows with W",
+        d_large >= d_small,
+        format!("delay {:.1} s at W=200 vs {:.1} s at W=1000", d_small, d_large),
+    );
+}

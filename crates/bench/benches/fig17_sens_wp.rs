@@ -1,0 +1,48 @@
+//! Figure 17 — sensitivity of the SDS/P monitoring window W_P (FaceNet,
+//! LLC cleansing attack).
+//!
+//! Paper expectations: accuracy does not change with W_P; delay grows
+//! with W_P because normal MA values dominate a longer window for longer
+//! after the attack starts. W_P = 2p is the recommended minimum.
+
+use memdos_attacks::AttackKind;
+use memdos_bench::sensitivity::{median_delay, median_recall, print_sweep, sweep, SweepDetector};
+use memdos_core::config::SdsParams;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("fig17_sens_wp");
+    let stages = memdos_bench::scale();
+    let multiples = [2.0, 3.0, 4.0, 5.0, 6.0];
+    let points: Vec<(String, SdsParams)> = multiples
+        .iter()
+        .map(|&m| {
+            let mut p = SdsParams::default();
+            p.sdsp.window_periods = m;
+            (format!("{m}p"), p)
+        })
+        .collect();
+    let result = sweep(
+        Application::FaceNet,
+        AttackKind::LlcCleansing,
+        stages,
+        memdos_bench::runs(),
+        SweepDetector::SdsP,
+        &points,
+    );
+    print_sweep("Figure 17: sensitivity of W_P (FaceNet, SDS/P)", "W_P", &result, &stages);
+
+    let accurate = result.iter().take(3).all(|p| median_recall(p) >= 0.9);
+    memdos_bench::shape(
+        "Fig. 17 accuracy holds at small W_P",
+        accurate,
+        "recall ≈ 1 for W_P ∈ [2p, 4p]".to_string(),
+    );
+    let d_first = median_delay(&result[0], &stages);
+    let d_last = median_delay(&result[result.len() - 1], &stages);
+    memdos_bench::shape(
+        "Fig. 17 delay grows with W_P",
+        d_last >= d_first,
+        format!("delay {:.1} s at 2p vs {:.1} s at 6p", d_first, d_last),
+    );
+}

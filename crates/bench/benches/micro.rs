@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the hot paths.
+//!
+//! The paper claims SDS is *lightweight*: "we use lightweight PCM tools
+//! and low-complexity statistical methods". These benchmarks quantify
+//! that on this implementation: a per-tick SDS update is a handful of
+//! arithmetic operations, the DFT-ACF recomputation is `O(N log N)` on a
+//! ~2-period window, and the KS test — the baseline's per-round cost —
+//! is `O(n log n)` in the window size. Simulator throughput (cache access
+//! and full server ticks) is measured too, since every experiment's wall
+//! time is dominated by it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use memdos_core::config::{SdsBParams, SdsPParams};
+use memdos_core::sdsb::SdsB;
+use memdos_core::sdsp::SdsP;
+use memdos_sim::cache::{CacheGeometry, Llc};
+use memdos_sim::pcm::Stat;
+use memdos_sim::server::{Server, ServerConfig};
+use memdos_stats::acf::acf_direct;
+use memdos_stats::fft::fft_real;
+use memdos_stats::ks::ks_two_sample;
+use memdos_stats::period::detect_period;
+use memdos_workloads::catalog::Application;
+
+fn bench_sdsb_update(c: &mut Criterion) {
+    c.bench_function("sdsb_on_sample", |b| {
+        let mut det =
+            SdsB::new(SdsBParams::default(), Stat::AccessNum, 1000.0, 50.0).expect("valid");
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(det.on_sample(1000.0 + (x % 13) as f64))
+        });
+    });
+}
+
+fn bench_sdsp_recompute(c: &mut Criterion) {
+    c.bench_function("sdsp_full_window_cycle", |b| {
+        // Feeding ΔW_P·ΔW raw samples triggers exactly one DFT-ACF
+        // recomputation once the window is warm.
+        let params = SdsPParams::default();
+        let mut det = SdsP::new(params, Stat::AccessNum, 17.0).expect("valid");
+        // Warm up the W_P window.
+        for i in 0..60_000u64 {
+            let phase = (i / 425) % 2;
+            det.on_sample(if phase == 0 { 1000.0 } else { 300.0 });
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..params.step_ma * params.step {
+                i += 1;
+                let phase = (i / 425) % 2;
+                black_box(det.on_sample(if phase == 0 { 1000.0 } else { 300.0 }));
+            }
+        });
+    });
+}
+
+fn bench_ks_test(c: &mut Criterion) {
+    c.bench_function("ks_two_sample_100", |b| {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 53) % 97) as f64).collect();
+        b.iter(|| black_box(ks_two_sample(&x, &y).expect("valid")));
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    c.bench_function("fft_real_1024", |b| {
+        let signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
+        b.iter(|| black_box(fft_real(&signal, 1024).expect("valid")));
+    });
+}
+
+fn bench_dft_acf(c: &mut Criterion) {
+    c.bench_function("dft_acf_detect_34", |b| {
+        // A W_P = 2p window at the FaceNet scale (p ≈ 17).
+        let signal: Vec<f64> = (0..34)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 17.0).sin())
+            .collect();
+        b.iter(|| black_box(detect_period(&signal).expect("valid")));
+    });
+    c.bench_function("acf_direct_200x50", |b| {
+        let signal: Vec<f64> = (0..200).map(|i| ((i * 29) % 31) as f64).collect();
+        b.iter(|| black_box(acf_direct(&signal, 50).expect("valid")));
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("llc_access_hit", |b| {
+        let mut llc = Llc::new(CacheGeometry::default());
+        let d = llc.register_domain();
+        for line in 0..1000u64 {
+            llc.access(d, line);
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 1000;
+            black_box(llc.access(d, line))
+        });
+    });
+}
+
+fn bench_server_tick(c: &mut Criterion) {
+    c.bench_function("server_tick_9vms", |b| {
+        b.iter_batched(
+            || {
+                let mut server = Server::new(ServerConfig::default());
+                let llc = server.config().geometry.lines() as u64;
+                server.add_vm("victim", Application::KMeans.build(llc));
+                for i in 0..7u64 {
+                    server.add_vm(
+                        format!("util-{i}"),
+                        Box::new(memdos_workloads::apps::utility::program(i)),
+                    );
+                }
+                server.run_collect(5); // warm the cache
+                server
+            },
+            |mut server| black_box(server.tick()),
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sdsb_update, bench_sdsp_recompute, bench_ks_test,
+              bench_fft, bench_dft_acf, bench_cache_access, bench_server_tick
+}
+criterion_main!(benches);

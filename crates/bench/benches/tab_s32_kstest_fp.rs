@@ -1,0 +1,85 @@
+//! §3.2 — KStest false-positive rates per application (no attack).
+//!
+//! "From the KStest results of all twenty L_R intervals in our
+//! experiments, KStest declares an attack around 30 % of the times in
+//! Bayes, 35 % in SVM, 20 % in k-means, 60 % in PCA, 40 % in Aggregation,
+//! 40 % in Scan, 30 % in PageRank, 55 % in FaceNet when the attack is
+//! absent" — and more than 60 % for TeraSort (Fig. 1).
+
+use memdos_core::config::KsTestParams;
+use memdos_metrics::experiment::kstest_benign_run;
+use memdos_metrics::report::Table;
+use memdos_workloads::catalog::Application;
+
+fn main() {
+    memdos_bench::banner("tab_s32_kstest_fp");
+    let params = KsTestParams::default();
+    let intervals = if std::env::var("MEMDOS_SCALE").as_deref() == Ok("paper") {
+        20u64
+    } else {
+        10u64
+    };
+    let ticks = intervals * params.l_r_ticks;
+
+    let mut table = Table::new(
+        "KStest attack declarations on attack-free runs (fraction of L_R intervals)",
+        &["app", "measured", "paper"],
+    );
+    let mut ordering_ok = true;
+    let mut measured_rates = Vec::new();
+    for app in Application::KSTEST_SWEEP {
+        // An interval counts when the detector's alarm state was active
+        // within it — the same criterion as Fig. 1.
+        let (rounds, fp) = kstest_benign_run(app, ticks, params, 0x532 + app.name().len() as u64);
+        let mut declared = 0u64;
+        for interval in 0..intervals {
+            let lo = interval * params.l_r_ticks;
+            let hi = lo + params.l_r_ticks;
+            let mut streak = 0;
+            if rounds
+                .iter()
+                .filter(|r| (lo..hi).contains(&r.tick))
+                .any(|r| {
+                    streak = if r.rejected { streak + 1 } else { 0 };
+                    streak >= params.consecutive
+                })
+            {
+                declared += 1;
+            }
+        }
+        let rate = declared as f64 / intervals as f64;
+        let paper = app.paper_kstest_fp().unwrap_or(f64::NAN);
+        measured_rates.push((app, rate, paper));
+        table.push(vec![
+            app.name().to_string(),
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.0}%", paper * 100.0),
+        ]);
+        let _ = fp;
+    }
+    println!("{table}");
+
+    // Shape: the paper's key qualitative split — KStest is unreliable on
+    // phase-heavy / periodic applications (TeraSort, PCA, FaceNet ≥ 55 %)
+    // and most reliable on k-means (20 %, the minimum of the sweep).
+    let rate_of = |target: Application| {
+        measured_rates
+            .iter()
+            .find(|(a, _, _)| *a == target)
+            .map(|(_, r, _)| *r)
+            .unwrap_or(f64::NAN)
+    };
+    let heavy = [Application::TeraSort, Application::Pca, Application::FaceNet];
+    let heavy_min = heavy.iter().map(|&a| rate_of(a)).fold(f64::MAX, f64::min);
+    let kmeans = rate_of(Application::KMeans);
+    ordering_ok &= heavy_min >= kmeans;
+    memdos_bench::shape(
+        "§3.2 KStest FP ordering",
+        ordering_ok && heavy_min > 0.4,
+        format!(
+            "phase-heavy/periodic apps ≥ {:.0}% vs k-means {:.0}% (paper: ≥55% vs 20%)",
+            heavy_min * 100.0,
+            kmeans * 100.0
+        ),
+    );
+}

@@ -1,0 +1,140 @@
+//! Shared figure-rendering helpers for the bench targets.
+
+use memdos_attacks::AttackKind;
+use memdos_metrics::experiment::capture_trace;
+use memdos_stats::period::detect_period;
+use memdos_stats::smoothing::MovingAverage;
+use memdos_workloads::catalog::Application;
+
+/// A compact sparkline of a series (eight levels), for terminal figures.
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-9);
+    series
+        .iter()
+        .map(|&v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Aggregates a per-tick series to one point per second (100 ticks).
+pub fn per_second(series: &[f64]) -> Vec<f64> {
+    series
+        .chunks(100)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect()
+}
+
+/// Statistics of one measurement-study trace figure panel.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelStats {
+    /// Mean of the statistic before the attack launch.
+    pub before: f64,
+    /// Mean after the attack launch.
+    pub after: f64,
+    /// Period (in MA windows) before the launch, if periodic.
+    pub period_before: Option<f64>,
+    /// Period after the launch, if still detectable.
+    pub period_after: Option<f64>,
+}
+
+impl PanelStats {
+    /// Relative change `after / before − 1`.
+    pub fn relative_change(&self) -> f64 {
+        self.after / self.before.max(1e-9) - 1.0
+    }
+}
+
+/// Renders one measurement-study figure (a Figs. 2–6 panel pair) for one
+/// application: 60 s benign, 60 s under `attack`; prints per-second
+/// sparklines of the relevant statistic and returns the panel statistics.
+pub fn trace_panel(app: Application, attack: AttackKind, seed: u64) -> PanelStats {
+    let pre = 6_000u64;
+    let post = 6_000u64;
+    let trace = capture_trace(app, attack, pre, post, seed);
+    // §3.1: AccessNum is the relevant statistic for bus locking, MissNum
+    // for LLC cleansing.
+    let stat: Vec<f64> = match attack {
+        AttackKind::BusLocking => trace.iter().map(|s| s.0).collect(),
+        AttackKind::LlcCleansing => trace.iter().map(|s| s.1).collect(),
+    };
+    let label = match attack {
+        AttackKind::BusLocking => "AccessNum",
+        AttackKind::LlcCleansing => "MissNum",
+    };
+    let seconds = per_second(&stat);
+    let (b, a) = seconds.split_at(60);
+    println!("  {:<12} {label:<9} pre  |{}|", app.name(), sparkline(b));
+    println!("  {:<12} {label:<9} post |{}|", "", sparkline(a));
+
+    let ma_pre = MovingAverage::apply(200, 50, &stat[..pre as usize]).unwrap_or_default();
+    let ma_post = MovingAverage::apply(200, 50, &stat[pre as usize..]).unwrap_or_default();
+    let period_of = |ma: &[f64]| {
+        if ma.len() < 16 {
+            return None;
+        }
+        detect_period(ma).ok().flatten().map(|e| e.period)
+    };
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len().max(1) as f64;
+    PanelStats {
+        before: mean(b),
+        after: mean(a),
+        period_before: period_of(&ma_pre),
+        period_after: period_of(&ma_post),
+    }
+}
+
+/// Runs both attack panels for a set of applications (one paper figure)
+/// and prints the Observation 1 / Observation 2 summary lines.
+pub fn figure(title: &str, apps: &[Application], seed: u64) {
+    println!("== {title} ==");
+    for &attack in &AttackKind::ALL {
+        println!("-- {attack} attack (attack launches at t = 60 s) --");
+        for &app in apps {
+            let p = trace_panel(app, attack, seed);
+            let mut line = format!(
+                "  {:<12} mean {:.0} -> {:.0} ({:+.0}%)",
+                app.name(),
+                p.before,
+                p.after,
+                p.relative_change() * 100.0
+            );
+            if let Some(pb) = p.period_before {
+                match p.period_after {
+                    Some(pa) => line.push_str(&format!(
+                        "; period {:.1} -> {:.1} MA windows ({:+.0}%)",
+                        pb,
+                        pa,
+                        (pa / pb - 1.0) * 100.0
+                    )),
+                    None => line.push_str(&format!(
+                        "; period {pb:.1} MA windows -> destroyed under attack"
+                    )),
+                }
+            }
+            println!("{line}");
+            let ok = match attack {
+                AttackKind::BusLocking => p.relative_change() < -0.25,
+                AttackKind::LlcCleansing => p.relative_change() > 0.25,
+            };
+            crate::shape(
+                &format!("Observation 1 ({attack}, {app})"),
+                ok,
+                format!("{:+.0}% change in the monitored statistic", p.relative_change() * 100.0),
+            );
+            if app.is_periodic() {
+                let dilated = match (p.period_before, p.period_after) {
+                    (Some(pb), Some(pa)) => pa > 1.1 * pb,
+                    (Some(_), None) => true, // pattern destroyed: maximal change
+                    _ => false,
+                };
+                crate::shape(
+                    &format!("Observation 2 ({attack}, {app})"),
+                    dilated,
+                    "periodic application shows prolonged periodicity".to_string(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! # memdos-bench
+//!
+//! The benchmark/experiment harness: one `harness = false` bench target
+//! per table and figure of the paper's evaluation (run them with
+//! `cargo bench -p memdos-bench --bench <name>`), plus Criterion
+//! micro-benchmarks of the hot paths (`--bench micro`).
+//!
+//! Every figure target prints the same rows/series the paper reports and,
+//! where the paper states a quantitative expectation, a `shape` line
+//! noting whether the reproduction matches it.
+//!
+//! ## Scale control
+//!
+//! | env var | values | default | effect |
+//! |---|---|---|---|
+//! | `MEMDOS_SCALE` | `quick`, `standard`, `paper` | `quick` | stage lengths (§5.1: `paper` = 300 s + 300 s) |
+//! | `MEMDOS_RUNS` | integer | 2 (`quick`) / 5 / 20 | repetitions per configuration |
+//!
+//! The shapes reproduce at every scale; `standard`/`paper` tighten the
+//! percentiles at proportional cost (the simulator runs ~60 s of
+//! simulated time per wall-clock second per VM set on one core).
+
+pub mod figures;
+pub mod sensitivity;
+
+use memdos_attacks::AttackKind;
+use memdos_metrics::experiment::{ExperimentConfig, RunMetrics, Scheme, StageConfig};
+use memdos_metrics::report::{summarize, summarize_censored, Table};
+use memdos_stats::series::RunSummary;
+use memdos_workloads::catalog::Application;
+
+/// Stage scale selected via `MEMDOS_SCALE` (default `quick`).
+pub fn scale() -> StageConfig {
+    match std::env::var("MEMDOS_SCALE").as_deref() {
+        Ok("paper") => StageConfig::paper(),
+        Ok("standard") => StageConfig::standard(),
+        _ => StageConfig::quick(),
+    }
+}
+
+/// Number of runs per configuration via `MEMDOS_RUNS` (default: 2 for
+/// quick scale, 5 for standard, 20 for paper — the paper reports 20).
+pub fn runs() -> u64 {
+    if let Ok(v) = std::env::var("MEMDOS_RUNS") {
+        return v.parse().expect("MEMDOS_RUNS must be an integer");
+    }
+    match std::env::var("MEMDOS_SCALE").as_deref() {
+        Ok("paper") => 20,
+        Ok("standard") => 5,
+        _ => 2,
+    }
+}
+
+/// Human-readable banner for the selected scale.
+pub fn banner(target: &str) {
+    let s = scale();
+    println!(
+        "[{target}] stages: profile {} s, benign {} s, attack {} s; {} run(s) per cell",
+        s.profile_ticks / 100,
+        s.benign_ticks / 100,
+        s.attack_ticks / 100,
+        runs()
+    );
+}
+
+/// Per-scheme aggregated metrics for one `(app, attack)` cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Application under protection.
+    pub app: Application,
+    /// Attack launched in Stage 3.
+    pub attack: AttackKind,
+    /// Scheme evaluated.
+    pub scheme: Scheme,
+    /// Per-run metrics.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl Cell {
+    /// Median/p10/p90 of recall across runs.
+    pub fn recall(&self) -> Option<RunSummary> {
+        summarize(&self.runs.iter().map(|m| m.recall).collect::<Vec<_>>())
+    }
+
+    /// Median/p10/p90 of specificity across runs.
+    pub fn specificity(&self) -> Option<RunSummary> {
+        summarize(&self.runs.iter().map(|m| m.specificity).collect::<Vec<_>>())
+    }
+
+    /// Median/p10/p90 of detection delay (seconds); undetected runs are
+    /// censored at the attack-stage length.
+    pub fn delay(&self, stages: &StageConfig) -> Option<RunSummary> {
+        let censor = stages.attack_ticks as f64 * 0.01;
+        summarize_censored(
+            &self.runs.iter().map(|m| m.delay_secs).collect::<Vec<_>>(),
+            censor,
+        )
+    }
+}
+
+/// Runs the full §5 accuracy sweep: every `(app, attack)` cell, every
+/// applicable scheme, `runs` repetitions. This is the shared engine
+/// behind the Fig. 9 (recall), Fig. 10 (specificity) and Fig. 11 (delay)
+/// targets.
+pub fn accuracy_sweep(
+    apps: &[Application],
+    attacks: &[AttackKind],
+    stages: StageConfig,
+    n_runs: u64,
+) -> Vec<Cell> {
+    let mut cells: Vec<Cell> = Vec::new();
+    for &attack in attacks {
+        for &app in apps {
+            let cfg = ExperimentConfig { app, attack, stages, ..ExperimentConfig::default() };
+            let mut per_scheme: std::collections::BTreeMap<&str, Vec<RunMetrics>> =
+                std::collections::BTreeMap::new();
+            let mut scheme_of: std::collections::BTreeMap<&str, Scheme> =
+                std::collections::BTreeMap::new();
+            for run in 0..n_runs {
+                let outcomes = cfg
+                    .run_all_schemes(run)
+                    .expect("experiment configuration must be valid");
+                for out in outcomes {
+                    per_scheme
+                        .entry(out.scheme.name())
+                        .or_default()
+                        .push(out.metrics(&stages));
+                    scheme_of.insert(out.scheme.name(), out.scheme);
+                }
+            }
+            for (name, metrics) in per_scheme {
+                cells.push(Cell { app, attack, scheme: scheme_of[name], runs: metrics });
+            }
+            eprintln!("  swept {attack} / {app}");
+        }
+    }
+    cells
+}
+
+/// Builds the paper-style table for one metric over a sweep result.
+pub fn metric_table(
+    title: &str,
+    cells: &[Cell],
+    metric: impl Fn(&Cell) -> Option<RunSummary>,
+    decimals: usize,
+) -> Table {
+    let mut table = Table::new(title, &["attack", "app", "scheme", "median [p10, p90]"]);
+    for cell in cells {
+        if let Some(s) = metric(cell) {
+            table.push(vec![
+                cell.attack.name().to_string(),
+                cell.app.name().to_string(),
+                cell.scheme.name().to_string(),
+                memdos_metrics::report::fmt_summary(&s, decimals),
+            ]);
+        }
+    }
+    table
+}
+
+/// Checks a shape expectation and prints a PASS/DEVIATION line.
+pub fn shape(name: &str, ok: bool, detail: String) {
+    if ok {
+        println!("shape PASS       {name}: {detail}");
+    } else {
+        println!("shape DEVIATION  {name}: {detail}");
+    }
+}
+
+/// Median of the given metric across all cells matching a predicate.
+pub fn median_where(
+    cells: &[Cell],
+    pred: impl Fn(&Cell) -> bool,
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> Option<f64> {
+    let values: Vec<f64> = cells
+        .iter()
+        .filter(|c| pred(c))
+        .flat_map(|c| c.runs.iter().map(&metric))
+        .collect();
+    summarize(&values).map(|s| s.median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        if std::env::var("MEMDOS_SCALE").is_err() && std::env::var("MEMDOS_RUNS").is_err() {
+            assert_eq!(scale(), StageConfig::quick());
+            assert_eq!(runs(), 2);
+        }
+    }
+
+    #[test]
+    fn cell_summaries() {
+        let cell = Cell {
+            app: Application::KMeans,
+            attack: AttackKind::BusLocking,
+            scheme: Scheme::Sds,
+            runs: vec![
+                RunMetrics { recall: 1.0, specificity: 0.9, delay_secs: Some(15.0) },
+                RunMetrics { recall: 0.8, specificity: 1.0, delay_secs: None },
+            ],
+        };
+        assert_eq!(cell.recall().unwrap().median, 0.9);
+        let d = cell.delay(&StageConfig::quick()).unwrap();
+        assert!(d.median > 15.0); // the censored run pulls the median up
+    }
+
+    #[test]
+    fn median_where_filters() {
+        let mk = |scheme, recall| Cell {
+            app: Application::KMeans,
+            attack: AttackKind::BusLocking,
+            scheme,
+            runs: vec![RunMetrics { recall, specificity: 1.0, delay_secs: None }],
+        };
+        let cells = vec![mk(Scheme::Sds, 1.0), mk(Scheme::KsTest, 0.5)];
+        let m = median_where(&cells, |c| c.scheme == Scheme::Sds, |r| r.recall);
+        assert_eq!(m, Some(1.0));
+    }
+}

@@ -1,0 +1,339 @@
+//! Typed parameter sets with the paper's Table 1 defaults.
+//!
+//! | parameter | Table 1 value |
+//! |---|---|
+//! | `T_PCM` | 0.01 s |
+//! | window size `W` of raw data | 200 |
+//! | sliding step `ΔW` | 50 |
+//! | EWMA smooth factor `α` | 0.2 |
+//! | bounds | `μ ± 1.125 σ` |
+//! | consecutive violation threshold `H_C` | 30 |
+//! | window size `W_P` in SDS/P | `2 · period` |
+//! | sliding step `ΔW_P` in SDS/P | 10 |
+//! | consecutive period-change threshold `H_P` | 5 |
+//!
+//! KStest baseline parameters follow §3.2 (and [49]): `W_R = W_M = 1 s`,
+//! `L_M = 2 s`, `L_R = 30 s`, four consecutive rejections.
+
+use crate::CoreError;
+
+/// Parameters of SDS/B (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdsBParams {
+    /// Window size `W` of raw data points per MA window.
+    pub window: usize,
+    /// Sliding step `ΔW` in raw data points.
+    pub step: usize,
+    /// EWMA smoothing factor `α`.
+    pub alpha: f64,
+    /// Boundary factor `k` (> 1).
+    pub k: f64,
+    /// Consecutive violation threshold `H_C`.
+    pub h_c: u32,
+}
+
+impl Default for SdsBParams {
+    fn default() -> Self {
+        SdsBParams { window: 200, step: 50, alpha: 0.2, k: 1.125, h_c: 30 }
+    }
+}
+
+impl SdsBParams {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when any field is out of
+    /// domain (see field docs).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "window",
+                reason: "W must be positive",
+            });
+        }
+        if self.step == 0 || self.step > self.window {
+            return Err(CoreError::InvalidParameter {
+                name: "step",
+                reason: "ΔW must be in [1, W]",
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                reason: "α must be in (0, 1]",
+            });
+        }
+        if !(self.k > 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                reason: "boundary factor must exceed 1",
+            });
+        }
+        if self.h_c == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "h_c",
+                reason: "H_C must be positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with boundary factor `k` and `H_C` re-derived from
+    /// Chebyshev's inequality for the given confidence level, as done in
+    /// the Fig. 14 sensitivity study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidParameter`] for an out-of-domain
+    /// `k` or confidence.
+    pub fn with_confidence(mut self, k: f64, confidence: f64) -> Result<Self, CoreError> {
+        self.k = k;
+        self.h_c = memdos_stats::bounds::required_h_c(k, confidence).map_err(|_| {
+            CoreError::InvalidParameter {
+                name: "k/confidence",
+                reason: "k must exceed 1 and confidence must be in (0, 1)",
+            }
+        })?;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Shortest possible detection delay in ticks:
+    /// `H_C · ΔW` raw samples (§4.2.1; multiply by `T_PCM` for seconds).
+    pub fn min_detection_delay_ticks(&self) -> u64 {
+        self.h_c as u64 * self.step as u64
+    }
+}
+
+/// Parameters of SDS/P (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdsPParams {
+    /// Window size `W` of raw data for the MA series (shared with SDS/B).
+    pub window: usize,
+    /// Sliding step `ΔW` for the MA series.
+    pub step: usize,
+    /// Monitoring window `W_P` as a multiple of the profiled period
+    /// (Table 1: `W_P = 2 · period`).
+    pub window_periods: f64,
+    /// Sliding step `ΔW_P`: recompute the period every this many new MA
+    /// values.
+    pub step_ma: usize,
+    /// Consecutive period-change threshold `H_P`.
+    pub h_p: u32,
+    /// Relative period deviation that counts as a change (§4.2.2: 20 %).
+    pub deviation: f64,
+}
+
+impl Default for SdsPParams {
+    fn default() -> Self {
+        SdsPParams {
+            window: 200,
+            step: 50,
+            window_periods: 2.0,
+            step_ma: 10,
+            h_p: 5,
+            deviation: 0.2,
+        }
+    }
+}
+
+impl SdsPParams {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when any field is out of
+    /// domain.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.window == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "window",
+                reason: "W must be positive",
+            });
+        }
+        if self.step == 0 || self.step > self.window {
+            return Err(CoreError::InvalidParameter {
+                name: "step",
+                reason: "ΔW must be in [1, W]",
+            });
+        }
+        if !(self.window_periods >= 2.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "window_periods",
+                reason: "W_P must span at least two periods",
+            });
+        }
+        if self.step_ma == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "step_ma",
+                reason: "ΔW_P must be positive",
+            });
+        }
+        if self.h_p == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "h_p",
+                reason: "H_P must be positive",
+            });
+        }
+        if !(self.deviation > 0.0 && self.deviation < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "deviation",
+                reason: "period deviation threshold must be in (0, 1)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Shortest possible detection delay in ticks:
+    /// `H_P · ΔW_P · ΔW` raw samples (§4.2.2).
+    pub fn min_detection_delay_ticks(&self) -> u64 {
+        self.h_p as u64 * self.step_ma as u64 * self.step as u64
+    }
+}
+
+/// Parameters of the combined SDS (§5.1): SDS/B for all applications,
+/// plus SDS/P agreement for periodic ones.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SdsParams {
+    /// Boundary-scheme parameters.
+    pub sdsb: SdsBParams,
+    /// Period-scheme parameters (used only when the profile is periodic).
+    pub sdsp: SdsPParams,
+}
+
+/// Parameters of the KStest baseline (§3.2, after [49]), in ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTestParams {
+    /// Reference collection window `W_R` in ticks (1 s = 100 ticks).
+    pub w_r_ticks: u64,
+    /// Monitored window `W_M` in ticks (1 s).
+    pub w_m_ticks: u64,
+    /// Monitoring cadence `L_M` in ticks (2 s).
+    pub l_m_ticks: u64,
+    /// Reference refresh cadence `L_R` in ticks (30 s).
+    pub l_r_ticks: u64,
+    /// Consecutive rejections before an alarm (the paper: four).
+    pub consecutive: u32,
+    /// KS significance level.
+    pub alpha: f64,
+}
+
+impl Default for KsTestParams {
+    fn default() -> Self {
+        KsTestParams {
+            w_r_ticks: 100,
+            w_m_ticks: 100,
+            l_m_ticks: 200,
+            l_r_ticks: 3000,
+            consecutive: 4,
+            alpha: 0.05,
+        }
+    }
+}
+
+impl KsTestParams {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when any field is out of
+    /// domain or the schedule is infeasible (windows longer than their
+    /// cadence).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.w_r_ticks == 0 || self.w_m_ticks == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "w_r/w_m",
+                reason: "collection windows must be positive",
+            });
+        }
+        if self.l_m_ticks < self.w_m_ticks {
+            return Err(CoreError::InvalidParameter {
+                name: "l_m",
+                reason: "monitoring cadence must be at least the monitored window",
+            });
+        }
+        if self.l_r_ticks < self.w_r_ticks + self.l_m_ticks {
+            return Err(CoreError::InvalidParameter {
+                name: "l_r",
+                reason: "reference cadence must fit the reference window plus one monitor round",
+            });
+        }
+        if self.consecutive == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "consecutive",
+                reason: "rejection threshold must be positive",
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                reason: "significance level must be in (0, 1)",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let b = SdsBParams::default();
+        assert_eq!((b.window, b.step), (200, 50));
+        assert_eq!(b.alpha, 0.2);
+        assert_eq!(b.k, 1.125);
+        assert_eq!(b.h_c, 30);
+        let p = SdsPParams::default();
+        assert_eq!(p.window_periods, 2.0);
+        assert_eq!(p.step_ma, 10);
+        assert_eq!(p.h_p, 5);
+        assert_eq!(p.deviation, 0.2);
+        assert!(b.validate().is_ok());
+        assert!(p.validate().is_ok());
+        assert!(KsTestParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn table1_defaults_give_999_confidence() {
+        let b = SdsBParams::default();
+        let bound = memdos_stats::bounds::false_alarm_bound(b.k, b.h_c).unwrap();
+        assert!(bound <= 0.001, "Table 1 defaults miss 99.9 %: {bound}");
+    }
+
+    #[test]
+    fn min_delay_formulas() {
+        // SDS/B: H_C · ΔW · T_PCM = 30 · 50 · 0.01 s = 15 s = 1500 ticks.
+        assert_eq!(SdsBParams::default().min_detection_delay_ticks(), 1500);
+        // SDS/P: H_P · ΔW_P · ΔW · T_PCM = 5 · 10 · 50 · 0.01 s = 25 s.
+        assert_eq!(SdsPParams::default().min_detection_delay_ticks(), 2500);
+    }
+
+    #[test]
+    fn with_confidence_rederives_h_c() {
+        let b = SdsBParams::default().with_confidence(2.0, 0.999).unwrap();
+        assert_eq!(b.h_c, 5);
+        assert!(SdsBParams::default().with_confidence(0.9, 0.999).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut b = SdsBParams::default();
+        b.k = 1.0;
+        assert!(b.validate().is_err());
+        let mut b = SdsBParams::default();
+        b.step = 300;
+        assert!(b.validate().is_err());
+        let mut p = SdsPParams::default();
+        p.window_periods = 1.5;
+        assert!(p.validate().is_err());
+        let mut ks = KsTestParams::default();
+        ks.l_m_ticks = 50;
+        assert!(ks.validate().is_err());
+        let mut ks = KsTestParams::default();
+        ks.l_r_ticks = 200;
+        assert!(ks.validate().is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The common detector interface.
+//!
+//! All schemes — SDS/B, SDS/P, the combined SDS, and the KStest baseline —
+//! consume one [`Observation`] per `T_PCM` tick for the protected VM and
+//! expose an *alarm state*: whether the scheme's detection condition is
+//! currently satisfied (e.g. "the latest `H_C` EWMA values were all out
+//! of range"). The state clears when the condition clears; the experiment
+//! harness derives recall/specificity from the state over time and
+//! detection delay from state-activation events.
+//!
+//! The KStest baseline is the only scheme that needs to manipulate the
+//! hypervisor (execution throttling during reference collection); it
+//! communicates this through [`ThrottleRequest`]s in its
+//! [`DetectorStep`], which the experiment loop applies to the simulated
+//! server — mirroring how the real system drives the KVM scheduler.
+
+use memdos_sim::pcm::{PcmSample, Stat};
+
+/// The per-tick PCM statistics of the protected VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// LLC accesses in the tick (`AccessNum`).
+    pub access_num: f64,
+    /// LLC misses in the tick (`MissNum`).
+    pub miss_num: f64,
+}
+
+impl Observation {
+    /// Selects one statistic.
+    pub fn stat(&self, which: Stat) -> f64 {
+        match which {
+            Stat::AccessNum => self.access_num,
+            Stat::MissNum => self.miss_num,
+        }
+    }
+}
+
+impl From<&PcmSample> for Observation {
+    fn from(s: &PcmSample) -> Self {
+        Observation { access_num: s.accesses as f64, miss_num: s.misses as f64 }
+    }
+}
+
+/// A hypervisor action requested by a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottleRequest {
+    /// Pause every VM except the protected one (reference collection).
+    PauseOthers,
+    /// Resume all VMs.
+    ResumeAll,
+}
+
+/// What happened during one detector step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStep {
+    /// The alarm state transitioned from inactive to active on this tick.
+    pub became_active: bool,
+    /// Hypervisor action the detector requires (KStest baseline only).
+    pub throttle: Option<ThrottleRequest>,
+}
+
+impl DetectorStep {
+    /// A step with no alarm transition and no throttle request.
+    pub fn quiet() -> Self {
+        DetectorStep::default()
+    }
+}
+
+/// A real-time memory-DoS detector.
+pub trait Detector {
+    /// Scheme name for reports (e.g. `"SDS/B"`).
+    fn name(&self) -> &str;
+
+    /// Feeds the PCM statistics of one tick.
+    fn on_observation(&mut self, obs: Observation) -> DetectorStep;
+
+    /// Whether the scheme's detection condition is currently satisfied.
+    fn alarm_active(&self) -> bool;
+
+    /// Number of inactive→active transitions so far.
+    fn activations(&self) -> u64;
+}
+
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_observation(&mut self, obs: Observation) -> DetectorStep {
+        (**self).on_observation(obs)
+    }
+    fn alarm_active(&self) -> bool {
+        (**self).alarm_active()
+    }
+    fn activations(&self) -> u64 {
+        (**self).activations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::cache::DomainId;
+    use memdos_sim::hypervisor::VmId;
+
+    #[test]
+    fn observation_from_sample() {
+        let s = PcmSample { vm: VmId(0), domain: DomainId(1), accesses: 10, misses: 3 };
+        let o = Observation::from(&s);
+        assert_eq!(o.access_num, 10.0);
+        assert_eq!(o.miss_num, 3.0);
+        assert_eq!(o.stat(Stat::AccessNum), 10.0);
+        assert_eq!(o.stat(Stat::MissNum), 3.0);
+    }
+
+    #[test]
+    fn quiet_step_is_default() {
+        assert_eq!(DetectorStep::quiet(), DetectorStep::default());
+        assert!(DetectorStep::quiet().throttle.is_none());
+    }
+}

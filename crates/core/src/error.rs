@@ -1,0 +1,85 @@
+use memdos_stats::StatsError;
+use std::fmt;
+
+/// Error type for detector construction and profiling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The profiling stage did not collect enough data.
+    InsufficientProfile {
+        /// Number of smoothed values required.
+        required: usize,
+        /// Number of smoothed values available.
+        actual: usize,
+    },
+    /// A detector that requires a periodic profile was built from a
+    /// non-periodic one.
+    NotPeriodic,
+    /// An underlying statistics routine failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::InsufficientProfile { required, actual } => write!(
+                f,
+                "profile too short: need {required} smoothed values, got {actual}"
+            ),
+            CoreError::NotPeriodic => {
+                write!(f, "application profile is not periodic; SDS/P is inapplicable")
+            }
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            CoreError::InvalidParameter { name: "k", reason: "must exceed 1" },
+            CoreError::InsufficientProfile { required: 10, actual: 2 },
+            CoreError::NotPeriodic,
+            CoreError::Stats(StatsError::EmptyInput),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_error_converts_and_chains() {
+        use std::error::Error;
+        let e: CoreError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+    }
+}

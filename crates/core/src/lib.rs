@@ -1,0 +1,80 @@
+//! # memdos-core
+//!
+//! The primary contribution of *"Impact of Memory DoS Attacks on Cloud
+//! Applications and Real-Time Detection Schemes"* (ICPP '20): real-time,
+//! lightweight, statistical detection of memory denial-of-service attacks
+//! between co-located VMs — plus the prior-work baseline it is evaluated
+//! against.
+//!
+//! ## The detection schemes
+//!
+//! * [`sdsb::SdsB`] — the **Boundary-based Statistical Detection Scheme**
+//!   (§4.2.1). Raw PCM statistics are smoothed through a sliding-window
+//!   moving average (Eq. 1) and an EWMA (Eq. 2); an attack is inferred
+//!   when `H_C` consecutive EWMA values leave the Chebyshev normal range
+//!   `[μ_E − kσ_E, μ_E + kσ_E]` (Eq. 3–4). Works for every application.
+//! * [`sdsp::SdsP`] — the **Period-based Statistical Detection Scheme**
+//!   (§4.2.2), for *periodic* applications only. The period of the MA
+//!   series is re-estimated with DFT-ACF every `ΔW_P` windows; `H_P`
+//!   consecutive estimates deviating >20 % from the profiled period raise
+//!   the alarm (attacks *dilate* the period — Observation 2).
+//! * [`sds::Sds`] — the combined system (§5.1): SDS/B alone for
+//!   non-periodic applications; for periodic applications both SDS/B
+//!   *and* SDS/P must agree, eliminating false positives.
+//! * [`kstest::KsTestDetector`] — the baseline of Zhang et al.
+//!   (AsiaCCS '17): throttle all other VMs to collect reference samples,
+//!   then declare an attack after four consecutive two-sample
+//!   Kolmogorov–Smirnov rejections. Implemented with its full protocol
+//!   (`L_R`/`W_R`/`L_M`/`W_M` scheduling and throttling requests) so its
+//!   false positives, detection delay and throttling overhead can be
+//!   reproduced.
+//!
+//! ## Workflow
+//!
+//! 1. **Profile** (Stage 1): immediately after a VM starts or migrates —
+//!    when it is known not to be co-located with an attacker — feed its
+//!    PCM statistics to a [`profile::Profiler`] to obtain the per-stat
+//!    mean/deviation and the periodicity classification.
+//! 2. **Monitor**: construct a detector from the profile and feed it one
+//!    [`detector::Observation`] per `T_PCM` tick. SDS needs nothing else;
+//!    the KStest baseline additionally emits
+//!    [`detector::ThrottleRequest`]s that the hypervisor must honour.
+//!
+//! ```rust
+//! use memdos_core::config::SdsParams;
+//! use memdos_core::detector::{Detector, Observation};
+//! use memdos_core::profile::Profiler;
+//! use memdos_core::sds::Sds;
+//!
+//! // Stage 1: profile 3000 ticks of a (synthetic) benign signal.
+//! let mut profiler = Profiler::with_defaults();
+//! for i in 0..3000u64 {
+//!     let wiggle = (i % 7) as f64;
+//!     profiler.observe(Observation { access_num: 1000.0 + wiggle, miss_num: 50.0 + wiggle });
+//! }
+//! let profile = profiler.finish()?;
+//!
+//! // Stage 2: monitor in real time — same distribution, no alarm.
+//! let mut sds = Sds::from_profile(&profile, &SdsParams::default())?;
+//! for i in 0..2000u64 {
+//!     let wiggle = (i % 7) as f64;
+//!     sds.on_observation(Observation { access_num: 1000.0 + wiggle, miss_num: 50.0 + wiggle });
+//! }
+//! assert!(!sds.alarm_active()); // benign traffic: no alarm
+//! # Ok::<(), memdos_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detector;
+pub mod kstest;
+pub mod profile;
+pub mod sds;
+pub mod sdsb;
+pub mod sdsp;
+
+mod error;
+
+pub use error::CoreError;

@@ -1,0 +1,119 @@
+//! Recall and specificity (§5.2).
+//!
+//! * *Recall* = TP / (TP + FN) — "the ability to detect an attack when it
+//!   is present".
+//! * *Specificity* = TN / (TN + FP) — "the ability to correctly infer no
+//!   attack when the attack is absent".
+//!
+//! Both are computed over fixed-length *decision intervals* of the
+//! monitored timeline: an interval is *positive* when the detector's
+//! alarm state was active at any tick inside it. Benign-stage positives
+//! are false positives; attack-stage positives are true positives.
+//! Recall excludes a *grace period* at the head of the attack stage so
+//! that the (separately reported) detection delay is not double-counted
+//! as missed intervals — without it every scheme's recall would be
+//! bounded by the same delay it is already charged for in Fig. 11.
+
+/// Collapses a per-tick alarm timeline into per-interval positives.
+/// A trailing partial interval counts as a full interval.
+pub fn interval_positives(alarm: &[bool], interval_ticks: u64) -> Vec<bool> {
+    assert!(interval_ticks > 0, "decision interval must be positive");
+    alarm
+        .chunks(interval_ticks as usize)
+        .map(|w| w.iter().any(|&a| a))
+        .collect()
+}
+
+/// Specificity over a benign-stage alarm timeline: the fraction of
+/// decision intervals with no alarm. Returns 1.0 for an empty stage.
+pub fn specificity(alarm_benign: &[bool], interval_ticks: u64) -> f64 {
+    let intervals = interval_positives(alarm_benign, interval_ticks);
+    if intervals.is_empty() {
+        return 1.0;
+    }
+    let fp = intervals.iter().filter(|&&p| p).count();
+    (intervals.len() - fp) as f64 / intervals.len() as f64
+}
+
+/// Recall over an attack-stage alarm timeline, skipping the first
+/// `grace_ticks`: the fraction of remaining decision intervals with an
+/// alarm. Returns 0.0 when the grace consumes the whole stage and no
+/// alarm ever fired, 1.0 when it consumed the stage but an alarm was
+/// active somewhere (degenerate short stages).
+pub fn recall(alarm_attack: &[bool], interval_ticks: u64, grace_ticks: u64) -> f64 {
+    let start = (grace_ticks as usize).min(alarm_attack.len());
+    let tail = &alarm_attack[start..];
+    if tail.is_empty() {
+        return if alarm_attack.iter().any(|&a| a) { 1.0 } else { 0.0 };
+    }
+    let intervals = interval_positives(tail, interval_ticks);
+    let tp = intervals.iter().filter(|&&p| p).count();
+    tp as f64 / intervals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_collapse_any_alarm() {
+        let alarm = [false, false, true, false, false, false, false, true];
+        assert_eq!(interval_positives(&alarm, 4), vec![true, true]);
+        assert_eq!(interval_positives(&alarm, 8), vec![true]);
+    }
+
+    #[test]
+    fn trailing_partial_interval_counts() {
+        let alarm = [false, false, false, false, true];
+        assert_eq!(interval_positives(&alarm, 4), vec![false, true]);
+    }
+
+    #[test]
+    fn perfect_specificity_without_alarms() {
+        assert_eq!(specificity(&[false; 100], 10), 1.0);
+    }
+
+    #[test]
+    fn each_alarmed_interval_costs_specificity() {
+        let mut alarm = vec![false; 100];
+        alarm[5] = true; // first interval
+        alarm[95] = true; // last interval
+        assert_eq!(specificity(&alarm, 10), 0.8);
+    }
+
+    #[test]
+    fn empty_stage_is_fully_specific() {
+        assert_eq!(specificity(&[], 10), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_post_grace_intervals() {
+        // Alarm activates at tick 30 of a 100-tick stage; grace 20.
+        let mut alarm = vec![false; 100];
+        for a in alarm.iter_mut().skip(30) {
+            *a = true;
+        }
+        // Post-grace window is ticks 20..100; interval 10 → 8 intervals,
+        // the first (20..30) has no alarm.
+        assert_eq!(recall(&alarm, 10, 20), 7.0 / 8.0);
+        // With grace 30 every remaining interval is alarmed.
+        assert_eq!(recall(&alarm, 10, 30), 1.0);
+    }
+
+    #[test]
+    fn recall_zero_when_never_detected() {
+        assert_eq!(recall(&[false; 50], 10, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_degenerate_grace() {
+        assert_eq!(recall(&[false, true], 10, 10), 1.0);
+        assert_eq!(recall(&[false, false], 10, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        interval_positives(&[true], 0);
+    }
+}

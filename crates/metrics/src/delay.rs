@@ -1,0 +1,57 @@
+//! Detection delay (§5.2, Fig. 11).
+//!
+//! "We define the detection delay as the duration between the time when
+//! an attack is launched (which is known as we launch the attacks in the
+//! experiments) and the time when the attack is detected."
+
+/// Detection delay in ticks: the first tick at or after `attack_start`
+/// (an index into `alarm`) at which the alarm state is active, minus
+/// `attack_start`. `None` when the attack is never detected.
+///
+/// An alarm that is (spuriously) already active when the attack launches
+/// yields a delay of zero — the operator is already reacting.
+pub fn detection_delay_ticks(alarm: &[bool], attack_start: usize) -> Option<u64> {
+    alarm
+        .iter()
+        .enumerate()
+        .skip(attack_start)
+        .find(|(_, &a)| a)
+        .map(|(i, _)| (i - attack_start) as u64)
+}
+
+/// Converts a tick delay to seconds given the sampling interval.
+pub fn ticks_to_secs(ticks: u64, t_pcm_secs: f64) -> f64 {
+    ticks as f64 * t_pcm_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_first_alarm_after_launch() {
+        let mut alarm = vec![false; 100];
+        alarm[10] = true; // pre-attack false alarm, must be ignored
+        alarm[60] = true;
+        alarm[61] = true;
+        assert_eq!(detection_delay_ticks(&alarm, 50), Some(10));
+    }
+
+    #[test]
+    fn zero_delay_when_already_active() {
+        let mut alarm = vec![false; 10];
+        alarm[5] = true;
+        assert_eq!(detection_delay_ticks(&alarm, 5), Some(0));
+    }
+
+    #[test]
+    fn none_when_never_detected() {
+        assert_eq!(detection_delay_ticks(&[false; 20], 5), None);
+        assert_eq!(detection_delay_ticks(&[], 0), None);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(ticks_to_secs(1500, 0.01), 15.0);
+    }
+}

@@ -1,0 +1,638 @@
+//! The three-stage experiment protocol (§5.1).
+//!
+//! "We deployed a victim VM and 8 other VMs to share the resources on the
+//! server. Among these 8 VMs, one of them was the attack VM ... and the
+//! other 7 VMs were all benign VMs that ran normal Linux utilities ...
+//! We first generated the profile of an application without attack ...
+//! (Stage 1). Later we ran each application ... During the first [stage]
+//! we did not launch any attacks (Stage 2). During the last [stage], we
+//! performed the bus locking attack or LLC cleansing attack from the
+//! attack VM (Stage 3)."
+
+use memdos_attacks::schedule::Scheduled;
+use memdos_attacks::AttackKind;
+use memdos_core::config::{KsTestParams, SdsParams};
+use memdos_core::detector::{Detector, Observation, ThrottleRequest};
+use memdos_core::kstest::KsTestDetector;
+use memdos_core::profile::{Profile, Profiler, ProfilerConfig};
+use memdos_core::sds::Sds;
+use memdos_core::sdsp::SdsP;
+use memdos_core::CoreError;
+use memdos_sim::pcm::Stat;
+use memdos_sim::server::{Server, ServerConfig};
+use memdos_sim::VmId;
+use memdos_workloads::catalog::Application;
+
+use crate::accuracy;
+use crate::delay;
+
+/// A detection scheme under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The combined SDS (SDS/B, plus SDS/P agreement for periodic apps).
+    Sds,
+    /// The boundary scheme alone.
+    SdsB,
+    /// The period scheme alone (periodic applications only).
+    SdsP,
+    /// The KStest baseline.
+    KsTest,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's figure order.
+    pub const ALL: [Scheme; 4] = [Scheme::Sds, Scheme::SdsB, Scheme::SdsP, Scheme::KsTest];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Sds => "SDS",
+            Scheme::SdsB => "SDS/B",
+            Scheme::SdsP => "SDS/P",
+            Scheme::KsTest => "KStest",
+        }
+    }
+
+    /// Whether the scheme only observes (no throttling).
+    pub fn is_passive(&self) -> bool {
+        !matches!(self, Scheme::KsTest)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stage lengths and evaluation granularity, in ticks (1 tick = `T_PCM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Stage 1: profiling window.
+    pub profile_ticks: u64,
+    /// Stage 2: benign monitoring window.
+    pub benign_ticks: u64,
+    /// Stage 3: attack window.
+    pub attack_ticks: u64,
+    /// Decision-interval length for recall/specificity.
+    pub interval_ticks: u64,
+    /// Recall grace period after attack launch (§ accuracy docs).
+    pub grace_ticks: u64,
+}
+
+impl StageConfig {
+    /// Compact stages for tests: 40 s profile, 60 s benign, 60 s attack.
+    pub fn quick() -> Self {
+        StageConfig {
+            profile_ticks: 4_000,
+            benign_ticks: 6_000,
+            attack_ticks: 6_000,
+            interval_ticks: 1_000,
+            grace_ticks: 3_500,
+        }
+    }
+
+    /// Default bench scale: 120 s profile, 120 s + 120 s stages. The
+    /// profile must span at least one full cycle of the longest-phased
+    /// application (TeraSort's map→shuffle→sort→reduce job ≈ 70 s).
+    pub fn standard() -> Self {
+        StageConfig {
+            profile_ticks: 12_000,
+            benign_ticks: 12_000,
+            attack_ticks: 12_000,
+            interval_ticks: 1_000,
+            grace_ticks: 6_000,
+        }
+    }
+
+    /// The paper's scale: 300 s + 300 s stages (§5.1).
+    pub fn paper() -> Self {
+        StageConfig {
+            profile_ticks: 15_000,
+            benign_ticks: 30_000,
+            attack_ticks: 30_000,
+            interval_ticks: 1_000,
+            grace_ticks: 6_000,
+        }
+    }
+
+    /// Tick at which the attack launches (absolute).
+    pub fn attack_start(&self) -> u64 {
+        self.profile_ticks + self.benign_ticks
+    }
+
+    /// Total run length in ticks.
+    pub fn total_ticks(&self) -> u64 {
+        self.profile_ticks + self.benign_ticks + self.attack_ticks
+    }
+}
+
+impl Default for StageConfig {
+    fn default() -> Self {
+        StageConfig::standard()
+    }
+}
+
+/// Full configuration of one accuracy/delay experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The protected application.
+    pub app: Application,
+    /// The attack launched in Stage 3.
+    pub attack: AttackKind,
+    /// Stage lengths.
+    pub stages: StageConfig,
+    /// Simulated server parameters.
+    pub server: ServerConfig,
+    /// Number of benign utility VMs (the paper uses 7).
+    pub utility_vms: usize,
+    /// SDS parameters (Table 1 defaults).
+    pub sds_params: SdsParams,
+    /// KStest parameters (§3.2 defaults).
+    pub ks_params: KsTestParams,
+    /// Base seed; run `r` uses a seed derived from it.
+    pub seed: u64,
+    /// Per-tick monitoring cycle tax while SDS-family schemes run.
+    pub sds_tax_cycles: u64,
+    /// Per-tick monitoring cycle tax while KStest runs (KS computation +
+    /// PCM; its throttling cost is on top, emerging from the protocol).
+    pub ks_tax_cycles: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            app: Application::KMeans,
+            attack: AttackKind::BusLocking,
+            stages: StageConfig::standard(),
+            server: ServerConfig::default(),
+            utility_vms: 7,
+            sds_params: SdsParams::default(),
+            ks_params: KsTestParams::default(),
+            seed: 0xD05,
+            sds_tax_cycles: 2_500,
+            ks_tax_cycles: 2_000,
+        }
+    }
+}
+
+/// The alarm timeline and events of one scheme on one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Scheme evaluated.
+    pub scheme: Scheme,
+    /// Per-tick alarm state over stages 2+3 (index 0 = first benign
+    /// tick).
+    pub alarm: Vec<bool>,
+    /// Alarm activation events, as tick offsets into `alarm`.
+    pub activations: Vec<u64>,
+    /// Whether Stage 1 classified the application as periodic.
+    pub profile_periodic: bool,
+}
+
+/// Scalar metrics derived from one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Recall over attack-stage decision intervals.
+    pub recall: f64,
+    /// Specificity over benign-stage decision intervals.
+    pub specificity: f64,
+    /// Detection delay in seconds; `None` when never detected.
+    pub delay_secs: Option<f64>,
+}
+
+impl RunOutcome {
+    /// Evaluates the run against the stage layout it was produced with.
+    pub fn metrics(&self, stages: &StageConfig) -> RunMetrics {
+        self.metrics_with_t_pcm(stages, 0.01)
+    }
+
+    /// Evaluates with an explicit `T_PCM` (seconds per tick).
+    pub fn metrics_with_t_pcm(&self, stages: &StageConfig, t_pcm: f64) -> RunMetrics {
+        let benign = stages.benign_ticks as usize;
+        let (stage2, stage3) = self.alarm.split_at(benign.min(self.alarm.len()));
+        RunMetrics {
+            recall: accuracy::recall(stage3, stages.interval_ticks, stages.grace_ticks),
+            specificity: accuracy::specificity(stage2, stages.interval_ticks),
+            delay_secs: delay::detection_delay_ticks(&self.alarm, benign)
+                .map(|t| delay::ticks_to_secs(t, t_pcm)),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Seed for run index `r` (split so that every run is independent
+    /// but reproducible).
+    pub fn run_seed(&self, run: u64) -> u64 {
+        self.seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678)
+    }
+
+    /// Builds the populated server for one run: victim + scheduled
+    /// attacker + utilities. Returns the server and the victim's id.
+    pub fn build_server(&self, run: u64) -> (Server, VmId) {
+        let server_cfg = ServerConfig { seed: self.run_seed(run), ..self.server };
+        let mut server = Server::new(server_cfg);
+        let llc = server.config().geometry.lines() as u64;
+        let geometry = server.config().geometry;
+        let victim = server.add_vm(self.app.name(), self.app.build(llc));
+        server.add_vm_parallel(
+            "attacker",
+            Box::new(Scheduled::starting_at(
+                self.stages.attack_start(),
+                self.attack.build(geometry),
+            )),
+            self.attack.default_parallelism(),
+        );
+        for i in 0..self.utility_vms {
+            server.add_vm(
+                format!("util-{i}"),
+                Box::new(memdos_workloads::apps::utility::program(i as u64)),
+            );
+        }
+        (server, victim)
+    }
+
+    /// Runs Stage 1 on `server`, returning the victim's profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InsufficientProfile`] for stage configs too
+    /// short to profile.
+    pub fn run_profile_stage(
+        &self,
+        server: &mut Server,
+        victim: VmId,
+    ) -> Result<Profile, CoreError> {
+        let mut profiler = Profiler::new(ProfilerConfig {
+            sds: self.sds_params,
+            ..ProfilerConfig::default()
+        })?;
+        for _ in 0..self.stages.profile_ticks {
+            let report = server.tick();
+            profiler.observe(Observation::from(report.sample(victim).expect("victim sample")));
+        }
+        profiler.finish()
+    }
+
+    /// Runs the complete three-stage protocol for one scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotPeriodic`] when `scheme` is
+    /// [`Scheme::SdsP`] but the profile is not periodic, and propagates
+    /// profiling/construction errors.
+    pub fn run_scheme(&self, scheme: Scheme, run: u64) -> Result<RunOutcome, CoreError> {
+        let (mut server, victim) = self.build_server(run);
+        let tax = if scheme.is_passive() { self.sds_tax_cycles } else { self.ks_tax_cycles };
+        server.set_monitor_tax(tax);
+
+        let profile = self.run_profile_stage(&mut server, victim)?;
+        let mut detector: Box<dyn Detector> = match scheme {
+            Scheme::Sds => Box::new(Sds::from_profile(&profile, &self.sds_params)?),
+            Scheme::SdsB => {
+                let mut boundary_only = profile.clone();
+                boundary_only.periodicity = None;
+                Box::new(Sds::from_profile(&boundary_only, &self.sds_params)?)
+            }
+            Scheme::SdsP => Box::new(SdsP::from_profile(&profile, Stat::AccessNum)?),
+            Scheme::KsTest => Box::new(KsTestDetector::new(self.ks_params)?),
+        };
+
+        let monitored = self.stages.benign_ticks + self.stages.attack_ticks;
+        let mut alarm = Vec::with_capacity(monitored as usize);
+        let mut activations = Vec::new();
+        for t in 0..monitored {
+            let report = server.tick();
+            let obs = Observation::from(report.sample(victim).expect("victim sample"));
+            let step = detector.on_observation(obs);
+            match step.throttle {
+                Some(ThrottleRequest::PauseOthers) => server.pause_all_except(victim),
+                Some(ThrottleRequest::ResumeAll) => server.resume_all(),
+                None => {}
+            }
+            if step.became_active {
+                activations.push(t);
+            }
+            alarm.push(detector.alarm_active());
+        }
+        Ok(RunOutcome {
+            scheme,
+            alarm,
+            activations,
+            profile_periodic: profile.is_periodic(),
+        })
+    }
+
+    /// Runs all passive schemes plus KStest for run `run`, reusing one
+    /// server execution for the passive schemes. Schemes inapplicable to
+    /// the workload (SDS/P on a non-periodic profile) are omitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors.
+    pub fn run_all_schemes(&self, run: u64) -> Result<Vec<RunOutcome>, CoreError> {
+        // Passive schemes share one server execution.
+        let (mut server, victim) = self.build_server(run);
+        server.set_monitor_tax(self.sds_tax_cycles);
+        let profile = self.run_profile_stage(&mut server, victim)?;
+
+        let mut passive: Vec<(Scheme, Box<dyn Detector>)> = Vec::new();
+        passive.push((
+            Scheme::Sds,
+            Box::new(Sds::from_profile(&profile, &self.sds_params)?),
+        ));
+        {
+            let mut boundary_only = profile.clone();
+            boundary_only.periodicity = None;
+            passive.push((
+                Scheme::SdsB,
+                Box::new(Sds::from_profile(&boundary_only, &self.sds_params)?),
+            ));
+        }
+        if profile.is_periodic() {
+            passive.push((
+                Scheme::SdsP,
+                Box::new(SdsP::from_profile(&profile, Stat::AccessNum)?),
+            ));
+        }
+
+        let monitored = self.stages.benign_ticks + self.stages.attack_ticks;
+        let mut outcomes: Vec<RunOutcome> = passive
+            .iter()
+            .map(|(s, _)| RunOutcome {
+                scheme: *s,
+                alarm: Vec::with_capacity(monitored as usize),
+                activations: Vec::new(),
+                profile_periodic: profile.is_periodic(),
+            })
+            .collect();
+        for t in 0..monitored {
+            let report = server.tick();
+            let obs = Observation::from(report.sample(victim).expect("victim sample"));
+            for ((_, det), out) in passive.iter_mut().zip(&mut outcomes) {
+                let step = det.on_observation(obs);
+                if step.became_active {
+                    out.activations.push(t);
+                }
+                out.alarm.push(det.alarm_active());
+            }
+        }
+
+        // KStest drives its own server (it throttles).
+        outcomes.push(self.run_scheme(Scheme::KsTest, run)?);
+        Ok(outcomes)
+    }
+}
+
+/// A fully captured victim observation stream for one run, covering all
+/// three stages. Passive schemes (SDS, SDS/B, SDS/P) can be *replayed*
+/// over it with arbitrary parameters without re-simulating the server —
+/// the sensitivity studies (Figs. 13–18) sweep six parameters over the
+/// same captured runs this way.
+#[derive(Debug, Clone)]
+pub struct CapturedRun {
+    /// Stage layout the capture was produced with.
+    pub stages: StageConfig,
+    /// One observation per tick, stages 1–3 back to back.
+    pub observations: Vec<Observation>,
+}
+
+impl CapturedRun {
+    /// Recomputes the Stage-1 profile with explicit SDS parameters (the
+    /// profile's `μ_E`/`σ_E` depend on the smoothing parameters, so every
+    /// sensitivity point needs its own profile pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors.
+    pub fn profile_with(&self, params: &SdsParams) -> Result<Profile, CoreError> {
+        let mut profiler = Profiler::new(ProfilerConfig {
+            sds: *params,
+            ..ProfilerConfig::default()
+        })?;
+        for obs in &self.observations[..self.stages.profile_ticks as usize] {
+            profiler.observe(*obs);
+        }
+        profiler.finish()
+    }
+
+    /// Replays stages 2+3 through a passive detector built by `make`
+    /// from the (re-profiled) Stage-1 profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and detector-construction errors.
+    pub fn replay_passive<D: Detector>(
+        &self,
+        scheme: Scheme,
+        params: &SdsParams,
+        make: impl FnOnce(&Profile) -> Result<D, CoreError>,
+    ) -> Result<RunOutcome, CoreError> {
+        let profile = self.profile_with(params)?;
+        let mut detector = make(&profile)?;
+        let monitored = &self.observations[self.stages.profile_ticks as usize..];
+        let mut alarm = Vec::with_capacity(monitored.len());
+        let mut activations = Vec::new();
+        for (t, obs) in monitored.iter().enumerate() {
+            let step = detector.on_observation(*obs);
+            if step.became_active {
+                activations.push(t as u64);
+            }
+            alarm.push(detector.alarm_active());
+        }
+        Ok(RunOutcome {
+            scheme,
+            alarm,
+            activations,
+            profile_periodic: profile.is_periodic(),
+        })
+    }
+
+    /// Replays the combined SDS with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and construction errors.
+    pub fn replay_sds(&self, params: &SdsParams) -> Result<RunOutcome, CoreError> {
+        self.replay_passive(Scheme::Sds, params, |p| Sds::from_profile(p, params))
+    }
+
+    /// Replays SDS/P alone with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotPeriodic`] on a non-periodic profile.
+    pub fn replay_sdsp(&self, params: &SdsParams) -> Result<RunOutcome, CoreError> {
+        self.replay_passive(Scheme::SdsP, params, |p| {
+            SdsP::from_profile(p, Stat::AccessNum)
+        })
+    }
+}
+
+impl ExperimentConfig {
+    /// Runs the full three-stage simulation once with no detector in the
+    /// loop (SDS monitoring tax applied) and captures the victim's
+    /// observation stream for later replay.
+    pub fn capture_run(&self, run: u64) -> CapturedRun {
+        let (mut server, victim) = self.build_server(run);
+        server.set_monitor_tax(self.sds_tax_cycles);
+        let total = self.stages.total_ticks();
+        let observations = (0..total)
+            .map(|_| {
+                let report = server.tick();
+                Observation::from(report.sample(victim).expect("victim sample"))
+            })
+            .collect();
+        CapturedRun { stages: self.stages, observations }
+    }
+}
+
+/// Captures the raw `(AccessNum, MissNum)` trace of the victim for the
+/// measurement-study figures (Figs. 2–6): `pre_ticks` benign, then the
+/// attack runs for `post_ticks`.
+pub fn capture_trace(
+    app: Application,
+    attack: AttackKind,
+    pre_ticks: u64,
+    post_ticks: u64,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let cfg = ExperimentConfig {
+        app,
+        attack,
+        stages: StageConfig {
+            profile_ticks: 0,
+            benign_ticks: pre_ticks,
+            attack_ticks: post_ticks,
+            interval_ticks: 1_000,
+            grace_ticks: 0,
+        },
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let (mut server, victim) = cfg.build_server(0);
+    (0..pre_ticks + post_ticks)
+        .map(|_| {
+            let r = server.tick();
+            let s = r.sample(victim).expect("victim sample");
+            (s.accesses as f64, s.misses as f64)
+        })
+        .collect()
+}
+
+/// One KS round outcome in a benign-only KStest run (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KsRound {
+    /// Tick at which the round's test completed.
+    pub tick: u64,
+    /// 1 = "distinct probability distributions" in the paper's plots.
+    pub rejected: bool,
+}
+
+/// Runs KStest on a benign (attack-free) workload and reports every KS
+/// round outcome plus the fraction of `L_R` intervals in which KStest
+/// declared an attack — the §3.2 false-positive measurement.
+pub fn kstest_benign_run(
+    app: Application,
+    ticks: u64,
+    ks_params: KsTestParams,
+    seed: u64,
+) -> (Vec<KsRound>, f64) {
+    let cfg = ExperimentConfig {
+        app,
+        seed,
+        ks_params,
+        ..ExperimentConfig::default()
+    };
+    // Build a server with no attacker: victim + utilities only.
+    let server_cfg = ServerConfig { seed: cfg.run_seed(0), ..cfg.server };
+    let mut server = Server::new(server_cfg);
+    let llc = server.config().geometry.lines() as u64;
+    let victim = server.add_vm(app.name(), app.build(llc));
+    for i in 0..cfg.utility_vms {
+        server.add_vm(
+            format!("util-{i}"),
+            Box::new(memdos_workloads::apps::utility::program(i as u64)),
+        );
+    }
+    server.set_monitor_tax(cfg.ks_tax_cycles);
+
+    let mut det = KsTestDetector::new(ks_params).expect("valid params");
+    let mut rounds = Vec::new();
+    let mut tests_seen = 0;
+    let mut interval_alarmed = vec![false; ticks.div_ceil(ks_params.l_r_ticks) as usize];
+    for t in 0..ticks {
+        let report = server.tick();
+        let obs = Observation::from(report.sample(victim).expect("victim sample"));
+        let step = det.on_observation(obs);
+        match step.throttle {
+            Some(ThrottleRequest::PauseOthers) => server.pause_all_except(victim),
+            Some(ThrottleRequest::ResumeAll) => server.resume_all(),
+            None => {}
+        }
+        if det.tests_run() > tests_seen {
+            tests_seen = det.tests_run();
+            rounds.push(KsRound { tick: t, rejected: det.last_rejected().unwrap_or(false) });
+        }
+        if det.alarm_active() {
+            interval_alarmed[(t / ks_params.l_r_ticks) as usize] = true;
+        }
+    }
+    let fp = interval_alarmed.iter().filter(|&&a| a).count() as f64
+        / interval_alarmed.len().max(1) as f64;
+    (rounds, fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_layout_arithmetic() {
+        let s = StageConfig::quick();
+        assert_eq!(s.attack_start(), 10_000);
+        assert_eq!(s.total_ticks(), 16_000);
+        assert_eq!(StageConfig::paper().benign_ticks, 30_000);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Sds.to_string(), "SDS");
+        assert_eq!(Scheme::KsTest.name(), "KStest");
+        assert!(Scheme::Sds.is_passive());
+        assert!(!Scheme::KsTest.is_passive());
+    }
+
+    #[test]
+    fn run_seeds_differ_by_run() {
+        let cfg = ExperimentConfig::default();
+        assert_ne!(cfg.run_seed(0), cfg.run_seed(1));
+        assert_eq!(cfg.run_seed(3), cfg.run_seed(3));
+    }
+
+    #[test]
+    fn metrics_split_stages_correctly() {
+        let stages = StageConfig {
+            profile_ticks: 0,
+            benign_ticks: 10,
+            attack_ticks: 10,
+            interval_ticks: 5,
+            grace_ticks: 0,
+        };
+        // Alarm only in the attack stage, from its 3rd tick on.
+        let mut alarm = vec![false; 20];
+        for a in alarm.iter_mut().skip(13) {
+            *a = true;
+        }
+        let out = RunOutcome {
+            scheme: Scheme::Sds,
+            alarm,
+            activations: vec![13],
+            profile_periodic: false,
+        };
+        let m = out.metrics(&stages);
+        assert_eq!(m.specificity, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.delay_secs, Some(0.03));
+    }
+}

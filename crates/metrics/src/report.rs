@@ -1,0 +1,166 @@
+//! Report formatting: the paper's median/p10/p90 presentation.
+
+use memdos_stats::series::RunSummary;
+
+/// Summarizes per-run values the way every §5 figure does: "bars give
+/// median values and the error bars give the 10th and 90th percentile
+/// values". Empty inputs yield `None`.
+pub fn summarize(runs: &[f64]) -> Option<RunSummary> {
+    RunSummary::from_runs(runs).ok()
+}
+
+/// Summarizes optional per-run values (e.g. detection delays, where a
+/// run may never detect), treating `None` as `censor_value` — the
+/// conservative convention for undetected runs is the full stage length.
+pub fn summarize_censored(runs: &[Option<f64>], censor_value: f64) -> Option<RunSummary> {
+    let values: Vec<f64> = runs.iter().map(|v| v.unwrap_or(censor_value)).collect();
+    summarize(&values)
+}
+
+/// A plain-text column-aligned table, used by every bench target to
+/// print its figure/table reproduction.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn push(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of string slices.
+    pub fn push_strs(&mut self, row: &[&str]) {
+        self.push(row.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut std::fmt::Formatter<'_>, row: &[String]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a [`RunSummary`] as `median [p10, p90]` with the given number
+/// of decimals.
+pub fn fmt_summary(s: &RunSummary, decimals: usize) -> String {
+    format!(
+        "{:.d$} [{:.d$}, {:.d$}]",
+        s.median,
+        s.p10,
+        s.p90,
+        d = decimals
+    )
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn censoring_fills_missing() {
+        let s = summarize_censored(&[Some(1.0), None, Some(3.0)], 100.0).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["app", "value"]);
+        t.push_strs(&["kmeans", "1.0"]);
+        t.push_strs(&["facenet", "0.5"]);
+        let out = t.to_string();
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("kmeans"));
+        // Columns aligned: "facenet" is the widest first-column cell.
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new("Ragged", &["a"]);
+        t.push(vec!["x".into(), "extra".into()]);
+        let out = t.to_string();
+        assert!(out.contains("extra"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let s = RunSummary { median: 0.95, p10: 0.9, p90: 1.0 };
+        assert_eq!(fmt_summary(&s, 2), "0.95 [0.90, 1.00]");
+        assert_eq!(fmt_pct(0.333), "33.3%");
+    }
+}

@@ -1,0 +1,227 @@
+//! Failure injection: how SDS behaves when the measurement channel
+//! itself misbehaves.
+//!
+//! The paper assumes PCM delivers a clean sample every `T_PCM`. In
+//! production the counter path is less tidy: samples get dropped when
+//! the management core is busy, multiplexed PMU reads add noise, and a
+//! hypervisor hiccup can freeze the sampler for a while. This module
+//! wraps a detector's input stream with configurable fault models so the
+//! schemes' robustness can be measured (an extension beyond the paper's
+//! evaluation; see `DESIGN.md` §7).
+//!
+//! Fault models:
+//!
+//! * **dropout** — each sample is lost independently with probability
+//!   `p`; the previous value is repeated (what a real sampler's
+//!   last-value cache does).
+//! * **noise** — multiplicative Gaussian jitter on every sample.
+//! * **freeze** — occasional multi-tick stretches during which the
+//!   sampler repeats a stale value.
+
+use memdos_core::detector::{Detector, DetectorStep, Observation};
+use memdos_sim::rng::Rng;
+
+/// Fault-injection configuration for the measurement channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-sample dropout probability (repeat previous value).
+    pub dropout: f64,
+    /// Relative standard deviation of multiplicative Gaussian noise
+    /// (0.05 = 5 % jitter).
+    pub noise_rel_std: f64,
+    /// Per-sample probability of entering a freeze.
+    pub freeze_prob: f64,
+    /// Inclusive freeze length range in samples.
+    pub freeze_len: (u32, u32),
+}
+
+impl FaultSpec {
+    /// A clean channel (no faults).
+    pub fn none() -> Self {
+        FaultSpec { dropout: 0.0, noise_rel_std: 0.0, freeze_prob: 0.0, freeze_len: (0, 0) }
+    }
+
+    /// A moderately unhealthy channel: 2 % dropout, 5 % jitter, and a
+    /// ~1-second freeze roughly every 100 seconds.
+    pub fn degraded() -> Self {
+        FaultSpec {
+            dropout: 0.02,
+            noise_rel_std: 0.05,
+            freeze_prob: 0.0001,
+            freeze_len: (50, 150),
+        }
+    }
+}
+
+/// Wraps a detector, corrupting its observation stream per a
+/// [`FaultSpec`]. The wrapped detector's alarm state passes through
+/// unchanged.
+#[derive(Debug)]
+pub struct FaultyChannel<D> {
+    inner: D,
+    spec: FaultSpec,
+    rng: Rng,
+    last: Option<Observation>,
+    freeze_left: u32,
+    corrupted_samples: u64,
+}
+
+impl<D: Detector> FaultyChannel<D> {
+    /// Wraps `inner` with the given fault model and RNG seed.
+    pub fn new(inner: D, spec: FaultSpec, seed: u64) -> Self {
+        FaultyChannel {
+            inner,
+            spec,
+            rng: Rng::new(seed),
+            last: None,
+            freeze_left: 0,
+            corrupted_samples: 0,
+        }
+    }
+
+    /// Number of samples that were dropped, frozen or noised.
+    pub fn corrupted_samples(&self) -> u64 {
+        self.corrupted_samples
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn corrupt(&mut self, obs: Observation) -> Observation {
+        // Freeze: repeat the stale value for a stretch.
+        if self.freeze_left > 0 {
+            self.freeze_left -= 1;
+            self.corrupted_samples += 1;
+            return self.last.unwrap_or(obs);
+        }
+        if self.spec.freeze_prob > 0.0 && self.rng.chance(self.spec.freeze_prob) {
+            self.freeze_left = self
+                .rng
+                .range_inclusive(self.spec.freeze_len.0 as u64, self.spec.freeze_len.1 as u64)
+                as u32;
+        }
+        // Dropout: repeat the previous value.
+        if self.spec.dropout > 0.0 && self.rng.chance(self.spec.dropout) {
+            self.corrupted_samples += 1;
+            return self.last.unwrap_or(obs);
+        }
+        // Noise: multiplicative jitter, clamped non-negative.
+        if self.spec.noise_rel_std > 0.0 {
+            self.corrupted_samples += 1;
+            let j = |rng: &mut Rng, v: f64| {
+                (v * (1.0 + rng.gaussian(0.0, 1.0) * self.spec.noise_rel_std)).max(0.0)
+            };
+            return Observation {
+                access_num: j(&mut self.rng, obs.access_num),
+                miss_num: j(&mut self.rng, obs.miss_num),
+            };
+        }
+        obs
+    }
+}
+
+impl<D: Detector> Detector for FaultyChannel<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_observation(&mut self, obs: Observation) -> DetectorStep {
+        let corrupted = self.corrupt(obs);
+        self.last = Some(corrupted);
+        self.inner.on_observation(corrupted)
+    }
+
+    fn alarm_active(&self) -> bool {
+        self.inner.alarm_active()
+    }
+
+    fn activations(&self) -> u64 {
+        self.inner.activations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_core::config::SdsBParams;
+    use memdos_core::sdsb::SdsB;
+    use memdos_sim::pcm::Stat;
+
+    fn detector() -> SdsB {
+        SdsB::new(
+            SdsBParams { window: 10, step: 5, alpha: 0.5, k: 2.0, h_c: 3 },
+            Stat::AccessNum,
+            1000.0,
+            100.0,
+        )
+        .expect("valid")
+    }
+
+    fn obs(a: f64) -> Observation {
+        Observation { access_num: a, miss_num: 10.0 }
+    }
+
+    #[test]
+    fn clean_channel_is_transparent() {
+        let mut plain = detector();
+        let mut wrapped = FaultyChannel::new(detector(), FaultSpec::none(), 1);
+        for i in 0..500u64 {
+            let o = obs(1000.0 + (i % 17) as f64);
+            assert_eq!(plain.on_observation(o), wrapped.on_observation(o));
+        }
+        assert_eq!(wrapped.corrupted_samples(), 0);
+        assert!(!wrapped.alarm_active());
+    }
+
+    #[test]
+    fn detection_survives_degraded_channel() {
+        let mut wrapped = FaultyChannel::new(detector(), FaultSpec::degraded(), 2);
+        for i in 0..300u64 {
+            wrapped.on_observation(obs(1000.0 + (i % 17) as f64));
+        }
+        assert!(!wrapped.alarm_active(), "false alarm on degraded channel");
+        // Bus-locking collapse: still detected through the faults.
+        for _ in 0..300u64 {
+            wrapped.on_observation(obs(100.0));
+        }
+        assert!(wrapped.alarm_active(), "attack missed on degraded channel");
+        assert!(wrapped.corrupted_samples() > 0);
+    }
+
+    #[test]
+    fn heavy_noise_widens_but_does_not_break() {
+        let spec = FaultSpec { noise_rel_std: 0.15, ..FaultSpec::none() };
+        let mut wrapped = FaultyChannel::new(detector(), spec, 3);
+        for i in 0..600u64 {
+            wrapped.on_observation(obs(1000.0 + (i % 17) as f64));
+        }
+        // 15 % multiplicative noise is mostly averaged out by W=10
+        // smoothing against a k·σ = 200 band.
+        assert!(!wrapped.alarm_active(), "noise alone tripped the alarm");
+    }
+
+    #[test]
+    fn freeze_repeats_last_value() {
+        let spec = FaultSpec {
+            freeze_prob: 1.0, // freeze immediately after the first sample
+            freeze_len: (5, 5),
+            ..FaultSpec::none()
+        };
+        let mut wrapped = FaultyChannel::new(detector(), spec, 4);
+        wrapped.on_observation(obs(500.0));
+        for _ in 0..5 {
+            wrapped.on_observation(obs(9999.0)); // ignored: frozen
+        }
+        assert_eq!(wrapped.corrupted_samples(), 5);
+    }
+
+    #[test]
+    fn name_and_counters_pass_through() {
+        let wrapped = FaultyChannel::new(detector(), FaultSpec::none(), 5);
+        assert!(wrapped.name().contains("SDS/B"));
+        assert_eq!(wrapped.activations(), 0);
+        assert_eq!(wrapped.inner().consecutive_violations(), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Set-associative last-level cache shared between tenant domains.
+//!
+//! Models the structure the LLC cleansing attack manipulates (§2.2 of the
+//! paper): cache lines live in sets; a tenant that touches enough distinct
+//! lines mapping to a set evicts other tenants' lines from it, raising
+//! their miss counts. Each line is tagged with the *domain* (VM) that
+//! loaded it, so per-VM `AccessNum`/`MissNum` counters — the statistics
+//! PCM exports — can be maintained exactly.
+//!
+//! Replacement is true LRU within a set (the E5-2660's LLC is
+//! pseudo-LRU; true LRU preserves the eviction behaviour the attack
+//! relies on while keeping the model simple and deterministic).
+
+/// Identifier of a cache-ownership domain (one per VM, plus domain 0 for
+/// the hypervisor's own monitoring activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u16);
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting a
+    /// victim line, reported in the payload).
+    Miss {
+        /// Domain whose line was evicted to make room, if the chosen way
+        /// held a valid line.
+        evicted: Option<DomainId>,
+    },
+}
+
+impl CacheOutcome {
+    /// Whether this outcome is a miss.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, CacheOutcome::Miss { .. })
+    }
+}
+
+/// Per-domain access counters for one sampling interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainCounters {
+    /// LLC accesses in the current interval (the paper's `AccessNum`).
+    pub accesses: u64,
+    /// LLC misses in the current interval (the paper's `MissNum`).
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Line address (identifies the memory line within the domain).
+    addr: u64,
+    domain: DomainId,
+    valid: bool,
+    /// LRU timestamp: global access counter value at last touch.
+    last_used: u64,
+}
+
+const INVALID_LINE: Line = Line {
+    addr: 0,
+    domain: DomainId(u16::MAX),
+    valid: false,
+    last_used: 0,
+};
+
+/// Geometry of the simulated LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+impl Default for CacheGeometry {
+    /// Scaled-down default: 4096 sets × 20 ways (the paper's LLC is
+    /// 20-way; the set count is reduced from 28 672 so experiments run at
+    /// interactive speed — working-set sizes in `memdos-workloads` are
+    /// scaled to match).
+    fn default() -> Self {
+        CacheGeometry { sets: 4096, ways: 20 }
+    }
+}
+
+/// The shared last-level cache.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    geometry: CacheGeometry,
+    lines: Vec<Line>,
+    clock: u64,
+    counters: Vec<DomainCounters>,
+    totals: Vec<DomainCounters>,
+}
+
+impl Llc {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways == 0`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(
+            geometry.sets.is_power_of_two() && geometry.sets > 0,
+            "set count must be a power of two"
+        );
+        assert!(geometry.ways > 0, "associativity must be positive");
+        Llc {
+            geometry,
+            lines: vec![INVALID_LINE; geometry.lines()],
+            clock: 0,
+            counters: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Registers a new counter domain and returns its id.
+    pub fn register_domain(&mut self) -> DomainId {
+        let id = DomainId(self.counters.len() as u16);
+        self.counters.push(DomainCounters::default());
+        self.totals.push(DomainCounters::default());
+        id
+    }
+
+    /// Set index a line address maps to.
+    pub fn set_of(&self, addr: u64) -> usize {
+        (addr as usize) & (self.geometry.sets - 1)
+    }
+
+    /// Performs one access by `domain` to line `addr`, updating LRU state
+    /// and counters, filling on miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `domain` was not registered.
+    pub fn access(&mut self, domain: DomainId, addr: u64) -> CacheOutcome {
+        debug_assert!((domain.0 as usize) < self.counters.len(), "unregistered domain");
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let base = set * self.geometry.ways;
+        let ways = &mut self.lines[base..base + self.geometry.ways];
+
+        let c = &mut self.counters[domain.0 as usize];
+        let t = &mut self.totals[domain.0 as usize];
+        c.accesses += 1;
+        t.accesses += 1;
+
+        // Hit path.
+        let mut victim = 0usize;
+        let mut victim_ts = u64::MAX;
+        for (i, line) in ways.iter_mut().enumerate() {
+            if line.valid && line.domain == domain && line.addr == addr {
+                line.last_used = self.clock;
+                return CacheOutcome::Hit;
+            }
+            let ts = if line.valid { line.last_used } else { 0 };
+            if ts < victim_ts {
+                victim_ts = ts;
+                victim = i;
+            }
+        }
+
+        // Miss: evict LRU (invalid lines have timestamp 0 and win).
+        c.misses += 1;
+        t.misses += 1;
+        let evicted = {
+            let line = &ways[victim];
+            if line.valid {
+                Some(line.domain)
+            } else {
+                None
+            }
+        };
+        ways[victim] = Line { addr, domain, valid: true, last_used: self.clock };
+        CacheOutcome::Miss { evicted }
+    }
+
+    /// Reads and clears the per-interval counters of `domain` (what PCM
+    /// does every `T_PCM`).
+    pub fn drain_counters(&mut self, domain: DomainId) -> DomainCounters {
+        let c = &mut self.counters[domain.0 as usize];
+        std::mem::take(c)
+    }
+
+    /// Cumulative counters of `domain` since creation (never reset).
+    pub fn totals(&self, domain: DomainId) -> DomainCounters {
+        self.totals[domain.0 as usize]
+    }
+
+    /// Number of valid lines currently owned by `domain` — used by tests
+    /// and by the cleansing attacker's probe validation.
+    pub fn occupancy(&self, domain: DomainId) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && l.domain == domain)
+            .count()
+    }
+
+    /// Number of valid lines owned by `domain` in one set.
+    pub fn set_occupancy(&self, domain: DomainId, set: usize) -> usize {
+        let base = set * self.geometry.ways;
+        self.lines[base..base + self.geometry.ways]
+            .iter()
+            .filter(|l| l.valid && l.domain == domain)
+            .count()
+    }
+
+    /// Invalidates every line (used between experiment stages in tests).
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID_LINE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Llc {
+        Llc::new(CacheGeometry { sets: 4, ways: 2 })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        let d = c.register_domain();
+        assert!(c.access(d, 0).is_miss());
+        assert_eq!(c.access(d, 0), CacheOutcome::Hit);
+        let counters = c.drain_counters(d);
+        assert_eq!(counters.accesses, 2);
+        assert_eq!(counters.misses, 1);
+    }
+
+    #[test]
+    fn drain_resets_interval_counters_but_not_totals() {
+        let mut c = small();
+        let d = c.register_domain();
+        c.access(d, 0);
+        c.drain_counters(d);
+        assert_eq!(c.drain_counters(d), DomainCounters::default());
+        assert_eq!(c.totals(d).accesses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        let d = c.register_domain();
+        // Set 0 holds lines {0, 4, 8, ...} (addr % 4 == 0). Ways = 2.
+        c.access(d, 0);
+        c.access(d, 4);
+        c.access(d, 0); // refresh line 0; line 4 is now LRU
+        let out = c.access(d, 8); // evicts line 4
+        assert!(out.is_miss());
+        assert_eq!(c.access(d, 0), CacheOutcome::Hit); // 0 survived
+        assert!(c.access(d, 4).is_miss()); // 4 was evicted
+    }
+
+    #[test]
+    fn domains_conflict_in_sets_but_never_share_lines() {
+        let mut c = small();
+        let a = c.register_domain();
+        let b = c.register_domain();
+        c.access(a, 0);
+        // Same line address from another domain is a *different* line.
+        assert!(c.access(b, 0).is_miss());
+        assert_eq!(c.access(a, 0), CacheOutcome::Hit);
+        assert_eq!(c.access(b, 0), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn cross_domain_eviction_is_reported() {
+        let mut c = small();
+        let victim = c.register_domain();
+        let attacker = c.register_domain();
+        c.access(victim, 0); // set 0
+        // Attacker fills set 0 with two of its own lines, evicting victim.
+        let o1 = c.access(attacker, 0);
+        let o2 = c.access(attacker, 4);
+        assert!(o1.is_miss() && o2.is_miss());
+        let evictions = [o1, o2]
+            .iter()
+            .filter_map(|o| match o {
+                CacheOutcome::Miss { evicted } => *evicted,
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert!(evictions.contains(&victim));
+        // Victim now misses again: the cleansing-attack effect.
+        assert!(c.access(victim, 0).is_miss());
+    }
+
+    #[test]
+    fn occupancy_tracks_ownership() {
+        let mut c = small();
+        let a = c.register_domain();
+        let b = c.register_domain();
+        for addr in 0..4u64 {
+            c.access(a, addr);
+        }
+        assert_eq!(c.occupancy(a), 4);
+        assert_eq!(c.occupancy(b), 0);
+        assert_eq!(c.set_occupancy(a, 0), 1);
+        c.flush();
+        assert_eq!(c.occupancy(a), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = Llc::new(CacheGeometry { sets: 64, ways: 8 });
+        let d = c.register_domain();
+        let ws: Vec<u64> = (0..256).collect(); // 256 lines « 512 capacity
+        for &a in &ws {
+            c.access(d, a);
+        }
+        c.drain_counters(d);
+        for &a in &ws {
+            assert_eq!(c.access(d, a), CacheOutcome::Hit);
+        }
+        assert_eq!(c.drain_counters(d).misses, 0);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Llc::new(CacheGeometry { sets: 64, ways: 8 });
+        let d = c.register_domain();
+        // Streaming over 2× capacity with LRU: every access misses.
+        for round in 0..2 {
+            for a in 0..1024u64 {
+                let out = c.access(d, a);
+                if round == 1 {
+                    assert!(out.is_miss());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        Llc::new(CacheGeometry { sets: 3, ways: 2 });
+    }
+
+    #[test]
+    fn default_geometry_matches_paper_ways() {
+        // The paper's E5-2660 LLC is 20-way set-associative.
+        assert_eq!(CacheGeometry::default().ways, 20);
+        assert!(CacheGeometry::default().sets.is_power_of_two());
+    }
+}

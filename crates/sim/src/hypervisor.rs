@@ -1,0 +1,258 @@
+//! VM lifecycle and scheduling, including execution throttling.
+//!
+//! The hypervisor owns the VM table. Every running VM executes on its own
+//! core (the paper's server has 14 physical cores for 9 VMs, so cores are
+//! never oversubscribed); what VMs share is the LLC and the memory bus,
+//! modelled in [`crate::cache`] and [`crate::bus`].
+//!
+//! The one scheduling primitive the paper's baseline needs is **execution
+//! throttling**: "It first stops the executions of all other VMs except
+//! the PROTECTED VM using execution throttling, and collects ... reference
+//! samples" (§3.2). [`Hypervisor::pause_all_except`] /
+//! [`Hypervisor::resume_all`] provide exactly that, and the engine
+//! guarantees a paused VM makes no progress (which is precisely why the
+//! KStest scheme costs co-located applications 3–8 % of their execution
+//! time — reproduced in Fig. 12).
+
+use crate::cache::DomainId;
+use crate::program::{AccessOutcome, VmProgram};
+use crate::rng::Rng;
+
+/// Identifier of a VM on one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u16);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Scheduling state of a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Executing normally on its core.
+    Running,
+    /// Throttled by the hypervisor; makes no progress.
+    Paused,
+}
+
+/// A virtual machine: a guest program plus its execution state.
+pub struct Vm {
+    pub(crate) name: String,
+    pub(crate) program: Box<dyn VmProgram>,
+    pub(crate) state: VmState,
+    pub(crate) rng: Rng,
+    pub(crate) domain: DomainId,
+    pub(crate) last_outcome: Option<AccessOutcome>,
+    /// Absolute cycle at which this VM may issue its next operation.
+    pub(crate) next_free: u64,
+    /// Total ticks this VM has spent paused.
+    pub(crate) paused_ticks: u64,
+    /// Memory-level parallelism: ordinary accesses and compute from this
+    /// VM advance its core clock at `1/parallelism` of their cost,
+    /// modelling a guest with `parallelism` vCPUs/outstanding requests
+    /// (the multi-threaded attack VM of Zhang et al.). Atomic bus locks
+    /// are inherently serial and are never accelerated.
+    pub(crate) parallelism: u8,
+}
+
+impl Vm {
+    /// VM name given at creation.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cache/counter domain backing this VM.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Current scheduling state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// Work units the guest program has completed.
+    pub fn work_completed(&self) -> u64 {
+        self.program.work_completed()
+    }
+
+    /// Total ticks spent throttled.
+    pub fn paused_ticks(&self) -> u64 {
+        self.paused_ticks
+    }
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("name", &self.name)
+            .field("program", &self.program.name())
+            .field("state", &self.state)
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The VM table and throttling controls.
+#[derive(Debug, Default)]
+pub struct Hypervisor {
+    vms: Vec<Vm>,
+}
+
+impl Hypervisor {
+    /// Creates an empty hypervisor.
+    pub fn new() -> Self {
+        Hypervisor { vms: Vec::new() }
+    }
+
+    /// Registers a VM. `domain` must come from the server's cache and
+    /// `rng` from the server's root RNG so determinism is preserved.
+    pub(crate) fn add_vm(
+        &mut self,
+        name: impl Into<String>,
+        program: Box<dyn VmProgram>,
+        domain: DomainId,
+        rng: Rng,
+        parallelism: u8,
+    ) -> VmId {
+        let id = VmId(self.vms.len() as u16);
+        self.vms.push(Vm {
+            name: name.into(),
+            program,
+            state: VmState::Running,
+            rng,
+            domain,
+            last_outcome: None,
+            next_free: 0,
+            paused_ticks: 0,
+            parallelism: parallelism.max(1),
+        });
+        id
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Immutable access to one VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a VM of this hypervisor.
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.0 as usize]
+    }
+
+    pub(crate) fn vms_mut(&mut self) -> &mut [Vm] {
+        &mut self.vms
+    }
+
+    /// Iterator over `(VmId, &Vm)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VmId, &Vm)> {
+        self.vms.iter().enumerate().map(|(i, vm)| (VmId(i as u16), vm))
+    }
+
+    /// Pauses one VM (execution throttling).
+    pub fn pause(&mut self, id: VmId) {
+        self.vms[id.0 as usize].state = VmState::Paused;
+    }
+
+    /// Resumes one VM.
+    pub fn resume(&mut self, id: VmId) {
+        self.vms[id.0 as usize].state = VmState::Running;
+    }
+
+    /// Pauses every VM except `protected` — the KStest reference-sample
+    /// collection primitive.
+    pub fn pause_all_except(&mut self, protected: VmId) {
+        for (i, vm) in self.vms.iter_mut().enumerate() {
+            vm.state = if i == protected.0 as usize {
+                VmState::Running
+            } else {
+                VmState::Paused
+            };
+        }
+    }
+
+    /// Resumes every VM.
+    pub fn resume_all(&mut self) {
+        for vm in &mut self.vms {
+            vm.state = VmState::Running;
+        }
+    }
+
+    /// Ids of all currently running VMs.
+    pub fn running(&self) -> Vec<VmId> {
+        self.iter()
+            .filter(|(_, vm)| vm.state == VmState::Running)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::IdleProgram;
+
+    fn hv_with(n: usize) -> Hypervisor {
+        let mut hv = Hypervisor::new();
+        let mut rng = Rng::new(1);
+        for i in 0..n {
+            let child = rng.fork(i as u64);
+            hv.add_vm(format!("vm-{i}"), Box::new(IdleProgram), DomainId(i as u16 + 1), child, 1);
+        }
+        hv
+    }
+
+    #[test]
+    fn add_and_query() {
+        let hv = hv_with(3);
+        assert_eq!(hv.len(), 3);
+        assert!(!hv.is_empty());
+        assert_eq!(hv.vm(VmId(1)).name(), "vm-1");
+        assert_eq!(hv.vm(VmId(2)).domain(), DomainId(3));
+        assert_eq!(hv.vm(VmId(0)).state(), VmState::Running);
+    }
+
+    #[test]
+    fn pause_resume_single() {
+        let mut hv = hv_with(2);
+        hv.pause(VmId(0));
+        assert_eq!(hv.vm(VmId(0)).state(), VmState::Paused);
+        assert_eq!(hv.vm(VmId(1)).state(), VmState::Running);
+        hv.resume(VmId(0));
+        assert_eq!(hv.vm(VmId(0)).state(), VmState::Running);
+    }
+
+    #[test]
+    fn pause_all_except_protects_one() {
+        let mut hv = hv_with(4);
+        hv.pause_all_except(VmId(2));
+        assert_eq!(hv.running(), vec![VmId(2)]);
+        hv.resume_all();
+        assert_eq!(hv.running().len(), 4);
+    }
+
+    #[test]
+    fn pause_all_except_resumes_protected_if_paused() {
+        let mut hv = hv_with(2);
+        hv.pause(VmId(1));
+        hv.pause_all_except(VmId(1));
+        assert_eq!(hv.running(), vec![VmId(1)]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let hv = hv_with(1);
+        assert!(!format!("{:?}", hv.vm(VmId(0))).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! # memdos-sim
+//!
+//! A discrete-time simulator of a multi-tenant cloud server, built as the
+//! experimental substrate for reproducing *"Impact of Memory DoS Attacks on
+//! Cloud Applications and Real-Time Detection Schemes"* (ICPP '20).
+//!
+//! The paper's testbed is an Intel Xeon E5-2660 (14 cores, 35 MB 20-way
+//! LLC) running KVM with nine Ubuntu VMs and the Intel PCM counter tool.
+//! This crate models the parts of that machine the attacks and detectors
+//! interact with:
+//!
+//! * [`cache`] — a set-associative last-level cache shared by all VMs,
+//!   with true-LRU replacement and per-VM (domain) access/miss counters.
+//! * [`bus`] — the socket-internal memory bus, including the **atomic bus
+//!   lock** semantics that the bus-locking attack exploits: while an
+//!   atomic operation holds the bus, no other VM's memory operation can
+//!   proceed.
+//! * [`program`] — the [`program::VmProgram`] trait: a guest workload is a
+//!   generator of memory operations (cache accesses, bus-locking atomics,
+//!   pure compute).
+//! * [`hypervisor`] — VM lifecycle and scheduling, including the
+//!   **execution throttling** primitive the KStest baseline needs to
+//!   collect clean reference samples.
+//! * [`pcm`] — the per-tick counter sampler standing in for Intel PCM:
+//!   every `T_PCM` it reports each VM's `AccessNum` and `MissNum`.
+//! * [`server`] — the engine. One tick = one `T_PCM` interval (10 ms of
+//!   simulated time by default). Within a tick, every running VM executes
+//!   on its own core until its cycle budget is exhausted; VMs are
+//!   interleaved in global-cycle order so contention on the shared LLC
+//!   and bus is causally consistent.
+//! * [`rng`] — a small deterministic PRNG (SplitMix64 seeding +
+//!   xoshiro256++) so every experiment is reproducible from a `u64` seed.
+//!
+//! ## Fidelity notes (what is and is not modelled)
+//!
+//! The detection signal in the paper is *statistical*: per-10 ms LLC
+//! access and miss counts. The simulator therefore models, faithfully:
+//! set-conflict evictions between tenants (the cleansing attack's lever),
+//! exclusive bus locking (the locking attack's lever), and the slowdown
+//! both impose on victim progress (which dilates the period of batch
+//! workloads — Observation 2 of the paper). It does not model
+//! instruction-level pipelines, prefetchers, or DRAM bank scheduling;
+//! those affect absolute magnitudes, not the shape of the statistics the
+//! detectors consume.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use memdos_sim::program::{MemOp, ProgramCtx, VmProgram};
+//! use memdos_sim::server::{Server, ServerConfig};
+//!
+//! /// A trivial guest that streams over 1000 cache lines.
+//! struct Streamer {
+//!     next: u64,
+//! }
+//!
+//! impl VmProgram for Streamer {
+//!     fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+//!         self.next = (self.next + 1) % 1000;
+//!         MemOp::read(self.next)
+//!     }
+//!     fn name(&self) -> &str {
+//!         "streamer"
+//!     }
+//! }
+//!
+//! let mut server = Server::new(ServerConfig::default());
+//! let vm = server.add_vm("vm-1", Box::new(Streamer { next: 0 }));
+//! let report = server.tick();
+//! assert!(report.sample(vm).unwrap().accesses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod hypervisor;
+pub mod pcm;
+pub mod program;
+pub mod rng;
+pub mod server;
+
+pub use hypervisor::VmId;
+pub use program::{AccessOutcome, MemOp, ProgramCtx, VmProgram};
+pub use server::{Server, ServerConfig, TickReport};

@@ -1,0 +1,157 @@
+//! The guest-program abstraction.
+//!
+//! A VM's workload is a [`VmProgram`]: a generator of memory operations
+//! that the [`crate::server::Server`] engine executes against the shared
+//! LLC and bus. Programs are *reactive* — they see the outcome (hit or
+//! miss) of their previous access through [`ProgramCtx`], which is what
+//! lets the LLC-cleansing attacker implement its probe phase exactly as
+//! the paper describes: access lines, observe self-conflicts, deduce
+//! which sets other VMs occupy.
+
+use crate::rng::Rng;
+
+/// One operation issued by a guest program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A memory access to cache line `line` (line-address granularity;
+    /// the engine maps it into the shared LLC). `write` is informational —
+    /// reads and writes cost the same in this model.
+    Access {
+        /// Line address within the VM's own address space.
+        line: u64,
+        /// Whether this is a store.
+        write: bool,
+    },
+    /// An atomic operation that locks the memory bus for the configured
+    /// lock duration (e.g. an `XCHG` or a locked read-modify-write that
+    /// spans a cache-line boundary). This is the bus-locking attack's
+    /// primitive; benign programs essentially never issue it.
+    Atomic {
+        /// Line address the atomic operates on.
+        line: u64,
+    },
+    /// Pure computation consuming `cycles` CPU cycles with no memory
+    /// traffic.
+    Compute {
+        /// Number of cycles consumed.
+        cycles: u32,
+    },
+}
+
+impl MemOp {
+    /// Convenience constructor for a read access.
+    pub fn read(line: u64) -> Self {
+        MemOp::Access { line, write: false }
+    }
+
+    /// Convenience constructor for a write access.
+    pub fn write(line: u64) -> Self {
+        MemOp::Access { line, write: true }
+    }
+}
+
+/// Outcome of a program's most recent memory access, fed back on the next
+/// [`VmProgram::next_op`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access hit in the LLC.
+    Hit,
+    /// The access missed (line fetched from DRAM).
+    Miss,
+}
+
+/// Execution context handed to a program on every operation.
+#[derive(Debug)]
+pub struct ProgramCtx<'a> {
+    /// The VM's private deterministic RNG stream.
+    pub rng: &'a mut Rng,
+    /// Outcome of this program's previous `Access`/`Atomic` op, if any.
+    /// `Compute` ops do not update it.
+    pub last_outcome: Option<AccessOutcome>,
+    /// Current tick (one tick = one `T_PCM` sampling interval).
+    pub tick: u64,
+}
+
+/// A guest workload: the unit the hypervisor schedules onto a VM.
+///
+/// Implementations live in `memdos-workloads` (the paper's ten
+/// applications plus benign utilities) and `memdos-attacks` (the two
+/// memory-DoS attack programs).
+///
+/// Programs must be deterministic given the RNG stream in
+/// [`ProgramCtx`] — all experiment reproducibility rests on this.
+pub trait VmProgram: Send {
+    /// Produces the next operation. Called repeatedly within a tick until
+    /// the VM's cycle budget is exhausted; the op that crosses the budget
+    /// boundary completes in the next tick.
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp;
+
+    /// Short human-readable workload name (e.g. `"kmeans"`).
+    fn name(&self) -> &str;
+
+    /// Abstract units of application work completed so far (items
+    /// processed, rows scanned, ...). Used by the performance-overhead
+    /// experiments (Fig. 12): execution time is the simulated time needed
+    /// to complete a fixed amount of work.
+    fn work_completed(&self) -> u64 {
+        0
+    }
+}
+
+impl VmProgram for Box<dyn VmProgram> {
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+        (**self).next_op(ctx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn work_completed(&self) -> u64 {
+        (**self).work_completed()
+    }
+}
+
+/// A program that only computes (never touches memory). Useful as an
+/// idle-VM placeholder and in engine tests.
+#[derive(Debug, Clone, Default)]
+pub struct IdleProgram;
+
+impl VmProgram for IdleProgram {
+    fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+        MemOp::Compute { cycles: 1000 }
+    }
+    fn name(&self) -> &str {
+        "idle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memop_constructors() {
+        assert_eq!(MemOp::read(5), MemOp::Access { line: 5, write: false });
+        assert_eq!(MemOp::write(5), MemOp::Access { line: 5, write: true });
+    }
+
+    #[test]
+    fn idle_program_never_accesses_memory() {
+        let mut rng = Rng::new(1);
+        let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick: 0 };
+        let mut p = IdleProgram;
+        for _ in 0..10 {
+            assert!(matches!(p.next_op(&mut ctx), MemOp::Compute { .. }));
+        }
+        assert_eq!(p.work_completed(), 0);
+        assert_eq!(p.name(), "idle");
+    }
+
+    #[test]
+    fn boxed_program_delegates() {
+        let mut boxed: Box<dyn VmProgram> = Box::new(IdleProgram);
+        let mut rng = Rng::new(1);
+        let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick: 3 };
+        assert_eq!(boxed.name(), "idle");
+        assert!(matches!(boxed.next_op(&mut ctx), MemOp::Compute { .. }));
+    }
+}

@@ -1,0 +1,335 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic choice in the workspace — workload jitter, attacker
+//! scheduling, address selection — flows from a per-run `u64` seed through
+//! this module, making every experiment reproducible bit-for-bit. The
+//! generator is xoshiro256++ seeded via SplitMix64, the standard
+//! recommendation for non-cryptographic simulation use.
+
+/// A xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; statistics-quality randomness for
+/// simulation only.
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_sim::rng::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid;
+    /// the state is expanded with SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Derives an independent child generator; used to give each VM its
+    /// own stream from the experiment seed.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    ///
+    /// Uses the widening-multiply technique with a rejection step, so the
+    /// result is unbiased for every bound.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (self.next_f64()).max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_gaussian()
+    }
+}
+
+/// A Zipfian sampler over `{0, 1, ..., n-1}` with exponent `theta`,
+/// used by the PageRank workload (the paper's web graph "hyperlinks follow
+/// a Zipfian distribution").
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample and needs no `O(n)` table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta > 0`
+    /// (`theta = 1` is classic Zipf; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta <= 0` or `theta` is NaN.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(theta > 0.0, "Zipf exponent must be positive");
+        let h = |x: f64, q: f64| -> f64 {
+            if (q - 1.0).abs() < 1e-12 {
+                (1.0 + x).ln()
+            } else {
+                ((1.0 + x).powf(1.0 - q) - 1.0) / (1.0 - q)
+            }
+        };
+        let h_x1 = h(1.5, theta) - 1.0;
+        let h_n = h(n as f64 + 0.5, theta);
+        let s = 2.0 - {
+            // h^{-1}(h(2.5) - (2)^{-theta}) - 1.5, per the algorithm.
+            let v = h(2.5, theta) - (2.0f64).powf(-theta);
+            Self::h_inv(v, theta) - 1.0
+        };
+        Zipf { n, theta, h_x1, h_n, s }
+    }
+
+    fn h_inv(x: f64, q: f64) -> f64 {
+        if (q - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - q)).powf(1.0 / (1.0 - q))
+        }
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a sample in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = Self::h_inv(u, self.theta) - 1.0;
+            let k = (x + 0.5).floor().max(0.0).min((self.n - 1) as f64);
+            let h_k = {
+                let kk = k + 0.5;
+                if (self.theta - 1.0).abs() < 1e-12 {
+                    (1.0 + kk).ln()
+                } else {
+                    ((1.0 + kk).powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta)
+                }
+            };
+            if k - x <= self.s || u >= h_k - (1.0 + k).powf(-self.theta) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng::new(99);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Rng::new(5);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut r = Rng::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_endpoints() {
+        let mut r = Rng::new(13);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = r.range_inclusive(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn range_inclusive_panics_on_inverted() {
+        Rng::new(1).range_inclusive(5, 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(17);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(19);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(23);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn zipf_in_domain_and_skewed() {
+        let mut r = Rng::new(29);
+        let z = Zipf::new(1000, 1.0);
+        let mut head = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            let v = z.sample(&mut r);
+            assert!(v < 1000);
+            if v < 10 {
+                head += 1;
+            }
+        }
+        // For Zipf(1.0) over 1000 items, the top-10 mass is
+        // H(10)/H(1000) ≈ 2.93/7.49 ≈ 39 %.
+        let frac = head as f64 / n as f64;
+        assert!((0.30..0.50).contains(&frac), "head mass {frac}");
+    }
+
+    #[test]
+    fn zipf_theta_two_is_more_skewed_than_one() {
+        let mut r = Rng::new(31);
+        let z1 = Zipf::new(1000, 1.0);
+        let z2 = Zipf::new(1000, 2.0);
+        let head = |z: &Zipf, r: &mut Rng| {
+            (0..10_000).filter(|_| z.sample(r) == 0).count() as f64 / 10_000.0
+        };
+        let h1 = head(&z1, &mut r);
+        let h2 = head(&z2, &mut r);
+        assert!(h2 > h1, "theta=2 head {h2} vs theta=1 head {h1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_domain() {
+        Zipf::new(0, 1.0);
+    }
+}

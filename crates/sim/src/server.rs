@@ -1,0 +1,632 @@
+//! The discrete-time server engine.
+//!
+//! One engine tick is one `T_PCM` sampling interval (10 ms of simulated
+//! time by default). Within a tick every *running* VM executes on its own
+//! core until its cycle budget for the tick is exhausted. VMs are
+//! interleaved in **global-cycle order** (the VM with the smallest
+//! next-free cycle executes its next operation first), which makes
+//! contention on the shared bus causally consistent: any bus lock visible
+//! to an operation at cycle `t` was placed by an operation that logically
+//! preceded `t`.
+//!
+//! ## Cost model
+//!
+//! | operation | cost (cycles) |
+//! |---|---|
+//! | LLC hit | `hit_cycles` (default 30) |
+//! | LLC miss | `miss_cycles` (default 300) — includes the DRAM round-trip |
+//! | atomic (bus-locking) op | `atomic_lock_cycles` (default 800), bus held exclusively |
+//! | compute | as requested by the program |
+//!
+//! An ordinary access additionally stalls until the bus is free. An
+//! operation that crosses the tick boundary simply completes during the
+//! next tick (the VM's `next_free` cycle carries over).
+//!
+//! ## Monitoring overhead
+//!
+//! A detection system is not free: reading uncore counters and running
+//! the analysis steals cycles from the cores ("performance overhead",
+//! Fig. 12). [`ServerConfig::monitor_tax_cycles`] models this as a
+//! per-tick, per-VM cycle tax, and [`Server::set_monitor_load`] lets the
+//! monitoring process issue its own cache traffic (domain 0), which
+//! pollutes the LLC exactly like any tenant. The KStest baseline's much
+//! larger *throttling* overhead emerges naturally from
+//! [`Server::pause_all_except`].
+
+use crate::bus::{Bus, Dram};
+use crate::cache::{CacheGeometry, DomainId, Llc};
+use crate::hypervisor::{Hypervisor, VmId, VmState};
+use crate::pcm::PcmSample;
+use crate::program::{AccessOutcome, MemOp, ProgramCtx, VmProgram};
+use crate::rng::Rng;
+
+/// Configuration of a simulated server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// LLC geometry.
+    pub geometry: CacheGeometry,
+    /// CPU cycles available to each core per tick.
+    pub tick_cycles: u64,
+    /// Cost of an LLC hit.
+    pub hit_cycles: u64,
+    /// Cost of an LLC miss (includes the DRAM access).
+    pub miss_cycles: u64,
+    /// Bus-lock duration of one atomic operation.
+    pub atomic_lock_cycles: u64,
+    /// Simulated seconds per tick (the paper's `T_PCM`, default 0.01 s).
+    pub t_pcm_secs: f64,
+    /// Root seed; every VM derives its private RNG stream from it.
+    pub seed: u64,
+    /// Per-tick, per-VM cycle tax imposed by an active monitoring system
+    /// (0 = no monitoring).
+    pub monitor_tax_cycles: u64,
+    /// DRAM channel service time per LLC miss (0 = infinite bandwidth).
+    /// Misses queue behind each other on the shared channel, so a tenant
+    /// that saturates DRAM slows every other tenant's misses.
+    pub dram_service_cycles: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            geometry: CacheGeometry::default(),
+            tick_cycles: 200_000,
+            hit_cycles: 30,
+            miss_cycles: 300,
+            atomic_lock_cycles: 800,
+            t_pcm_secs: 0.01,
+            seed: 0x5EED,
+            monitor_tax_cycles: 0,
+            dram_service_cycles: 40,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Returns a copy with a different seed — the common way experiment
+    /// runners derive per-run configurations.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The PCM output of one tick: one sample per VM, in `VmId` order.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// Index of the tick that just completed.
+    pub tick: u64,
+    /// Simulated time at the *end* of this tick, in seconds.
+    pub time_secs: f64,
+    /// One sample per VM.
+    pub samples: Vec<PcmSample>,
+}
+
+impl TickReport {
+    /// The sample of one VM, if it exists.
+    pub fn sample(&self, vm: VmId) -> Option<&PcmSample> {
+        self.samples.get(vm.0 as usize)
+    }
+}
+
+/// A simulated multi-tenant cloud server.
+pub struct Server {
+    cfg: ServerConfig,
+    cache: Llc,
+    bus: Bus,
+    dram: Dram,
+    hv: Hypervisor,
+    root_rng: Rng,
+    tick: u64,
+    monitor_domain: DomainId,
+    monitor_rng: Rng,
+    /// Cache lines the monitoring process touches per tick (pollution).
+    monitor_load_lines: u64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("tick", &self.tick)
+            .field("vms", &self.hv.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Creates a server with no VMs.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let mut cache = Llc::new(cfg.geometry);
+        let monitor_domain = cache.register_domain();
+        debug_assert_eq!(monitor_domain, DomainId(0));
+        let mut root_rng = Rng::new(cfg.seed);
+        let monitor_rng = root_rng.fork(u64::MAX);
+        Server {
+            cache,
+            bus: Bus::new(),
+            dram: Dram::new(cfg.dram_service_cycles),
+            hv: Hypervisor::new(),
+            cfg,
+            root_rng,
+            tick: 0,
+            monitor_domain,
+            monitor_rng,
+            monitor_load_lines: 0,
+        }
+    }
+
+    /// Configuration the server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Adds a VM running `program`; returns its id.
+    pub fn add_vm(&mut self, name: impl Into<String>, program: Box<dyn VmProgram>) -> VmId {
+        self.add_vm_parallel(name, program, 1)
+    }
+
+    /// Adds a VM with memory-level parallelism: its ordinary accesses and
+    /// compute advance its core clock at `1/parallelism` of their cost,
+    /// modelling a guest with several vCPUs issuing memory requests in
+    /// parallel (the paper's attack VM runs a multi-threaded cleanser).
+    /// Atomic bus-locking operations are serial and never accelerated.
+    pub fn add_vm_parallel(
+        &mut self,
+        name: impl Into<String>,
+        program: Box<dyn VmProgram>,
+        parallelism: u8,
+    ) -> VmId {
+        let domain = self.cache.register_domain();
+        let stream = domain.0 as u64;
+        let rng = self.root_rng.fork(stream);
+        self.hv.add_vm(name, program, domain, rng, parallelism)
+    }
+
+    /// Read-only access to the hypervisor (VM table).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Pauses every VM except `protected` (execution throttling).
+    pub fn pause_all_except(&mut self, protected: VmId) {
+        self.hv.pause_all_except(protected);
+    }
+
+    /// Pauses one VM.
+    pub fn pause(&mut self, vm: VmId) {
+        self.hv.pause(vm);
+    }
+
+    /// Resumes one VM.
+    pub fn resume(&mut self, vm: VmId) {
+        self.hv.resume(vm);
+    }
+
+    /// Resumes all VMs.
+    pub fn resume_all(&mut self) {
+        self.hv.resume_all();
+    }
+
+    /// Sets the number of cache lines the monitoring process touches per
+    /// tick (LLC pollution caused by the detection system itself).
+    pub fn set_monitor_load(&mut self, lines_per_tick: u64) {
+        self.monitor_load_lines = lines_per_tick;
+    }
+
+    /// Sets the per-tick, per-VM monitoring cycle tax.
+    pub fn set_monitor_tax(&mut self, cycles: u64) {
+        self.cfg.monitor_tax_cycles = cycles;
+    }
+
+    /// Index of the next tick to execute.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Simulated time at the start of the next tick, in seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.tick as f64 * self.cfg.t_pcm_secs
+    }
+
+    /// Work units completed by a VM's guest program.
+    pub fn vm_work(&self, vm: VmId) -> u64 {
+        self.hv.vm(vm).work_completed()
+    }
+
+    /// Cumulative bus-lock statistics `(locks, locked_cycles)`.
+    pub fn bus_stats(&self) -> (u64, u64) {
+        (self.bus.total_locks(), self.bus.total_locked_cycles())
+    }
+
+    /// Mean DRAM queueing wait per miss so far, in cycles — a direct
+    /// measure of memory-bandwidth contention.
+    pub fn dram_mean_wait(&self) -> f64 {
+        self.dram.mean_wait_cycles()
+    }
+
+    /// Executes one tick (one `T_PCM` interval) and returns the PCM
+    /// samples of every VM.
+    pub fn tick(&mut self) -> TickReport {
+        let start = self.tick * self.cfg.tick_cycles;
+        let end = start + self.cfg.tick_cycles;
+        let tax = self.cfg.monitor_tax_cycles.min(self.cfg.tick_cycles);
+
+        // Monitoring pollution: the analysis process touches its own
+        // working set through the shared LLC.
+        for _ in 0..self.monitor_load_lines {
+            let line = self.monitor_rng.next_below(1 << 20);
+            self.cache.access(self.monitor_domain, line);
+        }
+        self.cache.drain_counters(self.monitor_domain);
+
+        // Tick prologue: align each VM's next-free cycle with the tick,
+        // apply the monitoring tax, account paused time.
+        for vm in self.hv.vms_mut() {
+            match vm.state {
+                VmState::Running => {
+                    vm.next_free = vm.next_free.max(start + tax);
+                }
+                VmState::Paused => {
+                    vm.paused_ticks += 1;
+                    // A paused VM makes no progress; it resumes from the
+                    // current simulated time, not from where it stopped.
+                    vm.next_free = vm.next_free.max(end);
+                }
+            }
+        }
+
+        // Main loop: always advance the VM with the smallest next-free
+        // cycle that still fits in this tick.
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, vm) in self.hv.vms_mut().iter().enumerate() {
+                if vm.state == VmState::Running && vm.next_free < end {
+                    match best {
+                        Some((_, t)) if t <= vm.next_free => {}
+                        _ => best = Some((i, vm.next_free)),
+                    }
+                }
+            }
+            let Some((idx, _)) = best else { break };
+            self.step_vm(idx);
+        }
+
+        self.tick += 1;
+        let samples: Vec<PcmSample> = self
+            .hv
+            .iter()
+            .map(|(id, vm)| (id, vm.domain))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(id, domain)| {
+                let c = self.cache.drain_counters(domain);
+                PcmSample { vm: id, domain, accesses: c.accesses, misses: c.misses }
+            })
+            .collect();
+        TickReport {
+            tick: self.tick - 1,
+            time_secs: self.tick as f64 * self.cfg.t_pcm_secs,
+            samples,
+        }
+    }
+
+    /// Executes `n` ticks, collecting every report.
+    pub fn run_collect(&mut self, n: u64) -> Vec<TickReport> {
+        (0..n).map(|_| self.tick()).collect()
+    }
+
+    /// Executes one operation of the VM at table index `idx`.
+    fn step_vm(&mut self, idx: usize) {
+        let tick = self.tick;
+        let vm = &mut self.hv.vms_mut()[idx];
+        let mut ctx = ProgramCtx {
+            rng: &mut vm.rng,
+            last_outcome: vm.last_outcome,
+            tick,
+        };
+        let op = vm.program.next_op(&mut ctx);
+        let domain = vm.domain;
+        let now = vm.next_free;
+        let par = vm.parallelism.max(1) as u64;
+        match op {
+            MemOp::Compute { cycles } => {
+                vm.next_free = now + (cycles.max(1) as u64).div_ceil(par);
+            }
+            MemOp::Access { line, .. } => {
+                let begin = self.bus.earliest_access(now);
+                let outcome = self.cache.access(domain, line);
+                let cost = if outcome.is_miss() {
+                    // The miss queues on the shared DRAM channel.
+                    let start = self.dram.serve(begin);
+                    (start - begin) + self.cfg.miss_cycles
+                } else {
+                    self.cfg.hit_cycles
+                };
+                vm.next_free = begin + cost.div_ceil(par).max(1);
+                vm.last_outcome = Some(if outcome.is_miss() {
+                    AccessOutcome::Miss
+                } else {
+                    AccessOutcome::Hit
+                });
+            }
+            MemOp::Atomic { line } => {
+                let begin = self.bus.acquire_lock(now, self.cfg.atomic_lock_cycles);
+                let outcome = self.cache.access(domain, line);
+                vm.next_free = begin + self.cfg.atomic_lock_cycles;
+                vm.last_outcome = Some(if outcome.is_miss() {
+                    AccessOutcome::Miss
+                } else {
+                    AccessOutcome::Hit
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::IdleProgram;
+
+    /// Streams sequentially over `lines` distinct cache lines.
+    struct Streamer {
+        lines: u64,
+        next: u64,
+        work: u64,
+    }
+
+    impl Streamer {
+        fn new(lines: u64) -> Self {
+            Streamer { lines, next: 0, work: 0 }
+        }
+    }
+
+    impl VmProgram for Streamer {
+        fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+            self.next = (self.next + 1) % self.lines;
+            self.work += 1;
+            MemOp::read(self.next)
+        }
+        fn name(&self) -> &str {
+            "streamer"
+        }
+        fn work_completed(&self) -> u64 {
+            self.work
+        }
+    }
+
+    /// Cleanses set after set: accesses `ways` distinct lines of one set
+    /// back to back before moving on, the pattern the LLC cleansing
+    /// attack uses to defeat LRU (a plain sequential stream would only
+    /// evict its own stale lines).
+    struct SetCleanser {
+        sets: u64,
+        ways: u64,
+        set: u64,
+        way: u64,
+    }
+
+    impl SetCleanser {
+        fn new(geometry: CacheGeometry) -> Self {
+            SetCleanser {
+                sets: geometry.sets as u64,
+                ways: geometry.ways as u64,
+                set: 0,
+                way: 0,
+            }
+        }
+    }
+
+    impl VmProgram for SetCleanser {
+        fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+            let line = self.set + self.way * self.sets;
+            self.way += 1;
+            if self.way == self.ways {
+                self.way = 0;
+                self.set = (self.set + 1) % self.sets;
+            }
+            MemOp::read(line)
+        }
+        fn name(&self) -> &str {
+            "set-cleanser"
+        }
+    }
+
+    /// Issues bus-locking atomics back to back.
+    struct Locker;
+
+    impl VmProgram for Locker {
+        fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+            MemOp::Atomic { line: 0 }
+        }
+        fn name(&self) -> &str {
+            "locker"
+        }
+    }
+
+    fn small_cfg() -> ServerConfig {
+        ServerConfig {
+            geometry: CacheGeometry { sets: 256, ways: 4 },
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_vm_throughput_matches_cost_model() {
+        let mut server = Server::new(small_cfg());
+        // 64 lines fit in cache: after warm-up everything hits.
+        let vm = server.add_vm("victim", Box::new(Streamer::new(64)));
+        server.tick(); // warm-up
+        let report = server.tick();
+        let s = report.sample(vm).unwrap();
+        let expected = server.config().tick_cycles / server.config().hit_cycles;
+        let ratio = s.accesses as f64 / expected as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "accesses {} vs expected {expected}",
+            s.accesses
+        );
+        assert_eq!(s.misses, 0, "warm working set should not miss");
+    }
+
+    #[test]
+    fn miss_heavy_stream_is_slower() {
+        let mut server = Server::new(small_cfg());
+        // 100k lines >> cache capacity (1024 lines): every access misses.
+        let vm = server.add_vm("victim", Box::new(Streamer::new(100_000)));
+        server.tick();
+        let report = server.tick();
+        let s = report.sample(vm).unwrap();
+        let expected = server.config().tick_cycles / server.config().miss_cycles;
+        let ratio = s.accesses as f64 / expected as f64;
+        assert!((0.9..=1.1).contains(&ratio), "accesses {}", s.accesses);
+        assert_eq!(s.misses, s.accesses);
+    }
+
+    #[test]
+    fn bus_locking_attack_starves_victim() {
+        let mut server = Server::new(small_cfg());
+        let victim = server.add_vm("victim", Box::new(Streamer::new(64)));
+        server.tick();
+        let before = server.tick().sample(victim).unwrap().accesses;
+
+        let mut attacked = Server::new(small_cfg());
+        let victim2 = attacked.add_vm("victim", Box::new(Streamer::new(64)));
+        attacked.add_vm("attacker", Box::new(Locker));
+        attacked.tick();
+        let after = attacked.tick().sample(victim2).unwrap().accesses;
+
+        // Observation 1 (bus lock): significant AccessNum decrease.
+        assert!(
+            (after as f64) < 0.5 * before as f64,
+            "no starvation: {before} -> {after}"
+        );
+        assert!(attacked.bus_stats().0 > 0);
+    }
+
+    #[test]
+    fn cache_cleansing_inflates_victim_misses() {
+        // Victim fits in cache alone; a co-located streamer over the whole
+        // cache evicts it continuously.
+        let mut alone = Server::new(small_cfg());
+        let v1 = alone.add_vm("victim", Box::new(Streamer::new(512)));
+        alone.run_collect(5);
+        let clean_report = alone.tick();
+        let clean = clean_report.sample(v1).unwrap();
+
+        let mut attacked = Server::new(small_cfg());
+        let v2 = attacked.add_vm("victim", Box::new(Streamer::new(512)));
+        attacked.add_vm(
+            "cleanser",
+            Box::new(SetCleanser::new(small_cfg().geometry)),
+        );
+        attacked.run_collect(5);
+        let dirty_report = attacked.tick();
+        let dirty = dirty_report.sample(v2).unwrap();
+
+        // Observation 1 (cleansing): significant MissNum increase.
+        assert!(
+            dirty.misses > clean.misses + 100,
+            "misses {} -> {}",
+            clean.misses,
+            dirty.misses
+        );
+    }
+
+    #[test]
+    fn paused_vm_makes_no_progress() {
+        let mut server = Server::new(small_cfg());
+        let vm = server.add_vm("victim", Box::new(Streamer::new(64)));
+        server.tick();
+        let w0 = server.vm_work(vm);
+        server.pause(vm);
+        let report = server.tick();
+        assert_eq!(server.vm_work(vm), w0);
+        assert_eq!(report.sample(vm).unwrap().accesses, 0);
+        assert_eq!(server.hypervisor().vm(vm).paused_ticks(), 1);
+        server.resume(vm);
+        server.tick();
+        assert!(server.vm_work(vm) > w0);
+    }
+
+    #[test]
+    fn pause_all_except_protects_target() {
+        let mut server = Server::new(small_cfg());
+        let a = server.add_vm("a", Box::new(Streamer::new(64)));
+        let b = server.add_vm("b", Box::new(Streamer::new(64)));
+        server.pause_all_except(a);
+        let report = server.tick();
+        assert!(report.sample(a).unwrap().accesses > 0);
+        assert_eq!(report.sample(b).unwrap().accesses, 0);
+        server.resume_all();
+        let report = server.tick();
+        assert!(report.sample(b).unwrap().accesses > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut server = Server::new(small_cfg().with_seed(seed));
+            let vm = server.add_vm("v", Box::new(Streamer::new(2000)));
+            server.add_vm("idle", Box::new(IdleProgram));
+            server
+                .run_collect(20)
+                .iter()
+                .map(|r| r.sample(vm).unwrap().accesses)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        // Note: a pure streamer is RNG-independent, so also sanity-check
+        // the reports are non-trivial.
+        assert!(run(1).iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn monitor_tax_slows_vms() {
+        let throughput = |tax: u64| {
+            let mut cfg = small_cfg();
+            cfg.monitor_tax_cycles = tax;
+            let mut server = Server::new(cfg);
+            let vm = server.add_vm("v", Box::new(Streamer::new(64)));
+            server.run_collect(4);
+            server.tick().sample(vm).unwrap().accesses
+        };
+        let free = throughput(0);
+        let taxed = throughput(4000); // 2 % of the tick
+        let ratio = taxed as f64 / free as f64;
+        assert!((0.96..=0.995).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn monitor_load_pollutes_cache() {
+        let misses = |load: u64| {
+            let mut server = Server::new(small_cfg());
+            server.set_monitor_load(load);
+            let vm = server.add_vm("v", Box::new(Streamer::new(900)));
+            server.run_collect(5);
+            server.tick().sample(vm).unwrap().misses
+        };
+        // The victim's 900-line set nearly fills the 1024-line cache;
+        // monitor pollution causes evictions.
+        assert!(misses(500) > misses(0));
+    }
+
+    #[test]
+    fn time_advances_by_t_pcm() {
+        let mut server = Server::new(small_cfg());
+        assert_eq!(server.time_secs(), 0.0);
+        let r = server.tick();
+        assert!((r.time_secs - 0.01).abs() < 1e-12);
+        assert_eq!(server.current_tick(), 1);
+    }
+
+    #[test]
+    fn tick_report_sample_lookup() {
+        let mut server = Server::new(small_cfg());
+        let vm = server.add_vm("v", Box::new(IdleProgram));
+        let r = server.tick();
+        assert!(r.sample(vm).is_some());
+        assert!(r.sample(VmId(9)).is_none());
+    }
+}

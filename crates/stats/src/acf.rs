@@ -1,0 +1,207 @@
+//! Autocorrelation function (ACF).
+//!
+//! The ACF validates the candidate periods produced by the periodogram in
+//! the DFT-ACF scheme (§4.2.2): "Auto Correlation Function (ACF), another
+//! method for detecting repeated patterns, can avoid false detection of
+//! frequencies ... but may result in the detection of multiples of a true
+//! period". A true period lands on a *hill* (local maximum) of the ACF,
+//! while a spectral-leakage artefact lands on a valley.
+//!
+//! Both a direct `O(N·L)` implementation and an FFT-based `O(N log N)`
+//! implementation are provided; they agree to floating-point precision and
+//! the FFT path is used for long profiling series.
+
+use crate::fft::{fft_in_place, ifft_in_place, next_power_of_two, Complex};
+use crate::StatsError;
+
+/// Computes the (biased, normalized) autocorrelation of `signal` at lags
+/// `0..=max_lag` directly: `r_k = Σ (x_t − x̄)(x_{t+k} − x̄) / Σ (x_t − x̄)²`.
+///
+/// `r_0` is always 1 for non-constant input; for constant input every lag
+/// is defined as 1 (perfect self-similarity), mirroring the convention the
+/// period detector needs.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty signal, or
+/// [`StatsError::TooShort`] if `max_lag >= signal.len()`.
+pub fn acf_direct(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if signal.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if max_lag >= signal.len() {
+        return Err(StatsError::TooShort { required: max_lag + 1, actual: signal.len() });
+    }
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = signal.iter().map(|x| x - mean).collect();
+    let denom: f64 = centered.iter().map(|x| x * x).sum();
+    if denom == 0.0 {
+        return Ok(vec![1.0; max_lag + 1]);
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let num: f64 = centered[..n - k]
+            .iter()
+            .zip(&centered[k..])
+            .map(|(a, b)| a * b)
+            .sum();
+        out.push(num / denom);
+    }
+    Ok(out)
+}
+
+/// Computes the same autocorrelation as [`acf_direct`] via the
+/// Wiener–Khinchin theorem (FFT of the signal, squared magnitudes, inverse
+/// FFT), in `O(N log N)`.
+///
+/// # Errors
+///
+/// Same conditions as [`acf_direct`].
+pub fn acf_fft(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if signal.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if max_lag >= signal.len() {
+        return Err(StatsError::TooShort { required: max_lag + 1, actual: signal.len() });
+    }
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    // Pad to at least 2N to make the circular convolution linear.
+    let padded = next_power_of_two(2 * n);
+    let mut buf: Vec<Complex> = Vec::with_capacity(padded);
+    buf.extend(signal.iter().map(|&x| Complex::from(x - mean)));
+    buf.resize(padded, Complex::default());
+    fft_in_place(&mut buf)?;
+    for z in buf.iter_mut() {
+        let p = z.norm_sqr();
+        *z = Complex::new(p, 0.0);
+    }
+    ifft_in_place(&mut buf)?;
+    let denom = buf[0].re;
+    if denom.abs() < 1e-30 {
+        return Ok(vec![1.0; max_lag + 1]);
+    }
+    Ok(buf[..=max_lag].iter().map(|z| z.re / denom).collect())
+}
+
+/// Whether lag `lag` sits on a *hill* of the ACF: a local neighbourhood
+/// maximum, the validation criterion of the DFT-ACF method.
+///
+/// A lag is on a hill when its ACF value is at least as large as both
+/// neighbours within `radius` lags on either side (boundary lags use the
+/// available side only).
+pub fn on_hill(acf: &[f64], lag: usize, radius: usize) -> bool {
+    if lag == 0 || lag >= acf.len() {
+        return false;
+    }
+    let lo = lag.saturating_sub(radius);
+    let hi = (lag + radius).min(acf.len() - 1);
+    let v = acf[lag];
+    (lo..=hi).all(|i| acf[i] <= v + 1e-12)
+}
+
+/// Refines an integer candidate lag to a fractional peak location by
+/// quadratic interpolation through `(lag-1, lag, lag+1)`.
+///
+/// Returns the candidate lag unchanged when interpolation is impossible
+/// (boundary lags or a degenerate parabola).
+pub fn refine_peak(acf: &[f64], lag: usize) -> f64 {
+    if lag == 0 || lag + 1 >= acf.len() {
+        return lag as f64;
+    }
+    let (y0, y1, y2) = (acf[lag - 1], acf[lag], acf[lag + 1]);
+    let denom = y0 - 2.0 * y1 + y2;
+    if denom.abs() < 1e-30 {
+        return lag as f64;
+    }
+    let delta = 0.5 * (y0 - y2) / denom;
+    if delta.abs() > 1.0 {
+        return lag as f64;
+    }
+    lag as f64 + delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let signal = sine(100, 10.0);
+        let r = acf_direct(&signal, 20).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_of_constant_is_all_ones() {
+        let r = acf_direct(&[4.0; 32], 8).unwrap();
+        assert_eq!(r, vec![1.0; 9]);
+        let rf = acf_fft(&[4.0; 32], 8).unwrap();
+        assert_eq!(rf, vec![1.0; 9]);
+    }
+
+    #[test]
+    fn acf_peaks_at_the_period() {
+        let signal = sine(200, 20.0);
+        let r = acf_direct(&signal, 40).unwrap();
+        // Lag 20 (the period) should beat lags 10 and 30 (half / 1.5x).
+        assert!(r[20] > r[10]);
+        assert!(r[20] > r[30]);
+        assert!(r[20] > 0.8);
+        assert!(on_hill(&r, 20, 2));
+        assert!(!on_hill(&r, 10, 2)); // trough at half period
+    }
+
+    #[test]
+    fn acf_fft_matches_direct() {
+        let signal: Vec<f64> = (0..97).map(|i| ((i * 13) % 17) as f64).collect();
+        let a = acf_direct(&signal, 30).unwrap();
+        let b = acf_fft(&signal, 30).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn acf_rejects_bad_inputs() {
+        assert_eq!(acf_direct(&[], 0), Err(StatsError::EmptyInput));
+        assert!(matches!(
+            acf_direct(&[1.0, 2.0], 2),
+            Err(StatsError::TooShort { .. })
+        ));
+        assert_eq!(acf_fft(&[], 0), Err(StatsError::EmptyInput));
+        assert!(matches!(acf_fft(&[1.0], 1), Err(StatsError::TooShort { .. })));
+    }
+
+    #[test]
+    fn on_hill_boundary_behaviour() {
+        let acf = [1.0, 0.5, 0.9, 0.4];
+        assert!(!on_hill(&acf, 0, 1)); // lag 0 never counts
+        assert!(on_hill(&acf, 2, 1));
+        assert!(!on_hill(&acf, 1, 1));
+        assert!(!on_hill(&acf, 4, 1)); // out of range
+    }
+
+    #[test]
+    fn refine_peak_recovers_fractional_maximum() {
+        // Parabola peaking at 5.3: y = -(x - 5.3)^2.
+        let acf: Vec<f64> = (0..10).map(|i| -((i as f64 - 5.3).powi(2))).collect();
+        let refined = refine_peak(&acf, 5);
+        assert!((refined - 5.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_peak_degenerate_returns_lag() {
+        let flat = [0.0; 8];
+        assert_eq!(refine_peak(&flat, 3), 3.0);
+        assert_eq!(refine_peak(&flat, 0), 0.0);
+        assert_eq!(refine_peak(&flat, 7), 7.0);
+    }
+}

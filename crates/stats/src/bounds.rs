@@ -1,0 +1,239 @@
+//! Chebyshev-inequality helpers for SDS/B parameter selection.
+//!
+//! Section 4.2.1: because cloud applications follow no single probability
+//! distribution, SDS/B bounds its false-alarm probability with Chebyshev's
+//! inequality, which holds for *any* distribution with finite variance:
+//!
+//! `Pr(|X − μ| ≥ kσ) ≤ 1/k²`  (Eq. 4)
+//!
+//! An EWMA value falls outside the normal range `[μ − kσ, μ + kσ]` with
+//! probability at most `1/k²`, so `H_C` consecutive violations occur with
+//! probability at most `(1/k²)^{H_C}`. Given a desired confidence level,
+//! the provider can trade off `k` (range width → false negatives) against
+//! `H_C` (consecutive violations → detection delay). The paper's Table 1
+//! uses `k = 1.125`, `H_C = 30` for 99.9 % confidence.
+
+use crate::StatsError;
+
+/// The normal operating range `[μ − kσ, μ + kσ]` for a profiled statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalRange {
+    /// Lower bound `μ − kσ`.
+    pub lower: f64,
+    /// Upper bound `μ + kσ`.
+    pub upper: f64,
+}
+
+impl NormalRange {
+    /// Builds the range from a profiled mean `mu`, standard deviation
+    /// `sigma` and boundary factor `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `k <= 1` (the paper
+    /// requires `k > 1` for Chebyshev's inequality to be informative), if
+    /// `sigma < 0`, or if any argument is NaN.
+    pub fn new(mu: f64, sigma: f64, k: f64) -> Result<Self, StatsError> {
+        if !(k > 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                reason: "boundary factor must be greater than 1",
+            });
+        }
+        if !(sigma >= 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                reason: "standard deviation must be non-negative",
+            });
+        }
+        if mu.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                reason: "mean must not be NaN",
+            });
+        }
+        Ok(NormalRange { lower: mu - k * sigma, upper: mu + k * sigma })
+    }
+
+    /// The paper's condition `C_n` (Eq. 3): true when `value` lies outside
+    /// the normal range.
+    pub fn is_violation(&self, value: f64) -> bool {
+        value < self.lower || value > self.upper
+    }
+
+    /// Width of the range (`2kσ`).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+impl std::fmt::Display for NormalRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lower, self.upper)
+    }
+}
+
+/// Upper bound on the probability that a single observation falls outside
+/// `[μ − kσ, μ + kσ]`, by Chebyshev's inequality (Eq. 4): `1/k²`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `k <= 1` or NaN.
+pub fn chebyshev_tail_bound(k: f64) -> Result<f64, StatsError> {
+    if !(k > 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "k",
+            reason: "boundary factor must be greater than 1",
+        });
+    }
+    Ok(1.0 / (k * k))
+}
+
+/// Upper bound on the false-alarm probability of SDS/B: the probability of
+/// `h_c` consecutive out-of-range observations, `(1/k²)^{H_C}`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `k <= 1`/NaN or `h_c == 0`.
+pub fn false_alarm_bound(k: f64, h_c: u32) -> Result<f64, StatsError> {
+    if h_c == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "h_c",
+            reason: "consecutive violation threshold must be positive",
+        });
+    }
+    let p = chebyshev_tail_bound(k)?;
+    Ok(p.powi(h_c as i32))
+}
+
+/// Smallest `H_C` that guarantees the requested confidence level for a
+/// given boundary factor `k`, i.e. the smallest `H_C` with
+/// `(1/k²)^{H_C} ≤ 1 − confidence`.
+///
+/// This is the adjustment the paper performs in the Fig. 14 sensitivity
+/// study: "the consecutive violation threshold `H_C` was adjusted to keep
+/// a confidence of 99.9 % based on Equation (4)". For the Table 1 defaults
+/// (`k = 1.125`, 99.9 % confidence) this returns 30.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `k <= 1`/NaN or if
+/// `confidence` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_stats::bounds::required_h_c;
+///
+/// assert_eq!(required_h_c(1.125, 0.999).unwrap(), 30);
+/// assert_eq!(required_h_c(2.0, 0.999).unwrap(), 5);
+/// ```
+pub fn required_h_c(k: f64, confidence: f64) -> Result<u32, StatsError> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            reason: "confidence level must be in (0, 1)",
+        });
+    }
+    let p = chebyshev_tail_bound(k)?;
+    let target = 1.0 - confidence;
+    // (1/k²)^h ≤ target  ⇔  h ≥ ln(target) / ln(1/k²).
+    let h = (target.ln() / p.ln()).ceil();
+    debug_assert!(h >= 1.0);
+    Ok(h.max(1.0) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_mean() {
+        let r = NormalRange::new(10.0, 2.0, 1.125).unwrap();
+        assert!(!r.is_violation(10.0));
+        assert!((r.lower - 7.75).abs() < 1e-12);
+        assert!((r.upper - 12.25).abs() < 1e-12);
+        assert!((r.width() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_flags_both_sides() {
+        let r = NormalRange::new(0.0, 1.0, 2.0).unwrap();
+        assert!(r.is_violation(-2.5));
+        assert!(r.is_violation(2.5));
+        assert!(!r.is_violation(-2.0));
+        assert!(!r.is_violation(2.0));
+    }
+
+    #[test]
+    fn range_zero_sigma_degenerates() {
+        let r = NormalRange::new(5.0, 0.0, 1.5).unwrap();
+        assert!(!r.is_violation(5.0));
+        assert!(r.is_violation(5.0001));
+        assert!(r.is_violation(4.9999));
+    }
+
+    #[test]
+    fn range_rejects_bad_parameters() {
+        assert!(NormalRange::new(0.0, 1.0, 1.0).is_err());
+        assert!(NormalRange::new(0.0, 1.0, 0.5).is_err());
+        assert!(NormalRange::new(0.0, -1.0, 2.0).is_err());
+        assert!(NormalRange::new(f64::NAN, 1.0, 2.0).is_err());
+        assert!(NormalRange::new(0.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn chebyshev_bound_values() {
+        assert!((chebyshev_tail_bound(2.0).unwrap() - 0.25).abs() < 1e-12);
+        let k = 1.125;
+        assert!((chebyshev_tail_bound(k).unwrap() - 1.0 / (k * k)).abs() < 1e-12);
+        assert!(chebyshev_tail_bound(1.0).is_err());
+    }
+
+    #[test]
+    fn false_alarm_bound_compounds() {
+        // k = 2, H_C = 6 → (1/4)^6 ≈ 2.4e-4 < 0.001 (the paper's example).
+        let b = false_alarm_bound(2.0, 6).unwrap();
+        assert!(b < 0.001);
+        // k = 2, H_C = 4 → (1/4)^4 ≈ 3.9e-3 > 0.001.
+        assert!(false_alarm_bound(2.0, 4).unwrap() > 0.001);
+        assert!(false_alarm_bound(2.0, 0).is_err());
+    }
+
+    #[test]
+    fn paper_parameter_pairs_hit_999_confidence() {
+        // Both example pairs from Section 4.2.1 guarantee 99.9 %.
+        assert!(false_alarm_bound(2.0, 6).unwrap() <= 0.001);
+        assert!(false_alarm_bound(1.125, 30).unwrap() <= 0.001);
+    }
+
+    #[test]
+    fn required_h_c_is_minimal() {
+        for &(k, conf) in &[(1.125, 0.999), (1.2, 0.999), (1.5, 0.999), (2.0, 0.999)] {
+            let h = required_h_c(k, conf).unwrap();
+            assert!(false_alarm_bound(k, h).unwrap() <= 1.0 - conf);
+            if h > 1 {
+                assert!(false_alarm_bound(k, h - 1).unwrap() > 1.0 - conf);
+            }
+        }
+    }
+
+    #[test]
+    fn required_h_c_decreases_with_k() {
+        // The tradeoff described in §4.2.1: H_C decreases as k increases.
+        let hs: Vec<u32> = [1.125, 1.3, 1.5, 2.0]
+            .iter()
+            .map(|&k| required_h_c(k, 0.999).unwrap())
+            .collect();
+        for w in hs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn required_h_c_rejects_bad_confidence() {
+        assert!(required_h_c(2.0, 0.0).is_err());
+        assert!(required_h_c(2.0, 1.0).is_err());
+        assert!(required_h_c(2.0, f64::NAN).is_err());
+    }
+}

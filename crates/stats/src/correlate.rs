@@ -1,0 +1,301 @@
+//! Correlation-based exploration methods from Section 3.4.
+//!
+//! Before settling on SDS/B and SDS/P, the paper explored whether
+//! cache-related statistics become *less correlated* under attack, using
+//! spectral coherence, cross-correlation and Pearson correlation — and
+//! found that "these approaches are not useful for detecting both attacks
+//! since the correlations among the cache-related statistics do not show
+//! any decreasing trend after the attacks are launched".
+//!
+//! The methods are implemented here both for completeness and so the
+//! negative result can be reproduced (`tab_s34_correlation` bench).
+
+use crate::fft::{fft_real, next_power_of_two};
+use crate::StatsError;
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns a value in `[-1, 1]`; returns 0 when either series is constant
+/// (correlation undefined — the conservative choice for a detector that
+/// looks for *decreases* in correlation).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if the series are empty or
+/// [`StatsError::LengthMismatch`] if their lengths differ.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Normalized cross-correlation of `x` and `y` at integer lags
+/// `-max_lag ..= max_lag`.
+///
+/// Entry `i` of the result corresponds to lag `i as isize - max_lag as
+/// isize`; positive lags shift `y` forward relative to `x`. Values are
+/// normalized by the zero-lag energies so a perfect shifted copy scores 1.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty inputs,
+/// [`StatsError::LengthMismatch`] for different lengths, or
+/// [`StatsError::TooShort`] if `max_lag >= len`.
+pub fn cross_correlation(x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if max_lag >= x.len() {
+        return Err(StatsError::TooShort { required: max_lag + 1, actual: x.len() });
+    }
+    let n = x.len();
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let cx: Vec<f64> = x.iter().map(|v| v - mx).collect();
+    let cy: Vec<f64> = y.iter().map(|v| v - my).collect();
+    let ex: f64 = cx.iter().map(|v| v * v).sum();
+    let ey: f64 = cy.iter().map(|v| v * v).sum();
+    let denom = (ex * ey).sqrt();
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as isize)..=(max_lag as isize) {
+        let mut acc = 0.0;
+        for t in 0..n {
+            let u = t as isize + lag;
+            if u >= 0 && (u as usize) < n {
+                acc += cx[t] * cy[u as usize];
+            }
+        }
+        out.push(if denom == 0.0 { 0.0 } else { acc / denom });
+    }
+    Ok(out)
+}
+
+/// Maximum absolute normalized cross-correlation over lags
+/// `-max_lag ..= max_lag` — the scalar summary used in the Section 3.4
+/// exploration.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_correlation`].
+pub fn max_cross_correlation(x: &[f64], y: &[f64], max_lag: usize) -> Result<f64, StatsError> {
+    let xc = cross_correlation(x, y, max_lag)?;
+    Ok(xc.iter().fold(0.0_f64, |m, v| m.max(v.abs())))
+}
+
+/// Magnitude-squared spectral coherence between `x` and `y`, averaged over
+/// Welch-style segments of length `segment_len` with 50 % overlap:
+///
+/// `C_xy(f) = |S_xy(f)|² / (S_xx(f) · S_yy(f))`
+///
+/// Returns the mean coherence across frequency bins (excluding DC), a
+/// scalar in `[0, 1]`. Without segment averaging two-signal coherence is
+/// identically 1, so at least 2 segments are required.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] / [`StatsError::LengthMismatch`] as
+/// above, or [`StatsError::TooShort`] if fewer than two segments fit.
+pub fn mean_coherence(x: &[f64], y: &[f64], segment_len: usize) -> Result<f64, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    let seg = next_power_of_two(segment_len.max(8));
+    let hop = seg / 2;
+    if x.len() < seg + hop {
+        return Err(StatsError::TooShort { required: seg + hop, actual: x.len() });
+    }
+
+    let half = seg / 2;
+    let mut sxx = vec![0.0f64; half];
+    let mut syy = vec![0.0f64; half];
+    let mut sxy_re = vec![0.0f64; half];
+    let mut sxy_im = vec![0.0f64; half];
+    let mut segments = 0usize;
+
+    let mut start = 0;
+    while start + seg <= x.len() {
+        let wx = windowed(&x[start..start + seg]);
+        let wy = windowed(&y[start..start + seg]);
+        let fx = fft_real(&wx, seg)?;
+        let fy = fft_real(&wy, seg)?;
+        for k in 1..=half {
+            let a = fx[k];
+            let b = fy[k];
+            sxx[k - 1] += a.norm_sqr();
+            syy[k - 1] += b.norm_sqr();
+            // S_xy = X * conj(Y)
+            let c = a * b.conj();
+            sxy_re[k - 1] += c.re;
+            sxy_im[k - 1] += c.im;
+        }
+        segments += 1;
+        start += hop;
+    }
+    debug_assert!(segments >= 2);
+
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for k in 0..half {
+        let denom = sxx[k] * syy[k];
+        if denom > 1e-30 {
+            let num = sxy_re[k] * sxy_re[k] + sxy_im[k] * sxy_im[k];
+            acc += (num / denom).clamp(0.0, 1.0);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Ok(0.0);
+    }
+    Ok(acc / count as f64)
+}
+
+/// Applies a Hann window after mean removal (reduces spectral leakage).
+fn windowed(seg: &[f64]) -> Vec<f64> {
+    let n = seg.len();
+    let mean = seg.iter().sum::<f64>() / n as f64;
+    seg.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let w = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos();
+            (v - mean) * w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 2.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_noise_is_small() {
+        let x = noise(2000, 1);
+        let y = noise(2000, 2);
+        assert!(pearson(&x, &y).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_constant_returns_zero() {
+        let x = [1.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[], &[]).is_err());
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_correlation_finds_shift() {
+        let x = noise(256, 7);
+        // y is x delayed by 5 samples.
+        let mut y = vec![0.0; 256];
+        for i in 5..256 {
+            y[i] = x[i - 5];
+        }
+        let xc = cross_correlation(&x, &y, 10).unwrap();
+        let best = xc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as isize
+            - 10;
+        assert_eq!(best, 5);
+        assert!((max_cross_correlation(&x, &y, 10).unwrap() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cross_correlation_zero_lag_is_pearson() {
+        let x = noise(128, 3);
+        let y = noise(128, 4);
+        let xc = cross_correlation(&x, &y, 4).unwrap();
+        let p = pearson(&x, &y).unwrap();
+        assert!((xc[4] - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_correlation_errors() {
+        assert!(cross_correlation(&[], &[], 0).is_err());
+        assert!(cross_correlation(&[1.0; 4], &[1.0; 5], 1).is_err());
+        assert!(matches!(
+            cross_correlation(&[1.0; 4], &[1.0; 4], 4),
+            Err(StatsError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn coherence_of_identical_signals_is_high() {
+        let x = noise(512, 11);
+        let c = mean_coherence(&x, &x, 64).unwrap();
+        assert!(c > 0.99, "self-coherence {c}");
+    }
+
+    #[test]
+    fn coherence_of_independent_noise_is_low() {
+        let x = noise(4096, 21);
+        let y = noise(4096, 22);
+        let c = mean_coherence(&x, &y, 64).unwrap();
+        assert!(c < 0.5, "independent coherence {c}");
+    }
+
+    #[test]
+    fn coherence_needs_two_segments() {
+        let x = noise(64, 1);
+        assert!(matches!(
+            mean_coherence(&x, &x, 64),
+            Err(StatsError::TooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A window or series was empty where data was required.
+    EmptyInput,
+    /// A parameter was outside its valid domain.
+    ///
+    /// The payload names the parameter and describes the constraint that
+    /// was violated.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input was too short for the requested operation.
+    TooShort {
+        /// Number of samples required.
+        required: usize,
+        /// Number of samples supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input series is empty"),
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "input lengths differ: {left} vs {right}")
+            }
+            StatsError::TooShort { required, actual } => {
+                write!(f, "input too short: need {required} samples, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::EmptyInput,
+            StatsError::InvalidParameter { name: "alpha", reason: "must be in (0, 1)" },
+            StatsError::LengthMismatch { left: 3, right: 4 },
+            StatsError::TooShort { required: 8, actual: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

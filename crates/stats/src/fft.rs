@@ -1,0 +1,375 @@
+//! Iterative radix-2 Cooley–Tukey FFT and periodogram.
+//!
+//! SDS/P locates candidate periods from the *dominant frequency* of the MA
+//! time series — "the frequency that has the maximum amplitude ... equal to
+//! the reciprocal of the period" (§4.2.2). The periodogram here supports
+//! zero-padding, which interpolates the spectrum so that periods that are
+//! not exact divisors of the window length can still be localized; the
+//! residual bias is then removed by the ACF refinement step in
+//! [`crate::period`].
+
+use crate::StatsError;
+
+/// A complex number in Cartesian form.
+///
+/// A deliberately minimal type: only the operations the FFT needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex number `e^{iθ}`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+}
+
+/// Smallest power of two `>= n` (returns 1 for `n == 0`).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT of `buf`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `buf.len()` is not a power
+/// of two (zero-length included).
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), StatsError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT of `buf` (including the `1/N` normalization).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `buf.len()` is not a power
+/// of two (zero-length included).
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), StatsError> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        z.re /= n;
+        z.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), StatsError> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(StatsError::InvalidParameter {
+            name: "buf",
+            reason: "FFT length must be a non-zero power of two",
+        });
+    }
+    if n == 1 {
+        // A length-1 transform is the identity (and the bit-reversal
+        // shift below would be undefined for 0 bits).
+        return Ok(());
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padded to `padded_len` (which must be
+/// a power of two at least `signal.len()`). Returns the full complex
+/// spectrum of length `padded_len`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty signal and
+/// [`StatsError::InvalidParameter`] if `padded_len` is not a power of two
+/// or is shorter than the signal.
+pub fn fft_real(signal: &[f64], padded_len: usize) -> Result<Vec<Complex>, StatsError> {
+    if signal.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !padded_len.is_power_of_two() || padded_len < signal.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "padded_len",
+            reason: "must be a power of two no smaller than the signal length",
+        });
+    }
+    let mut buf: Vec<Complex> = Vec::with_capacity(padded_len);
+    buf.extend(signal.iter().map(|&x| Complex::from(x)));
+    buf.resize(padded_len, Complex::default());
+    fft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// One bin of a periodogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumBin {
+    /// Bin index `k` in the padded spectrum (1-based frequencies; bin 0,
+    /// the DC component, is never reported).
+    pub index: usize,
+    /// Frequency in cycles per sample: `k / padded_len`.
+    pub frequency: f64,
+    /// Period in samples: `padded_len / k`.
+    pub period: f64,
+    /// Power `|X_k|²` of the bin.
+    pub power: f64,
+}
+
+/// Computes the one-sided periodogram of a real signal after mean removal,
+/// zero-padded by `pad_factor` (spectrum length is the next power of two of
+/// `signal.len() * pad_factor`).
+///
+/// The mean is removed first so the DC bin does not dominate; bin 0 is
+/// excluded from the output.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty signal and
+/// [`StatsError::InvalidParameter`] if `pad_factor == 0`.
+pub fn periodogram(signal: &[f64], pad_factor: usize) -> Result<Vec<SpectrumBin>, StatsError> {
+    if signal.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if pad_factor == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "pad_factor",
+            reason: "zero-padding factor must be positive",
+        });
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let centered: Vec<f64> = signal.iter().map(|&x| x - mean).collect();
+    let padded = next_power_of_two(signal.len() * pad_factor);
+    let spec = fft_real(&centered, padded)?;
+    let half = padded / 2;
+    let mut bins = Vec::with_capacity(half.saturating_sub(1));
+    for (k, z) in spec.iter().enumerate().take(half + 1).skip(1) {
+        bins.push(SpectrumBin {
+            index: k,
+            frequency: k as f64 / padded as f64,
+            period: padded as f64 / k as f64,
+            power: z.norm_sqr(),
+        });
+    }
+    Ok(bins)
+}
+
+/// The dominant bin of a periodogram: the bin with maximum power.
+///
+/// # Errors
+///
+/// Propagates errors from [`periodogram`]; additionally returns
+/// [`StatsError::TooShort`] when the signal has fewer than 4 samples
+/// (no meaningful spectrum).
+pub fn dominant_frequency(signal: &[f64], pad_factor: usize) -> Result<SpectrumBin, StatsError> {
+    if signal.len() < 4 {
+        return Err(StatsError::TooShort { required: 4, actual: signal.len() });
+    }
+    let bins = periodogram(signal, pad_factor)?;
+    bins.into_iter()
+        .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap_or(std::cmp::Ordering::Equal))
+        .ok_or(StatsError::EmptyInput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64, amp: f64, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * i as f64 / period + phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.abs() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 3];
+        assert!(fft_in_place(&mut buf).is_err());
+        let mut empty: Vec<Complex> = Vec::new();
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft_of_length_one_is_identity() {
+        let mut buf = vec![Complex::new(3.5, -1.25)];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.5, -1.25));
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.5, -1.25));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12);
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let signal: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut buf = signal.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, round) in signal.iter().zip(&buf) {
+            assert!((orig.re - round.re).abs() < 1e-9);
+            assert!((orig.im - round.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let signal: Vec<f64> = (0..16).map(|i| ((i * i) % 7) as f64).collect();
+        let spec = fft_real(&signal, 16).unwrap();
+        // Naive O(N²) DFT for cross-validation.
+        for k in 0..16 {
+            let mut acc = Complex::default();
+            for (n, &x) in signal.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (k * n) as f64 / 16.0;
+                acc = acc + Complex::from_polar_unit(theta) * Complex::from(x);
+            }
+            assert!((spec[k].re - acc.re).abs() < 1e-9, "bin {k} re");
+            assert!((spec[k].im - acc.im).abs() < 1e-9, "bin {k} im");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin() * 2.0).collect();
+        let spec = fft_real(&signal, 32).unwrap();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_frequency_of_pure_sine() {
+        // Period 16 over 128 samples → bin 8 of a length-128 spectrum.
+        let signal = sine(128, 16.0, 3.0, 0.0);
+        let dom = dominant_frequency(&signal, 1).unwrap();
+        assert_eq!(dom.index, 8);
+        assert!((dom.period - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_padding_refines_fractional_period() {
+        // Period 13.5 is not a divisor of 64; padding by 8 localizes it.
+        let signal = sine(64, 13.5, 1.0, 0.4);
+        let dom = dominant_frequency(&signal, 8).unwrap();
+        assert!(
+            (dom.period - 13.5).abs() < 1.0,
+            "expected ≈13.5, got {}",
+            dom.period
+        );
+    }
+
+    #[test]
+    fn periodogram_excludes_dc() {
+        // Large constant offset must not produce a DC-dominated answer.
+        let signal: Vec<f64> = sine(64, 8.0, 1.0, 0.0).iter().map(|x| x + 100.0).collect();
+        let dom = dominant_frequency(&signal, 1).unwrap();
+        assert!((dom.period - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn periodogram_rejects_bad_inputs() {
+        assert!(periodogram(&[], 1).is_err());
+        assert!(periodogram(&[1.0, 2.0], 0).is_err());
+        assert!(matches!(
+            dominant_frequency(&[1.0, 2.0, 3.0], 1),
+            Err(StatsError::TooShort { .. })
+        ));
+    }
+}

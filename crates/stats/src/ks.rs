@@ -1,0 +1,225 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The KStest baseline (Zhang et al., AsiaCCS '17 — reference [49] of the
+//! paper) "examine[s] whether the cache-related statistics in real time
+//! follow the same probability distribution as the statistics when there is
+//! no attack" using the two-sample KS test. This module provides:
+//!
+//! * the exact two-sample KS statistic `D = sup_x |F_ref(x) − F_mon(x)|`,
+//! * the asymptotic p-value via the Kolmogorov distribution, and
+//! * the standard large-sample decision rule at significance level `α`:
+//!   reject `H_0` (same distribution) when
+//!   `D > c(α) · sqrt((n + m) / (n · m))` with `c(α) = sqrt(−ln(α/2)/2)`.
+
+use crate::StatsError;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D`: the supremum distance between the two
+    /// empirical CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (probability of observing a distance at least
+    /// this large under `H_0`).
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n: usize,
+    /// Size of the second sample.
+    pub m: usize,
+}
+
+impl KsResult {
+    /// Whether the test rejects `H_0` ("same distribution") at
+    /// significance level `alpha`, using the large-sample critical value.
+    ///
+    /// This is the binary outcome the paper plots in Figure 1: value 1
+    /// means "the two sets of samples have distinct probability
+    /// distributions".
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+        let scale = ((self.n + self.m) as f64 / (self.n as f64 * self.m as f64)).sqrt();
+        self.statistic > c * scale
+    }
+}
+
+/// Runs the two-sample Kolmogorov–Smirnov test on `reference` and
+/// `monitored`.
+///
+/// Neither input needs to be sorted. Ties between and within samples are
+/// handled by evaluating the CDF difference after consuming all equal
+/// values, the standard convention.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if either sample is empty.
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_stats::ks::ks_two_sample;
+///
+/// let a: Vec<f64> = (0..100).map(|x| x as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|x| x as f64 + 0.5).collect();
+/// let r = ks_two_sample(&a, &b)?;
+/// assert!(!r.rejects_at(0.05)); // tiny shift: same distribution
+/// # Ok::<(), memdos_stats::StatsError>(())
+/// ```
+pub fn ks_two_sample(reference: &[f64], monitored: &[f64]) -> Result<KsResult, StatsError> {
+    if reference.is_empty() || monitored.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut a = reference.to_vec();
+    let mut b = monitored.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+
+    let n = a.len();
+    let m = b.len();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+    // After one sample is exhausted the CDF gap can only shrink toward 0
+    // as the other CDF climbs to 1, except at the exhaustion point itself,
+    // which the loop above has already evaluated.
+
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    let p_value = kolmogorov_survival(lambda);
+
+    Ok(KsResult { statistic: d, p_value, n, m })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`, clamped to `[0, 1]`.
+///
+/// Used for the asymptotic p-value of the KS statistic.
+pub fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(seed: u64, n: usize) -> Vec<f64> {
+        // Small deterministic xorshift so the test needs no external RNG.
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.rejects_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // F_a jumps at {1,2,3,4}, F_b at {3,4,5,6}; max gap is 0.5 at x in [2,3).
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_rarely_rejects() {
+        let mut rejects = 0;
+        for seed in 1..=40u64 {
+            let a = uniform(seed, 100);
+            let b = uniform(seed + 1000, 100);
+            if ks_two_sample(&a, &b).unwrap().rejects_at(0.05) {
+                rejects += 1;
+            }
+        }
+        // Significance 0.05 → expect ~2 rejections out of 40; allow slack.
+        assert!(rejects <= 6, "too many false rejections: {rejects}");
+    }
+
+    #[test]
+    fn shifted_distribution_rejects() {
+        let a = uniform(7, 200);
+        let b: Vec<f64> = uniform(77, 200).iter().map(|x| x + 0.5).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.rejects_at(0.05));
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(ks_two_sample(&[], &[1.0]), Err(StatsError::EmptyInput));
+        assert_eq!(ks_two_sample(&[1.0], &[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        // F_a(1) = 0.75, F_b(1) = 0.25 → D = 0.5.
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_survival_monotone() {
+        let mut prev = kolmogorov_survival(0.1);
+        for i in 2..40 {
+            let q = kolmogorov_survival(i as f64 * 0.1);
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+        assert!((kolmogorov_survival(0.0) - 1.0).abs() < 1e-12);
+        assert!(kolmogorov_survival(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = uniform(3, 64);
+        let b = uniform(4, 80);
+        let r1 = ks_two_sample(&a, &b).unwrap();
+        let r2 = ks_two_sample(&b, &a).unwrap();
+        assert!((r1.statistic - r2.statistic).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,58 @@
+//! # memdos-stats
+//!
+//! From-scratch statistics and signal-processing primitives used by the
+//! `memdos` workspace, a reproduction of *"Impact of Memory DoS Attacks on
+//! Cloud Applications and Real-Time Detection Schemes"* (ICPP '20).
+//!
+//! The crate deliberately avoids external numeric dependencies: every
+//! routine the paper's detection schemes rely on is implemented here.
+//!
+//! ## Contents
+//!
+//! * [`series`] — time-series container and summary statistics
+//!   (mean/variance/percentiles) used by every experiment.
+//! * [`smoothing`] — sliding-window moving average (Eq. 1) and exponentially
+//!   weighted moving average (Eq. 2) in streaming form.
+//! * [`bounds`] — Chebyshev-inequality helpers used by SDS/B to pick the
+//!   boundary factor `k` and violation threshold `H_C` (Eq. 4).
+//! * [`ks`] — two-sample Kolmogorov–Smirnov test used by the KStest
+//!   baseline detector (Zhang et al., AsiaCCS '17).
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT and periodogram.
+//! * [`acf`] — autocorrelation function (direct and FFT-accelerated).
+//! * [`period`] — the DFT-ACF period detector (Vlachos et al.) used by
+//!   SDS/P.
+//! * [`correlate`] — Pearson correlation, cross-correlation and spectral
+//!   coherence: the Section 3.4 exploration methods the paper found *not*
+//!   to discriminate attacks.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use memdos_stats::smoothing::{MovingAverage, Ewma};
+//!
+//! // Paper defaults: W = 200 raw points, step ΔW = 50, EWMA α = 0.2.
+//! let mut ma = MovingAverage::new(200, 50).unwrap();
+//! let mut ewma = Ewma::new(0.2).unwrap();
+//! for raw in 0..1000u64 {
+//!     if let Some(m) = ma.push(raw as f64) {
+//!         let s = ewma.push(m);
+//!         assert!(s.is_finite());
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acf;
+pub mod bounds;
+pub mod correlate;
+pub mod fft;
+pub mod ks;
+pub mod period;
+pub mod series;
+pub mod smoothing;
+
+mod error;
+
+pub use error::StatsError;

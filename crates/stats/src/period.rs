@@ -1,0 +1,295 @@
+//! DFT-ACF period detection (Vlachos et al., SDM '05), as used by SDS/P.
+//!
+//! Section 4.2.2: "DFT may detect false frequencies that do not exist in
+//! the time series ... ACF ... may result in the detection of multiples of
+//! a true period. Therefore, solely using DFT or ACF cannot accurately
+//! determine the true frequencies ... we adopt the approach ... that first
+//! generates candidate periods using DFT and then uses ACF to identify the
+//! real period."
+//!
+//! The detector here:
+//!
+//! 1. computes a zero-padded periodogram of the (mean-removed) window,
+//! 2. extracts candidate periods from the strongest spectral peaks,
+//! 3. validates each candidate on the ACF — a real period must land on an
+//!    ACF *hill* — and
+//! 4. refines the surviving candidate to a fractional lag by hill-climbing
+//!    plus quadratic interpolation.
+
+use crate::acf::{acf_direct, on_hill, refine_peak};
+use crate::fft::{periodogram, SpectrumBin};
+use crate::StatsError;
+
+/// A validated period estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodEstimate {
+    /// The period in samples (fractional, after ACF refinement).
+    pub period: f64,
+    /// ACF value at the (integer) validated lag — a measure of periodicity
+    /// strength in `[-1, 1]`; strongly periodic signals score near 1.
+    pub strength: f64,
+    /// Power of the periodogram bin that proposed this candidate.
+    pub spectral_power: f64,
+}
+
+/// Configuration for the DFT-ACF period detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodDetector {
+    /// Zero-padding factor for the periodogram (higher = finer candidate
+    /// resolution). Default 4.
+    pub pad_factor: usize,
+    /// Maximum number of spectral peaks to try as candidates, strongest
+    /// first. Default 8.
+    pub max_candidates: usize,
+    /// Neighbourhood radius (in lags) for the ACF hill test and the
+    /// hill-climb refinement. Default 2.
+    pub hill_radius: usize,
+    /// Minimum ACF value at the candidate lag for it to count as a real
+    /// period. Default 0.2.
+    pub min_strength: f64,
+}
+
+impl Default for PeriodDetector {
+    fn default() -> Self {
+        PeriodDetector {
+            pad_factor: 4,
+            max_candidates: 8,
+            hill_radius: 2,
+            min_strength: 0.2,
+        }
+    }
+}
+
+impl PeriodDetector {
+    /// Creates a detector with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs DFT-ACF on `signal` and returns the best validated period, or
+    /// `None` when no spectral candidate survives ACF validation (i.e. the
+    /// signal is not periodic at a detectable scale).
+    ///
+    /// Candidates are restricted to `[2, len/2]` samples so that at least
+    /// two full cycles are present in the window — this is why SDS/P uses
+    /// `W_P = 2p` as its minimum monitoring window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::TooShort`] when the signal has fewer than 8
+    /// samples, and propagates periodogram/ACF errors.
+    pub fn detect(&self, signal: &[f64]) -> Result<Option<PeriodEstimate>, StatsError> {
+        if signal.len() < 8 {
+            return Err(StatsError::TooShort { required: 8, actual: signal.len() });
+        }
+        let n = signal.len();
+        let max_period = n as f64 / 2.0;
+        let bins = periodogram(signal, self.pad_factor.max(1))?;
+
+        // Keep only candidates whose period fits at least twice in the
+        // window, then take the strongest spectral peaks.
+        let mut candidates: Vec<SpectrumBin> = bins
+            .into_iter()
+            .filter(|b| b.period >= 2.0 && b.period <= max_period)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.power.partial_cmp(&a.power).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(self.max_candidates.max(1));
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+
+        let max_lag = (max_period.floor() as usize + self.hill_radius + 1).min(n - 1);
+        let acf = acf_direct(signal, max_lag)?;
+
+        // Degenerate (constant) input: ACF is all ones, every lag is a
+        // "hill"; there is no meaningful period.
+        if acf.iter().all(|&v| (v - 1.0).abs() < 1e-12) {
+            return Ok(None);
+        }
+
+        for cand in &candidates {
+            let lag = cand.period.round() as usize;
+            if lag < 2 || lag >= acf.len() {
+                continue;
+            }
+            // Hill-climb to the local ACF maximum near the candidate.
+            let peak = self.climb(&acf, lag);
+            if !on_hill(&acf, peak, self.hill_radius) {
+                continue;
+            }
+            if acf[peak] < self.min_strength {
+                continue;
+            }
+            let refined = refine_peak(&acf, peak);
+            return Ok(Some(PeriodEstimate {
+                period: refined,
+                strength: acf[peak],
+                spectral_power: cand.power,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Hill-climbs from `start` to the nearest local maximum of `acf`,
+    /// moving at most `hill_radius` steps at a time.
+    fn climb(&self, acf: &[f64], start: usize) -> usize {
+        let mut lag = start.min(acf.len() - 1).max(1);
+        loop {
+            let lo = lag.saturating_sub(self.hill_radius).max(1);
+            let hi = (lag + self.hill_radius).min(acf.len() - 1);
+            let best = (lo..=hi)
+                .max_by(|&a, &b| {
+                    acf[a].partial_cmp(&acf[b]).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(lag);
+            if best == lag {
+                return lag;
+            }
+            lag = best;
+        }
+    }
+}
+
+/// Convenience wrapper: detects the period of `signal` with the default
+/// [`PeriodDetector`] configuration.
+///
+/// # Errors
+///
+/// See [`PeriodDetector::detect`].
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_stats::period::detect_period;
+///
+/// let signal: Vec<f64> = (0..120)
+///     .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 15.0).sin())
+///     .collect();
+/// let est = detect_period(&signal)?.expect("periodic signal");
+/// assert!((est.period - 15.0).abs() < 0.5);
+/// # Ok::<(), memdos_stats::StatsError>(())
+/// ```
+pub fn detect_period(signal: &[f64]) -> Result<Option<PeriodEstimate>, StatsError> {
+    PeriodDetector::default().detect(signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period).sin())
+            .collect()
+    }
+
+    /// Deterministic pseudo-noise without external dependencies.
+    fn noise(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                amp * (((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_exact_period() {
+        let est = detect_period(&sine(160, 16.0)).unwrap().unwrap();
+        assert!((est.period - 16.0).abs() < 0.2, "got {}", est.period);
+        assert!(est.strength > 0.8);
+    }
+
+    #[test]
+    fn detects_fractional_period() {
+        let est = detect_period(&sine(200, 17.4)).unwrap().unwrap();
+        assert!((est.period - 17.4).abs() < 0.6, "got {}", est.period);
+    }
+
+    #[test]
+    fn detects_period_in_noise() {
+        let clean = sine(200, 25.0);
+        let noisy: Vec<f64> = clean
+            .iter()
+            .zip(noise(200, 9, 0.6))
+            .map(|(a, b)| a + b)
+            .collect();
+        let est = detect_period(&noisy).unwrap().unwrap();
+        assert!((est.period - 25.0).abs() < 1.5, "got {}", est.period);
+    }
+
+    #[test]
+    fn rejects_white_noise() {
+        // Pure noise should not produce a strong validated period; if one
+        // sneaks through it must at least be weak.
+        let est = detect_period(&noise(256, 4242, 1.0)).unwrap();
+        if let Some(e) = est {
+            assert!(e.strength < 0.5, "noise scored {}", e.strength);
+        }
+    }
+
+    #[test]
+    fn rejects_constant_signal() {
+        assert_eq!(detect_period(&[3.0; 64]).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_linear_trend() {
+        // A ramp has no repeating structure; candidates near N/2 exist in
+        // the spectrum but should fail ACF-hill validation or be weak.
+        let ramp: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        if let Some(e) = detect_period(&ramp).unwrap() {
+            assert!(e.strength < 0.6, "ramp scored {}", e.strength);
+        }
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(matches!(
+            detect_period(&[1.0; 7]),
+            Err(StatsError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn two_cycle_window_suffices() {
+        // W_P = 2p: SDS/P's choice. With exactly two cycles the detector
+        // must still find the period.
+        let p = 17.0;
+        let est = detect_period(&sine(34, p)).unwrap().unwrap();
+        assert!((est.period - p).abs() < 2.0, "got {}", est.period);
+    }
+
+    #[test]
+    fn dilated_period_is_distinguished() {
+        // The core SDS/P signal: an attack dilates the period by >20 %.
+        let normal = detect_period(&sine(120, 17.0)).unwrap().unwrap();
+        let dilated = detect_period(&sine(120, 22.0)).unwrap().unwrap();
+        let change = (dilated.period - normal.period).abs() / normal.period;
+        assert!(change > 0.2, "dilation not visible: {change}");
+    }
+
+    #[test]
+    fn harmonic_rich_signal_prefers_fundamental() {
+        // Square-ish wave: strong odd harmonics; DFT-ACF should still
+        // report the fundamental (or the ACF hill at it).
+        let p = 20.0;
+        let signal: Vec<f64> = (0..200)
+            .map(|i| {
+                let phase = (i as f64 / p).fract();
+                if phase < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let est = detect_period(&signal).unwrap().unwrap();
+        assert!((est.period - p).abs() < 1.0, "got {}", est.period);
+    }
+}

@@ -1,0 +1,381 @@
+//! Time-series container and summary statistics.
+//!
+//! A [`TimeSeries`] is the basic exchange format between the simulator
+//! (which produces per-tick PCM samples) and the detectors and experiment
+//! harness (which consume them). It is a thin, well-behaved wrapper over
+//! `Vec<f64>` that adds the summary statistics the paper relies on:
+//! mean, standard deviation and percentiles (the paper reports median,
+//! 10th and 90th percentiles of 20 runs).
+
+use crate::StatsError;
+
+/// An ordered series of `f64` data points sampled at a fixed interval.
+///
+/// The sampling interval itself is not stored: all of the paper's methods
+/// operate on index space (windows of `W` points, periods measured in MA
+/// steps) and convert to seconds only for reporting.
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_stats::series::TimeSeries;
+///
+/// let ts: TimeSeries = (1..=5).map(|x| x as f64).collect();
+/// assert_eq!(ts.mean().unwrap(), 3.0);
+/// assert_eq!(ts.len(), 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    data: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { data: Vec::new() }
+    }
+
+    /// Creates an empty series with capacity for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { data: Vec::with_capacity(n) }
+    }
+
+    /// Creates a series from a vector of points.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        TimeSeries { data }
+    }
+
+    /// Appends a data point.
+    pub fn push(&mut self, value: f64) {
+        self.data.push(value);
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the series contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying points as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the series, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn mean(&self) -> Result<f64, StatsError> {
+        mean(&self.data)
+    }
+
+    /// Population variance (divides by `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn variance(&self) -> Result<f64, StatsError> {
+        variance(&self.data)
+    }
+
+    /// Population standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn std_dev(&self) -> Result<f64, StatsError> {
+        variance(&self.data).map(f64::sqrt)
+    }
+
+    /// Minimum value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn min(&self) -> Result<f64, StatsError> {
+        self.data
+            .iter()
+            .copied()
+            .reduce(f64::min)
+            .ok_or(StatsError::EmptyInput)
+    }
+
+    /// Maximum value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn max(&self) -> Result<f64, StatsError> {
+        self.data
+            .iter()
+            .copied()
+            .reduce(f64::max)
+            .ok_or(StatsError::EmptyInput)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) using linear interpolation between
+    /// closest ranks, matching the common "type 7" estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty, or
+    /// [`StatsError::InvalidParameter`] if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        quantile(&self.data, q)
+    }
+
+    /// Median (the 0.5-quantile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the series is empty.
+    pub fn median(&self) -> Result<f64, StatsError> {
+        quantile(&self.data, 0.5)
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries { data: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(data: Vec<f64>) -> Self {
+        TimeSeries { data }
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl std::ops::Index<usize> for TimeSeries {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population variance of a slice (divides by `n`).
+///
+/// Uses the two-pass algorithm for numerical stability.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / data.len() as f64)
+}
+
+/// Population standard deviation of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty.
+pub fn std_dev(data: &[f64]) -> Result<f64, StatsError> {
+    variance(data).map(f64::sqrt)
+}
+
+/// The `q`-quantile of a slice with linear interpolation ("type 7").
+///
+/// NaN values are sorted to the end and therefore only influence extreme
+/// upper quantiles; series produced by the simulator never contain NaN.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty, or
+/// [`StatsError::InvalidParameter`] if `q` is outside `[0, 1]` or NaN.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            reason: "quantile must lie in [0, 1]",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median, 10th- and 90th-percentile summary of a set of run results.
+///
+/// This is the exact summary the paper reports for every bar chart: "bars
+/// give median values and the error bars give the 10th and 90th percentile
+/// values".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Median (0.5-quantile) across runs.
+    pub median: f64,
+    /// 10th percentile across runs.
+    pub p10: f64,
+    /// 90th percentile across runs.
+    pub p90: f64,
+}
+
+impl RunSummary {
+    /// Summarizes a set of per-run values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `runs` is empty.
+    pub fn from_runs(runs: &[f64]) -> Result<Self, StatsError> {
+        Ok(RunSummary {
+            median: quantile(runs, 0.5)?,
+            p10: quantile(runs, 0.1)?,
+            p90: quantile(runs, 0.9)?,
+        })
+    }
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} [{:.3}, {:.3}]", self.median, self.p10, self.p90)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn variance_of_known_values() {
+        // Population variance of [2, 4, 4, 4, 5, 5, 7, 9] is 4.
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&data).unwrap() - 4.0).abs() < 1e-12);
+        assert!((std_dev(&data).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_median_odd_and_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5).unwrap(), 2.0);
+        assert_eq!(quantile(&[4.0, 1.0, 2.0, 3.0], 0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let data = [9.0, -1.0, 5.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), -1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::InvalidParameter { name: "q", .. })
+        ));
+        assert!(matches!(
+            quantile(&[1.0], f64::NAN),
+            Err(StatsError::InvalidParameter { name: "q", .. })
+        ));
+    }
+
+    #[test]
+    fn timeseries_collect_and_stats() {
+        let ts: TimeSeries = (0..10).map(|x| x as f64).collect();
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.mean().unwrap(), 4.5);
+        assert_eq!(ts.min().unwrap(), 0.0);
+        assert_eq!(ts.max().unwrap(), 9.0);
+        assert_eq!(ts.median().unwrap(), 4.5);
+    }
+
+    #[test]
+    fn timeseries_extend_and_index() {
+        let mut ts = TimeSeries::new();
+        ts.extend([1.0, 2.0]);
+        ts.push(3.0);
+        assert_eq!(ts[2], 3.0);
+        assert_eq!(ts.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ts.clone().into_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn run_summary_matches_quantiles() {
+        let runs: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        let s = RunSummary::from_runs(&runs).unwrap();
+        assert_eq!(s.median, 6.0);
+        assert_eq!(s.p10, 2.0);
+        assert_eq!(s.p90, 10.0);
+    }
+
+    #[test]
+    fn run_summary_display_nonempty() {
+        let s = RunSummary { median: 1.0, p10: 0.5, p90: 1.5 };
+        assert!(s.to_string().contains("1.000"));
+    }
+}

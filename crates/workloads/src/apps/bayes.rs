@@ -1,0 +1,71 @@
+//! Bayesian classification (HiBench).
+//!
+//! Naive-Bayes training is a counting job: a long scan over the training
+//! corpus feeding a model table of per-class token counts, followed by a
+//! short normalisation pass. Iterations are fast and similar, so the
+//! statistics are largely stationary with moderate burst noise from task
+//! scheduling — the paper measures a KStest false-positive rate of
+//! ≈30 % for Bayes (§3.2).
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, EpisodeSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the Bayes workload for an LLC of `llc_lines` lines.
+pub fn program(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    let corpus = layout.region(frac(llc_lines, 0.3));
+    let model = layout.region(4096);
+    let archive = layout.region(frac(llc_lines, 1.0));
+
+    PhaseMachine::new(
+        "bayes",
+        vec![
+            PhaseSpec::new(
+                "count",
+                (30_000, 40_000),
+                corpus,
+                Pattern::Sequential { stride: 1 },
+                (30, 60),
+            ),
+            PhaseSpec::new(
+                "aggregate",
+                (6_000, 9_000),
+                model,
+                Pattern::HotCold { hot_frac: 0.2, hot_prob: 0.8 },
+                (50, 90),
+            )
+            .with_writes(0.5),
+            PhaseSpec::new(
+                "normalize",
+                (2_000, 3_000),
+                model,
+                Pattern::Sequential { stride: 1 },
+                (80, 120),
+            ),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0004, cycles: (20_000, 60_000) })
+    // Occasional checkpoint/rebuild episode (~8 s, roughly every 80 s):
+    // source of the ≈30 % KStest false positives on Bayes (§3.2).
+    .with_episode(EpisodeSpec {
+        prob_per_cycle: 0.0036,
+        phase: PhaseSpec::new(
+            "checkpoint",
+            (460_000, 540_000),
+            archive,
+            Pattern::Sequential { stride: 1 },
+            (5, 15),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        assert_eq!(program(81_920).name(), "bayes");
+    }
+}

@@ -1,0 +1,77 @@
+//! FaceNet mini-batch training (TensorFlow) — the paper's flagship
+//! **periodic** application.
+//!
+//! Deep-learning training repeats an identical computation per
+//! mini-batch: load the batch (streaming, memory-bound), forward pass
+//! (model-resident, compute-heavy), backward pass (heavier still), weight
+//! update (streaming over the parameter block). The `AccessNum` trace
+//! therefore repeats with a stable period — Fig. 8(a) — that the paper
+//! profiles at ≈17 MA windows (≈8.5 s at the Table 1 parameters), and
+//! that **dilates** under either attack because a slowed VM needs longer
+//! per batch (Observation 2, the signal SDS/P detects).
+//!
+//! The phase budget below targets a period of ≈850 ticks (8.5 s) on the
+//! default server configuration.
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the FaceNet workload for an LLC of `llc_lines` lines.
+pub fn program(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    let batch = layout.region(frac(llc_lines, 0.6));
+    let model = layout.region(4_096);
+    let weights = layout.region(16_384);
+
+    PhaseMachine::new(
+        "facenet",
+        vec![
+            // Load mini-batch: streaming misses (~90 ticks).
+            PhaseSpec::new(
+                "load-batch",
+                (90_000, 96_000),
+                batch,
+                Pattern::Sequential { stride: 1 },
+                (5, 15),
+            ),
+            // Forward pass: model-resident, compute-heavy (~220 ticks).
+            PhaseSpec::new(
+                "forward",
+                (110_000, 118_000),
+                model,
+                Pattern::HotCold { hot_frac: 0.3, hot_prob: 0.85 },
+                (330, 370),
+            ),
+            // Backward pass: heavier compute (~360 ticks).
+            PhaseSpec::new(
+                "backward",
+                (130_000, 138_000),
+                model,
+                Pattern::HotCold { hot_frac: 0.3, hot_prob: 0.85 },
+                (480, 520),
+            )
+            .with_writes(0.5),
+            // Weight update: streaming over the parameter block (~60 ticks).
+            PhaseSpec::new(
+                "update",
+                (63_000, 68_000),
+                weights,
+                Pattern::Sequential { stride: 1 },
+                (40, 60),
+            )
+            .with_writes(0.9),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.00004, cycles: (10_000, 25_000) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        assert_eq!(program(81_920).name(), "facenet");
+    }
+}

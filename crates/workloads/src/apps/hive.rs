@@ -1,0 +1,172 @@
+//! Hive OLAP queries (Aggregation, Join, Scan), after Pavlo et al.'s
+//! benchmark as used by HiBench.
+//!
+//! The three operators have distinct signatures:
+//!
+//! * **Aggregation** — table scan feeding a hash of group accumulators,
+//!   with think-time gaps between queries. Query sizes vary, giving a
+//!   KStest false-positive rate of ≈40 % (§3.2).
+//! * **Join** — alternating *build* (hash table of the small relation)
+//!   and *probe* (stream the big relation, look up matches) phases with
+//!   clearly different access rates: a bimodal workload. (The paper's
+//!   §3.2 sweep does not report a Join number; it is included for the
+//!   trace figures.)
+//! * **Scan** — a selection scan: almost pure streaming with a light
+//!   predicate, plus inter-query gaps (KStest FP ≈40 %).
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, EpisodeSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the Hive *Aggregation* query workload.
+pub fn aggregation(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    // Small enough to stay cache-resident with or without co-tenants, so
+    // the KStest baseline's throttled reference matches routine queries.
+    let table = layout.region(frac(llc_lines, 0.4));
+    let groups = layout.region(8192);
+    let scratch = layout.region(64);
+    let warehouse = layout.region(frac(llc_lines, 1.2));
+
+    PhaseMachine::new(
+        "aggregation",
+        vec![
+            // Routine queries complete in well under a second, so every
+            // 1 s KS window sees the same scan/update/gap mixture.
+            PhaseSpec::new(
+                "scan",
+                (5_000, 9_000),
+                table,
+                Pattern::Sequential { stride: 1 },
+                (20, 40),
+            ),
+            PhaseSpec::new(
+                "hash-update",
+                (1_000, 2_000),
+                groups,
+                Pattern::HotCold { hot_frac: 0.1, hot_prob: 0.7 },
+                (40, 80),
+            )
+            .with_writes(0.6),
+            // Think time between queries: a compute-dominated gap.
+            PhaseSpec::new(
+                "query-gap",
+                (100, 300),
+                scratch,
+                Pattern::Sequential { stride: 1 },
+                (1_500, 3_000),
+            ),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0003, cycles: (20_000, 50_000) })
+    // Occasional warehouse-wide analytical query (~8 s, roughly once a
+    // minute): the §3.2 ≈40 % KStest false-positive rate.
+    .with_episode(EpisodeSpec {
+        prob_per_cycle: 0.0008,
+        phase: PhaseSpec::new(
+            "big-query",
+            (460_000, 540_000),
+            warehouse,
+            Pattern::Sequential { stride: 1 },
+            (5, 15),
+        ),
+    })
+}
+
+/// Builds the Hive *Join* query workload.
+pub fn join(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    let build_side = layout.region(16_384);
+    let probe_side = layout.region(frac(llc_lines, 0.8));
+    let spill = layout.region(frac(llc_lines, 1.2));
+
+    PhaseMachine::new(
+        "join",
+        vec![
+            PhaseSpec::new(
+                "build",
+                (1_500, 2_500),
+                build_side,
+                Pattern::Random,
+                (30, 60),
+            )
+            .with_writes(0.8),
+            PhaseSpec::new(
+                "probe",
+                (6_000, 10_000),
+                probe_side,
+                Pattern::HotCold { hot_frac: 0.25, hot_prob: 0.5 },
+                (30, 60),
+            ),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0003, cycles: (20_000, 50_000) })
+    // Occasional spilling join against a cold relation (~8 s).
+    .with_episode(EpisodeSpec {
+        prob_per_cycle: 0.0004,
+        phase: PhaseSpec::new(
+            "spill-join",
+            (460_000, 540_000),
+            spill,
+            Pattern::Sequential { stride: 1 },
+            (5, 15),
+        ),
+    })
+}
+
+/// Builds the Hive *Scan* query workload.
+pub fn scan(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    // The scanned partition mostly fits the LLC, so the benign scan is
+    // hit-dominated; the cleansing attack then has eviction headroom
+    // (MissNum rises — Observation 1) instead of merely slowing an
+    // already-missing stream.
+    let table = layout.region(frac(llc_lines, 0.6));
+    let scratch = layout.region(64);
+    let cold_table = layout.region(frac(llc_lines, 1.2));
+
+    PhaseMachine::new(
+        "scan",
+        vec![
+            PhaseSpec::new(
+                "scan",
+                (40_000, 80_000),
+                table,
+                Pattern::Sequential { stride: 1 },
+                (15, 30),
+            ),
+            PhaseSpec::new(
+                "query-gap",
+                (200, 500),
+                scratch,
+                Pattern::Sequential { stride: 1 },
+                (2_000, 5_000),
+            ),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0003, cycles: (20_000, 60_000) })
+    // Occasional cold full-table scan (~8 s, roughly once a minute): the
+    // §3.2 ≈40 % KStest false-positive rate for Scan.
+    .with_episode(EpisodeSpec {
+        prob_per_cycle: 0.003,
+        phase: PhaseSpec::new(
+            "cold-scan",
+            (460_000, 540_000),
+            cold_table,
+            Pattern::Sequential { stride: 1 },
+            (5, 15),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_names() {
+        assert_eq!(aggregation(81_920).name(), "aggregation");
+        assert_eq!(join(81_920).name(), "join");
+        assert_eq!(scan(81_920).name(), "scan");
+    }
+}

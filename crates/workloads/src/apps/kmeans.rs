@@ -1,0 +1,62 @@
+//! k-means clustering (HiBench).
+//!
+//! Lloyd's iterations alternate a long *assign* pass (stream every point,
+//! find its nearest centroid) with a short *update* pass over the small
+//! centroid table. Both micro-phases complete in well under a second of
+//! simulated time, so at the 2-second MA window the statistics look
+//! stationary — which is exactly why k-means has the paper's lowest
+//! KStest false-positive rate (≈20 %, §3.2) and serves as the running
+//! example for SDS/B (Fig. 7).
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, EpisodeSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the k-means workload for an LLC of `llc_lines` lines.
+pub fn program(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    let points = layout.region(frac(llc_lines, 0.5));
+    let centroids = layout.region(512);
+    let dataset = layout.region(frac(llc_lines, 1.0));
+
+    let assign_ops = frac(llc_lines, 0.5);
+    PhaseMachine::new(
+        "kmeans",
+        vec![
+            PhaseSpec::new(
+                "assign",
+                (assign_ops, assign_ops + assign_ops / 10),
+                points,
+                Pattern::Sequential { stride: 1 },
+                (20, 40),
+            ),
+            PhaseSpec::new("update", (4000, 5000), centroids, Pattern::Random, (40, 60)),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0001, cycles: (10_000, 30_000) })
+    // Occasional dataset re-shard (~6 s of cold streaming, roughly every
+    // couple of minutes): the kind of rare event behind the paper's 20 %
+    // KStest false-positive rate on k-means, while staying well inside
+    // SDS/B's 15 s violation window.
+    .with_episode(EpisodeSpec {
+        prob_per_cycle: 0.002,
+        phase: PhaseSpec::new(
+            "reshard",
+            (340_000, 390_000),
+            dataset,
+            Pattern::Sequential { stride: 1 },
+            (5, 15),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        let pm = program(81_920);
+        assert_eq!(pm.name(), "kmeans");
+    }
+}

@@ -1,0 +1,67 @@
+//! Models of the paper's applications, one module per §3.1 category.
+//!
+//! Every model is parameterised by the LLC capacity in lines so that
+//! working-set pressure is preserved when experiments run with scaled
+//! cache geometries. Region sizes, op counts and compute intensities were
+//! tuned so that, on the default [`memdos_sim::server::ServerConfig`]
+//! (200 k cycles/tick, 30-cycle hits, 300-cycle misses, 4096×20 LLC), the
+//! per-tick `AccessNum`/`MissNum` statistics reproduce the qualitative
+//! behaviour the paper reports per application: stationarity class,
+//! burstiness, phase structure, and — for PCA and FaceNet — periodicity.
+
+pub mod bayes;
+pub mod facenet;
+pub mod hive;
+pub mod kmeans;
+pub mod pagerank;
+pub mod pca;
+pub mod svm;
+pub mod terasort;
+pub mod utility;
+
+use crate::phase::Region;
+
+/// Sequentially allocates non-overlapping regions in a VM's line address
+/// space, with a guard gap between regions.
+#[derive(Debug, Default)]
+pub(crate) struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    pub(crate) fn new() -> Self {
+        Layout { next: 0 }
+    }
+
+    /// Reserves a region of `lines` lines.
+    pub(crate) fn region(&mut self, lines: u64) -> Region {
+        let r = Region::new(self.next, lines);
+        // Guard gap avoids accidental spatial adjacency between regions.
+        self.next += lines + 1024;
+        r
+    }
+}
+
+/// Scales a fraction of the LLC capacity to a line count (at least 1).
+pub(crate) fn frac(llc_lines: u64, f: f64) -> u64 {
+    ((llc_lines as f64 * f).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let mut l = Layout::new();
+        let a = l.region(100);
+        let b = l.region(200);
+        assert!(a.base + a.lines <= b.base);
+    }
+
+    #[test]
+    fn frac_scales_and_clamps() {
+        assert_eq!(frac(1000, 0.5), 500);
+        assert_eq!(frac(10, 0.001), 1);
+    }
+}

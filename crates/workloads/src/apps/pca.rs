@@ -1,0 +1,61 @@
+//! Principal Components Analysis (HiBench) — a **periodic** application.
+//!
+//! PCA "repeatedly perform[s] the same computations on different batches
+//! of data" (§3.3): each batch is loaded by streaming it through the
+//! cache (memory-bound, high `MissNum`, high `AccessNum`) and then
+//! reduced into a small covariance accumulator (compute-bound, low
+//! `AccessNum`). The two levels alternate with a stable batch time,
+//! producing the square-wave `AccessNum` pattern of Fig. 2(g) with a
+//! period of roughly 6 simulated seconds (≈12 MA windows at the Table 1
+//! parameters) on the default server configuration.
+//!
+//! Because the 1-second KStest windows land on different parts of the
+//! cycle, PCA is one of the baseline's worst cases: ≈60 % false-positive
+//! rate (§3.2).
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the PCA workload for an LLC of `llc_lines` lines.
+pub fn program(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    // The batch region intentionally does not fit the LLC together with
+    // co-tenants, so loading a batch streams from DRAM.
+    let batch = layout.region(frac(llc_lines, 0.8));
+    let accum = layout.region(4096);
+
+    PhaseMachine::new(
+        "pca",
+        vec![
+            // ~320 ticks: 160 k ops × ~310 cycles (miss + small compute).
+            PhaseSpec::new(
+                "load-batch",
+                (155_000, 165_000),
+                batch,
+                Pattern::Sequential { stride: 1 },
+                (5, 15),
+            ),
+            // ~350 ticks: 112 k ops × ~630 cycles (hit + heavy compute).
+            PhaseSpec::new(
+                "covariance",
+                (108_000, 116_000),
+                accum,
+                Pattern::Random,
+                (550, 650),
+            )
+            .with_writes(0.4),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.00005, cycles: (10_000, 30_000) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        assert_eq!(program(81_920).name(), "pca");
+    }
+}

@@ -1,0 +1,87 @@
+//! Hadoop TeraSort — the paper's canonical KStest failure case.
+//!
+//! A TeraSort job moves through long, statistically distinct phases —
+//! map (streaming read/write), shuffle (scattered network-buffer
+//! traffic), sort (compute-heavy, cache-friendly merge), reduce
+//! (streaming output). Each phase lasts tens of seconds, so a 1-second
+//! KStest reference window from one phase disagrees with monitored
+//! windows from another even when nothing is wrong: Fig. 1 shows KStest
+//! declaring an attack in >60 % of its intervals on an attack-free
+//! TeraSort run.
+//!
+//! Phase lengths below target 8–12 simulated seconds each on the default
+//! server configuration (1 tick = 10 ms, 200 k cycles): long enough that
+//! the 1-second KStest windows keep comparing different phases (the
+//! §3.2/Fig. 1 false positives), short enough that a single extreme
+//! phase cannot hold the EWMA outside the SDS/B band for the full
+//! `H_C · ΔW = 15 s` violation window — which is exactly how SDS stays
+//! specific on an application that defeats the KS baseline.
+
+use super::{frac, Layout};
+use crate::phase::{BurstSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds the TeraSort workload for an LLC of `llc_lines` lines.
+pub fn program(llc_lines: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    // The per-task working regions mostly fit the LLC (Hadoop splits are
+    // processed task by task), so benign phases are partially resident
+    // and the cleansing attack has eviction headroom.
+    let input = layout.region(frac(llc_lines, 0.7));
+    let spill = layout.region(frac(llc_lines, 0.7));
+    let heap = layout.region(16_384);
+    let output = layout.region(frac(llc_lines, 0.7));
+
+    PhaseMachine::new(
+        "terasort",
+        vec![
+            // Map: streaming, miss-heavy, medium compute (~11 s).
+            PhaseSpec::new(
+                "map",
+                (1_800_000, 2_200_000),
+                input,
+                Pattern::Sequential { stride: 1 },
+                (50, 90),
+            )
+            .with_writes(0.3),
+            // Shuffle: scattered buffer traffic, minimal compute (~9 s).
+            PhaseSpec::new(
+                "shuffle",
+                (900_000, 1_100_000),
+                spill,
+                Pattern::Random,
+                (10, 40),
+            )
+            .with_writes(0.5),
+            // Sort: cache-resident merge, heavy compute (~11 s).
+            PhaseSpec::new(
+                "sort",
+                (1_000_000, 1_200_000),
+                heap,
+                Pattern::HotCold { hot_frac: 0.3, hot_prob: 0.8 },
+                (150, 250),
+            )
+            .with_writes(0.4),
+            // Reduce: streaming output (~8 s).
+            PhaseSpec::new(
+                "reduce",
+                (1_200_000, 1_400_000),
+                output,
+                Pattern::Sequential { stride: 1 },
+                (30, 60),
+            )
+            .with_writes(0.6),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.0002, cycles: (30_000, 80_000) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        assert_eq!(program(81_920).name(), "terasort");
+    }
+}

@@ -1,0 +1,62 @@
+//! Benign background VMs.
+//!
+//! §5.1: besides the victim and the attacker, "the other 7 VMs were all
+//! benign VMs that ran normal Linux utilities such as sysstat and dstat".
+//! These produce light, mostly compute-bound activity with occasional
+//! small bursts of memory traffic — enough to keep the LLC realistically
+//! shared without dominating it.
+
+use super::Layout;
+use crate::phase::{BurstSpec, Pattern, PhaseMachine, PhaseSpec};
+
+/// Builds a light utility workload. `flavor` varies the working set and
+/// duty cycle slightly so the seven background VMs are not identical.
+pub fn program(flavor: u64) -> PhaseMachine {
+    let mut layout = Layout::new();
+    let stats = layout.region(512 + (flavor % 4) * 256);
+    let logs = layout.region(2048);
+
+    PhaseMachine::new(
+        "utility",
+        vec![
+            // Poll counters: small working set, light compute.
+            PhaseSpec::new(
+                "poll",
+                (300 + flavor * 20, 600 + flavor * 20),
+                stats,
+                Pattern::Random,
+                (200, 400),
+            ),
+            // Mostly idle: long compute stretches with rare accesses.
+            PhaseSpec::new(
+                "idle",
+                (100, 300),
+                stats,
+                Pattern::Random,
+                (2_000, 6_000),
+            ),
+            // Periodic log append.
+            PhaseSpec::new(
+                "log",
+                (100, 400),
+                logs,
+                Pattern::Sequential { stride: 1 },
+                (100, 300),
+            )
+            .with_writes(0.9),
+        ],
+    )
+    .with_burst(BurstSpec { prob_per_op: 0.001, cycles: (10_000, 40_000) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_sim::program::VmProgram;
+
+    #[test]
+    fn builds_with_expected_name() {
+        assert_eq!(program(0).name(), "utility");
+        assert_eq!(program(6).name(), "utility");
+    }
+}

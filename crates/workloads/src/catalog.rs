@@ -1,0 +1,210 @@
+//! The application catalogue: one entry per §3.1 workload.
+
+use crate::apps;
+use crate::phase::PhaseMachine;
+use memdos_sim::pcm::Stat;
+use memdos_sim::program::VmProgram;
+
+/// The ten applications of the paper's measurement study (§3.1), by
+/// category: machine learning (Bayes, SVM, KMeans, PCA), database
+/// (Aggregation, Join, Scan), data-intensive (TeraSort), web search
+/// (PageRank) and deep learning (FaceNet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Application {
+    /// Bayesian classification (HiBench ML).
+    Bayes,
+    /// Support Vector Machine (HiBench ML).
+    Svm,
+    /// k-means clustering (HiBench ML).
+    KMeans,
+    /// Principal Components Analysis (HiBench ML) — periodic.
+    Pca,
+    /// Hive Aggregation query (database).
+    Aggregation,
+    /// Hive Join query (database).
+    Join,
+    /// Hive Scan query (database).
+    Scan,
+    /// Hadoop TeraSort (data-intensive).
+    TeraSort,
+    /// PageRank (web search).
+    PageRank,
+    /// FaceNet training (deep learning) — periodic.
+    FaceNet,
+}
+
+impl Application {
+    /// Every application, in the paper's presentation order.
+    pub const ALL: [Application; 10] = [
+        Application::Bayes,
+        Application::Svm,
+        Application::KMeans,
+        Application::Pca,
+        Application::Aggregation,
+        Application::Join,
+        Application::Scan,
+        Application::TeraSort,
+        Application::PageRank,
+        Application::FaceNet,
+    ];
+
+    /// The applications the paper evaluates in the §3.2 KStest
+    /// false-positive sweep (all except Join).
+    pub const KSTEST_SWEEP: [Application; 9] = [
+        Application::Bayes,
+        Application::Svm,
+        Application::KMeans,
+        Application::Pca,
+        Application::Aggregation,
+        Application::Scan,
+        Application::TeraSort,
+        Application::PageRank,
+        Application::FaceNet,
+    ];
+
+    /// Short lowercase name, matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Application::Bayes => "bayes",
+            Application::Svm => "svm",
+            Application::KMeans => "kmeans",
+            Application::Pca => "pca",
+            Application::Aggregation => "aggregation",
+            Application::Join => "join",
+            Application::Scan => "scan",
+            Application::TeraSort => "terasort",
+            Application::PageRank => "pagerank",
+            Application::FaceNet => "facenet",
+        }
+    }
+
+    /// Whether the paper classifies this application as *periodic*
+    /// (repeating cache-access patterns with a regular period — §3.3
+    /// identifies PCA and FaceNet).
+    pub fn is_periodic(&self) -> bool {
+        matches!(self, Application::Pca | Application::FaceNet)
+    }
+
+    /// Builds the workload model for an LLC of `llc_lines` lines.
+    pub fn build(&self, llc_lines: u64) -> Box<dyn VmProgram> {
+        Box::new(self.build_machine(llc_lines))
+    }
+
+    /// Builds the concrete [`PhaseMachine`] (useful in tests that need
+    /// the extra introspection methods).
+    pub fn build_machine(&self, llc_lines: u64) -> PhaseMachine {
+        match self {
+            Application::Bayes => apps::bayes::program(llc_lines),
+            Application::Svm => apps::svm::program(llc_lines),
+            Application::KMeans => apps::kmeans::program(llc_lines),
+            Application::Pca => apps::pca::program(llc_lines),
+            Application::Aggregation => apps::hive::aggregation(llc_lines),
+            Application::Join => apps::hive::join(llc_lines),
+            Application::Scan => apps::hive::scan(llc_lines),
+            Application::TeraSort => apps::terasort::program(llc_lines),
+            Application::PageRank => apps::pagerank::program(llc_lines),
+            Application::FaceNet => apps::facenet::program(llc_lines),
+        }
+    }
+
+    /// The §3.2 KStest false-positive rate the paper reports for this
+    /// application when no attack is running (fraction of `L_R` intervals
+    /// in which KStest declares an attack), used as the calibration
+    /// target for `tab_s32_kstest_fp`. `None` for Join, which the paper
+    /// does not report.
+    pub fn paper_kstest_fp(&self) -> Option<f64> {
+        match self {
+            Application::Bayes => Some(0.30),
+            Application::Svm => Some(0.35),
+            Application::KMeans => Some(0.20),
+            Application::Pca => Some(0.60),
+            Application::Aggregation => Some(0.40),
+            Application::Join => None,
+            Application::Scan => Some(0.40),
+            Application::TeraSort => Some(0.60),
+            Application::PageRank => Some(0.30),
+            Application::FaceNet => Some(0.55),
+        }
+    }
+
+    /// The statistic a detector should monitor against a given attack
+    /// (§3.1): `AccessNum` for bus locking, `MissNum` for LLC cleansing.
+    pub fn stat_for_attack(bus_locking: bool) -> Stat {
+        if bus_locking {
+            Stat::AccessNum
+        } else {
+            Stat::MissNum
+        }
+    }
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Application {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Application::ALL
+            .iter()
+            .find(|a| a.name() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown application `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_ten_unique_apps() {
+        let mut names: Vec<&str> = Application::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn periodic_flags_match_paper() {
+        let periodic: Vec<&str> = Application::ALL
+            .iter()
+            .filter(|a| a.is_periodic())
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(periodic, vec!["pca", "facenet"]);
+    }
+
+    #[test]
+    fn kstest_sweep_excludes_join() {
+        assert!(!Application::KSTEST_SWEEP.contains(&Application::Join));
+        assert_eq!(Application::KSTEST_SWEEP.len(), 9);
+        assert!(Application::Join.paper_kstest_fp().is_none());
+    }
+
+    #[test]
+    fn builds_every_application() {
+        for app in Application::ALL {
+            let pm = app.build_machine(81_920);
+            assert_eq!(memdos_sim::program::VmProgram::name(&pm), app.name());
+        }
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        for app in Application::ALL {
+            let parsed: Application = app.name().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+        assert!("nonsense".parse::<Application>().is_err());
+    }
+
+    #[test]
+    fn stat_selection_matches_paper() {
+        assert_eq!(Application::stat_for_attack(true), Stat::AccessNum);
+        assert_eq!(Application::stat_for_attack(false), Stat::MissNum);
+    }
+}

@@ -1,0 +1,644 @@
+//! The phase-machine workload framework.
+//!
+//! A workload is a cyclic sequence of [`PhaseSpec`]s. Each phase instance
+//! executes a sampled number of operations; each operation is an optional
+//! compute burst followed by one memory access generated from the phase's
+//! address [`Pattern`] over its [`Region`]. Optional global [`BurstSpec`]
+//! noise inserts random compute stalls, modelling I/O waits and OS
+//! scheduling jitter — the "random variations over time" that §4.1 warns
+//! make naive raw-data thresholding inaccurate.
+
+use memdos_sim::program::{MemOp, ProgramCtx, VmProgram};
+use memdos_sim::rng::{Rng, Zipf};
+
+/// A contiguous range of cache-line addresses in the VM's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First line address of the region.
+    pub base: u64,
+    /// Number of lines in the region.
+    pub lines: u64,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`.
+    pub fn new(base: u64, lines: u64) -> Self {
+        assert!(lines > 0, "region must contain at least one line");
+        Region { base, lines }
+    }
+}
+
+/// How a phase selects addresses within its region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Sequential streaming with the given stride (in lines).
+    Sequential {
+        /// Address increment per access, in lines.
+        stride: u64,
+    },
+    /// Uniformly random lines.
+    Random,
+    /// Zipf-distributed lines (rank 0 hottest) with skew `theta`.
+    Zipf {
+        /// Skew exponent; 1.0 is classic Zipf.
+        theta: f64,
+    },
+    /// A hot subset is hit with probability `hot_prob`; other accesses are
+    /// uniform over the whole region.
+    HotCold {
+        /// Fraction of the region that is hot, in `(0, 1]`.
+        hot_frac: f64,
+        /// Probability an access goes to the hot subset.
+        hot_prob: f64,
+    },
+}
+
+/// One phase of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name for diagnostics.
+    pub name: &'static str,
+    /// Inclusive range of memory operations per phase instance; the count
+    /// is sampled uniformly each time the phase starts.
+    pub ops: (u64, u64),
+    /// Address region the phase touches.
+    pub region: Region,
+    /// Address selection pattern.
+    pub pattern: Pattern,
+    /// Inclusive range of compute cycles inserted before each access.
+    pub compute: (u32, u32),
+    /// Probability an access is a store.
+    pub write_prob: f64,
+    /// Application work units credited per memory operation.
+    pub work_per_op: u64,
+}
+
+impl PhaseSpec {
+    /// Convenience constructor with `write_prob = 0` and
+    /// `work_per_op = 1`.
+    pub fn new(
+        name: &'static str,
+        ops: (u64, u64),
+        region: Region,
+        pattern: Pattern,
+        compute: (u32, u32),
+    ) -> Self {
+        assert!(ops.0 > 0 && ops.0 <= ops.1, "invalid ops range");
+        assert!(compute.0 <= compute.1, "invalid compute range");
+        PhaseSpec {
+            name,
+            ops,
+            region,
+            pattern,
+            compute,
+            write_prob: 0.0,
+            work_per_op: 1,
+        }
+    }
+
+    /// Sets the store probability.
+    pub fn with_writes(mut self, write_prob: f64) -> Self {
+        self.write_prob = write_prob;
+        self
+    }
+}
+
+/// Random compute-stall noise applied across all phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Probability per operation of inserting a stall.
+    pub prob_per_op: f64,
+    /// Inclusive range of stall lengths in cycles.
+    pub cycles: (u32, u32),
+}
+
+/// Slowly-varying intensity modulation: a multiplier on per-op compute
+/// cycles, resampled every `interval_ops` operations.
+///
+/// Real PCM traces fluctuate at the 50–500 ms scale (interrupts, turbo
+/// transitions, co-scheduled threads); modulation reproduces that
+/// within-window spread, which is what makes the 1-second KS windows of
+/// different benign phases overlap partially instead of separating
+/// cleanly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModulationSpec {
+    /// Operations between multiplier resamples.
+    pub interval_ops: u64,
+    /// Inclusive multiplier range, e.g. `(0.5, 2.0)`.
+    pub factor: (f64, f64),
+}
+
+/// An occasional *episode*: an extra phase that runs at the start of a
+/// cycle with some probability — a cron job, a JVM GC pause, an
+/// operator-issued heavyweight query. Episodes of ~8–12 s are what give
+/// real applications their intermittent KStest false positives (§3.2)
+/// while staying below SDS/B's `H_C·ΔW = 15 s` violation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeSpec {
+    /// Probability that a cycle starts with the episode phase.
+    pub prob_per_cycle: f64,
+    /// The episode phase itself.
+    pub phase: PhaseSpec,
+}
+
+/// A cyclic phase-machine workload implementing
+/// [`VmProgram`].
+pub struct PhaseMachine {
+    name: String,
+    phases: Vec<PhaseSpec>,
+    /// Pre-built Zipf samplers, one per phase that needs one; the last
+    /// entry belongs to the episode phase, when configured.
+    zipf: Vec<Option<Zipf>>,
+    burst: Option<BurstSpec>,
+    modulation: Option<ModulationSpec>,
+    episode: Option<EpisodeSpec>,
+    /// Index into `phases`, or `phases.len()` while the episode runs.
+    current: usize,
+    ops_left: u64,
+    started: bool,
+    /// Sequential cursor, persisted across phase instances per phase
+    /// (one extra slot for the episode phase).
+    seq_pos: Vec<u64>,
+    /// An access that has been generated but whose preceding compute
+    /// burst was just emitted.
+    pending: Option<MemOp>,
+    work: u64,
+    /// Completed full cycles through the phase list.
+    cycles_completed: u64,
+    /// Episodes executed so far.
+    episodes_run: u64,
+    /// Current modulation multiplier and ops until its resample.
+    mod_factor: f64,
+    mod_left: u64,
+}
+
+impl std::fmt::Debug for PhaseMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseMachine")
+            .field("name", &self.name)
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhaseMachine {
+    /// Creates a phase machine cycling through `phases` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(name: impl Into<String>, phases: Vec<PhaseSpec>) -> Self {
+        assert!(!phases.is_empty(), "a workload needs at least one phase");
+        let zipf = phases
+            .iter()
+            .map(|p| match p.pattern {
+                Pattern::Zipf { theta } => Some(Zipf::new(p.region.lines, theta)),
+                _ => None,
+            })
+            .collect();
+        let n = phases.len();
+        PhaseMachine {
+            name: name.into(),
+            phases,
+            zipf,
+            burst: None,
+            modulation: None,
+            episode: None,
+            current: 0,
+            ops_left: 0,
+            started: false,
+            seq_pos: vec![0; n + 1],
+            pending: None,
+            work: 0,
+            cycles_completed: 0,
+            episodes_run: 0,
+            mod_factor: 1.0,
+            mod_left: 0,
+        }
+    }
+
+    /// Adds global burst noise.
+    pub fn with_burst(mut self, burst: BurstSpec) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Adds slowly-varying intensity modulation.
+    pub fn with_modulation(mut self, modulation: ModulationSpec) -> Self {
+        assert!(modulation.interval_ops > 0, "modulation interval must be positive");
+        assert!(
+            modulation.factor.0 > 0.0 && modulation.factor.0 <= modulation.factor.1,
+            "invalid modulation factor range"
+        );
+        self.modulation = Some(modulation);
+        self
+    }
+
+    /// Adds an occasional episode phase.
+    pub fn with_episode(mut self, episode: EpisodeSpec) -> Self {
+        let zipf = match episode.phase.pattern {
+            Pattern::Zipf { theta } => Some(Zipf::new(episode.phase.region.lines, theta)),
+            _ => None,
+        };
+        self.zipf.push(zipf);
+        self.episode = Some(episode);
+        self
+    }
+
+    /// Episodes executed so far.
+    pub fn episodes_run(&self) -> u64 {
+        self.episodes_run
+    }
+
+    /// Name of the currently executing phase.
+    pub fn current_phase(&self) -> &'static str {
+        self.spec(self.current.min(self.phases.len())).name
+    }
+
+    /// Completed full cycles through the phase list — for periodic
+    /// applications this counts processed batches.
+    pub fn cycles_completed(&self) -> u64 {
+        self.cycles_completed
+    }
+
+    fn spec(&self, idx: usize) -> &PhaseSpec {
+        if idx == self.phases.len() {
+            &self.episode.as_ref().expect("episode configured").phase
+        } else {
+            &self.phases[idx]
+        }
+    }
+
+    fn enter_phase(&mut self, idx: usize, rng: &mut Rng) {
+        self.current = idx;
+        let (lo, hi) = self.spec(idx).ops;
+        self.ops_left = rng.range_inclusive(lo, hi);
+    }
+
+    fn gen_line(&mut self, rng: &mut Rng) -> u64 {
+        let phase = self.spec(self.current);
+        let region = phase.region;
+        let offset = match phase.pattern {
+            Pattern::Sequential { stride } => {
+                let pos = &mut self.seq_pos[self.current];
+                let line = (*pos).wrapping_mul(stride) % region.lines;
+                *pos = pos.wrapping_add(1);
+                line
+            }
+            Pattern::Random => rng.next_below(region.lines),
+            Pattern::Zipf { .. } => self.zipf[self.current]
+                .as_ref()
+                .expect("zipf sampler built in constructor")
+                .sample(rng),
+            Pattern::HotCold { hot_frac, hot_prob } => {
+                let hot_lines = ((region.lines as f64 * hot_frac).ceil() as u64)
+                    .clamp(1, region.lines);
+                if rng.chance(hot_prob) {
+                    rng.next_below(hot_lines)
+                } else {
+                    rng.next_below(region.lines)
+                }
+            }
+        };
+        region.base + offset
+    }
+}
+
+impl VmProgram for PhaseMachine {
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+        if let Some(op) = self.pending.take() {
+            return op;
+        }
+        if !self.started {
+            self.started = true;
+            self.enter_phase(0, ctx.rng);
+        }
+        if self.ops_left == 0 {
+            let next = if self.current >= self.phases.len() - 1 {
+                // End of a cycle (or of an episode): maybe start the next
+                // cycle with an episode.
+                if self.current < self.phases.len() {
+                    self.cycles_completed += 1;
+                }
+                match &self.episode {
+                    Some(e) if self.current != self.phases.len()
+                        && ctx.rng.chance(e.prob_per_cycle) =>
+                    {
+                        self.episodes_run += 1;
+                        self.phases.len()
+                    }
+                    _ => 0,
+                }
+            } else {
+                self.current + 1
+            };
+            self.enter_phase(next, ctx.rng);
+        }
+        self.ops_left -= 1;
+
+        if let Some(m) = self.modulation {
+            if self.mod_left == 0 {
+                self.mod_factor =
+                    m.factor.0 + ctx.rng.next_f64() * (m.factor.1 - m.factor.0);
+                self.mod_left = m.interval_ops;
+            }
+            self.mod_left -= 1;
+        }
+
+        let line = self.gen_line(ctx.rng);
+        let phase = self.spec(self.current);
+        let write_prob = phase.write_prob;
+        let work_per_op = phase.work_per_op;
+        let compute_range = phase.compute;
+        let write = ctx.rng.chance(write_prob);
+        self.work += work_per_op;
+        let access = MemOp::Access { line, write };
+
+        let mut compute = if compute_range.1 == 0 {
+            0
+        } else {
+            let base = ctx
+                .rng
+                .range_inclusive(compute_range.0 as u64, compute_range.1 as u64)
+                as f64;
+            (base * self.mod_factor).round().min(u32::MAX as f64) as u32
+        };
+        if let Some(burst) = self.burst {
+            if ctx.rng.chance(burst.prob_per_op) {
+                compute = compute.saturating_add(
+                    ctx.rng.range_inclusive(burst.cycles.0 as u64, burst.cycles.1 as u64)
+                        as u32,
+                );
+            }
+        }
+        if compute == 0 {
+            access
+        } else {
+            self.pending = Some(access);
+            MemOp::Compute { cycles: compute }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work_completed(&self) -> u64 {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ops(pm: &mut PhaseMachine, n: usize, seed: u64) -> Vec<MemOp> {
+        let mut rng = Rng::new(seed);
+        let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick: 0 };
+        (0..n).map(|_| pm.next_op(&mut ctx)).collect()
+    }
+
+    fn spec(ops: (u64, u64), region: Region, pattern: Pattern) -> PhaseSpec {
+        PhaseSpec::new("test", ops, region, pattern, (0, 0))
+    }
+
+    #[test]
+    fn sequential_pattern_streams_in_order() {
+        let mut pm = PhaseMachine::new(
+            "seq",
+            vec![spec((100, 100), Region::new(10, 5), Pattern::Sequential { stride: 1 })],
+        );
+        let ops = run_ops(&mut pm, 10, 1);
+        let lines: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MemOp::Access { line, .. } => Some(*line),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, vec![10, 11, 12, 13, 14, 10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn random_pattern_stays_in_region() {
+        let mut pm = PhaseMachine::new(
+            "rand",
+            vec![spec((1000, 1000), Region::new(100, 50), Pattern::Random)],
+        );
+        for op in run_ops(&mut pm, 500, 2) {
+            if let MemOp::Access { line, .. } = op {
+                assert!((100..150).contains(&line));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_pattern_is_skewed_to_region_head() {
+        let mut pm = PhaseMachine::new(
+            "zipf",
+            vec![spec((100_000, 100_000), Region::new(0, 1000), Pattern::Zipf { theta: 1.0 })],
+        );
+        let ops = run_ops(&mut pm, 20_000, 3);
+        let head = ops
+            .iter()
+            .filter(|op| matches!(op, MemOp::Access { line, .. } if *line < 10))
+            .count();
+        let total = ops
+            .iter()
+            .filter(|op| matches!(op, MemOp::Access { .. }))
+            .count();
+        assert!(head as f64 / total as f64 > 0.25, "head {head}/{total}");
+    }
+
+    #[test]
+    fn hotcold_pattern_prefers_hot_subset() {
+        let mut pm = PhaseMachine::new(
+            "hc",
+            vec![spec(
+                (100_000, 100_000),
+                Region::new(0, 1000),
+                Pattern::HotCold { hot_frac: 0.1, hot_prob: 0.9 },
+            )],
+        );
+        let ops = run_ops(&mut pm, 10_000, 4);
+        let hot = ops
+            .iter()
+            .filter(|op| matches!(op, MemOp::Access { line, .. } if *line < 100))
+            .count();
+        let total = ops
+            .iter()
+            .filter(|op| matches!(op, MemOp::Access { .. }))
+            .count();
+        // 90 % targeted + 10 % uniform (of which 10 % lands hot) ≈ 91 %.
+        assert!(hot as f64 / total as f64 > 0.8, "hot {hot}/{total}");
+    }
+
+    #[test]
+    fn phases_cycle_and_count() {
+        let r = Region::new(0, 10);
+        let mut pm = PhaseMachine::new(
+            "two",
+            vec![
+                spec((5, 5), r, Pattern::Sequential { stride: 1 }),
+                spec((3, 3), r, Pattern::Random),
+            ],
+        );
+        assert_eq!(pm.cycles_completed(), 0);
+        run_ops(&mut pm, 8, 5);
+        // After 5 + 3 ops the machine is about to re-enter phase 0; one
+        // more op completes the cycle.
+        run_ops(&mut pm, 1, 5);
+        assert_eq!(pm.cycles_completed(), 1);
+    }
+
+    #[test]
+    fn compute_precedes_access_when_configured() {
+        let mut pm = PhaseMachine::new(
+            "cmp",
+            vec![PhaseSpec::new(
+                "p",
+                (10, 10),
+                Region::new(0, 4),
+                Pattern::Random,
+                (7, 7),
+            )],
+        );
+        let ops = run_ops(&mut pm, 6, 6);
+        for pair in ops.chunks(2) {
+            assert!(matches!(pair[0], MemOp::Compute { cycles: 7 }));
+            assert!(matches!(pair[1], MemOp::Access { .. }));
+        }
+    }
+
+    #[test]
+    fn work_accrues_per_memory_op() {
+        let mut pm = PhaseMachine::new(
+            "w",
+            vec![spec((100, 100), Region::new(0, 4), Pattern::Random)],
+        );
+        run_ops(&mut pm, 50, 7);
+        assert_eq!(pm.work_completed(), 50);
+    }
+
+    #[test]
+    fn burst_noise_inserts_long_stalls() {
+        let r = Region::new(0, 4);
+        let mut pm = PhaseMachine::new("b", vec![spec((1000, 1000), r, Pattern::Random)])
+            .with_burst(BurstSpec { prob_per_op: 1.0, cycles: (500, 500) });
+        let ops = run_ops(&mut pm, 4, 8);
+        assert!(matches!(ops[0], MemOp::Compute { cycles: 500 }));
+        assert!(matches!(ops[1], MemOp::Access { .. }));
+    }
+
+    #[test]
+    fn writes_follow_probability() {
+        let mut pm = PhaseMachine::new(
+            "wr",
+            vec![spec((100_000, 100_000), Region::new(0, 8), Pattern::Random)
+                .with_writes(1.0)],
+        );
+        for op in run_ops(&mut pm, 100, 9) {
+            if let MemOp::Access { write, .. } = op {
+                assert!(write);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_empty_phase_list() {
+        PhaseMachine::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ops range")]
+    fn rejects_invalid_ops_range() {
+        spec((5, 3), Region::new(0, 1), Pattern::Random);
+    }
+
+    #[test]
+    fn modulation_scales_compute() {
+        let r = Region::new(0, 4);
+        let mut pm = PhaseMachine::new(
+            "mod",
+            vec![PhaseSpec::new("p", (100_000, 100_000), r, Pattern::Random, (100, 100))],
+        )
+        .with_modulation(ModulationSpec { interval_ops: 10, factor: (0.5, 2.0) });
+        let ops = run_ops(&mut pm, 2000, 11);
+        let computes: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MemOp::Compute { cycles } => Some(*cycles),
+                _ => None,
+            })
+            .collect();
+        assert!(computes.iter().all(|&c| (50..=200).contains(&c)));
+        // The multiplier actually varies.
+        assert!(computes.iter().any(|&c| c < 80));
+        assert!(computes.iter().any(|&c| c > 150));
+    }
+
+    #[test]
+    fn episodes_run_occasionally_and_touch_their_region() {
+        let r = Region::new(0, 4);
+        let episode_region = Region::new(1000, 4);
+        let mut pm = PhaseMachine::new(
+            "ep",
+            vec![spec((20, 30), r, Pattern::Random)],
+        )
+        .with_episode(EpisodeSpec {
+            prob_per_cycle: 0.5,
+            phase: PhaseSpec::new("episode", (10, 10), episode_region, Pattern::Random, (0, 0)),
+        });
+        let ops = run_ops(&mut pm, 5000, 13);
+        assert!(pm.episodes_run() > 10, "episodes {}", pm.episodes_run());
+        assert!(pm.episodes_run() < pm.cycles_completed(), "not every cycle");
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, MemOp::Access { line, .. } if *line >= 1000)));
+    }
+
+    #[test]
+    fn zero_episode_probability_never_fires() {
+        let r = Region::new(0, 4);
+        let mut pm = PhaseMachine::new("ep0", vec![spec((5, 5), r, Pattern::Random)])
+            .with_episode(EpisodeSpec {
+                prob_per_cycle: 0.0,
+                phase: PhaseSpec::new("episode", (10, 10), r, Pattern::Random, (0, 0)),
+            });
+        run_ops(&mut pm, 1000, 17);
+        assert_eq!(pm.episodes_run(), 0);
+    }
+
+    #[test]
+    fn ops_count_sampled_within_range() {
+        let r = Region::new(0, 4);
+        let mut pm = PhaseMachine::new(
+            "r",
+            vec![
+                spec((10, 20), r, Pattern::Random),
+                spec((1, 1), Region::new(100, 1), Pattern::Random),
+            ],
+        );
+        // Execute several cycles; phase-0 instances must produce between
+        // 10 and 20 accesses to region [0, 4) before the marker access to
+        // line 100 appears.
+        let ops = run_ops(&mut pm, 300, 10);
+        let mut run_len = 0;
+        for op in ops {
+            if let MemOp::Access { line, .. } = op {
+                if line == 100 {
+                    assert!((10..=20).contains(&run_len), "run {run_len}");
+                    run_len = 0;
+                } else {
+                    run_len += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace-level calibration tests: run each workload on the simulated
+//! server and verify the statistical signature the detectors rely on.
+
+use memdos_sim::server::{Server, ServerConfig};
+use memdos_stats::period::PeriodDetector;
+use memdos_stats::smoothing::MovingAverage;
+use memdos_workloads::catalog::Application;
+
+/// Runs `app` alone (with background utilities) and returns the per-tick
+/// AccessNum trace.
+fn access_trace(app: Application, ticks: u64, seed: u64) -> Vec<f64> {
+    let cfg = ServerConfig::default().with_seed(seed);
+    let mut server = Server::new(cfg);
+    let llc = server.config().geometry.lines() as u64;
+    let victim = server.add_vm(app.name(), app.build(llc));
+    for i in 0..3u64 {
+        server.add_vm(
+            format!("util-{i}"),
+            Box::new(memdos_workloads::apps::utility::program(i)),
+        );
+    }
+    (0..ticks)
+        .map(|_| server.tick().sample(victim).unwrap().accesses as f64)
+        .collect()
+}
+
+/// MA series with the paper's Table 1 parameters (W=200, ΔW=50).
+fn ma_series(raw: &[f64]) -> Vec<f64> {
+    MovingAverage::apply(200, 50, raw).unwrap()
+}
+
+#[test]
+fn every_application_generates_traffic() {
+    for app in Application::ALL {
+        let trace = access_trace(app, 300, 7);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        assert!(mean > 50.0, "{app}: mean AccessNum {mean} too low");
+        assert!(
+            mean < 7000.0,
+            "{app}: mean AccessNum {mean} implausibly high"
+        );
+    }
+}
+
+#[test]
+fn facenet_is_periodic_near_17_ma_windows() {
+    // 6000 ticks = 60 simulated seconds ≈ 7 batches.
+    let trace = access_trace(Application::FaceNet, 6000, 11);
+    let ma = ma_series(&trace);
+    let est = PeriodDetector::default()
+        .detect(&ma)
+        .unwrap()
+        .expect("facenet must be detected as periodic");
+    assert!(
+        (10.0..=25.0).contains(&est.period),
+        "facenet period {} MA windows (target ≈17)",
+        est.period
+    );
+    assert!(est.strength > 0.4, "weak periodicity {}", est.strength);
+}
+
+#[test]
+fn pca_is_periodic_near_12_ma_windows() {
+    let trace = access_trace(Application::Pca, 6000, 13);
+    let ma = ma_series(&trace);
+    let est = PeriodDetector::default()
+        .detect(&ma)
+        .unwrap()
+        .expect("pca must be detected as periodic");
+    assert!(
+        (7.0..=20.0).contains(&est.period),
+        "pca period {} MA windows (target ≈12)",
+        est.period
+    );
+    assert!(est.strength > 0.4, "weak periodicity {}", est.strength);
+}
+
+#[test]
+fn kmeans_is_not_periodic_at_ma_scale() {
+    let trace = access_trace(Application::KMeans, 4000, 17);
+    let ma = ma_series(&trace);
+    if let Some(est) = PeriodDetector::default().detect(&ma).unwrap() {
+        assert!(
+            est.strength < 0.6,
+            "kmeans unexpectedly periodic: p={} s={}",
+            est.period,
+            est.strength
+        );
+    }
+}
+
+#[test]
+fn terasort_has_long_distinct_phases() {
+    // Phase structure shows up as large level differences between
+    // 1-second windows far apart, the root cause of KStest's Fig. 1
+    // false positives.
+    let trace = access_trace(Application::TeraSort, 6000, 19);
+    let window_means: Vec<f64> = trace
+        .chunks(100)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect();
+    let max = window_means.iter().cloned().fold(f64::MIN, f64::max);
+    let min = window_means.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max > 1.5 * min.max(1.0),
+        "terasort windows too uniform: {min}..{max}"
+    );
+}
+
+#[test]
+fn traces_are_deterministic_per_seed() {
+    let a = access_trace(Application::Bayes, 200, 23);
+    let b = access_trace(Application::Bayes, 200, 23);
+    assert_eq!(a, b);
+    let c = access_trace(Application::Bayes, 200, 24);
+    assert_ne!(a, c);
+}

@@ -1,0 +1,88 @@
+//! Ablation: why SDS/B smooths before thresholding (§4.1).
+//!
+//! ```text
+//! cargo run --release --example ablation_smoothing
+//! ```
+//!
+//! The paper motivates the MA→EWMA pipeline by noting that "directly
+//! thresholding the raw data may lead to inaccurate detection of
+//! attacks" because of random variation. This ablation compares three
+//! detectors on the same captured aggregation run (60 s benign + 60 s under
+//! the bus-locking attack):
+//!
+//! * **naive** — the §4.1 strawman: "trigger the alarm when a data point
+//!   `A_i` drops by a threshold (e.g., 50 %) of [the] prior data point
+//!   `A_{i-1}`", straight on the raw samples;
+//! * **MA only** — the paper's pipeline with α = 1 (EWMA disabled);
+//! * **MA + EWMA** — the full Table 1 configuration.
+
+use memdos::attacks::AttackKind;
+use memdos::core::config::SdsParams;
+use memdos::metrics::experiment::{ExperimentConfig, StageConfig};
+use memdos::workloads::Application;
+
+/// The §4.1 naive detector: alarm whenever a raw sample drops by more
+/// than `threshold` relative to the previous sample. Returns benign
+/// false-alarm events and the attack detection delay in ticks.
+fn naive_detector(obs: &[f64], profile_n: usize, attack_at: usize, threshold: f64) -> (u32, Option<usize>) {
+    let mut false_alarms = 0u32;
+    let mut delay = None;
+    for (t, w) in obs[profile_n..].windows(2).enumerate() {
+        if w[1] < (1.0 - threshold) * w[0].max(1.0) {
+            if t < attack_at {
+                false_alarms += 1;
+            } else if delay.is_none() {
+                delay = Some(t - attack_at);
+            }
+        }
+    }
+    (false_alarms, delay)
+}
+
+fn main() {
+    let stages = StageConfig::quick();
+    let cfg = ExperimentConfig {
+        app: Application::Aggregation,
+        attack: AttackKind::BusLocking,
+        stages,
+        ..ExperimentConfig::default()
+    };
+    println!("capturing one aggregation run (60 s benign + 60 s bus-locking) ...");
+    let captured = cfg.capture_run(0);
+    let raw: Vec<f64> = captured.observations.iter().map(|o| o.access_num).collect();
+    let profile_n = stages.profile_ticks as usize;
+    let attack_at = stages.benign_ticks as usize;
+
+    // The naive 50 %-drop rule on raw per-tick samples.
+    let (fa_raw, d_raw) = naive_detector(&raw, profile_n, attack_at, 0.5);
+
+    // MA only (α = 1.0) and full MA+EWMA via replay.
+    let ma_only = {
+        let mut p = SdsParams::default();
+        p.sdsb.alpha = 1.0;
+        captured.replay_sds(&p).expect("replay")
+    };
+    let full = captured.replay_sds(&SdsParams::default()).expect("replay");
+
+    let summarize = |name: &str, fa: u32, delay: Option<f64>| {
+        println!(
+            "  {name:<10} benign false-alarm events: {fa:>3}   detection delay: {}",
+            delay.map(|d| format!("{d:.1} s")).unwrap_or_else(|| "miss".into())
+        );
+    };
+    println!("\nresults (aggregation, bus-locking):");
+    summarize("naive", fa_raw, d_raw.map(|d| d as f64 / 100.0));
+    let count_fa = |o: &memdos::metrics::experiment::RunOutcome| {
+        o.activations.iter().filter(|&&t| t < attack_at as u64).count() as u32
+    };
+    let delay_of = |o: &memdos::metrics::experiment::RunOutcome| {
+        o.metrics(&stages).delay_secs
+    };
+    summarize("MA only", count_fa(&ma_only), delay_of(&ma_only));
+    summarize("MA+EWMA", count_fa(&full), delay_of(&full));
+    println!(
+        "\nThe naive rule fires on every burst and query gap; the smoothed\n\
+         pipelines keep the benign stage clean — the paper's §4.1 rationale\n\
+         for MA + EWMA preprocessing."
+    );
+}

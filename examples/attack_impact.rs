@@ -1,0 +1,78 @@
+//! Reproduce the paper's measurement study (§3.3, Figs. 2–6) for any
+//! application/attack pair: run 60 s benign + 60 s attacked and render
+//! the victim's per-second cache statistics as ASCII charts.
+//!
+//! ```text
+//! cargo run --release --example attack_impact [app] [bus-locking|llc-cleansing]
+//! # e.g.
+//! cargo run --release --example attack_impact facenet llc-cleansing
+//! ```
+
+use memdos::attacks::AttackKind;
+use memdos::metrics::experiment::capture_trace;
+use memdos::workloads::Application;
+
+/// Renders a series as a fixed-height ASCII chart, one column per point.
+fn chart(title: &str, series: &[f64], attack_at_col: usize) {
+    const HEIGHT: usize = 12;
+    let max = series.iter().cloned().fold(f64::MIN, f64::max).max(1.0);
+    println!("\n{title}  (y-max = {max:.0}; '|' marks attack launch)");
+    for row in (0..HEIGHT).rev() {
+        let threshold = max * (row as f64 + 0.5) / HEIGHT as f64;
+        let line: String = series
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if i == attack_at_col {
+                    '|'
+                } else if v >= threshold {
+                    '#'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("  {line}");
+    }
+    println!("  {}", "-".repeat(series.len()));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app: Application = args
+        .get(1)
+        .map(|s| s.parse().expect("unknown application"))
+        .unwrap_or(Application::FaceNet);
+    let attack = match args.get(2).map(String::as_str) {
+        Some("llc-cleansing") => AttackKind::LlcCleansing,
+        Some("bus-locking") | None => AttackKind::BusLocking,
+        Some(other) => panic!("unknown attack `{other}`"),
+    };
+
+    println!("== {app} under the {attack} attack (60 s benign, 60 s attacked) ==");
+    let trace = capture_trace(app, attack, 6_000, 6_000, 42);
+
+    // Aggregate the 10 ms samples to one point per second for display.
+    let per_second = |pick: fn(&(f64, f64)) -> f64| -> Vec<f64> {
+        trace
+            .chunks(100)
+            .map(|w| w.iter().map(pick).sum::<f64>() / w.len() as f64)
+            .collect()
+    };
+    let access = per_second(|s| s.0);
+    let miss = per_second(|s| s.1);
+
+    chart("AccessNum (mean per 10 ms tick, 1 s resolution)", &access, 60);
+    chart("MissNum   (mean per 10 ms tick, 1 s resolution)", &miss, 60);
+
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "\nObservation 1: AccessNum {:.0} -> {:.0} ({:+.0}%), MissNum {:.0} -> {:.0} ({:+.0}%)",
+        mean(&access[..60]),
+        mean(&access[61..]),
+        (mean(&access[61..]) / mean(&access[..60]) - 1.0) * 100.0,
+        mean(&miss[..60]),
+        mean(&miss[61..]),
+        (mean(&miss[61..]) / mean(&miss[..60]).max(1.0) - 1.0) * 100.0,
+    );
+}

@@ -1,0 +1,78 @@
+//! # memdos
+//!
+//! A from-scratch reproduction of *"Impact of Memory DoS Attacks on Cloud
+//! Applications and Real-Time Detection Schemes"* (Li, Sen, Shen, Chuah;
+//! ICPP '20): two lightweight statistical schemes — boundary-based
+//! **SDS/B** and period-based **SDS/P** — that detect memory
+//! denial-of-service attacks (atomic bus locking and LLC cleansing)
+//! between co-located cloud VMs in real time, evaluated against the
+//! throttling-based **KStest** baseline of Zhang et al. (AsiaCCS '17).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`stats`] — statistics & signal processing (MA/EWMA, Chebyshev
+//!   bounds, two-sample KS, FFT, ACF, DFT-ACF period detection,
+//!   correlation methods).
+//! * [`sim`] — the simulated multi-tenant server (shared set-associative
+//!   LLC, lockable memory bus, DRAM channel, hypervisor with execution
+//!   throttling, PCM sampler).
+//! * [`workloads`] — models of the paper's ten applications plus benign
+//!   utility VMs.
+//! * [`attacks`] — the bus-locking and LLC-cleansing attack programs.
+//! * [`core`] — **the paper's contribution**: SDS/B, SDS/P, combined SDS,
+//!   profiling, and the KStest baseline.
+//! * [`metrics`] — the §5 experiment protocol and metrics (recall,
+//!   specificity, detection delay, performance overhead).
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use memdos::attacks::{schedule::Scheduled, AttackKind};
+//! use memdos::core::{config::SdsParams, detector::{Detector, Observation},
+//!                    profile::Profiler, sds::Sds};
+//! use memdos::sim::server::{Server, ServerConfig};
+//! use memdos::workloads::Application;
+//!
+//! // A server with a k-means victim and a bus-locking attacker that
+//! // activates at t = 60 s (tick 6000).
+//! let mut server = Server::new(ServerConfig::default());
+//! let llc = server.config().geometry.lines() as u64;
+//! let geometry = server.config().geometry;
+//! let victim = server.add_vm("victim", Application::KMeans.build(llc));
+//! server.add_vm(
+//!     "attacker",
+//!     Box::new(Scheduled::starting_at(6_000, AttackKind::BusLocking.build(geometry))),
+//! );
+//!
+//! // Stage 1: profile the benign behaviour (shortened for the doctest).
+//! let mut profiler = Profiler::with_defaults();
+//! for _ in 0..3_000 {
+//!     let report = server.tick();
+//!     profiler.observe(Observation::from(report.sample(victim).unwrap()));
+//! }
+//! let profile = profiler.finish()?;
+//!
+//! // Stage 2: monitor in real time.
+//! let mut sds = Sds::from_profile(&profile, &SdsParams::default())?;
+//! let mut detected_at = None;
+//! for _ in 0..6_000u64 {
+//!     let report = server.tick();
+//!     let step = sds.on_observation(Observation::from(report.sample(victim).unwrap()));
+//!     if step.became_active && detected_at.is_none() {
+//!         detected_at = Some(report.time_secs);
+//!     }
+//! }
+//! let t = detected_at.expect("bus-locking attack must be detected");
+//! assert!(t > 60.0, "no false alarm before the attack");
+//! # Ok::<(), memdos::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use memdos_attacks as attacks;
+pub use memdos_core as core;
+pub use memdos_metrics as metrics;
+pub use memdos_sim as sim;
+pub use memdos_stats as stats;
+pub use memdos_workloads as workloads;

@@ -1,0 +1,210 @@
+//! Property-based tests over the core data structures and statistical
+//! invariants, spanning the whole workspace.
+
+use memdos::sim::cache::{CacheGeometry, DomainId, Llc};
+use memdos::sim::rng::Rng;
+use memdos::stats::bounds::{false_alarm_bound, required_h_c, NormalRange};
+use memdos::stats::fft::{fft_real, ifft_in_place};
+use memdos::stats::ks::ks_two_sample;
+use memdos::stats::series::quantile;
+use memdos::stats::smoothing::{Ewma, MovingAverage};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn moving_average_stays_within_input_range(
+        data in finite_vec(400),
+        window in 1usize..50,
+        step in 1usize..50,
+    ) {
+        prop_assume!(step <= window);
+        let out = MovingAverage::apply(window, step, &data).unwrap();
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        for m in out {
+            prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn moving_average_emission_count_is_exact(
+        len in 1usize..500,
+        window in 1usize..60,
+        step in 1usize..60,
+    ) {
+        prop_assume!(step <= window);
+        let data = vec![1.0; len];
+        let out = MovingAverage::apply(window, step, &data).unwrap();
+        let expected = if len < window { 0 } else { 1 + (len - window) / step };
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn ewma_stays_within_input_range(data in finite_vec(300), alpha in 0.01f64..1.0) {
+        let out = Ewma::apply(alpha, &data).unwrap();
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        for s in out {
+            prop_assert!(s >= min - 1e-6 && s <= max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ewma_converges_to_constant(level in -1e6..1e6f64, alpha in 0.05f64..1.0) {
+        let mut e = Ewma::new(alpha).unwrap();
+        e.push(0.0);
+        for _ in 0..2000 {
+            e.push(level);
+        }
+        let s = e.value().unwrap();
+        prop_assert!((s - level).abs() <= 1e-3 * level.abs().max(1.0));
+    }
+
+    #[test]
+    fn chebyshev_h_c_is_minimal_and_sufficient(
+        k in 1.01f64..4.0,
+        conf_ppm in 900_000u32..999_999,
+    ) {
+        let confidence = conf_ppm as f64 / 1e6;
+        let h = required_h_c(k, confidence).unwrap();
+        prop_assert!(false_alarm_bound(k, h).unwrap() <= 1.0 - confidence + 1e-12);
+        if h > 1 {
+            prop_assert!(false_alarm_bound(k, h - 1).unwrap() > 1.0 - confidence);
+        }
+    }
+
+    #[test]
+    fn normal_range_always_contains_mean(
+        mu in -1e9..1e9f64,
+        sigma in 0.0..1e6f64,
+        k in 1.001f64..10.0,
+    ) {
+        let r = NormalRange::new(mu, sigma, k).unwrap();
+        prop_assert!(!r.is_violation(mu));
+        prop_assert!(r.lower <= mu && mu <= r.upper);
+    }
+
+    #[test]
+    fn ks_statistic_is_bounded_and_symmetric(a in finite_vec(60), b in finite_vec(60)) {
+        let r1 = ks_two_sample(&a, &b).unwrap();
+        let r2 = ks_two_sample(&b, &a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r1.statistic));
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_samples_never_reject(a in finite_vec(100)) {
+        let r = ks_two_sample(&a, &a).unwrap();
+        prop_assert_eq!(r.statistic, 0.0);
+        prop_assert!(!r.rejects_at(0.05));
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(signal in prop::collection::vec(-1e3..1e3f64, 1..129)) {
+        let padded = signal.len().next_power_of_two();
+        let mut spec = fft_real(&signal, padded).unwrap();
+        ifft_in_place(&mut spec).unwrap();
+        for (orig, z) in signal.iter().zip(&spec) {
+            prop_assert!((orig - z.re).abs() < 1e-6, "{} vs {}", orig, z.re);
+            prop_assert!(z.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(data in finite_vec(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&data, lo).unwrap();
+        let b = quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn rng_next_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        seed in any::<u64>(),
+        accesses in 1usize..2000,
+    ) {
+        let mut llc = Llc::new(CacheGeometry { sets: 16, ways: 4 });
+        let d0 = llc.register_domain();
+        let d1 = llc.register_domain();
+        let mut rng = Rng::new(seed);
+        for _ in 0..accesses {
+            let d = if rng.chance(0.5) { d0 } else { d1 };
+            llc.access(d, rng.next_below(1 << 16));
+        }
+        let total = llc.occupancy(d0) + llc.occupancy(d1);
+        prop_assert!(total <= 64);
+        // Interval counters sum to the access count.
+        let c0 = llc.drain_counters(d0);
+        let c1 = llc.drain_counters(d1);
+        prop_assert_eq!(c0.accesses + c1.accesses, accesses as u64);
+        prop_assert!(c0.misses <= c0.accesses);
+        prop_assert!(c1.misses <= c1.accesses);
+    }
+
+    #[test]
+    fn cache_access_after_fill_always_hits(seed in any::<u64>()) {
+        let mut llc = Llc::new(CacheGeometry { sets: 8, ways: 2 });
+        let d = llc.register_domain();
+        let mut rng = Rng::new(seed);
+        let addr = rng.next_below(1 << 20);
+        llc.access(d, addr);
+        // Immediate re-access with no interleaving traffic must hit.
+        prop_assert!(!llc.access(d, addr).is_miss());
+    }
+
+    #[test]
+    fn domain_isolation_no_false_hits(seed in any::<u64>()) {
+        let mut llc = Llc::new(CacheGeometry { sets: 8, ways: 4 });
+        let a = llc.register_domain();
+        let b = llc.register_domain();
+        let mut rng = Rng::new(seed);
+        let addr = rng.next_below(1 << 10);
+        llc.access(a, addr);
+        // The same line address in another domain is a distinct line.
+        prop_assert!(llc.access(b, addr).is_miss());
+        let _ = DomainId(0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator is deterministic: identical seeds produce identical
+    /// PCM streams (heavier test, fewer cases).
+    #[test]
+    fn server_runs_are_reproducible(seed in any::<u64>()) {
+        use memdos::sim::server::{Server, ServerConfig};
+        use memdos::workloads::Application;
+        let run = |seed: u64| {
+            let cfg = ServerConfig {
+                geometry: CacheGeometry { sets: 256, ways: 4 },
+                ..ServerConfig::default()
+            }
+            .with_seed(seed);
+            let mut server = Server::new(cfg);
+            let llc = server.config().geometry.lines() as u64;
+            let vm = server.add_vm("v", Application::Bayes.build(llc));
+            (0..50u64)
+                .map(|_| {
+                    let r = server.tick();
+                    let s = r.sample(vm).unwrap();
+                    (s.accesses, s.misses)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
