@@ -119,7 +119,9 @@ impl LlcCleanseAttack {
     fn absorb_outcome(&mut self, outcome: Option<AccessOutcome>) {
         if let Some((set, _way)) = self.in_flight.take() {
             if outcome == Some(AccessOutcome::Miss) {
-                self.conflicts[set as usize] += 1;
+                if let Some(c) = self.conflicts.get_mut(set as usize) {
+                    *c += 1;
+                }
             }
         }
     }
@@ -187,7 +189,15 @@ impl VmProgram for LlcCleanseAttack {
                         self.phase = Phase::Prime { set: 0, way: 0 };
                         return MemOp::Compute { cycles: 10_000 };
                     }
-                    let set = self.targets[target_idx];
+                    let set = match self.targets.get(target_idx) {
+                        Some(&s) => s,
+                        // Out-of-range cursor (target list shrank after a
+                        // re-probe): restart the probe cycle.
+                        None => {
+                            self.phase = Phase::Prime { set: 0, way: 0 };
+                            return MemOp::Compute { cycles: 10_000 };
+                        }
+                    };
                     let line = self.line_for(set, way);
                     let (mut nidx, mut nway) = (target_idx, way + 1);
                     if nway == self.cfg.ways {

@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks of the hot paths.
+//! Micro-benchmarks of the hot paths (std-only timing harness).
 //!
 //! The paper claims SDS is *lightweight*: "we use lightweight PCM tools
 //! and low-complexity statistical methods". These benchmarks quantify
@@ -8,9 +8,13 @@
 //! is `O(n log n)` in the window size. Simulator throughput (cache access
 //! and full server ticks) is measured too, since every experiment's wall
 //! time is dominated by it.
+//!
+//! The harness is deliberately dependency-free (the build environment is
+//! offline): each benchmark runs a calibration pass to pick an iteration
+//! count targeting ~100 ms, then reports the median of 9 timed passes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use memdos_core::config::{SdsBParams, SdsPParams};
 use memdos_core::sdsb::SdsB;
@@ -24,110 +28,142 @@ use memdos_stats::ks::ks_two_sample;
 use memdos_stats::period::detect_period;
 use memdos_workloads::catalog::Application;
 
-fn bench_sdsb_update(c: &mut Criterion) {
-    c.bench_function("sdsb_on_sample", |b| {
-        let mut det =
-            SdsB::new(SdsBParams::default(), Stat::AccessNum, 1000.0, 50.0).expect("valid");
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            black_box(det.on_sample(1000.0 + (x % 13) as f64))
-        });
+const PASSES: usize = 9;
+const TARGET_NANOS: u128 = 100_000_000;
+
+/// Times `f` (which runs the workload once) and prints ns/iter, following
+/// the calibrate-then-measure shape of the classic `libtest` bench runner.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Calibrate: grow the batch until it takes >= ~10 ms.
+    let mut batch: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = t.elapsed().as_nanos();
+        if elapsed >= TARGET_NANOS / 10 || batch >= 1 << 30 {
+            let iters = if elapsed == 0 {
+                batch
+            } else {
+                (batch as u128 * TARGET_NANOS / elapsed).clamp(1, 1 << 32) as u64
+            };
+            let mut samples: Vec<u128> = (0..PASSES)
+                .map(|_| {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        f();
+                    }
+                    t.elapsed().as_nanos() / iters as u128
+                })
+                .collect();
+            samples.sort_unstable();
+            println!("{name:<28} {:>12} ns/iter", samples[PASSES / 2]);
+            return;
+        }
+        batch = batch.saturating_mul(2);
+    }
+}
+
+fn bench_sdsb_update() {
+    let mut det = SdsB::new(SdsBParams::default(), Stat::AccessNum, 1000.0, 50.0)
+        .expect("default SDS/B parameters are valid");
+    let mut x = 0u64;
+    bench("sdsb_on_sample", move || {
+        x = x.wrapping_add(1);
+        black_box(det.on_sample(1000.0 + (x % 13) as f64));
     });
 }
 
-fn bench_sdsp_recompute(c: &mut Criterion) {
-    c.bench_function("sdsp_full_window_cycle", |b| {
-        // Feeding ΔW_P·ΔW raw samples triggers exactly one DFT-ACF
-        // recomputation once the window is warm.
-        let params = SdsPParams::default();
-        let mut det = SdsP::new(params, Stat::AccessNum, 17.0).expect("valid");
-        // Warm up the W_P window.
-        for i in 0..60_000u64 {
+fn bench_sdsp_recompute() {
+    // Feeding ΔW_P·ΔW raw samples triggers exactly one DFT-ACF
+    // recomputation once the window is warm.
+    let params = SdsPParams::default();
+    let mut det = SdsP::new(params, Stat::AccessNum, 17.0)
+        .expect("default SDS/P parameters are valid");
+    // Warm up the W_P window.
+    for i in 0..60_000u64 {
+        let phase = (i / 425) % 2;
+        det.on_sample(if phase == 0 { 1000.0 } else { 300.0 });
+    }
+    let mut i = 0u64;
+    bench("sdsp_full_window_cycle", move || {
+        for _ in 0..params.step_ma * params.step {
+            i += 1;
             let phase = (i / 425) % 2;
-            det.on_sample(if phase == 0 { 1000.0 } else { 300.0 });
+            black_box(det.on_sample(if phase == 0 { 1000.0 } else { 300.0 }));
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..params.step_ma * params.step {
-                i += 1;
-                let phase = (i / 425) % 2;
-                black_box(det.on_sample(if phase == 0 { 1000.0 } else { 300.0 }));
-            }
-        });
     });
 }
 
-fn bench_ks_test(c: &mut Criterion) {
-    c.bench_function("ks_two_sample_100", |b| {
-        let x: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
-        let y: Vec<f64> = (0..100).map(|i| ((i * 53) % 97) as f64).collect();
-        b.iter(|| black_box(ks_two_sample(&x, &y).expect("valid")));
+fn bench_ks_test() {
+    let x: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+    let y: Vec<f64> = (0..100).map(|i| ((i * 53) % 97) as f64).collect();
+    bench("ks_two_sample_100", move || {
+        black_box(ks_two_sample(&x, &y).expect("non-empty samples are valid"));
     });
 }
 
-fn bench_fft(c: &mut Criterion) {
-    c.bench_function("fft_real_1024", |b| {
-        let signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
-        b.iter(|| black_box(fft_real(&signal, 1024).expect("valid")));
+fn bench_fft() {
+    let signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
+    bench("fft_real_1024", move || {
+        black_box(fft_real(&signal, 1024).expect("power-of-two length is valid"));
     });
 }
 
-fn bench_dft_acf(c: &mut Criterion) {
-    c.bench_function("dft_acf_detect_34", |b| {
-        // A W_P = 2p window at the FaceNet scale (p ≈ 17).
-        let signal: Vec<f64> = (0..34)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 17.0).sin())
-            .collect();
-        b.iter(|| black_box(detect_period(&signal).expect("valid")));
+fn bench_dft_acf() {
+    // A W_P = 2p window at the FaceNet scale (p ≈ 17).
+    let signal: Vec<f64> = (0..34)
+        .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 17.0).sin())
+        .collect();
+    bench("dft_acf_detect_34", move || {
+        black_box(detect_period(&signal).expect("non-empty window is valid"));
     });
-    c.bench_function("acf_direct_200x50", |b| {
-        let signal: Vec<f64> = (0..200).map(|i| ((i * 29) % 31) as f64).collect();
-        b.iter(|| black_box(acf_direct(&signal, 50).expect("valid")));
-    });
-}
-
-fn bench_cache_access(c: &mut Criterion) {
-    c.bench_function("llc_access_hit", |b| {
-        let mut llc = Llc::new(CacheGeometry::default());
-        let d = llc.register_domain();
-        for line in 0..1000u64 {
-            llc.access(d, line);
-        }
-        let mut line = 0u64;
-        b.iter(|| {
-            line = (line + 1) % 1000;
-            black_box(llc.access(d, line))
-        });
+    let signal: Vec<f64> = (0..200).map(|i| ((i * 29) % 31) as f64).collect();
+    bench("acf_direct_200x50", move || {
+        black_box(acf_direct(&signal, 50).expect("max_lag within input is valid"));
     });
 }
 
-fn bench_server_tick(c: &mut Criterion) {
-    c.bench_function("server_tick_9vms", |b| {
-        b.iter_batched(
-            || {
-                let mut server = Server::new(ServerConfig::default());
-                let llc = server.config().geometry.lines() as u64;
-                server.add_vm("victim", Application::KMeans.build(llc));
-                for i in 0..7u64 {
-                    server.add_vm(
-                        format!("util-{i}"),
-                        Box::new(memdos_workloads::apps::utility::program(i)),
-                    );
-                }
-                server.run_collect(5); // warm the cache
-                server
-            },
-            |mut server| black_box(server.tick()),
-            BatchSize::PerIteration,
+fn bench_cache_access() {
+    let mut llc = Llc::new(CacheGeometry::default());
+    let d = llc.register_domain();
+    for line in 0..1000u64 {
+        llc.access(d, line);
+    }
+    let mut line = 0u64;
+    bench("llc_access_hit", move || {
+        line = (line + 1) % 1000;
+        black_box(llc.access(d, line));
+    });
+}
+
+fn bench_server_tick() {
+    // Unlike the detector benchmarks, a server tick mutates state that
+    // never returns to its start condition, so measure a long warmed run
+    // instead of per-iteration fresh setups.
+    let mut server = Server::new(ServerConfig::default());
+    let llc = server.config().geometry.lines() as u64;
+    server.add_vm("victim", Application::KMeans.build(llc));
+    for i in 0..7u64 {
+        server.add_vm(
+            format!("util-{i}"),
+            Box::new(memdos_workloads::apps::utility::program(i)),
         );
+    }
+    server.run_collect(5); // warm the cache
+    bench("server_tick_9vms", move || {
+        black_box(server.tick());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sdsb_update, bench_sdsp_recompute, bench_ks_test,
-              bench_fft, bench_dft_acf, bench_cache_access, bench_server_tick
+fn main() {
+    println!("memdos micro-benchmarks (median of {PASSES} passes)");
+    bench_sdsb_update();
+    bench_sdsp_recompute();
+    bench_ks_test();
+    bench_fft();
+    bench_dft_acf();
+    bench_cache_access();
+    bench_server_tick();
 }
-criterion_main!(benches);

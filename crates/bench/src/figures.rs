@@ -14,7 +14,10 @@ pub fn sparkline(series: &[f64]) -> String {
     let span = (max - min).max(1e-9);
     series
         .iter()
-        .map(|&v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
+        .map(|&v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            LEVELS.get(idx).copied().unwrap_or('\u{2588}')
+        })
         .collect()
 }
 

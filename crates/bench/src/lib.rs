@@ -20,6 +20,8 @@
 //! percentiles at proportional cost (the simulator runs ~60 s of
 //! simulated time per wall-clock second per VM set on one core).
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod sensitivity;
 
@@ -42,6 +44,8 @@ pub fn scale() -> StageConfig {
 /// quick scale, 5 for standard, 20 for paper — the paper reports 20).
 pub fn runs() -> u64 {
     if let Ok(v) = std::env::var("MEMDOS_RUNS") {
+        // lint:allow(panic) -- harness entry point: an unparsable env
+        // override should abort the whole run loudly, not be masked.
         return v.parse().expect("MEMDOS_RUNS must be an integer");
     }
     match std::env::var("MEMDOS_SCALE").as_deref() {
@@ -119,6 +123,8 @@ pub fn accuracy_sweep(
             for run in 0..n_runs {
                 let outcomes = cfg
                     .run_all_schemes(run)
+                    // lint:allow(panic) -- the sweep only builds configs from
+                    // the validated app/attack catalogs; failure is a bug.
                     .expect("experiment configuration must be valid");
                 for out in outcomes {
                     per_scheme
@@ -129,7 +135,9 @@ pub fn accuracy_sweep(
                 }
             }
             for (name, metrics) in per_scheme {
-                cells.push(Cell { app, attack, scheme: scheme_of[name], runs: metrics });
+                if let Some(&scheme) = scheme_of.get(name) {
+                    cells.push(Cell { app, attack, scheme, runs: metrics });
+                }
             }
             eprintln!("  swept {attack} / {app}");
         }

@@ -58,6 +58,8 @@ pub fn sweep(
                         SweepDetector::Sds => cap.replay_sds(params),
                         SweepDetector::SdsP => cap.replay_sdsp(params),
                     }
+                    // lint:allow(panic) -- sweep grids are built from valid
+                    // parameter sets; a replay failure is a harness bug.
                     .expect("replay with swept parameters must succeed");
                     outcome.metrics(&stages)
                 })

@@ -22,6 +22,11 @@ pub enum CoreError {
     /// A detector that requires a periodic profile was built from a
     /// non-periodic one.
     NotPeriodic,
+    /// A tick report did not contain a PCM sample for a monitored VM.
+    MissingSample {
+        /// The VM whose sample was requested.
+        vm: memdos_sim::VmId,
+    },
     /// An underlying statistics routine failed.
     Stats(StatsError),
 }
@@ -38,6 +43,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::NotPeriodic => {
                 write!(f, "application profile is not periodic; SDS/P is inapplicable")
+            }
+            CoreError::MissingSample { vm } => {
+                write!(f, "tick report lacks a PCM sample for monitored VM {vm:?}")
             }
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
         }

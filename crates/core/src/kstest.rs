@@ -80,6 +80,8 @@ impl KsTestDetector {
 
     /// Creates the detector with the paper's default parameters.
     pub fn with_defaults() -> Self {
+        // lint:allow(panic) -- KsTestParams::default() is a compile-time
+        // constant whose validity is pinned by the params_roundtrip tests.
         KsTestDetector::new(KsTestParams::default()).expect("defaults are valid")
     }
 

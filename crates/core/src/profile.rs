@@ -159,6 +159,8 @@ impl Profiler {
     ///
     /// Never panics: the defaults are valid by construction.
     pub fn with_defaults() -> Self {
+        // lint:allow(panic) -- ProfilerConfig::default() is a compile-time
+        // constant whose validity is pinned by unit tests.
         Profiler::new(ProfilerConfig::default()).expect("default parameters are valid")
     }
 

@@ -1,0 +1,101 @@
+//! Table-driven degenerate-parameter tests for the detector layer: bad
+//! configurations and starved profiles must surface as `CoreError`s, not
+//! panics, because detectors are constructed from operator-supplied
+//! parameter sets at runtime.
+
+use memdos_core::config::{KsTestParams, SdsBParams, SdsPParams};
+use memdos_core::detector::Observation;
+use memdos_core::kstest::KsTestDetector;
+use memdos_core::profile::{Profiler, ProfilerConfig};
+use memdos_core::sdsb::SdsB;
+use memdos_core::sdsp::SdsP;
+use memdos_core::CoreError;
+use memdos_sim::pcm::Stat;
+
+#[test]
+fn sdsb_rejects_degenerate_parameters() {
+    let base = SdsBParams::default();
+    let cases: Vec<(&str, SdsBParams)> = vec![
+        ("window=0", SdsBParams { window: 0, ..base }),
+        ("step=0", SdsBParams { step: 0, ..base }),
+        ("step>window", SdsBParams { step: base.window + 1, ..base }),
+        ("alpha=0", SdsBParams { alpha: 0.0, ..base }),
+        ("k=1", SdsBParams { k: 1.0, ..base }),
+        ("h_c=0", SdsBParams { h_c: 0, ..base }),
+    ];
+    for (label, params) in cases {
+        assert!(
+            SdsB::new(params, Stat::AccessNum, 100.0, 5.0).is_err(),
+            "{label}: must be rejected"
+        );
+    }
+}
+
+#[test]
+fn sdsb_rejects_degenerate_profiles() {
+    let p = SdsBParams::default();
+    // (label, mu, sigma)
+    let cases: Vec<(&str, f64, f64)> = vec![
+        ("sigma<0", 100.0, -1.0),
+        ("sigma=NaN", 100.0, f64::NAN),
+        ("mu=NaN", f64::NAN, 5.0),
+    ];
+    for (label, mu, sigma) in cases {
+        assert!(
+            SdsB::new(p, Stat::AccessNum, mu, sigma).is_err(),
+            "{label}: must be rejected"
+        );
+    }
+    // σ = 0 (an all-constant profile) is legal: the band is a point.
+    let det = SdsB::new(p, Stat::AccessNum, 100.0, 0.0).expect("sigma=0 is legal");
+    assert!(!det.range().is_violation(100.0));
+}
+
+#[test]
+fn sdsp_rejects_degenerate_periods() {
+    let p = SdsPParams::default();
+    let cases: Vec<(&str, f64)> = vec![
+        ("period=0", 0.0),
+        ("period<4", 3.9),
+        ("period=NaN", f64::NAN),
+        ("period=-8", -8.0),
+    ];
+    for (label, period) in cases {
+        assert!(
+            SdsP::new(p, Stat::AccessNum, period).is_err(),
+            "{label}: must be rejected"
+        );
+    }
+}
+
+#[test]
+fn kstest_rejects_degenerate_windows() {
+    let base = KsTestParams::default();
+    let mut zero_ref = base;
+    zero_ref.w_r_ticks = 0;
+    let mut zero_mon = base;
+    zero_mon.w_m_ticks = 0;
+    assert!(KsTestDetector::new(zero_ref).is_err());
+    assert!(KsTestDetector::new(zero_mon).is_err());
+}
+
+#[test]
+fn starved_profiler_reports_insufficient_profile() {
+    let mut profiler = Profiler::with_defaults();
+    // One observation is far below the minimum smoothed-point count.
+    profiler.observe(Observation { access_num: 10.0, miss_num: 1.0 });
+    match profiler.finish() {
+        Err(CoreError::InsufficientProfile { required, actual }) => {
+            assert!(required > actual, "required {required} vs actual {actual}");
+            assert_eq!(actual, 0);
+        }
+        other => panic!("expected InsufficientProfile, got {other:?}"),
+    }
+}
+
+#[test]
+fn profiler_rejects_invalid_preprocessing() {
+    let mut cfg = ProfilerConfig::default();
+    cfg.sds.sdsb.window = 0;
+    assert!(Profiler::new(cfg).is_err());
+}

@@ -269,7 +269,8 @@ impl ExperimentConfig {
         })?;
         for _ in 0..self.stages.profile_ticks {
             let report = server.tick();
-            profiler.observe(Observation::from(report.sample(victim).expect("victim sample")));
+            let sample = report.sample(victim).ok_or(CoreError::MissingSample { vm: victim })?;
+            profiler.observe(Observation::from(sample));
         }
         profiler.finish()
     }
@@ -303,7 +304,7 @@ impl ExperimentConfig {
         let mut activations = Vec::new();
         for t in 0..monitored {
             let report = server.tick();
-            let obs = Observation::from(report.sample(victim).expect("victim sample"));
+            let obs = Observation::from(report.sample(victim).ok_or(CoreError::MissingSample { vm: victim })?);
             let step = detector.on_observation(obs);
             match step.throttle {
                 Some(ThrottleRequest::PauseOthers) => server.pause_all_except(victim),
@@ -368,7 +369,7 @@ impl ExperimentConfig {
             .collect();
         for t in 0..monitored {
             let report = server.tick();
-            let obs = Observation::from(report.sample(victim).expect("victim sample"));
+            let obs = Observation::from(report.sample(victim).ok_or(CoreError::MissingSample { vm: victim })?);
             for ((_, det), out) in passive.iter_mut().zip(&mut outcomes) {
                 let step = det.on_observation(obs);
                 if step.became_active {
@@ -480,6 +481,8 @@ impl ExperimentConfig {
         let observations = (0..total)
             .map(|_| {
                 let report = server.tick();
+                // lint:allow(panic) -- `victim` was registered by
+                // build_server above; a missing sample is a simulator bug.
                 Observation::from(report.sample(victim).expect("victim sample"))
             })
             .collect();
@@ -514,6 +517,8 @@ pub fn capture_trace(
     (0..pre_ticks + post_ticks)
         .map(|_| {
             let r = server.tick();
+            // lint:allow(panic) -- `victim` was registered by build_server
+            // above; a missing sample is a simulator bug.
             let s = r.sample(victim).expect("victim sample");
             (s.accesses as f64, s.misses as f64)
         })
@@ -557,12 +562,16 @@ pub fn kstest_benign_run(
     }
     server.set_monitor_tax(cfg.ks_tax_cycles);
 
+    // lint:allow(panic) -- callers pass parameter sets from the validated
+    // experiment configuration; invalid ones are a programming error.
     let mut det = KsTestDetector::new(ks_params).expect("valid params");
     let mut rounds = Vec::new();
     let mut tests_seen = 0;
     let mut interval_alarmed = vec![false; ticks.div_ceil(ks_params.l_r_ticks) as usize];
     for t in 0..ticks {
         let report = server.tick();
+        // lint:allow(panic) -- `victim` was registered a few lines up; a
+        // missing sample is a simulator bug.
         let obs = Observation::from(report.sample(victim).expect("victim sample"));
         let step = det.on_observation(obs);
         match step.throttle {
@@ -575,7 +584,9 @@ pub fn kstest_benign_run(
             rounds.push(KsRound { tick: t, rejected: det.last_rejected().unwrap_or(false) });
         }
         if det.alarm_active() {
-            interval_alarmed[(t / ks_params.l_r_ticks) as usize] = true;
+            if let Some(slot) = interval_alarmed.get_mut((t / ks_params.l_r_ticks) as usize) {
+                *slot = true;
+            }
         }
     }
     let fp = interval_alarmed.iter().filter(|&&a| a).count() as f64

@@ -96,6 +96,8 @@ impl OverheadConfig {
             Some(_) => {
                 server.set_monitor_tax(self.base.ks_tax_cycles);
                 detector =
+                    // lint:allow(panic) -- ks_params comes from the validated
+                    // base ExperimentConfig; invalid ones are a bug.
                     Some(KsTestDetector::new(self.base.ks_params).expect("valid params"));
             }
         }
@@ -103,6 +105,8 @@ impl OverheadConfig {
             let report = server.tick();
             if let Some(det) = detector.as_mut() {
                 let obs =
+                    // lint:allow(panic) -- `protected` was registered by the
+                    // build step above; a missing sample is a simulator bug.
                     Observation::from(report.sample(protected).expect("protected sample"));
                 let step = det.on_observation(obs);
                 match step.throttle {

@@ -67,12 +67,12 @@ impl std::fmt::Display for Table {
             .max()
             .unwrap_or(0);
         let mut widths = vec![0usize; cols];
-        for (i, h) in self.header.iter().enumerate() {
-            widths[i] = widths[i].max(h.chars().count());
+        for (w, h) in widths.iter_mut().zip(&self.header) {
+            *w = (*w).max(h.chars().count());
         }
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.chars().count());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
             }
         }
         writeln!(f, "== {} ==", self.title)?;

@@ -157,10 +157,12 @@ impl Llc {
         let base = set * self.geometry.ways;
         let ways = &mut self.lines[base..base + self.geometry.ways];
 
-        let c = &mut self.counters[domain.0 as usize];
-        let t = &mut self.totals[domain.0 as usize];
-        c.accesses += 1;
-        t.accesses += 1;
+        if let Some(c) = self.counters.get_mut(domain.0 as usize) {
+            c.accesses += 1;
+        }
+        if let Some(t) = self.totals.get_mut(domain.0 as usize) {
+            t.accesses += 1;
+        }
 
         // Hit path.
         let mut victim = 0usize;
@@ -178,30 +180,37 @@ impl Llc {
         }
 
         // Miss: evict LRU (invalid lines have timestamp 0 and win).
-        c.misses += 1;
-        t.misses += 1;
-        let evicted = {
-            let line = &ways[victim];
-            if line.valid {
-                Some(line.domain)
-            } else {
-                None
+        if let Some(c) = self.counters.get_mut(domain.0 as usize) {
+            c.misses += 1;
+        }
+        if let Some(t) = self.totals.get_mut(domain.0 as usize) {
+            t.misses += 1;
+        }
+        // `victim` indexes into `ways` by construction: the selection loop
+        // above only assigns in-range positions.
+        let evicted = match ways.get_mut(victim) {
+            Some(line) => {
+                let evicted = if line.valid { Some(line.domain) } else { None };
+                *line = Line { addr, domain, valid: true, last_used: self.clock };
+                evicted
             }
+            None => None,
         };
-        ways[victim] = Line { addr, domain, valid: true, last_used: self.clock };
         CacheOutcome::Miss { evicted }
     }
 
     /// Reads and clears the per-interval counters of `domain` (what PCM
     /// does every `T_PCM`).
     pub fn drain_counters(&mut self, domain: DomainId) -> DomainCounters {
-        let c = &mut self.counters[domain.0 as usize];
-        std::mem::take(c)
+        match self.counters.get_mut(domain.0 as usize) {
+            Some(c) => std::mem::take(c),
+            None => DomainCounters::default(),
+        }
     }
 
     /// Cumulative counters of `domain` since creation (never reset).
     pub fn totals(&self, domain: DomainId) -> DomainCounters {
-        self.totals[domain.0 as usize]
+        self.totals.get(domain.0 as usize).copied().unwrap_or_default()
     }
 
     /// Number of valid lines currently owned by `domain` — used by tests

@@ -148,6 +148,8 @@ impl Hypervisor {
     ///
     /// Panics if `id` is not a VM of this hypervisor.
     pub fn vm(&self, id: VmId) -> &Vm {
+        // lint:allow(index) -- VmId values are only issued by add_vm and VMs
+        // are never removed, so the documented panic is unreachable for them.
         &self.vms[id.0 as usize]
     }
 
@@ -162,12 +164,16 @@ impl Hypervisor {
 
     /// Pauses one VM (execution throttling).
     pub fn pause(&mut self, id: VmId) {
-        self.vms[id.0 as usize].state = VmState::Paused;
+        if let Some(vm) = self.vms.get_mut(id.0 as usize) {
+            vm.state = VmState::Paused;
+        }
     }
 
     /// Resumes one VM.
     pub fn resume(&mut self, id: VmId) {
-        self.vms[id.0 as usize].state = VmState::Running;
+        if let Some(vm) = self.vms.get_mut(id.0 as usize) {
+            vm.state = VmState::Running;
+        }
     }
 
     /// Pauses every VM except `protected` — the KStest reference-sample

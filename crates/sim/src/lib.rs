@@ -78,8 +78,11 @@ pub mod cache;
 pub mod hypervisor;
 pub mod pcm;
 pub mod program;
-pub mod rng;
 pub mod server;
+
+/// Deterministic PRNG and samplers, re-exported from `memdos-stats` so the
+/// historical `memdos_sim::rng::Rng` paths keep working.
+pub use memdos_stats::rng;
 
 pub use hypervisor::VmId;
 pub use program::{AccessOutcome, MemOp, ProgramCtx, VmProgram};

@@ -319,7 +319,9 @@ impl Server {
     /// Executes one operation of the VM at table index `idx`.
     fn step_vm(&mut self, idx: usize) {
         let tick = self.tick;
-        let vm = &mut self.hv.vms_mut()[idx];
+        let Some(vm) = self.hv.vms_mut().get_mut(idx) else {
+            return;
+        };
         let mut ctx = ProgramCtx {
             rng: &mut vm.rng,
             last_outcome: vm.last_outcome,

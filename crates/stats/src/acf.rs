@@ -12,6 +12,7 @@
 //! the FFT path is used for long profiling series.
 
 use crate::fft::{fft_in_place, ifft_in_place, next_power_of_two, Complex};
+use crate::float::approx_zero;
 use crate::StatsError;
 
 /// Computes the (biased, normalized) autocorrelation of `signal` at lags
@@ -36,7 +37,7 @@ pub fn acf_direct(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError
     let mean = signal.iter().sum::<f64>() / n as f64;
     let centered: Vec<f64> = signal.iter().map(|x| x - mean).collect();
     let denom: f64 = centered.iter().map(|x| x * x).sum();
-    if denom == 0.0 {
+    if approx_zero(denom) {
         return Ok(vec![1.0; max_lag + 1]);
     }
     let mut out = Vec::with_capacity(max_lag + 1);
@@ -97,8 +98,11 @@ pub fn on_hill(acf: &[f64], lag: usize, radius: usize) -> bool {
     }
     let lo = lag.saturating_sub(radius);
     let hi = (lag + radius).min(acf.len() - 1);
-    let v = acf[lag];
-    (lo..=hi).all(|i| acf[i] <= v + 1e-12)
+    let v = match acf.get(lag) {
+        Some(&v) => v,
+        None => return false,
+    };
+    acf.get(lo..=hi).unwrap_or(&[]).iter().all(|&y| y <= v + 1e-12)
 }
 
 /// Refines an integer candidate lag to a fractional peak location by
@@ -110,7 +114,11 @@ pub fn refine_peak(acf: &[f64], lag: usize) -> f64 {
     if lag == 0 || lag + 1 >= acf.len() {
         return lag as f64;
     }
-    let (y0, y1, y2) = (acf[lag - 1], acf[lag], acf[lag + 1]);
+    let (Some(&y0), Some(&y1), Some(&y2)) =
+        (acf.get(lag - 1), acf.get(lag), acf.get(lag + 1))
+    else {
+        return lag as f64;
+    };
     let denom = y0 - 2.0 * y1 + y2;
     if denom.abs() < 1e-30 {
         return lag as f64;

@@ -11,6 +11,7 @@
 //! negative result can be reproduced (`tab_s34_correlation` bench).
 
 use crate::fft::{fft_real, next_power_of_two};
+use crate::float::approx_zero;
 use crate::StatsError;
 
 /// Pearson correlation coefficient between two equal-length series.
@@ -43,7 +44,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    if approx_zero(sxx) || approx_zero(syy) {
         return Ok(0.0);
     }
     Ok((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
@@ -82,13 +83,15 @@ pub fn cross_correlation(x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64
     let mut out = Vec::with_capacity(2 * max_lag + 1);
     for lag in -(max_lag as isize)..=(max_lag as isize) {
         let mut acc = 0.0;
-        for t in 0..n {
+        for (t, &cxv) in cx.iter().enumerate() {
             let u = t as isize + lag;
-            if u >= 0 && (u as usize) < n {
-                acc += cx[t] * cy[u as usize];
+            if u >= 0 {
+                if let Some(&cyv) = cy.get(u as usize) {
+                    acc += cxv * cyv;
+                }
             }
         }
-        out.push(if denom == 0.0 { 0.0 } else { acc / denom });
+        out.push(if approx_zero(denom) { 0.0 } else { acc / denom });
     }
     Ok(out)
 }
@@ -144,15 +147,15 @@ pub fn mean_coherence(x: &[f64], y: &[f64], segment_len: usize) -> Result<f64, S
         let wy = windowed(&y[start..start + seg]);
         let fx = fft_real(&wx, seg)?;
         let fy = fft_real(&wy, seg)?;
-        for k in 1..=half {
-            let a = fx[k];
-            let b = fy[k];
-            sxx[k - 1] += a.norm_sqr();
-            syy[k - 1] += b.norm_sqr();
+        let bins = fx.get(1..=half).unwrap_or(&[]).iter().zip(fy.get(1..=half).unwrap_or(&[]));
+        let accs = sxx.iter_mut().zip(&mut syy).zip(sxy_re.iter_mut().zip(&mut sxy_im));
+        for ((a, b), ((sx, sy), (re, im))) in bins.zip(accs) {
+            *sx += a.norm_sqr();
+            *sy += b.norm_sqr();
             // S_xy = X * conj(Y)
-            let c = a * b.conj();
-            sxy_re[k - 1] += c.re;
-            sxy_im[k - 1] += c.im;
+            let c = *a * b.conj();
+            *re += c.re;
+            *im += c.im;
         }
         segments += 1;
         start += hop;
@@ -161,10 +164,10 @@ pub fn mean_coherence(x: &[f64], y: &[f64], segment_len: usize) -> Result<f64, S
 
     let mut acc = 0.0;
     let mut count = 0usize;
-    for k in 0..half {
-        let denom = sxx[k] * syy[k];
+    for ((sx, sy), (re, im)) in sxx.iter().zip(&syy).zip(sxy_re.iter().zip(&sxy_im)) {
+        let denom = sx * sy;
         if denom > 1e-30 {
-            let num = sxy_re[k] * sxy_re[k] + sxy_im[k] * sxy_im[k];
+            let num = re * re + im * im;
             acc += (num / denom).clamp(0.0, 1.0);
             count += 1;
         }

@@ -136,13 +136,14 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), StatsError> {
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::from_polar_unit(ang);
-        for start in (0..n).step_by(len) {
+        for chunk in buf.chunks_exact_mut(len) {
+            let (first, second) = chunk.split_at_mut(len / 2);
             let mut w = Complex::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = buf[start + k];
-                let v = buf[start + k + len / 2] * w;
-                buf[start + k] = u + v;
-                buf[start + k + len / 2] = u - v;
+            for (l, h) in first.iter_mut().zip(second.iter_mut()) {
+                let u = *l;
+                let v = *h * w;
+                *l = u + v;
+                *h = u - v;
                 w = w * wlen;
             }
         }
@@ -242,7 +243,7 @@ pub fn dominant_frequency(signal: &[f64], pad_factor: usize) -> Result<SpectrumB
     }
     let bins = periodogram(signal, pad_factor)?;
     bins.into_iter()
-        .max_by(|a, b| a.power.partial_cmp(&b.power).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.power.total_cmp(&b.power))
         .ok_or(StatsError::EmptyInput)
 }
 

@@ -1,0 +1,91 @@
+//! Tolerance-based float comparison.
+//!
+//! Raw `==`/`!=` on floats is brittle: values that are mathematically
+//! equal differ after rounding, and `NaN != NaN` silently falls through
+//! equality checks. The detection pipeline compares variances, ACF
+//! denominators and normalization factors against zero all over; this
+//! module is the single place those comparisons happen.
+
+/// Default absolute tolerance for [`approx_eq`] and [`approx_zero`].
+///
+/// Chosen a few orders of magnitude above `f64::EPSILON` so that values
+/// produced by short accumulation loops (hundreds of terms) still compare
+/// equal to their mathematical value.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// True when `a` and `b` are within `tol` absolutely, or within
+/// `tol`-relative of the larger magnitude for large values.
+///
+/// NaN compares unequal to everything (including NaN), matching IEEE
+/// semantics without the footgun of a silent `==`.
+///
+/// # Example
+///
+/// ```rust
+/// use memdos_stats::float::{approx_eq, DEFAULT_TOLERANCE};
+///
+/// assert!(approx_eq(0.1 + 0.2, 0.3, DEFAULT_TOLERANCE));
+/// assert!(!approx_eq(1.0, 1.1, DEFAULT_TOLERANCE));
+/// assert!(!approx_eq(f64::NAN, f64::NAN, DEFAULT_TOLERANCE));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a == b {
+        // lint:allow(float-eq) -- the one intentional exact comparison:
+        // catches identical bit patterns and infinities of the same sign.
+        return true;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        // Same-sign infinities already matched above; remaining cases
+        // (opposite signs, or one finite operand) are never close.
+        return false;
+    }
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1.0);
+    diff <= tol * scale
+}
+
+/// True when `x` is within [`DEFAULT_TOLERANCE`] of zero. NaN is not
+/// near zero.
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= DEFAULT_TOLERANCE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_after_rounding() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, DEFAULT_TOLERANCE));
+        assert!(approx_eq(1.0e12 + 0.001, 1.0e12, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn distinct_values_differ() {
+        assert!(!approx_eq(1.0, 1.0 + 1e-6, DEFAULT_TOLERANCE));
+        assert!(!approx_eq(0.0, 1.0, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, DEFAULT_TOLERANCE));
+        assert!(!approx_eq(f64::NAN, 0.0, DEFAULT_TOLERANCE));
+        assert!(!approx_zero(f64::NAN));
+    }
+
+    #[test]
+    fn infinities() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, DEFAULT_TOLERANCE));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn zero_tolerance_band() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(1e-12));
+        assert!(!approx_zero(1e-3));
+    }
+}

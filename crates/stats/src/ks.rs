@@ -70,19 +70,19 @@ pub fn ks_two_sample(reference: &[f64], monitored: &[f64]) -> Result<KsResult, S
     }
     let mut a = reference.to_vec();
     let mut b = monitored.to_vec();
-    a.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
 
     let n = a.len();
     let m = b.len();
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
-    while i < n && j < m {
-        let x = a[i].min(b[j]);
-        while i < n && a[i] <= x {
+    while let (Some(&ai), Some(&bj)) = (a.get(i), b.get(j)) {
+        let x = ai.min(bj);
+        while a.get(i).is_some_and(|&v| v <= x) {
             i += 1;
         }
-        while j < m && b[j] <= x {
+        while b.get(j).is_some_and(|&v| v <= x) {
             j += 1;
         }
         let fa = i as f64 / n as f64;

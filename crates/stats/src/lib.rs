@@ -48,8 +48,10 @@ pub mod acf;
 pub mod bounds;
 pub mod correlate;
 pub mod fft;
+pub mod float;
 pub mod ks;
 pub mod period;
+pub mod rng;
 pub mod series;
 pub mod smoothing;
 

@@ -92,9 +92,7 @@ impl PeriodDetector {
             .into_iter()
             .filter(|b| b.period >= 2.0 && b.period <= max_period)
             .collect();
-        candidates.sort_by(|a, b| {
-            b.power.partial_cmp(&a.power).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        candidates.sort_by(|a, b| b.power.total_cmp(&a.power));
         candidates.truncate(self.max_candidates.max(1));
         if candidates.is_empty() {
             return Ok(None);
@@ -119,13 +117,14 @@ impl PeriodDetector {
             if !on_hill(&acf, peak, self.hill_radius) {
                 continue;
             }
-            if acf[peak] < self.min_strength {
+            let strength = acf.get(peak).copied().unwrap_or(0.0);
+            if strength < self.min_strength {
                 continue;
             }
             let refined = refine_peak(&acf, peak);
             return Ok(Some(PeriodEstimate {
                 period: refined,
-                strength: acf[peak],
+                strength,
                 spectral_power: cand.power,
             }));
         }
@@ -139,10 +138,13 @@ impl PeriodDetector {
         loop {
             let lo = lag.saturating_sub(self.hill_radius).max(1);
             let hi = (lag + self.hill_radius).min(acf.len() - 1);
-            let best = (lo..=hi)
-                .max_by(|&a, &b| {
-                    acf[a].partial_cmp(&acf[b]).unwrap_or(std::cmp::Ordering::Equal)
-                })
+            let best = acf
+                .iter()
+                .enumerate()
+                .take(hi + 1)
+                .skip(lo)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
                 .unwrap_or(lag);
             if best == lag {
                 return lag;

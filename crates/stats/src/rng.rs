@@ -14,7 +14,7 @@
 /// # Example
 ///
 /// ```rust
-/// use memdos_sim::rng::Rng;
+/// use memdos_stats::rng::Rng;
 ///
 /// let mut a = Rng::new(42);
 /// let mut b = Rng::new(42);

@@ -186,6 +186,7 @@ impl std::ops::Index<usize> for TimeSeries {
     type Output = f64;
 
     fn index(&self, index: usize) -> &f64 {
+        // lint:allow(index) -- std::ops::Index contractually panics out-of-range
         &self.data[index]
     }
 }
@@ -244,15 +245,15 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
         });
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
-        Ok(sorted[lo])
-    } else {
-        let frac = pos - lo as f64;
-        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let frac = pos - lo as f64;
+    match (sorted.get(lo), sorted.get(hi)) {
+        (Some(&a), _) if lo == hi => Ok(a),
+        (Some(&a), Some(&b)) => Ok(a * (1.0 - frac) + b * frac),
+        _ => Err(StatsError::EmptyInput),
     }
 }
 

@@ -109,8 +109,10 @@ impl MovingAverage {
             self.buf.push(sample);
             self.sum += sample;
         } else {
-            self.sum += sample - self.buf[self.head];
-            self.buf[self.head] = sample;
+            if let Some(slot) = self.buf.get_mut(self.head) {
+                self.sum += sample - *slot;
+                *slot = sample;
+            }
             self.head = (self.head + 1) % self.window;
         }
         self.seen += 1;

@@ -1,0 +1,119 @@
+//! Table-driven degenerate-input tests: every public entry point must
+//! return an `Err` (or a well-defined empty/constant result) on empty,
+//! undersized, or zero-variance input — never panic. These are the exact
+//! inputs a detector sees at startup or during a quiet window.
+
+use memdos_stats::acf::{acf_direct, acf_fft};
+use memdos_stats::bounds::NormalRange;
+use memdos_stats::fft::{fft_in_place, fft_real, periodogram, Complex};
+use memdos_stats::ks::ks_two_sample;
+use memdos_stats::period::detect_period;
+use memdos_stats::series::{mean, quantile, std_dev, variance};
+use memdos_stats::smoothing::{Ewma, MovingAverage};
+use memdos_stats::StatsError;
+
+/// Every empty-input case in one table: `(label, result-kind)` where the
+/// closure runs the operation and reports whether it returned `Err`.
+#[test]
+fn empty_input_is_an_error_everywhere() {
+    let empty: &[f64] = &[];
+    let cases: Vec<(&str, Result<(), StatsError>)> = vec![
+        ("mean", mean(empty).map(drop)),
+        ("variance", variance(empty).map(drop)),
+        ("std_dev", std_dev(empty).map(drop)),
+        ("quantile", quantile(empty, 0.5).map(drop)),
+        ("acf_direct", acf_direct(empty, 0).map(drop)),
+        ("acf_fft", acf_fft(empty, 0).map(drop)),
+        ("ks_ref_empty", ks_two_sample(empty, &[1.0]).map(drop)),
+        ("ks_mon_empty", ks_two_sample(&[1.0], empty).map(drop)),
+        ("fft_real", fft_real(empty, 8).map(drop)),
+        ("periodogram", periodogram(empty, 1).map(drop)),
+    ];
+    for (label, result) in cases {
+        assert!(result.is_err(), "{label}: empty input must be an error");
+    }
+}
+
+/// A zero-length (or non-power-of-two) DFT buffer is a parameter error,
+/// not a panic.
+#[test]
+fn zero_length_dft_is_an_error() {
+    let mut empty: Vec<Complex> = Vec::new();
+    assert!(matches!(
+        fft_in_place(&mut empty),
+        Err(StatsError::InvalidParameter { name: "len", .. })
+            | Err(StatsError::InvalidParameter { .. })
+    ));
+    let mut three = vec![Complex::default(); 3];
+    assert!(fft_in_place(&mut three).is_err());
+}
+
+/// A window larger than the series produces no smoothed points — the
+/// stream simply has not completed a window yet.
+#[test]
+fn window_longer_than_series_yields_no_output() {
+    let data = [1.0, 2.0, 3.0, 4.0];
+    let out = MovingAverage::apply(10, 5, &data).expect("valid parameters");
+    assert!(out.is_empty());
+}
+
+/// Degenerate smoothing parameters are rejected up front.
+#[test]
+fn invalid_smoothing_parameters_are_errors() {
+    let cases: Vec<(&str, bool)> = vec![
+        ("window=0", MovingAverage::new(0, 1).is_err()),
+        ("step=0", MovingAverage::new(10, 0).is_err()),
+        ("step>window", MovingAverage::new(10, 20).is_err()),
+        ("alpha=0", Ewma::new(0.0).is_err()),
+        ("alpha>1", Ewma::new(1.5).is_err()),
+        ("alpha=NaN", Ewma::new(f64::NAN).is_err()),
+    ];
+    for (label, is_err) in cases {
+        assert!(is_err, "{label}: must be rejected");
+    }
+}
+
+/// An all-constant signal has zero variance. The ACF convention returns
+/// all-ones, the σ=0 Chebyshev band collapses to a point, and the period
+/// detector reports "no period" — none of them divide by zero or panic.
+#[test]
+fn all_constant_input_is_well_defined() {
+    let constant = [5.0; 64];
+
+    let acf = acf_direct(&constant, 8).expect("constant signal is valid input");
+    assert!(acf.iter().all(|&r| (r - 1.0).abs() < 1e-12));
+
+    let band = NormalRange::new(5.0, 0.0, 1.5).expect("sigma = 0 is a legal profile");
+    assert!(!band.is_violation(5.0));
+    assert!(band.is_violation(5.0 + 1e-6));
+
+    let period = detect_period(&constant).expect("constant signal must not error");
+    assert!(period.is_none(), "constant signal has no period: {period:?}");
+}
+
+/// `max_lag` at or past the series length is reported as `TooShort` with
+/// the exact requirement.
+#[test]
+fn acf_lag_beyond_series_is_too_short() {
+    let short = [1.0, 2.0, 3.0];
+    for f in [acf_direct, acf_fft] {
+        match f(&short, 3) {
+            Err(StatsError::TooShort { required, actual }) => {
+                assert_eq!((required, actual), (4, 3));
+            }
+            other => panic!("expected TooShort, got {other:?}"),
+        }
+    }
+}
+
+/// The period detector refuses signals shorter than its 8-sample floor.
+#[test]
+fn period_detector_rejects_tiny_signals() {
+    for n in 0..8 {
+        let signal = vec![1.0; n];
+        assert!(
+            matches!(detect_period(&signal), Err(StatsError::TooShort { .. })),
+            "length {n} must be TooShort"
+        );
+    }
+}

@@ -268,10 +268,14 @@ impl PhaseMachine {
 
     fn spec(&self, idx: usize) -> &PhaseSpec {
         if idx == self.phases.len() {
-            &self.episode.as_ref().expect("episode configured").phase
-        } else {
-            &self.phases[idx]
+            if let Some(ep) = self.episode.as_ref() {
+                return &ep.phase;
+            }
         }
+        // lint:allow(index) -- the machine only sets an index equal to
+        // phases.len() while an episode is configured (handled above), so
+        // idx is always a valid phase position here.
+        &self.phases[idx]
     }
 
     fn enter_phase(&mut self, idx: usize, rng: &mut Rng) {
@@ -285,16 +289,22 @@ impl PhaseMachine {
         let region = phase.region;
         let offset = match phase.pattern {
             Pattern::Sequential { stride } => {
-                let pos = &mut self.seq_pos[self.current];
-                let line = (*pos).wrapping_mul(stride) % region.lines;
-                *pos = pos.wrapping_add(1);
-                line
+                match self.seq_pos.get_mut(self.current) {
+                    Some(pos) => {
+                        let line = (*pos).wrapping_mul(stride) % region.lines;
+                        *pos = pos.wrapping_add(1);
+                        line
+                    }
+                    None => 0,
+                }
             }
             Pattern::Random => rng.next_below(region.lines),
-            Pattern::Zipf { .. } => self.zipf[self.current]
-                .as_ref()
-                .expect("zipf sampler built in constructor")
-                .sample(rng),
+            // The constructor builds a sampler for every Zipf phase; fall
+            // back to a uniform draw if that invariant is ever broken.
+            Pattern::Zipf { .. } => match self.zipf.get(self.current).and_then(Option::as_ref) {
+                Some(z) => z.sample(rng),
+                None => rng.next_below(region.lines),
+            },
             Pattern::HotCold { hot_frac, hot_prob } => {
                 let hot_lines = ((region.lines as f64 * hot_frac).ceil() as u64)
                     .clamp(1, region.lines);

@@ -1,0 +1,246 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! `strip` blanks out comments and string/char literals while preserving
+//! byte offsets and line numbers, so the rule scanners never fire on
+//! prose or on patterns quoted inside strings. Line comments are scanned
+//! for `lint:allow(<category>) -- <reason>` suppression markers before
+//! being blanked.
+
+/// A suppression marker found in a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the marker sits on. A marker suppresses findings on
+    /// its own line and on the line directly below it.
+    pub line: usize,
+    /// The category inside the parentheses, e.g. `panic` or `index`.
+    pub category: String,
+    /// Whether a non-empty `-- <reason>` justification follows. Markers
+    /// without a justification suppress nothing and are themselves
+    /// reported.
+    pub justified: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Clone)]
+pub struct Stripped {
+    /// The source with comments and string/char literals replaced by
+    /// spaces. Newlines are preserved, so line numbers match the input.
+    pub code: String,
+    /// All `lint:allow` markers, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Byte at `i`, or NUL past the end. Keeps every scanner loop free of
+/// unchecked indexing without cluttering it with `match` arms.
+fn at(bytes: &[u8], i: usize) -> u8 {
+    bytes.get(i).copied().unwrap_or(0)
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Parses `lint:allow(<category>) -- <reason>` out of a comment's text.
+fn parse_allow(text: &str, line: usize, allows: &mut Vec<Allow>) {
+    let marker = "lint:allow(";
+    let Some(pos) = text.find(marker) else {
+        return;
+    };
+    let rest = text.get(pos + marker.len()..).unwrap_or("");
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let category = rest.get(..close).unwrap_or("").trim().to_string();
+    let after = rest.get(close + 1..).unwrap_or("");
+    let justified = match after.find("--") {
+        Some(dash) => !after.get(dash + 2..).unwrap_or("").trim().is_empty(),
+        None => false,
+    };
+    allows.push(Allow { line, category, justified });
+}
+
+/// Blanks comments and literals out of `source`. See module docs.
+pub fn strip(source: &str) -> Stripped {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = at(bytes, i);
+        if c == b'\n' {
+            line += 1;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        // Line comment: record allow markers, then blank to end of line.
+        if c == b'/' && at(bytes, i + 1) == b'/' {
+            let start = i;
+            while i < bytes.len() && at(bytes, i) != b'\n' {
+                i += 1;
+            }
+            parse_allow(source.get(start..i).unwrap_or(""), line, &mut allows);
+            out.resize(out.len() + (i - start), b' ');
+            continue;
+        }
+        // Block comment (nested): blank, preserving newlines.
+        if c == b'/' && at(bytes, i + 1) == b'*' {
+            let mut depth = 1u32;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if at(bytes, i) == b'/' && at(bytes, i + 1) == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if at(bytes, i) == b'*' && at(bytes, i + 1) == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if at(bytes, i) == b'\n' {
+                    line += 1;
+                    out.push(b'\n');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        let prev_ident = i > 0 && is_ident(at(bytes, i - 1));
+        // String literals: plain, byte, raw, raw-byte.
+        if !prev_ident {
+            let (prefix_len, raw) = match (c, at(bytes, i + 1)) {
+                (b'"', _) => (0usize, false),
+                (b'b', b'"') => (1, false),
+                (b'r', b'"') | (b'r', b'#') => (1, true),
+                (b'b', b'r') if matches!(at(bytes, i + 2), b'"' | b'#') => (2, true),
+                _ => (usize::MAX, false),
+            };
+            if prefix_len != usize::MAX {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                if raw {
+                    while at(bytes, j) == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if at(bytes, j) == b'"' {
+                    j += 1; // past the opening quote
+                    loop {
+                        let b = at(bytes, j);
+                        if b == 0 {
+                            break; // unterminated; blank to EOF
+                        }
+                        if !raw && b == b'\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if b == b'"' {
+                            let tail = (0..hashes).all(|k| at(bytes, j + 1 + k) == b'#');
+                            if tail {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for k in i..j.min(bytes.len()) {
+                        if at(bytes, k) == b'\n' {
+                            line += 1;
+                            out.push(b'\n');
+                        } else {
+                            out.push(b' ');
+                        }
+                    }
+                    i = j.min(bytes.len());
+                    continue;
+                }
+            }
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' || (c == b'b' && at(bytes, i + 1) == b'\'' && !prev_ident) {
+            let q = if c == b'b' { i + 1 } else { i };
+            let n1 = at(bytes, q + 1);
+            let is_char = n1 == b'\\' || n1 >= 0x80 || at(bytes, q + 2) == b'\'';
+            if is_char {
+                let mut j = q + 1;
+                if n1 == b'\\' {
+                    j += 2; // skip the escape introducer and escaped byte
+                }
+                while j < bytes.len() && at(bytes, j) != b'\'' && at(bytes, j) != b'\n' {
+                    j += 1;
+                }
+                if at(bytes, j) == b'\'' {
+                    j += 1;
+                }
+                out.resize(out.len() + (j - i), b' ');
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    Stripped { code: String::from_utf8_lossy(&out).into_owned(), allows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments() {
+        let s = strip("let x = 1; // trailing unwrap() mention\nlet y = 2;\n");
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let y = 2;"));
+        assert_eq!(s.code.lines().count(), 2);
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let s = strip("a /* one /* two */ still */ b\nc\n");
+        assert!(s.code.contains('a'));
+        assert!(s.code.contains('b'));
+        assert!(!s.code.contains("still"));
+        assert_eq!(s.code.lines().count(), 2);
+    }
+
+    #[test]
+    fn blanks_strings_and_keeps_line_numbers() {
+        let s = strip("let m = \"panic! inside\\\" str\";\nlet r = r#\"raw \"q\" unwrap()\"#;\n");
+        assert!(!s.code.contains("panic!"));
+        assert!(!s.code.contains("unwrap"));
+        assert_eq!(s.code.lines().count(), 2);
+    }
+
+    #[test]
+    fn multiline_string_preserves_lines() {
+        let s = strip("let m = \"line one\nline two\";\nlet x = 3;\n");
+        assert_eq!(s.code.lines().count(), 3);
+        assert!(s.code.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = strip("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet c = 'z';\n");
+        assert!(s.code.contains("<'a>"), "lifetime kept: {}", s.code);
+        assert!(!s.code.contains('z'));
+    }
+
+    #[test]
+    fn records_allow_markers() {
+        let s = strip("x(); // lint:allow(panic) -- startup only\ny(); // lint:allow(index)\n");
+        assert_eq!(s.allows.len(), 2);
+        let a = &s.allows[0];
+        assert!((a.line, a.category.as_str(), a.justified) == (1, "panic", true));
+        let b = &s.allows[1];
+        assert!((b.line, b.category.as_str(), b.justified) == (2, "index", false));
+    }
+}

@@ -1,0 +1,147 @@
+//! # xtask — workspace static analysis
+//!
+//! A dependency-free lint pass for the memdos workspace, run as
+//! `cargo run -p xtask -- lint`. It walks every `crates/*/src` tree (and
+//! the root package's `src/`), strips comments and string literals with a
+//! small hand-rolled lexer, and enforces four rule families:
+//!
+//! * **L1 panic-freedom** — no `unwrap()`/`expect()`/`panic!`/
+//!   `unreachable!`/`todo!`/`unimplemented!` and no unchecked slice
+//!   indexing in non-test library code. SDS is a real-time detector; a
+//!   panic on a degenerate window is a missed detection.
+//! * **L2 determinism** — no `std::time::{Instant, SystemTime}`, no
+//!   `HashMap`/`HashSet` in the deterministic crates (`sim`, `stats`,
+//!   `core`), no ambient randomness: every stochastic choice flows from
+//!   the seeded `memdos_stats::rng`.
+//! * **L3 float-safety** — no `==`/`!=` on float expressions (use
+//!   `memdos_stats::float::approx_eq`) and no NaN-unsafe `partial_cmp`
+//!   (use `f64::total_cmp`).
+//! * **L4 crate hygiene** — every `lib.rs` carries
+//!   `#![forbid(unsafe_code)]`; every `Cargo.toml` dependency is
+//!   workspace-inherited with no wildcard versions.
+//!
+//! A finding is suppressed only by an inline justification on the same
+//! line or the line above: `// lint:allow(<category>) -- <reason>`.
+//! Categories: `panic`, `index`, `time`, `collections`, `rand`,
+//! `float-eq`, `partial-cmp`. Markers without a reason are themselves
+//! reported and suppress nothing.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{FileScope, Finding};
+
+/// Crates whose outputs must be reproducible bit-for-bit across runs.
+const DETERMINISTIC_CRATES: [&str; 3] = ["sim", "stats", "core"];
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+/// Lints one crate's `src` tree and manifest. `name` is the directory
+/// name under `crates/` (or `"."` for the workspace root package).
+fn lint_crate(root: &Path, crate_dir: &Path, name: &str) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let scope = FileScope { deterministic: DETERMINISTIC_CRATES.contains(&name) };
+
+    let manifest_path = crate_dir.join("Cargo.toml");
+    if manifest_path.is_file() {
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+        let is_root = text.contains("[workspace]");
+        findings.extend(manifest::check_manifest(
+            &display_path(root, &manifest_path),
+            &text,
+            is_root,
+        ));
+    }
+
+    let src = crate_dir.join("src");
+    if !src.is_dir() {
+        return Ok(findings);
+    }
+    let mut files = Vec::new();
+    rust_files(&src, &mut files)?;
+    for path in files {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let shown = display_path(root, &path);
+        findings.extend(rules::check_source(&shown, &text, scope));
+        if path.file_name().is_some_and(|f| f == "lib.rs") {
+            findings.extend(rules::check_forbid_unsafe(&shown, &text));
+        }
+    }
+    Ok(findings)
+}
+
+/// Lints the whole workspace rooted at `root`: the root package plus
+/// every directory under `crates/`. Findings come back sorted by file
+/// and line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = lint_crate(root, root, ".")?;
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+        if entry.path().is_dir() {
+            dirs.push(entry.path());
+        }
+    }
+    dirs.sort();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        findings.extend(lint_crate(root, &dir, &name)?);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

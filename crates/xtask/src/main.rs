@@ -1,0 +1,68 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--root <path>]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--root" {
+            match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            }
+        } else {
+            return usage();
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("xtask: cannot determine current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match xtask::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("xtask: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match xtask::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+            println!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

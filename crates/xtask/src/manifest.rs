@@ -1,0 +1,104 @@
+//! L4 crate-hygiene checks over `Cargo.toml` files.
+//!
+//! A tiny line-oriented TOML reader — enough for the flat manifests this
+//! workspace uses. Two rules:
+//!
+//! 1. no wildcard (`*`) version requirements anywhere;
+//! 2. member crates must inherit every dependency from the workspace
+//!    (`{ workspace = true }`), so versions are pinned in exactly one
+//!    place. The workspace root's `[workspace.dependencies]` table is the
+//!    definition site and may use `path`/version entries.
+
+use crate::rules::Finding;
+
+fn is_dep_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || (name.starts_with("target.") && name.ends_with("dependencies"))
+}
+
+/// Checks one manifest. `is_workspace_root` relaxes the inheritance rule
+/// for the `[workspace.dependencies]` definition site.
+pub fn check_manifest(file: &str, source: &str, is_workspace_root: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if value.contains("\"*\"") || value.contains("version = \"*\"") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                rule: "L4/cargo",
+                message: format!("dependency `{name}` uses a wildcard version"),
+            });
+            continue;
+        }
+        let definition_site = is_workspace_root && section == "workspace.dependencies";
+        let inherited = value.contains("workspace = true");
+        if !definition_site && !inherited {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                rule: "L4/cargo",
+                message: format!(
+                    "dependency `{name}` must be workspace-inherited: `{name} = {{ workspace = true }}`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_version_flagged() {
+        let toml = "[dependencies]\nfoo = \"*\"\n";
+        let f = check_manifest("Cargo.toml", toml, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn non_inherited_dep_flagged_in_member() {
+        let toml = "[dev-dependencies]\nserde = \"1.0\"\n";
+        let f = check_manifest("Cargo.toml", toml, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("workspace-inherited"));
+    }
+
+    #[test]
+    fn workspace_definition_site_is_exempt() {
+        let toml = "[workspace.dependencies]\nmemdos-stats = { path = \"crates/stats\" }\n";
+        assert!(check_manifest("Cargo.toml", toml, true).is_empty());
+        // ... but not in a member manifest.
+        assert_eq!(check_manifest("Cargo.toml", toml, false).len(), 1);
+    }
+
+    #[test]
+    fn inherited_deps_and_metadata_pass() {
+        let toml = "[package]\nname = \"x\"\nversion.workspace = true\n\n[dependencies]\n\
+                    memdos-stats = { workspace = true }\n";
+        assert!(check_manifest("Cargo.toml", toml, false).is_empty());
+    }
+}

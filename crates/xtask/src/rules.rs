@@ -1,0 +1,439 @@
+//! The rule scanners (L1–L3) that run over lexed source files.
+//!
+//! Every scanner works on the *stripped* code from [`crate::lexer`], so
+//! comments and string literals can never trigger a finding. Code inside
+//! `#[cfg(test)]` items is exempt from all content rules: tests may
+//! unwrap freely.
+
+use crate::lexer::{strip, Allow};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as displayed to the user (workspace-relative).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule code, e.g. `L1/panic`.
+    pub rule: &'static str,
+    /// Human-readable description with the remedy.
+    pub message: String,
+}
+
+/// How a file is scoped for rule selection.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// True for crates whose results must be bit-reproducible
+    /// (`sim`, `stats`, `core`): bans `HashMap`/`HashSet` there.
+    pub deterministic: bool,
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True when `token` occurs in `line` delimited by non-identifier chars.
+fn has_token(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(token)) {
+        let start = from + pos;
+        let end = start + token.len();
+        let before_ok = start == 0 || !is_ident(bytes.get(start - 1).copied().unwrap_or(0));
+        let after_ok = !is_ident(bytes.get(end).copied().unwrap_or(0));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Lines covered by `#[cfg(test)]` items (inclusive 1-based ranges).
+///
+/// Scans the stripped code for the attribute, then brace-matches the item
+/// that follows. Brace matching on stripped code is reliable because
+/// braces inside strings and comments are already blanked.
+fn test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let compact: String = code.split_whitespace().collect::<Vec<_>>().join("");
+    // Fast path: no test attribute anywhere.
+    if !compact.contains("#[cfg(test)]") {
+        return Vec::new();
+    }
+    let mut ranges = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes.get(i).copied().unwrap_or(0);
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c == b'#' && code.get(i..).is_some_and(|s| {
+            let head: String = s.chars().take_while(|&ch| ch != ']').collect();
+            let squeezed: String = head.split_whitespace().collect();
+            squeezed == "#[cfg(test)"
+        }) {
+            let start_line = line;
+            // Find the item body: first '{' (brace-matched) or ';' for a
+            // brace-less item like `#[cfg(test)] use foo;`.
+            let mut depth = 0usize;
+            let mut seen_brace = false;
+            while i < bytes.len() {
+                match bytes.get(i).copied().unwrap_or(0) {
+                    b'\n' => line += 1,
+                    b'{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if seen_brace && depth == 0 {
+                            break;
+                        }
+                    }
+                    b';' if !seen_brace => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            ranges.push((start_line, line));
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+/// Resolved suppression targets: a justified marker covers its own line
+/// and the first following line that still has code after stripping, so
+/// a marker inside a multi-line comment reaches the code below it.
+fn allow_targets(allows: &[Allow], code: &str) -> Vec<(String, usize)> {
+    let blank: Vec<bool> = code.lines().map(|l| l.trim().is_empty()).collect();
+    allows
+        .iter()
+        .filter(|a| a.justified)
+        .flat_map(|a| {
+            let next = (a.line..blank.len())
+                .find(|&i| !blank.get(i).copied().unwrap_or(true))
+                .map(|i| i + 1)
+                .unwrap_or(a.line);
+            [(a.category.clone(), a.line), (a.category.clone(), next)]
+        })
+        .collect()
+}
+
+fn allowed(targets: &[(String, usize)], category: &str, line: usize) -> bool {
+    targets.iter().any(|(c, l)| c == category && *l == line)
+}
+
+/// Context window around a comparison operator, cut at expression
+/// boundaries, used to decide whether the operands look like floats.
+fn looks_float(context: &str) -> bool {
+    if has_token(context, "f64") || has_token(context, "f32") {
+        return true;
+    }
+    let bytes = context.as_bytes();
+    bytes.iter().enumerate().any(|(i, &c)| {
+        c == b'.'
+            && i > 0
+            && bytes.get(i - 1).copied().unwrap_or(0).is_ascii_digit()
+            && bytes.get(i + 1).copied().unwrap_or(0).is_ascii_digit()
+    })
+}
+
+const BOUNDARIES: [&str; 8] = ["&&", "||", ",", ";", "(", ")", "{", "}"]; // expression cut points
+
+fn left_context(line: &str, op_start: usize) -> &str {
+    let head = line.get(..op_start).unwrap_or("");
+    let cut = BOUNDARIES
+        .iter()
+        .filter_map(|b| head.rfind(b).map(|p| p + b.len()))
+        .max()
+        .unwrap_or(0);
+    head.get(cut..).unwrap_or("")
+}
+
+fn right_context(line: &str, op_end: usize) -> &str {
+    let tail = line.get(op_end..).unwrap_or("");
+    let cut = BOUNDARIES
+        .iter()
+        .filter_map(|b| tail.find(b))
+        .min()
+        .unwrap_or(tail.len());
+    tail.get(..cut).unwrap_or("")
+}
+
+/// Scans one line for `==`/`!=` where an operand looks like a float.
+fn float_eq_on_line(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    (0..bytes.len()).any(|i| {
+        let a = bytes.get(i).copied().unwrap_or(0);
+        let b = bytes.get(i + 1).copied().unwrap_or(0);
+        let c = bytes.get(i + 2).copied().unwrap_or(0);
+        let is_eq = (a == b'=' || a == b'!') && b == b'=' && c != b'=';
+        let prev = if i == 0 { 0 } else { bytes.get(i - 1).copied().unwrap_or(0) };
+        // Exclude <=, >=, ==, +=, -=, ... second halves and pattern arms.
+        let standalone = !matches!(prev, b'<' | b'>' | b'=' | b'!');
+        is_eq
+            && standalone
+            && (looks_float(left_context(line, i)) || looks_float(right_context(line, i + 2)))
+    })
+}
+
+/// Scans one line for indexing with a non-literal, non-range index.
+fn unchecked_index_on_line(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes.get(i).copied().unwrap_or(0) != b'[' {
+            i += 1;
+            continue;
+        }
+        // What precedes decides whether this is an index operation: an
+        // identifier, `]`, or `)` — but not a keyword (`let [a, b] = ..`
+        // is a slice pattern, not indexing).
+        let head = line.get(..i).unwrap_or("").trim_end();
+        let prev = head.bytes().last();
+        let word: String = head
+            .bytes()
+            .rev()
+            .take_while(|&c| is_ident(c))
+            .map(char::from)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        const KEYWORDS: [&str; 12] = [
+            "let", "in", "if", "else", "match", "return", "mut", "ref", "as", "move", "box",
+            "dyn",
+        ];
+        let is_index = matches!(prev, Some(c) if is_ident(c) || c == b']' || c == b')')
+            && !KEYWORDS.contains(&word.as_str());
+        // Find the matching close bracket on this line.
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes.get(j).copied().unwrap_or(0) {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let inner = line.get(i + 1..j.min(bytes.len())).unwrap_or("").trim();
+        let literal = !inner.is_empty()
+            && inner.bytes().all(|c| c.is_ascii_digit() || c == b'_');
+        let range = inner.contains("..");
+        if is_index && !literal && !range && !inner.is_empty() {
+            return true;
+        }
+        i = j.max(i) + 1;
+    }
+    false
+}
+
+/// Runs all content rules (L1–L3) over one source file.
+pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> {
+    let stripped = strip(source);
+    let tests = test_ranges(&stripped.code);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for a in &stripped.allows {
+        if !a.justified {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "allow",
+                message: format!(
+                    "lint:allow({}) needs a written justification: `-- <reason>`",
+                    a.category
+                ),
+            });
+        }
+    }
+
+    let panic_patterns: [(&str, &str); 6] = [
+        (".unwrap()", "unwrap() can panic; propagate with `?` or handle the None/Err"),
+        (".expect(", "expect() can panic; return an Err through the crate's error type"),
+        ("panic!", "panic! in library code; return an Err instead"),
+        ("unreachable!", "unreachable! in library code; make the state unrepresentable or return Err"),
+        ("todo!", "todo! left in library code"),
+        ("unimplemented!", "unimplemented! left in library code"),
+    ];
+
+    let targets = allow_targets(&stripped.allows, &stripped.code);
+    for (idx, raw_line) in stripped.code.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_ranges(&tests, line_no) {
+            continue;
+        }
+        let mut push = |rule: &'static str, category: &str, message: String| {
+            if !allowed(&targets, category, line_no) {
+                findings.push(Finding { file: file.to_string(), line: line_no, rule, message });
+            }
+        };
+        for (pat, why) in panic_patterns {
+            if raw_line.contains(pat) {
+                push("L1/panic", "panic", format!("{pat} — {why}"));
+                break;
+            }
+        }
+        if unchecked_index_on_line(raw_line) {
+            push(
+                "L1/index",
+                "index",
+                "unchecked slice indexing can panic; use get()/iterators or justify with \
+                 lint:allow(index)"
+                    .to_string(),
+            );
+        }
+        if has_token(raw_line, "Instant") || has_token(raw_line, "SystemTime") {
+            push(
+                "L2/time",
+                "time",
+                "wall-clock time breaks reproducibility; thread tick counts through instead"
+                    .to_string(),
+            );
+        }
+        if scope.deterministic && (has_token(raw_line, "HashMap") || has_token(raw_line, "HashSet"))
+        {
+            push(
+                "L2/collections",
+                "collections",
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet"
+                    .to_string(),
+            );
+        }
+        if has_token(raw_line, "thread_rng")
+            || has_token(raw_line, "RandomState")
+            || raw_line.contains("rand::") && !raw_line.contains("memdos")
+        {
+            let boundary_rand = {
+                let bytes = raw_line.as_bytes();
+                raw_line.match_indices("rand::").any(|(p, _)| {
+                    p == 0 || !is_ident(bytes.get(p - 1).copied().unwrap_or(0))
+                })
+            } || has_token(raw_line, "thread_rng")
+                || has_token(raw_line, "RandomState");
+            if boundary_rand {
+                push(
+                    "L2/rand",
+                    "rand",
+                    "ambient randomness breaks reproducibility; use the seeded \
+                     memdos_stats::rng::Rng"
+                        .to_string(),
+                );
+            }
+        }
+        if float_eq_on_line(raw_line) {
+            push(
+                "L3/float-eq",
+                "float-eq",
+                "==/!= on floats is brittle; use memdos_stats::float::approx_eq".to_string(),
+            );
+        }
+        if has_token(raw_line, "partial_cmp") {
+            push(
+                "L3/partial-cmp",
+                "partial-cmp",
+                "partial_cmp is NaN-unsafe; use f64::total_cmp for ordering".to_string(),
+            );
+        }
+    }
+    findings
+}
+
+/// L4: `lib.rs` must forbid unsafe code, attribute checked on stripped
+/// source so a commented-out attribute does not count.
+pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let squeezed: String = stripped.code.split_whitespace().collect();
+    if squeezed.contains("#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: "L4/unsafe",
+            message: "lib.rs must carry #![forbid(unsafe_code)]".to_string(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCOPE: FileScope = FileScope { deterministic: true };
+
+    fn rules_of(source: &str) -> Vec<&'static str> {
+        check_source("t.rs", source, SCOPE).iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        assert_eq!(rules_of("fn f() { x.unwrap(); }\n"), vec!["L1/panic"]);
+        assert_eq!(rules_of("fn f() { x.expect(\"m\"); }\n"), vec!["L1/panic"]);
+        assert!(rules_of("fn f() { x.unwrap_or(0); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "// lint:allow(panic) -- validated at startup\nfn f() { x.unwrap(); }\n";
+        assert!(rules_of(src).is_empty());
+        let bare = "// lint:allow(panic)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules_of(bare), vec!["allow", "L1/panic"]);
+    }
+
+    #[test]
+    fn flags_variable_indexing_only() {
+        assert_eq!(rules_of("fn f() { a[i] = 1; }\n"), vec!["L1/index"]);
+        assert!(rules_of("fn f() { a[0] = 1; }\n").is_empty());
+        assert!(rules_of("fn f() { b = &a[..n]; }\n").is_empty());
+        assert!(rules_of("fn f() { v = vec![0; n]; }\n").is_empty());
+        assert!(rules_of("fn f(x: [u8; 4]) {}\n").is_empty());
+    }
+
+    #[test]
+    fn flags_float_eq_not_int_eq() {
+        assert_eq!(rules_of("fn f() { if x == 0.0 {} }\n"), vec!["L3/float-eq"]);
+        assert_eq!(rules_of("fn f() { if y as f64 != z {} }\n"), vec!["L3/float-eq"]);
+        assert!(rules_of("fn f() { if n == 0 {} }\n").is_empty());
+        assert!(rules_of("fn f() { if n <= 0.5 {} }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_partial_cmp_and_time_and_hash() {
+        assert_eq!(rules_of("fn f() { a.partial_cmp(&b); }\n"), vec!["L3/partial-cmp"]);
+        assert_eq!(rules_of("fn f() { let t = Instant::now(); }\n"), vec!["L2/time"]);
+        assert_eq!(
+            rules_of("use std::collections::HashMap;\n"),
+            vec!["L2/collections"]
+        );
+        let loose = FileScope { deterministic: false };
+        assert!(check_source("t.rs", "use std::collections::HashMap;\n", loose).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checked_on_stripped_source() {
+        assert!(check_forbid_unsafe("l.rs", "#![forbid(unsafe_code)]\n").is_empty());
+        assert_eq!(check_forbid_unsafe("l.rs", "// #![forbid(unsafe_code)]\n").len(), 1);
+    }
+}

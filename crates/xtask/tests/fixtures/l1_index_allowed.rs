@@ -1,0 +1,10 @@
+//! Fixture: literal indices, range slicing, and justified allows pass.
+
+pub fn safe_shapes(values: &[u32], i: usize) -> u32 {
+    let first = values[0];
+    let tail = &values[1..];
+    let checked = values.get(i).copied().unwrap_or(0);
+    // lint:allow(index) -- fixture: i is validated by the caller.
+    let trusted = values[i];
+    first + tail.len() as u32 + checked + trusted
+}

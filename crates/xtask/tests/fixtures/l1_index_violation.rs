@@ -1,0 +1,5 @@
+//! Fixture: unchecked variable indexing fires L1/index.
+
+pub fn pick(values: &[u32], i: usize) -> u32 {
+    values[i]
+}

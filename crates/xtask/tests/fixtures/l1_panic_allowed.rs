@@ -1,0 +1,16 @@
+//! Fixture: justified allows and `#[cfg(test)]` code suppress L1/panic.
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // lint:allow(panic) -- fixture: the invariant is documented here.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("tests may panic");
+    }
+}

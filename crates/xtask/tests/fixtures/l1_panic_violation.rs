@@ -1,0 +1,15 @@
+//! Fixture: every L1 panic pattern in non-test library code must fire.
+
+pub fn all_panic_patterns(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("fixture");
+    if a + b > 100 {
+        panic!("too big");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        n => n,
+    }
+}

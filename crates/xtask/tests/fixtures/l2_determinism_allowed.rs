@@ -1,0 +1,11 @@
+//! Fixture: ordered maps and the workspace's seeded rng are fine in
+//! deterministic scope.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic(seed: u64) -> usize {
+    let mut rng = memdos_stats::rng::Rng::new(seed);
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    counts.insert(rng.next_u64(), 1);
+    counts.len()
+}

@@ -1,0 +1,13 @@
+//! Fixture: wall-clock time, unordered maps, and ambient randomness all
+//! fire in a deterministic-scoped file.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn nondeterministic() -> usize {
+    let started = Instant::now();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(0, 1);
+    let noise = rand::random::<u32>() as usize;
+    counts.len() + noise + started.elapsed().as_nanos() as usize
+}

@@ -1,0 +1,11 @@
+//! Fixture: tolerance-based comparison, total ordering, and integer
+//! equality pass L3.
+
+pub fn float_safe(a: f64, b: f64, n: usize, m: usize) -> bool {
+    let close = memdos_stats::float::approx_eq(a, b, 1e-9);
+    let order = a.total_cmp(&b);
+    let ints_equal = n == m;
+    // lint:allow(float-eq) -- fixture: exact sentinel comparison.
+    let sentinel = a == 0.0;
+    close || order.is_lt() || ints_equal || sentinel
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw float equality and NaN-unsafe ordering fire L3.
+
+pub fn float_hazards(a: f64, b: f64) -> bool {
+    let same = a == 0.0;
+    let diff = a as f64 != b;
+    let ord = a.partial_cmp(&b);
+    same || diff || ord.is_none()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a lib.rs carrying the attribute passes L4/unsafe.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,3 @@
+//! Fixture: a lib.rs without `#![forbid(unsafe_code)]` fires L4/unsafe.
+
+pub fn noop() {}

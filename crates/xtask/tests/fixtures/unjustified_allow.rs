@@ -1,0 +1,7 @@
+//! Fixture: an allow marker without `-- reason` is itself a finding and
+//! suppresses nothing.
+
+pub fn bare_marker(x: Option<u32>) -> u32 {
+    // lint:allow(panic)
+    x.unwrap()
+}

@@ -1,0 +1,123 @@
+//! Drives each rule family against the fixture corpus under
+//! `tests/fixtures/`, proving every family fires on its violation
+//! fixture and stays silent on the matching allowed fixture.
+
+use xtask::manifest::check_manifest;
+use xtask::rules::{check_forbid_unsafe, check_source, FileScope, Finding};
+
+const LIB_SCOPE: FileScope = FileScope { deterministic: false };
+const DET_SCOPE: FileScope = FileScope { deterministic: true };
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn l1_panic_fires_on_every_pattern() {
+    let src = include_str!("fixtures/l1_panic_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented!
+    assert_eq!(count(&findings, "L1/panic"), 6, "{findings:?}");
+}
+
+#[test]
+fn l1_panic_respects_allows_and_test_code() {
+    let src = include_str!("fixtures/l1_panic_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l1_index_fires_on_variable_subscript() {
+    let src = include_str!("fixtures/l1_index_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert_eq!(rules_of(&findings), vec!["L1/index"]);
+}
+
+#[test]
+fn l1_index_skips_literals_ranges_and_allows() {
+    let src = include_str!("fixtures/l1_index_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l2_determinism_fires_on_time_collections_and_rand() {
+    let src = include_str!("fixtures/l2_determinism_violation.rs");
+    let findings = check_source("fixture.rs", src, DET_SCOPE);
+    assert!(count(&findings, "L2/time") >= 1, "{findings:?}");
+    assert!(count(&findings, "L2/collections") >= 1, "{findings:?}");
+    assert!(count(&findings, "L2/rand") >= 1, "{findings:?}");
+}
+
+#[test]
+fn l2_collections_only_guard_deterministic_crates() {
+    let src = include_str!("fixtures/l2_determinism_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert_eq!(count(&findings, "L2/collections"), 0, "{findings:?}");
+    // Wall-clock time stays banned everywhere.
+    assert!(count(&findings, "L2/time") >= 1, "{findings:?}");
+}
+
+#[test]
+fn l2_ordered_maps_and_seeded_rng_pass() {
+    let src = include_str!("fixtures/l2_determinism_allowed.rs");
+    let findings = check_source("fixture.rs", src, DET_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l3_float_fires_on_eq_and_partial_cmp() {
+    let src = include_str!("fixtures/l3_float_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert_eq!(count(&findings, "L3/float-eq"), 2, "{findings:?}");
+    assert_eq!(count(&findings, "L3/partial-cmp"), 1, "{findings:?}");
+}
+
+#[test]
+fn l3_safe_comparisons_pass() {
+    let src = include_str!("fixtures/l3_float_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l4_missing_forbid_unsafe_fires() {
+    let src = include_str!("fixtures/l4_missing_forbid.rs");
+    let findings = check_forbid_unsafe("lib.rs", src);
+    assert_eq!(rules_of(&findings), vec!["L4/unsafe"]);
+}
+
+#[test]
+fn l4_forbid_unsafe_present_passes() {
+    let src = include_str!("fixtures/l4_forbid_ok.rs");
+    assert!(check_forbid_unsafe("lib.rs", src).is_empty());
+}
+
+#[test]
+fn l4_manifest_wildcard_and_pinned_deps_fire() {
+    let src = include_str!("fixtures/manifest_violation.toml");
+    let findings = check_manifest("Cargo.toml", src, false);
+    // wildcard "*", pinned "1.2.3", and the inline-table dev-dependency
+    assert_eq!(count(&findings, "L4/cargo"), 3, "{findings:?}");
+}
+
+#[test]
+fn l4_workspace_inherited_manifest_passes() {
+    let src = include_str!("fixtures/manifest_ok.toml");
+    let findings = check_manifest("Cargo.toml", src, false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unjustified_allow_is_reported_and_suppresses_nothing() {
+    let src = include_str!("fixtures/unjustified_allow.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    let mut rules = rules_of(&findings);
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["L1/panic", "allow"], "{findings:?}");
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local gate: format, lint, build, test — the same sequence CI runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Advisory only: the tree predates rustfmt enforcement, so drift is
+# reported but does not fail the gate.
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "==> cargo fmt --check (advisory)"
+    drift=$(cargo fmt --all --check 2>/dev/null | grep -c '^Diff in' || true)
+    if [ "$drift" -gt 0 ]; then
+        echo "    warning: rustfmt would change $drift block(s); run 'cargo fmt --all'"
+    fi
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

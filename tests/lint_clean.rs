@@ -1,0 +1,19 @@
+//! Tier-1 gate: the workspace must stay clean under its own static
+//! analysis. Runs the real binary the same way CI and developers do.
+
+use std::process::Command;
+
+#[test]
+fn workspace_passes_xtask_lint() {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "xtask", "--", "lint"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn `cargo run -p xtask -- lint`");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "xtask lint reported findings:\n{stdout}\n{stderr}"
+    );
+}
