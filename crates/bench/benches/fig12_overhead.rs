@@ -27,21 +27,30 @@ fn main() {
     );
     let mut sds_all = Vec::new();
     let mut ks_all = Vec::new();
-    for app in Application::ALL {
-        let mut cfg = OverheadConfig::new(app);
-        cfg.measure_ticks = window;
-        let sds: Vec<f64> = (0..n_runs)
-            .map(|r| cfg.normalized_execution_time(Scheme::Sds, r))
-            .collect();
-        let ks: Vec<f64> = (0..n_runs)
-            .map(|r| cfg.normalized_execution_time(Scheme::KsTest, r))
-            .collect();
-        sds_all.extend_from_slice(&sds);
-        ks_all.extend_from_slice(&ks);
+    // Each app's overhead measurement is an independent simulation; fan
+    // them out on the parallel runner and aggregate in catalog order.
+    let per_app = memdos_runner::parallel_map(
+        &Application::ALL,
+        memdos_runner::threads(),
+        |&app| {
+            let mut cfg = OverheadConfig::new(app);
+            cfg.measure_ticks = window;
+            let sds: Vec<f64> = (0..n_runs)
+                .map(|r| cfg.normalized_execution_time(Scheme::Sds, r))
+                .collect();
+            let ks: Vec<f64> = (0..n_runs)
+                .map(|r| cfg.normalized_execution_time(Scheme::KsTest, r))
+                .collect();
+            (sds, ks)
+        },
+    );
+    for (app, (sds, ks)) in Application::ALL.iter().zip(&per_app) {
+        sds_all.extend_from_slice(sds);
+        ks_all.extend_from_slice(ks);
         table.push(vec![
             app.name().to_string(),
-            summarize(&sds).map(|s| fmt_summary(&s, 3)).unwrap_or_default(),
-            summarize(&ks).map(|s| fmt_summary(&s, 3)).unwrap_or_default(),
+            summarize(sds).map(|s| fmt_summary(&s, 3)).unwrap_or_default(),
+            summarize(ks).map(|s| fmt_summary(&s, 3)).unwrap_or_default(),
         ]);
         eprintln!("  measured {app}");
     }

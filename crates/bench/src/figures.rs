@@ -7,14 +7,37 @@ use memdos_stats::smoothing::MovingAverage;
 use memdos_workloads::catalog::Application;
 
 /// A compact sparkline of a series (eight levels), for terminal figures.
+///
+/// Degenerate input renders degenerately instead of misrendering: an
+/// empty series yields an empty string, non-finite samples render as the
+/// lowest level, and the scale is computed over finite samples only (a
+/// stray NaN/∞ cannot poison the whole line the way a raw
+/// `fold(f64::MIN, f64::max)` scale would).
 pub fn sparkline(series: &[f64]) -> String {
     const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
-    let max = series.iter().cloned().fold(f64::MIN, f64::max);
-    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    if series.is_empty() {
+        return String::new();
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in series {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    const FLOOR: char = '\u{2581}';
+    if min > max {
+        // No finite samples at all: render everything as the floor.
+        return series.iter().map(|_| FLOOR).collect();
+    }
     let span = (max - min).max(1e-9);
     series
         .iter()
         .map(|&v| {
+            if !v.is_finite() {
+                return FLOOR;
+            }
             let idx = (((v - min) / span) * 7.0).round() as usize;
             LEVELS.get(idx).copied().unwrap_or('\u{2588}')
         })
@@ -25,6 +48,9 @@ pub fn sparkline(series: &[f64]) -> String {
 pub fn per_second(series: &[f64]) -> Vec<f64> {
     series
         .chunks(100)
+        // `chunks` never yields an empty slice, but keep the division
+        // guarded so a future refactor cannot reintroduce a 0/0 here.
+        .filter(|w| !w.is_empty())
         .map(|w| w.iter().sum::<f64>() / w.len() as f64)
         .collect()
 }
@@ -50,9 +76,11 @@ impl PanelStats {
 }
 
 /// Renders one measurement-study figure (a Figs. 2–6 panel pair) for one
-/// application: 60 s benign, 60 s under `attack`; prints per-second
-/// sparklines of the relevant statistic and returns the panel statistics.
-pub fn trace_panel(app: Application, attack: AttackKind, seed: u64) -> PanelStats {
+/// application: 60 s benign, 60 s under `attack`. Returns the panel
+/// statistics plus the rendered per-second sparkline block, so callers
+/// can compute panels on worker threads and still print them in figure
+/// order (printing from inside the computation would interleave).
+pub fn trace_panel(app: Application, attack: AttackKind, seed: u64) -> (PanelStats, String) {
     let pre = 6_000u64;
     let post = 6_000u64;
     let trace = capture_trace(app, attack, pre, post, seed);
@@ -68,8 +96,13 @@ pub fn trace_panel(app: Application, attack: AttackKind, seed: u64) -> PanelStat
     };
     let seconds = per_second(&stat);
     let (b, a) = seconds.split_at(60);
-    println!("  {:<12} {label:<9} pre  |{}|", app.name(), sparkline(b));
-    println!("  {:<12} {label:<9} post |{}|", "", sparkline(a));
+    let rendered = format!(
+        "  {:<12} {label:<9} pre  |{}|\n  {:<12} {label:<9} post |{}|",
+        app.name(),
+        sparkline(b),
+        "",
+        sparkline(a)
+    );
 
     let ma_pre = MovingAverage::apply(200, 50, &stat[..pre as usize]).unwrap_or_default();
     let ma_post = MovingAverage::apply(200, 50, &stat[pre as usize..]).unwrap_or_default();
@@ -80,22 +113,29 @@ pub fn trace_panel(app: Application, attack: AttackKind, seed: u64) -> PanelStat
         detect_period(ma).ok().flatten().map(|e| e.period)
     };
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len().max(1) as f64;
-    PanelStats {
+    let stats = PanelStats {
         before: mean(b),
         after: mean(a),
         period_before: period_of(&ma_pre),
         period_after: period_of(&ma_post),
-    }
+    };
+    (stats, rendered)
 }
 
 /// Runs both attack panels for a set of applications (one paper figure)
-/// and prints the Observation 1 / Observation 2 summary lines.
+/// and prints the Observation 1 / Observation 2 summary lines. Panels are
+/// independent simulations, so they are computed on the parallel runner
+/// and printed in figure order afterwards.
 pub fn figure(title: &str, apps: &[Application], seed: u64) {
     println!("== {title} ==");
     for &attack in &AttackKind::ALL {
         println!("-- {attack} attack (attack launches at t = 60 s) --");
-        for &app in apps {
-            let p = trace_panel(app, attack, seed);
+        let panels = memdos_runner::parallel_map(apps, memdos_runner::threads(), |&app| {
+            trace_panel(app, attack, seed)
+        });
+        for (&app, (p, rendered)) in apps.iter().zip(&panels) {
+            let p = *p;
+            println!("{rendered}");
             let mut line = format!(
                 "  {:<12} mean {:.0} -> {:.0} ({:+.0}%)",
                 app.name(),

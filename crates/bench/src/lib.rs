@@ -106,41 +106,57 @@ impl Cell {
 /// applicable scheme, `runs` repetitions. This is the shared engine
 /// behind the Fig. 9 (recall), Fig. 10 (specificity) and Fig. 11 (delay)
 /// targets.
+///
+/// The grid executes on the parallel runner (`MEMDOS_THREADS` workers);
+/// results come back in the canonical attack → app → run order, so the
+/// aggregation below — and therefore the output — is bit-identical to the
+/// old sequential loop.
 pub fn accuracy_sweep(
     apps: &[Application],
     attacks: &[AttackKind],
     stages: StageConfig,
     n_runs: u64,
 ) -> Vec<Cell> {
+    if n_runs == 0 {
+        return Vec::new();
+    }
+    let results = memdos_runner::run_grid(
+        &ExperimentConfig::default(),
+        apps,
+        attacks,
+        stages,
+        n_runs,
+        memdos_runner::threads(),
+    )
+    // lint:allow(panic) -- the sweep only builds configs from the
+    // validated app/attack catalogs; failure is a bug.
+    .expect("experiment configuration must be valid");
+
     let mut cells: Vec<Cell> = Vec::new();
-    for &attack in attacks {
-        for &app in apps {
-            let cfg = ExperimentConfig { app, attack, stages, ..ExperimentConfig::default() };
-            let mut per_scheme: std::collections::BTreeMap<&str, Vec<RunMetrics>> =
-                std::collections::BTreeMap::new();
-            let mut scheme_of: std::collections::BTreeMap<&str, Scheme> =
-                std::collections::BTreeMap::new();
-            for run in 0..n_runs {
-                let outcomes = cfg
-                    .run_all_schemes(run)
-                    // lint:allow(panic) -- the sweep only builds configs from
-                    // the validated app/attack catalogs; failure is a bug.
-                    .expect("experiment configuration must be valid");
-                for out in outcomes {
-                    per_scheme
-                        .entry(out.scheme.name())
-                        .or_default()
-                        .push(out.metrics(&stages));
-                    scheme_of.insert(out.scheme.name(), out.scheme);
-                }
+    // Grid order is attack → app → run, so consecutive chunks of `n_runs`
+    // results are exactly one (attack, app) cell.
+    for group in results.chunks(n_runs as usize) {
+        let Some(first) = group.first() else { continue };
+        let (app, attack) = (first.cell.app, first.cell.attack);
+        let mut per_scheme: std::collections::BTreeMap<&str, Vec<RunMetrics>> =
+            std::collections::BTreeMap::new();
+        let mut scheme_of: std::collections::BTreeMap<&str, Scheme> =
+            std::collections::BTreeMap::new();
+        for cell_outcome in group {
+            for out in &cell_outcome.outcomes {
+                per_scheme
+                    .entry(out.scheme.name())
+                    .or_default()
+                    .push(out.metrics(&stages));
+                scheme_of.insert(out.scheme.name(), out.scheme);
             }
-            for (name, metrics) in per_scheme {
-                if let Some(&scheme) = scheme_of.get(name) {
-                    cells.push(Cell { app, attack, scheme, runs: metrics });
-                }
-            }
-            eprintln!("  swept {attack} / {app}");
         }
+        for (name, metrics) in per_scheme {
+            if let Some(&scheme) = scheme_of.get(name) {
+                cells.push(Cell { app, attack, scheme, runs: metrics });
+            }
+        }
+        eprintln!("  swept {attack} / {app}");
     }
     cells
 }

@@ -33,6 +33,12 @@ pub struct SweepPoint {
 
 /// Captures `n_runs` runs of `(app, attack)` and replays every
 /// `(label, params)` point over them.
+///
+/// Both phases run on the parallel runner: the expensive server captures
+/// fan out across runs, then the (cheap but numerous) parameter replays
+/// fan out across points. Captures are keyed by run index and replays are
+/// pure functions of a capture, so the output is identical to the old
+/// sequential double loop.
 pub fn sweep(
     app: Application,
     attack: AttackKind,
@@ -42,31 +48,25 @@ pub fn sweep(
     points: &[(String, SdsParams)],
 ) -> Vec<SweepPoint> {
     let cfg = ExperimentConfig { app, attack, stages, ..ExperimentConfig::default() };
-    let captures: Vec<CapturedRun> = (0..n_runs)
-        .map(|r| {
-            eprintln!("  capturing {attack} / {app} run {r}");
-            cfg.capture_run(r)
-        })
-        .collect();
-    points
-        .iter()
-        .map(|(label, params)| {
-            let runs = captures
-                .iter()
-                .map(|cap| {
-                    let outcome = match detector {
-                        SweepDetector::Sds => cap.replay_sds(params),
-                        SweepDetector::SdsP => cap.replay_sdsp(params),
-                    }
-                    // lint:allow(panic) -- sweep grids are built from valid
-                    // parameter sets; a replay failure is a harness bug.
-                    .expect("replay with swept parameters must succeed");
-                    outcome.metrics(&stages)
-                })
-                .collect();
-            SweepPoint { label: label.clone(), runs }
-        })
-        .collect()
+    let workers = memdos_runner::threads();
+    eprintln!("  capturing {attack} / {app} ({n_runs} run(s), {workers} worker(s))");
+    let captures: Vec<CapturedRun> = memdos_runner::capture_runs(&cfg, n_runs, workers);
+    memdos_runner::parallel_map(points, workers, |(label, params)| {
+        let runs = captures
+            .iter()
+            .map(|cap| {
+                let outcome = match detector {
+                    SweepDetector::Sds => cap.replay_sds(params),
+                    SweepDetector::SdsP => cap.replay_sdsp(params),
+                }
+                // lint:allow(panic) -- sweep grids are built from valid
+                // parameter sets; a replay failure is a harness bug.
+                .expect("replay with swept parameters must succeed");
+                outcome.metrics(&stages)
+            })
+            .collect();
+        SweepPoint { label: label.clone(), runs }
+    })
 }
 
 /// Prints the three §5.3 panels (recall & specificity, then delay) for a

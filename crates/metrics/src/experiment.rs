@@ -222,9 +222,11 @@ impl RunOutcome {
 
 impl ExperimentConfig {
     /// Seed for run index `r` (split so that every run is independent
-    /// but reproducible).
+    /// but reproducible). Depends only on `(self.seed, run)` — never on
+    /// execution order — so the parallel runner reproduces sequential
+    /// results bit-for-bit.
     pub fn run_seed(&self, run: u64) -> u64 {
-        self.seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678)
+        memdos_stats::rng::derive_seed(self.seed, run)
     }
 
     /// Builds the populated server for one run: victim + scheduled

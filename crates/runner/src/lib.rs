@@ -1,0 +1,225 @@
+//! # memdos-runner
+//!
+//! Std-only parallel experiment engine. The paper's evaluation (§5) is a
+//! (scheme × application × attack × run) grid of independent simulations;
+//! this crate fans that grid out across worker threads with a
+//! channel-based work queue built from `std::thread::scope` — no external
+//! dependencies, per workspace policy.
+//!
+//! ## Determinism guarantee
+//!
+//! Parallel output is **bit-identical** to sequential output, regardless
+//! of worker count or scheduling:
+//!
+//! * every cell's seed derives only from `(base seed, run index)` via
+//!   `memdos_stats::rng::derive_seed` (through
+//!   `ExperimentConfig::run_seed`), never from execution order;
+//! * each cell runs on its own simulator instance, so cells share no
+//!   mutable state; and
+//! * results are collected tagged with their input index and re-assembled
+//!   in input order, so downstream aggregation sees the exact sequence a
+//!   sequential loop would have produced.
+//!
+//! `tests/parallel_determinism.rs` (tier-1) pins this: the full grid's
+//! formatted results are byte-identical across 1, 2 and 8 workers and
+//! across repeated runs.
+//!
+//! ## Worker count
+//!
+//! [`threads`] reads the `MEMDOS_THREADS` environment variable, falling
+//! back to the machine's available parallelism. Each experiment cell is
+//! single-threaded and simulates ~60 s of cloud time per wall-clock
+//! second per core, so grid throughput scales near-linearly until the
+//! cell count or the core count is exhausted.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use memdos_attacks::AttackKind;
+use memdos_core::CoreError;
+use memdos_metrics::experiment::{CapturedRun, ExperimentConfig, RunOutcome, StageConfig};
+use memdos_workloads::catalog::Application;
+
+/// Worker count: `MEMDOS_THREADS` when set to a positive integer, else
+/// the machine's available parallelism (1 if that cannot be determined).
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("MEMDOS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on `workers` threads and returns
+/// the results **in input order**.
+///
+/// Work distribution is a shared atomic cursor (each idle worker claims
+/// the next unclaimed index), so uneven cell costs cannot stall the
+/// queue; completed results flow back over a channel tagged with their
+/// index and are re-assembled in order. With `workers <= 1` the items are
+/// mapped inline on the calling thread — the parallel path produces the
+/// same `Vec` in the same order, it only computes it on more threads.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                // A send only fails when the receiver is gone, which
+                // means the collector below already stopped; just exit.
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        // Drop the original sender so the receive loop ends once every
+        // worker has finished and dropped its clone.
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, result) in rx {
+            if let Some(slot) = slots.get_mut(i) {
+                *slot = Some(result);
+            }
+        }
+        slots.into_iter().flatten().collect()
+    })
+}
+
+/// One (application × attack × run) cell of the evaluation grid. All
+/// schemes applicable to the cell are executed together, exactly as the
+/// sequential engine does (passive schemes share one server execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Application under protection.
+    pub app: Application,
+    /// Attack launched in Stage 3.
+    pub attack: AttackKind,
+    /// Run index (seeds derive from it).
+    pub run: u64,
+}
+
+/// Result of one grid cell: the cell and every applicable scheme's
+/// outcome, in the scheme order `run_all_schemes` produces.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell that was executed.
+    pub cell: GridCell,
+    /// Per-scheme outcomes.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+/// Enumerates the evaluation grid in canonical order — attacks outermost,
+/// then applications, then run index — the order the sequential sweep
+/// executed in, so order-sensitive aggregation is unchanged.
+pub fn grid(apps: &[Application], attacks: &[AttackKind], runs: u64) -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(apps.len() * attacks.len() * runs as usize);
+    for &attack in attacks {
+        for &app in apps {
+            for run in 0..runs {
+                cells.push(GridCell { app, attack, run });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the full evaluation grid on `workers` threads.
+///
+/// `base` supplies everything but the per-cell `app`/`attack`/`stages`;
+/// results come back in [`grid`] order and are bit-identical to what a
+/// sequential loop over the same grid would produce (see the crate docs
+/// for why).
+///
+/// # Errors
+///
+/// Propagates the first `CoreError` (in grid order) from any cell.
+pub fn run_grid(
+    base: &ExperimentConfig,
+    apps: &[Application],
+    attacks: &[AttackKind],
+    stages: StageConfig,
+    runs: u64,
+    workers: usize,
+) -> Result<Vec<CellOutcome>, CoreError> {
+    let cells = grid(apps, attacks, runs);
+    parallel_map(&cells, workers, |cell| {
+        let cfg = ExperimentConfig {
+            app: cell.app,
+            attack: cell.attack,
+            stages,
+            ..base.clone()
+        };
+        cfg.run_all_schemes(cell.run)
+            .map(|outcomes| CellOutcome { cell: *cell, outcomes })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Captures the raw observation traces of runs `0..n_runs` of `cfg` on
+/// `workers` threads, in run order — the parallel counterpart of calling
+/// `cfg.capture_run(r)` in a loop (used by the sensitivity sweeps, which
+/// replay one captured trace against many parameter points).
+pub fn capture_runs(cfg: &ExperimentConfig, n_runs: u64, workers: usize) -> Vec<CapturedRun> {
+    let runs: Vec<u64> = (0..n_runs).collect();
+    parallel_map(&runs, workers, |&run| cfg.capture_run(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..101).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_map(&items, workers, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(parallel_map(&empty, 4, |&x: &u64| x).len(), 0);
+        assert_eq!(parallel_map(&[7u64], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_order_is_attack_app_run() {
+        let cells = grid(
+            &[Application::KMeans, Application::FaceNet],
+            &[AttackKind::BusLocking],
+            2,
+        );
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].app, Application::KMeans);
+        assert_eq!(cells[0].run, 0);
+        assert_eq!(cells[1].run, 1);
+        assert_eq!(cells[2].app, Application::FaceNet);
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

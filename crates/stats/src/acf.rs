@@ -8,12 +8,37 @@
 //! while a spectral-leakage artefact lands on a valley.
 //!
 //! Both a direct `O(N·L)` implementation and an FFT-based `O(N log N)`
-//! implementation are provided; they agree to floating-point precision and
-//! the FFT path is used for long profiling series.
+//! implementation are provided; they agree to floating-point precision.
+//! [`acf`] dispatches between them by estimated cost, so long profiling
+//! series automatically take the FFT path while the short steady-state
+//! detection windows stay on the lower-constant direct path.
 
-use crate::fft::{fft_in_place, ifft_in_place, next_power_of_two, Complex};
+use crate::fft::{ifft_in_place, next_power_of_two, rfft, Complex};
 use crate::float::approx_zero;
 use crate::StatsError;
+
+/// Work estimate (`signal.len() * (max_lag + 1)`) above which [`acf`]
+/// switches from the direct `O(N·L)` implementation to the FFT path. Below
+/// it the direct path's lower constant factor wins.
+pub const ACF_FFT_THRESHOLD: usize = 4096;
+
+/// Computes the (biased, normalized) autocorrelation of `signal` at lags
+/// `0..=max_lag`, dispatching to [`acf_fft`] when the direct method's
+/// `N·L` work estimate exceeds [`ACF_FFT_THRESHOLD`] and to [`acf_direct`]
+/// otherwise. The two implementations agree to floating-point precision,
+/// so the dispatch is a pure cost decision.
+///
+/// # Errors
+///
+/// Same conditions as [`acf_direct`].
+pub fn acf(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    let work = signal.len().saturating_mul(max_lag.saturating_add(1));
+    if work > ACF_FFT_THRESHOLD {
+        acf_fft(signal, max_lag)
+    } else {
+        acf_direct(signal, max_lag)
+    }
+}
 
 /// Computes the (biased, normalized) autocorrelation of `signal` at lags
 /// `0..=max_lag` directly: `r_k = Σ (x_t − x̄)(x_{t+k} − x̄) / Σ (x_t − x̄)²`.
@@ -70,14 +95,23 @@ pub fn acf_fft(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
     let mean = signal.iter().sum::<f64>() / n as f64;
     // Pad to at least 2N to make the circular convolution linear.
     let padded = next_power_of_two(2 * n);
+    let centered: Vec<f64> = signal.iter().map(|&x| x - mean).collect();
+    // Forward pass on the real-input half-spectrum path; the power
+    // spectrum of a real signal is even, so the full spectrum for the
+    // inverse transform is the half spectrum mirrored.
+    let spec = rfft(&centered, padded)?;
+    let half = padded / 2;
+    let power: Vec<f64> = spec.iter().map(Complex::norm_sqr).collect();
     let mut buf: Vec<Complex> = Vec::with_capacity(padded);
-    buf.extend(signal.iter().map(|&x| Complex::from(x - mean)));
-    buf.resize(padded, Complex::default());
-    fft_in_place(&mut buf)?;
-    for z in buf.iter_mut() {
-        let p = z.norm_sqr();
-        *z = Complex::new(p, 0.0);
-    }
+    buf.extend(power.iter().map(|&p| Complex::new(p, 0.0)));
+    buf.extend(
+        power
+            .get(1..half)
+            .unwrap_or(&[])
+            .iter()
+            .rev()
+            .map(|&p| Complex::new(p, 0.0)),
+    );
     ifft_in_place(&mut buf)?;
     let denom = buf[0].re;
     if denom.abs() < 1e-30 {
@@ -172,6 +206,21 @@ mod tests {
         let signal: Vec<f64> = (0..97).map(|i| ((i * 13) % 17) as f64).collect();
         let a = acf_direct(&signal, 30).unwrap();
         let b = acf_fft(&signal, 30).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn acf_dispatcher_agrees_with_both_paths() {
+        // Small input (below threshold → direct) and large input (above
+        // threshold → FFT) both match acf_direct.
+        let small: Vec<f64> = (0..40).map(|i| ((i * 7) % 5) as f64).collect();
+        assert_eq!(acf(&small, 10).unwrap(), acf_direct(&small, 10).unwrap());
+        let large: Vec<f64> = (0..600).map(|i| ((i * 13) % 23) as f64).collect();
+        let a = acf(&large, 150).unwrap();
+        let b = acf_direct(&large, 150).unwrap();
+        assert!(large.len() * 151 > ACF_FFT_THRESHOLD);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }

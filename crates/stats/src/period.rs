@@ -16,7 +16,7 @@
 //! 4. refines the surviving candidate to a fractional lag by hill-climbing
 //!    plus quadratic interpolation.
 
-use crate::acf::{acf_direct, on_hill, refine_peak};
+use crate::acf::{acf, on_hill, refine_peak};
 use crate::fft::{periodogram, SpectrumBin};
 use crate::StatsError;
 
@@ -98,8 +98,10 @@ impl PeriodDetector {
             return Ok(None);
         }
 
+        // Cost-dispatched ACF: short detection windows stay on the direct
+        // path, long profiling series take the FFT path.
         let max_lag = (max_period.floor() as usize + self.hill_radius + 1).min(n - 1);
-        let acf = acf_direct(signal, max_lag)?;
+        let acf = acf(signal, max_lag)?;
 
         // Degenerate (constant) input: ACF is all ones, every lag is a
         // "hill"; there is no meaningful period.

@@ -6,6 +6,23 @@
 //! generator is xoshiro256++ seeded via SplitMix64, the standard
 //! recommendation for non-cryptographic simulation use.
 
+/// Derives an independent, reproducible seed for stream `stream` from a
+/// base seed, without constructing a generator: golden-ratio (SplitMix64
+/// increment) mixing plus an offset so that stream 0 does not collapse to
+/// the base seed.
+///
+/// This is the workspace's single seed-derivation point — ad-hoc
+/// golden-ratio mixing outside this module is rejected by the xtask lint —
+/// and the function is deliberately order-free: the derived seed depends
+/// only on `(base, stream)`, never on how many seeds were derived before
+/// it, which is what lets the parallel runner reproduce sequential results
+/// bit-for-bit.
+pub const fn derive_seed(base: u64, stream: u64) -> u64 {
+    base ^ stream
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678)
+}
+
 /// A xoshiro256++ pseudo-random number generator.
 ///
 /// Not cryptographically secure; statistics-quality randomness for
@@ -197,6 +214,19 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn derive_seed_is_pure_and_stream_sensitive() {
+        assert_eq!(derive_seed(0xD05, 3), derive_seed(0xD05, 3));
+        assert_ne!(derive_seed(0xD05, 0), derive_seed(0xD05, 1));
+        assert_ne!(derive_seed(0xD05, 0), 0xD05 ^ 0); // stream 0 still mixes
+        // Pinned value: experiment reproducibility depends on this exact
+        // mixing, so a change must be deliberate and show up here.
+        assert_eq!(
+            derive_seed(0, 1),
+            0x9E37_79B9_7F4A_7C15u64.wrapping_add(0x1234_5678)
+        );
+    }
 
     #[test]
     fn deterministic_from_seed() {

@@ -104,6 +104,11 @@ impl MovingAverage {
 
     /// Feeds one raw sample; returns `Some(M_n)` when a new window
     /// completes (every `ΔW` samples once `W` samples have been seen).
+    ///
+    /// Amortized `O(1)`: emission divides the running sum instead of
+    /// re-summing the window, and the sum is re-derived from the buffer
+    /// once per full window turnover so add/subtract rounding drift cannot
+    /// accumulate over long-running streams.
     pub fn push(&mut self, sample: f64) -> Option<f64> {
         if self.buf.len() < self.window {
             self.buf.push(sample);
@@ -113,7 +118,12 @@ impl MovingAverage {
                 self.sum += sample - *slot;
                 *slot = sample;
             }
-            self.head = (self.head + 1) % self.window;
+            self.head += 1;
+            if self.head == self.window {
+                self.head = 0;
+                // Periodic exact resync (one pass per W samples).
+                self.sum = self.buf.iter().sum();
+            }
         }
         self.seen += 1;
         if self.seen < self.window as u64 {
@@ -122,25 +132,21 @@ impl MovingAverage {
         if self.seen == self.window as u64 {
             self.since_emit = 0;
             self.emitted += 1;
-            return Some(self.exact_mean());
+            return Some(self.mean());
         }
         self.since_emit += 1;
         if self.since_emit == self.step {
             self.since_emit = 0;
             self.emitted += 1;
-            Some(self.exact_mean())
+            Some(self.mean())
         } else {
             None
         }
     }
 
-    /// Recomputes the window mean exactly to avoid floating-point drift in
-    /// long-running streams (the running `sum` is still used to keep the
-    /// amortized cost low — the exact recompute happens only on emission,
-    /// i.e. every `ΔW` samples).
-    fn exact_mean(&self) -> f64 {
-        let s: f64 = self.buf.iter().sum();
-        s / self.window as f64
+    /// The window mean from the running sum — `O(1)` per emission.
+    fn mean(&self) -> f64 {
+        self.sum / self.window as f64
     }
 
     /// Applies the operator to a whole slice, returning the MA series

@@ -1,0 +1,166 @@
+//! Equivalence proofs for the optimized kernels: every fast path must
+//! agree with its reference implementation within [`approx_eq`] on both
+//! seeded random inputs and the degenerate shapes (constant series, tiny
+//! series, power-of-two ± 1 lengths) where index arithmetic goes wrong
+//! first.
+//!
+//! * `rfft` (packed real-input FFT) vs `fft_real` (full complex FFT)
+//! * `acf_fft` / the `acf` cost dispatcher vs `acf_direct`
+//! * incremental `MovingAverage` / `Ewma` vs brute-force recomputation
+
+use memdos_stats::acf::{acf, acf_direct, acf_fft};
+use memdos_stats::fft::{fft_real, next_power_of_two, rfft};
+use memdos_stats::float::approx_eq;
+use memdos_stats::rng::Rng;
+use memdos_stats::smoothing::{Ewma, MovingAverage};
+
+/// Tight equivalence tolerance: the kernels differ only in summation
+/// order, so they agree far below statistical noise.
+const TOL: f64 = 1e-9;
+
+/// Seeded test signals: gaussian noise around a slow sinusoid, so the
+/// series has both correlation structure and full-spectrum content.
+fn signal(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..len)
+        .map(|i| (i as f64 * 0.37).sin() * 3.0 + rng.gaussian(10.0, 2.5))
+        .collect()
+}
+
+/// The degenerate lengths the suite sweeps alongside random ones:
+/// tiny series and power-of-two ± 1 sizes.
+const EDGE_LENGTHS: [usize; 8] = [1, 2, 3, 31, 32, 127, 128, 129];
+
+#[test]
+fn rfft_agrees_with_full_fft_on_random_and_edge_lengths() {
+    for (case, len) in EDGE_LENGTHS.iter().chain(&[200, 500, 1000]).enumerate() {
+        let x = signal(*len, 0xA5A5 + case as u64);
+        let padded = next_power_of_two(*len);
+        let reference = fft_real(&x, padded).expect("reference FFT");
+        let half = rfft(&x, padded).expect("rfft");
+        assert_eq!(half.len(), padded / 2 + 1, "len {len}: bin count");
+        for (k, bin) in half.iter().enumerate() {
+            let want = reference[k];
+            assert!(
+                approx_eq(bin.re, want.re, TOL) && approx_eq(bin.im, want.im, TOL),
+                "len {len} bin {k}: rfft {bin:?} vs fft_real {want:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rfft_agrees_on_constant_series() {
+    let x = vec![7.25; 64];
+    let reference = fft_real(&x, 64).expect("reference FFT");
+    let half = rfft(&x, 64).expect("rfft");
+    for (k, bin) in half.iter().enumerate() {
+        assert!(
+            approx_eq(bin.re, reference[k].re, TOL) && approx_eq(bin.im, reference[k].im, TOL),
+            "constant series bin {k}"
+        );
+    }
+}
+
+fn assert_acf_matches(len: usize, max_lag: usize, seed: u64) {
+    let x = signal(len, seed);
+    let reference = acf_direct(&x, max_lag).expect("acf_direct");
+    let fast = acf_fft(&x, max_lag).expect("acf_fft");
+    let dispatched = acf(&x, max_lag).expect("acf dispatcher");
+    assert_eq!(reference.len(), fast.len());
+    assert_eq!(reference.len(), dispatched.len());
+    for (k, (&want, (&got_fft, &got_acf))) in
+        reference.iter().zip(fast.iter().zip(dispatched.iter())).enumerate()
+    {
+        assert!(
+            approx_eq(got_fft, want, TOL),
+            "len {len} lag {k}: acf_fft {got_fft} vs direct {want}"
+        );
+        assert!(
+            approx_eq(got_acf, want, TOL),
+            "len {len} lag {k}: acf {got_acf} vs direct {want}"
+        );
+    }
+}
+
+#[test]
+fn acf_fft_and_dispatcher_agree_with_direct() {
+    // Below and above the dispatcher's N·L work threshold, plus the
+    // power-of-two ± 1 lengths where padding logic is most fragile.
+    for (len, max_lag) in [(8, 4), (34, 21), (127, 40), (128, 40), (129, 40), (600, 150)] {
+        assert_acf_matches(len, max_lag, 0xC0FFEE + len as u64);
+    }
+}
+
+#[test]
+fn acf_paths_agree_on_constant_series() {
+    // Zero variance: both paths define the ACF as identically 1.
+    let x = vec![3.5; 100];
+    let reference = acf_direct(&x, 10).expect("acf_direct");
+    let fast = acf_fft(&x, 10).expect("acf_fft");
+    assert_eq!(reference, vec![1.0; 11]);
+    assert_eq!(fast.len(), reference.len());
+    for (k, &v) in fast.iter().enumerate() {
+        assert!(approx_eq(v, 1.0, TOL), "constant acf_fft lag {k}: {v}");
+    }
+}
+
+/// Brute-force moving average: recompute every emitted window mean from
+/// scratch — the semantics the incremental kernel must preserve.
+fn ma_reference(window: usize, step: usize, data: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut count = 0u64;
+    for end in window..=data.len() {
+        count += 1;
+        // The streaming kernel emits when (samples - window) % step == 0.
+        if (count - 1) % step as u64 == 0 {
+            let sum: f64 = data[end - window..end].iter().sum();
+            out.push(sum / window as f64);
+        }
+    }
+    out
+}
+
+#[test]
+fn incremental_ma_agrees_with_recomputation() {
+    for (window, step, len, seed) in
+        [(5, 1, 200, 1u64), (21, 3, 500, 2), (100, 7, 1000, 3), (4, 4, 129, 4), (2, 1, 3, 5)]
+    {
+        let data = signal(len, 0xBEEF + seed);
+        let fast = MovingAverage::apply(window, step, &data).expect("valid parameters");
+        let want = ma_reference(window, step, &data);
+        assert_eq!(fast.len(), want.len(), "w={window} s={step} n={len}: count");
+        for (i, (&got, &exp)) in fast.iter().zip(&want).enumerate() {
+            assert!(
+                approx_eq(got, exp, TOL),
+                "w={window} s={step} n={len} point {i}: incremental {got} vs recomputed {exp}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_ma_is_exact_on_constant_input() {
+    // 7.25 is exactly representable: the running sum must not drift even
+    // across many window turnovers.
+    let data = vec![7.25; 5000];
+    let out = MovingAverage::apply(32, 1, &data).expect("valid parameters");
+    assert!(out.iter().all(|&v| v == 7.25), "constant input must stay exact");
+}
+
+#[test]
+fn ewma_agrees_with_recurrence() {
+    let data = signal(1000, 0xE3A);
+    for alpha in [0.05, 0.2, 0.9] {
+        let fast = Ewma::apply(alpha, &data).expect("valid alpha");
+        let mut state = f64::NAN;
+        for (i, &m) in data.iter().enumerate() {
+            state = if i == 0 { m } else { alpha * m + (1.0 - alpha) * state };
+            assert!(
+                approx_eq(fast[i], state, TOL),
+                "alpha {alpha} point {i}: {} vs {state}",
+                fast[i]
+            );
+        }
+    }
+}

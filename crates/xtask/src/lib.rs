@@ -19,15 +19,27 @@
 //! * **L4 crate hygiene** — every `lib.rs` carries
 //!   `#![forbid(unsafe_code)]`; every `Cargo.toml` dependency is
 //!   workspace-inherited with no wildcard versions.
+//! * **L5 concurrency & seed discipline** — thread spawning
+//!   (`std::thread`, `thread::spawn`, `thread::scope`) is allowed only in
+//!   the harness crates (`runner`, `bench`, `xtask`), which are also the
+//!   only crates exempt from the wall-clock ban; and the golden-ratio
+//!   seed constant may appear only in `stats` — everyone else derives
+//!   seeds through `memdos_stats::rng::derive_seed`/`Rng::fork`, which
+//!   keeps parallel and sequential schedules bit-identical.
 //!
 //! A finding is suppressed only by an inline justification on the same
 //! line or the line above: `// lint:allow(<category>) -- <reason>`.
 //! Categories: `panic`, `index`, `time`, `collections`, `rand`,
-//! `float-eq`, `partial-cmp`. Markers without a reason are themselves
-//! reported and suppress nothing.
+//! `float-eq`, `partial-cmp`, `thread`, `seed`. Markers without a reason
+//! are themselves reported and suppress nothing.
+//!
+//! A second subcommand, `cargo run -p xtask -- bench-check <current>
+//! <baseline>`, validates a `BENCH_*.json` micro-benchmark report and
+//! fails on kernel regressions (see [`benchcheck`]).
 
 #![forbid(unsafe_code)]
 
+pub mod benchcheck;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
@@ -39,6 +51,15 @@ use rules::{FileScope, Finding};
 
 /// Crates whose outputs must be reproducible bit-for-bit across runs.
 const DETERMINISTIC_CRATES: [&str; 3] = ["sim", "stats", "core"];
+
+/// Harness crates: the only places allowed to spawn threads or measure
+/// wall-clock time. Everything else must stay single-threaded and
+/// tick-counted so results are schedule-independent.
+const HARNESS_CRATES: [&str; 3] = ["runner", "bench", "xtask"];
+
+/// The one crate allowed to spell the golden-ratio seed constant; all
+/// other crates must route seed derivation through `memdos_stats::rng`.
+const SEED_AUTHORITY_CRATES: [&str; 1] = ["stats"];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -68,7 +89,11 @@ fn display_path(root: &Path, path: &Path) -> String {
 /// name under `crates/` (or `"."` for the workspace root package).
 fn lint_crate(root: &Path, crate_dir: &Path, name: &str) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
-    let scope = FileScope { deterministic: DETERMINISTIC_CRATES.contains(&name) };
+    let scope = FileScope {
+        deterministic: DETERMINISTIC_CRATES.contains(&name),
+        harness: HARNESS_CRATES.contains(&name),
+        seed_authority: SEED_AUTHORITY_CRATES.contains(&name),
+    };
 
     let manifest_path = crate_dir.join("Cargo.toml");
     if manifest_path.is_file() {

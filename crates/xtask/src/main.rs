@@ -1,4 +1,9 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--root <path>]`.
+//! CLI entry point:
+//!
+//! * `cargo run -p xtask -- lint [--root <path>]` — workspace lint.
+//! * `cargo run -p xtask -- bench-check <current> <baseline>` — validate
+//!   a `BENCH_*.json` report and fail on regressions beyond the
+//!   tolerance factor (default 2.0, override `MEMDOS_BENCH_TOLERANCE`).
 
 #![forbid(unsafe_code)]
 
@@ -6,8 +11,48 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-dir>]");
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--root <workspace-dir>]\n       \
+         cargo run -p xtask -- bench-check <current.json> <baseline.json>"
+    );
     ExitCode::from(2)
+}
+
+fn bench_check(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(current), Some(baseline), None) = (args.next(), args.next(), args.next()) else {
+        return usage();
+    };
+    let tolerance = match std::env::var("MEMDOS_BENCH_TOLERANCE") {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask: MEMDOS_BENCH_TOLERANCE {v:?} is not a number: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => 2.0,
+    };
+    match xtask::benchcheck::run(
+        &PathBuf::from(&current),
+        &PathBuf::from(&baseline),
+        tolerance,
+    ) {
+        Ok(problems) if problems.is_empty() => {
+            println!("xtask bench-check: {current} within {tolerance}x of {baseline}");
+            ExitCode::SUCCESS
+        }
+        Ok(problems) => {
+            for p in &problems {
+                println!("bench-check: {p}");
+            }
+            println!("xtask bench-check: {} regression(s)", problems.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -15,6 +60,9 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else {
         return usage();
     };
+    if cmd == "bench-check" {
+        return bench_check(args);
+    }
     if cmd != "lint" {
         return usage();
     }

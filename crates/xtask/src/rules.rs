@@ -1,4 +1,4 @@
-//! The rule scanners (L1–L3) that run over lexed source files.
+//! The rule scanners (L1–L3, L5) that run over lexed source files.
 //!
 //! Every scanner works on the *stripped* code from [`crate::lexer`], so
 //! comments and string literals can never trigger a finding. Code inside
@@ -26,6 +26,14 @@ pub struct FileScope {
     /// True for crates whose results must be bit-reproducible
     /// (`sim`, `stats`, `core`): bans `HashMap`/`HashSet` there.
     pub deterministic: bool,
+    /// True for the harness crates (`runner`, `bench`, `xtask`): the only
+    /// places allowed to spawn threads or read wall-clock time.
+    pub harness: bool,
+    /// True for the crate that owns seed derivation (`stats`): everywhere
+    /// else the golden-ratio seed constant is a sign that a caller is
+    /// re-deriving seeds by hand instead of going through
+    /// `memdos_stats::rng`.
+    pub seed_authority: bool,
 }
 
 fn is_ident(c: u8) -> bool {
@@ -298,7 +306,9 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                     .to_string(),
             );
         }
-        if has_token(raw_line, "Instant") || has_token(raw_line, "SystemTime") {
+        if !scope.harness
+            && (has_token(raw_line, "Instant") || has_token(raw_line, "SystemTime"))
+        {
             push(
                 "L2/time",
                 "time",
@@ -350,8 +360,49 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                 "partial_cmp is NaN-unsafe; use f64::total_cmp for ordering".to_string(),
             );
         }
+        if !scope.harness && spawns_thread(raw_line) {
+            push(
+                "L5/thread",
+                "thread",
+                "thread spawning is reserved for the harness crates \
+                 (runner/bench/xtask); simulation and analysis code must stay \
+                 single-threaded — hand the work to memdos_runner instead"
+                    .to_string(),
+            );
+        }
+        if !scope.seed_authority && has_seed_constant(raw_line) {
+            push(
+                "L5/seed",
+                "seed",
+                "hand-rolled seed derivation (golden-ratio constant) outside \
+                 memdos_stats; derive seeds with memdos_stats::rng::derive_seed \
+                 or Rng::fork"
+                    .to_string(),
+            );
+        }
     }
     findings
+}
+
+/// True when the line creates OS threads: `std::thread` paths or the
+/// `thread::spawn`/`thread::scope` idioms. `thread_local!` storage and
+/// prose mentions of "thread" do not count.
+fn spawns_thread(line: &str) -> bool {
+    line.contains("std::thread")
+        || line.contains("thread::spawn")
+        || line.contains("thread::scope")
+        || line.contains("thread::Builder")
+}
+
+/// True when the line spells the splitmix golden-ratio constant
+/// (`0x9E3779B9…`), under any case or underscore grouping.
+fn has_seed_constant(line: &str) -> bool {
+    let squeezed: String = line
+        .chars()
+        .filter(|&c| c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    squeezed.contains("0x9e3779b9")
 }
 
 /// L4: `lib.rs` must forbid unsafe code, attribute checked on stripped
@@ -375,7 +426,8 @@ pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Finding> {
 mod tests {
     use super::*;
 
-    const SCOPE: FileScope = FileScope { deterministic: true };
+    const SCOPE: FileScope =
+        FileScope { deterministic: true, harness: false, seed_authority: false };
 
     fn rules_of(source: &str) -> Vec<&'static str> {
         check_source("t.rs", source, SCOPE).iter().map(|f| f.rule).collect()
@@ -427,8 +479,32 @@ mod tests {
             rules_of("use std::collections::HashMap;\n"),
             vec!["L2/collections"]
         );
-        let loose = FileScope { deterministic: false };
+        let loose = FileScope { deterministic: false, harness: false, seed_authority: false };
         assert!(check_source("t.rs", "use std::collections::HashMap;\n", loose).is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawning_outside_harness_scope() {
+        assert_eq!(rules_of("fn f() { std::thread::spawn(|| {}); }\n"), vec!["L5/thread"]);
+        assert_eq!(rules_of("fn f() { thread::scope(|s| {}); }\n"), vec!["L5/thread"]);
+        // Thread-local storage and prose are not spawning.
+        assert!(rules_of("thread_local! { static X: u8 = 0; }\n").is_empty());
+        let harness = FileScope { deterministic: false, harness: true, seed_authority: false };
+        let src = "fn f() { std::thread::spawn(|| {}); let t = Instant::now(); }\n";
+        assert!(check_source("t.rs", src, harness).is_empty());
+    }
+
+    #[test]
+    fn flags_seed_constant_outside_stats() {
+        assert_eq!(
+            rules_of("const S: u64 = seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);\n"),
+            vec!["L5/seed"]
+        );
+        assert_eq!(rules_of("let s = x * 0x9e3779b97f4a7c15u64;\n"), vec!["L5/seed"]);
+        let stats = FileScope { deterministic: true, harness: false, seed_authority: true };
+        let src = "const S: u64 = 0x9E37_79B9_7F4A_7C15;\n";
+        assert!(check_source("t.rs", src, stats).is_empty());
+        assert!(rules_of("let s = memdos_stats::rng::derive_seed(base, run);\n").is_empty());
     }
 
     #[test]

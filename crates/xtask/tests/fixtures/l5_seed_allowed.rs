@@ -1,0 +1,13 @@
+//! Fixture: seeds that flow through the stats crate's derivation API do
+//! not fire, and a justified allow suppresses the rule.
+
+pub fn per_run_seed(base: u64, run: u64) -> u64 {
+    memdos_stats::rng::derive_seed(base, run)
+}
+
+pub fn forked(rng: &mut memdos_stats::rng::Rng, stream: u64) -> memdos_stats::rng::Rng {
+    rng.fork(stream)
+}
+
+// lint:allow(seed) -- fixture exercising the documented escape hatch
+pub const MIRROR_OF_STATS_CONSTANT: u64 = 0x9E37_79B9_7F4A_7C15;

@@ -1,0 +1,10 @@
+//! Fixture: hand-rolled seed derivation outside the stats crate — the
+//! golden-ratio constant fires L5/seed under any case or grouping.
+
+pub fn run_seed(base: u64, run: u64) -> u64 {
+    base ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+pub fn lowercase_ungrouped(x: u64) -> u64 {
+    x.wrapping_add(0x9e3779b97f4a7c15)
+}

@@ -1,0 +1,24 @@
+//! Fixture: what the thread rule must NOT flag in a non-harness crate —
+//! thread-local storage, prose, a justified allow, and test code.
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Hands multi-threaded work to the runner crate instead of spawning.
+pub fn delegate(items: &[u64]) -> usize {
+    items.len()
+}
+
+pub fn justified() {
+    // lint:allow(thread) -- documented escape hatch exercised by the fixture
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: thread spawning in a non-harness crate — every variant of
+//! the spawning idiom must fire L5/thread.
+
+pub fn fan_out(jobs: Vec<u64>) -> Vec<u64> {
+    let handle = std::thread::spawn(move || jobs.len() as u64);
+    let joined = handle.join().unwrap_or(0);
+    thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let b = thread::Builder::new();
+    drop(b);
+    vec![joined]
+}

@@ -5,8 +5,14 @@
 use xtask::manifest::check_manifest;
 use xtask::rules::{check_forbid_unsafe, check_source, FileScope, Finding};
 
-const LIB_SCOPE: FileScope = FileScope { deterministic: false };
-const DET_SCOPE: FileScope = FileScope { deterministic: true };
+const LIB_SCOPE: FileScope =
+    FileScope { deterministic: false, harness: false, seed_authority: false };
+const DET_SCOPE: FileScope =
+    FileScope { deterministic: true, harness: false, seed_authority: false };
+const HARNESS_SCOPE: FileScope =
+    FileScope { deterministic: false, harness: true, seed_authority: false };
+const STATS_SCOPE: FileScope =
+    FileScope { deterministic: true, harness: false, seed_authority: true };
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -83,6 +89,44 @@ fn l3_safe_comparisons_pass() {
     let src = include_str!("fixtures/l3_float_allowed.rs");
     let findings = check_source("fixture.rs", src, LIB_SCOPE);
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l5_thread_fires_on_every_spawning_idiom() {
+    let src = include_str!("fixtures/l5_thread_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // std::thread::spawn, thread::scope, thread::Builder
+    assert_eq!(count(&findings, "L5/thread"), 3, "{findings:?}");
+}
+
+#[test]
+fn l5_thread_spares_storage_allows_tests_and_harness_crates() {
+    let src = include_str!("fixtures/l5_thread_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+    // The violation fixture is legal inside a harness crate.
+    let violation = include_str!("fixtures/l5_thread_violation.rs");
+    let findings = check_source("fixture.rs", violation, HARNESS_SCOPE);
+    assert_eq!(count(&findings, "L5/thread"), 0, "{findings:?}");
+}
+
+#[test]
+fn l5_seed_fires_on_hand_rolled_derivation() {
+    let src = include_str!("fixtures/l5_seed_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // grouped-uppercase and ungrouped-lowercase spellings
+    assert_eq!(count(&findings, "L5/seed"), 2, "{findings:?}");
+}
+
+#[test]
+fn l5_seed_spares_rng_api_allows_and_the_stats_crate() {
+    let src = include_str!("fixtures/l5_seed_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+    // The stats crate itself owns the constant.
+    let violation = include_str!("fixtures/l5_seed_violation.rs");
+    let findings = check_source("fixture.rs", violation, STATS_SCOPE);
+    assert_eq!(count(&findings, "L5/seed"), 0, "{findings:?}");
 }
 
 #[test]

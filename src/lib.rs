@@ -23,6 +23,9 @@
 //!   profiling, and the KStest baseline.
 //! * [`metrics`] — the §5 experiment protocol and metrics (recall,
 //!   specificity, detection delay, performance overhead).
+//! * [`runner`] — the std-only parallel experiment engine that fans the
+//!   evaluation grid across `MEMDOS_THREADS` workers with bit-identical
+//!   (deterministically seeded, order-restored) results.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +76,7 @@
 pub use memdos_attacks as attacks;
 pub use memdos_core as core;
 pub use memdos_metrics as metrics;
+pub use memdos_runner as runner;
 pub use memdos_sim as sim;
 pub use memdos_stats as stats;
 pub use memdos_workloads as workloads;
