@@ -7,9 +7,9 @@
 //! the range (the paper's alarm lands "at around window 150").
 
 use memdos_attacks::AttackKind;
+use memdos_core::detector::{Detector, Observation};
 use memdos_core::sdsb::SdsB;
 use memdos_metrics::experiment::ExperimentConfig;
-use memdos_sim::pcm::Stat;
 use memdos_workloads::catalog::Application;
 
 fn main() {
@@ -23,7 +23,8 @@ fn main() {
     };
     let captured = cfg.capture_run(0);
     let profile = captured.profile_with(&cfg.sds_params).expect("profile");
-    let mut sdsb = SdsB::from_profile(&profile, Stat::AccessNum).expect("detector");
+    let mut sdsb =
+        SdsB::from_profile(&profile, &cfg.sds_params.sdsb).expect("detector");
     let range = sdsb.range();
     println!(
         "normal range: [{:.0}, {:.0}] (μ_E = {:.0}, σ_E = {:.1}, k = {})",
@@ -40,7 +41,9 @@ fn main() {
     let mut alarm_window = None;
     for obs in &captured.observations[stages.profile_ticks as usize..] {
         let before = sdsb.last_ewma();
-        let became = sdsb.on_sample(obs.access_num);
+        let became = sdsb
+            .on_observation(Observation { access_num: obs.access_num, miss_num: obs.miss_num })
+            .became_active;
         if sdsb.last_ewma() != before || (window_idx == 0 && sdsb.last_ewma().is_some()) {
             if sdsb.last_ewma() != before {
                 window_idx += 1;

@@ -8,9 +8,9 @@
 
 use memdos_attacks::AttackKind;
 use memdos_bench::figures::{per_second, sparkline};
+use memdos_core::detector::{Detector, Observation};
 use memdos_core::sdsp::SdsP;
 use memdos_metrics::experiment::ExperimentConfig;
-use memdos_sim::pcm::Stat;
 use memdos_workloads::catalog::Application;
 
 fn main() {
@@ -41,7 +41,8 @@ fn main() {
     );
     println!("    |{}|", sparkline(&per_second(&monitored)));
 
-    let mut sdsp = SdsP::from_profile(&profile, Stat::AccessNum).expect("detector");
+    let mut sdsp =
+        SdsP::from_profile(&profile, &cfg.sds_params.sdsp).expect("detector");
     println!(
         "(b) computed period every ΔW_P = {} MA values (W_P = {} MA values):",
         cfg.sds_params.sdsp.step_ma,
@@ -51,7 +52,9 @@ fn main() {
     let mut alarm_at = None;
     let mut normal_estimates = Vec::new();
     for (t, obs) in monitored.iter().enumerate() {
-        let step = sdsp.on_sample(*obs);
+        let step = sdsp
+            .on_observation(Observation { access_num: *obs, miss_num: 0.0 })
+            .became_active;
         if sdsp.computations() > computations {
             computations = sdsp.computations();
             let period = sdsp.last_period();

@@ -15,9 +15,11 @@
 //! per kernel, `speedup_*` keys comparing the optimized kernels against
 //! re-implementations of their pre-optimization versions (kept inline in
 //! this file), and `grid_cells_per_sec_t{1,2,4}` keys measuring parallel
-//! runner throughput on the evaluation grid. CI compares the file against
-//! `crates/bench/baseline/BENCH_2.json` via
-//! `cargo run -p xtask -- bench-check`.
+//! runner throughput on the evaluation grid. A second report,
+//! `BENCH_3.json` (override with `MEMDOS_BENCH_OUT_ENGINE`), carries the
+//! streaming-engine ingest throughput (`engine_ingest_samples_per_sec`).
+//! CI compares both files against their counterparts under
+//! `crates/bench/baseline/` via `cargo run -p xtask -- bench-check`.
 //!
 //! The harness is deliberately dependency-free (the build environment is
 //! offline): each benchmark runs a calibration pass to pick an iteration
@@ -28,11 +30,11 @@ use std::time::Instant;
 
 use memdos_attacks::AttackKind;
 use memdos_core::config::{SdsBParams, SdsPParams};
+use memdos_core::detector::{Detector, Observation};
 use memdos_core::sdsb::SdsB;
 use memdos_core::sdsp::SdsP;
 use memdos_metrics::experiment::{ExperimentConfig, StageConfig};
 use memdos_sim::cache::{CacheGeometry, Llc};
-use memdos_sim::pcm::Stat;
 use memdos_sim::server::{Server, ServerConfig};
 use memdos_stats::acf::{acf_direct, acf_fft};
 use memdos_stats::fft::{fft_real, rfft};
@@ -69,9 +71,12 @@ impl Report {
         format!("{{\n{}\n}}\n", body.join(",\n"))
     }
 
-    fn write(&self) {
-        let path = std::env::var("MEMDOS_BENCH_OUT").unwrap_or_else(|_| {
-            format!("{}/../../BENCH_2.json", env!("CARGO_MANIFEST_DIR"))
+    /// Writes the report to `<workspace root>/<default_name>`, overridable
+    /// through `env_var` (kernel report: `MEMDOS_BENCH_OUT`; engine
+    /// report: `MEMDOS_BENCH_OUT_ENGINE`).
+    fn write(&self, env_var: &str, default_name: &str) {
+        let path = std::env::var(env_var).unwrap_or_else(|_| {
+            format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"))
         });
         match std::fs::write(&path, self.to_json()) {
             Ok(()) => println!("wrote {path}"),
@@ -117,12 +122,15 @@ fn bench(name: &str, mut f: impl FnMut()) -> f64 {
 }
 
 fn bench_sdsb_update(report: &mut Report) {
-    let mut det = SdsB::new(SdsBParams::default(), Stat::AccessNum, 1000.0, 50.0)
+    let mut det = SdsB::new(SdsBParams::default(), 1000.0, 50.0)
         .expect("default SDS/B parameters are valid");
     let mut x = 0u64;
     let ns = bench("sdsb_on_sample", move || {
         x = x.wrapping_add(1);
-        black_box(det.on_sample(1000.0 + (x % 13) as f64));
+        black_box(det.on_observation(Observation {
+            access_num: 1000.0 + (x % 13) as f64,
+            miss_num: 0.0,
+        }));
     });
     report.push("sdsb_on_sample_ns", ns);
 }
@@ -131,19 +139,21 @@ fn bench_sdsp_recompute(report: &mut Report) {
     // Feeding ΔW_P·ΔW raw samples triggers exactly one DFT-ACF
     // recomputation once the window is warm.
     let params = SdsPParams::default();
-    let mut det = SdsP::new(params, Stat::AccessNum, 17.0)
-        .expect("default SDS/P parameters are valid");
+    let mut det =
+        SdsP::new(params, 17.0).expect("default SDS/P parameters are valid");
+    let square = |i: u64| Observation {
+        access_num: if (i / 425) % 2 == 0 { 1000.0 } else { 300.0 },
+        miss_num: 0.0,
+    };
     // Warm up the W_P window.
     for i in 0..60_000u64 {
-        let phase = (i / 425) % 2;
-        det.on_sample(if phase == 0 { 1000.0 } else { 300.0 });
+        det.on_observation(square(i));
     }
     let mut i = 0u64;
     let ns = bench("sdsp_full_window_cycle", move || {
         for _ in 0..params.step_ma * params.step {
             i += 1;
-            let phase = (i / 425) % 2;
-            black_box(det.on_sample(if phase == 0 { 1000.0 } else { 300.0 }));
+            black_box(det.on_observation(square(i)));
         }
     });
     report.push("sdsp_full_window_cycle_ns", ns);
@@ -428,6 +438,59 @@ fn bench_grid_throughput(report: &mut Report) {
     );
 }
 
+/// Streaming-engine ingest throughput over a synthetic 4-tenant JSONL
+/// stream (parse → route → profile/step → render the verdict log),
+/// emitted into the separate `BENCH_3.json` report. The per-tenant
+/// signal is hash-jittered so the profiled sigma is small but nonzero,
+/// and `profile_ticks` is half the stream so the measurement covers the
+/// profiling *and* monitoring phases of the session lifecycle.
+fn bench_engine_ingest(report: &mut Report) {
+    use memdos_engine::engine::{Engine, EngineConfig};
+    use memdos_engine::session::SessionConfig;
+
+    const TENANTS: u64 = 4;
+    const TICKS: u64 = 4_000;
+    let mut lines: Vec<String> = Vec::with_capacity((TENANTS * TICKS + TENANTS) as usize);
+    for i in 0..TICKS {
+        for t in 0..TENANTS {
+            let h = (i * TENANTS + t).wrapping_mul(2654435761);
+            lines.push(format!(
+                "{{\"tenant\":\"vm-{t}\",\"access\":{},\"miss\":{}}}",
+                1_000 + h % 17,
+                100 + h % 7
+            ));
+        }
+    }
+    for t in 0..TENANTS {
+        lines.push(format!("{{\"tenant\":\"vm-{t}\",\"ctl\":\"close\"}}"));
+    }
+    let total = lines.len() as f64;
+    let config_for = |workers: usize| EngineConfig {
+        workers,
+        session: SessionConfig { profile_ticks: TICKS / 2, ..SessionConfig::default() },
+        ..EngineConfig::default()
+    };
+
+    let replay = |workers: usize| {
+        let mut engine = Engine::new(config_for(workers))
+            .expect("bench engine configuration is valid");
+        for line in &lines {
+            engine.ingest_line(line);
+        }
+        engine.flush();
+        black_box(engine.log_lines().len());
+    };
+
+    let ns = bench("engine_ingest_16k_lines", || replay(1));
+    let per_sample_ns = ns / total;
+    report.push("engine_ingest_sample_ns", per_sample_ns);
+    report.push("engine_ingest_samples_per_sec", 1.0e9 * total / ns);
+
+    // The tenant-sharded parallel path: same stream, four workers.
+    let ns_t4 = bench("engine_ingest_16k_lines_t4", || replay(4));
+    report.push("engine_ingest_samples_per_sec_t4", 1.0e9 * total / ns_t4);
+}
+
 fn main() {
     println!("memdos micro-benchmarks (median of {PASSES} passes)");
     let mut report = Report::default();
@@ -440,5 +503,9 @@ fn main() {
     bench_cache_access(&mut report);
     bench_server_tick(&mut report);
     bench_grid_throughput(&mut report);
-    report.write();
+    report.write("MEMDOS_BENCH_OUT", "BENCH_2.json");
+
+    let mut engine_report = Report::default();
+    bench_engine_ingest(&mut engine_report);
+    engine_report.write("MEMDOS_BENCH_OUT_ENGINE", "BENCH_3.json");
 }

@@ -16,10 +16,14 @@
 //! `L_M = 2 s`, `L_R = 30 s`, four consecutive rejections.
 
 use crate::CoreError;
+use memdos_sim::pcm::Stat;
 
 /// Parameters of SDS/B (§4.2.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdsBParams {
+    /// The statistic this instance monitors (default `AccessNum`; the
+    /// combined SDS builds one instance per statistic).
+    pub stat: Stat,
     /// Window size `W` of raw data points per MA window.
     pub window: usize,
     /// Sliding step `ΔW` in raw data points.
@@ -34,7 +38,14 @@ pub struct SdsBParams {
 
 impl Default for SdsBParams {
     fn default() -> Self {
-        SdsBParams { window: 200, step: 50, alpha: 0.2, k: 1.125, h_c: 30 }
+        SdsBParams {
+            stat: Stat::AccessNum,
+            window: 200,
+            step: 50,
+            alpha: 0.2,
+            k: 1.125,
+            h_c: 30,
+        }
     }
 }
 
@@ -109,6 +120,9 @@ impl SdsBParams {
 /// Parameters of SDS/P (§4.2.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdsPParams {
+    /// The statistic whose MA series is monitored (default `AccessNum`,
+    /// where the periodic structure lives — Figs. 2(g), 6(a)).
+    pub stat: Stat,
     /// Window size `W` of raw data for the MA series (shared with SDS/B).
     pub window: usize,
     /// Sliding step `ΔW` for the MA series.
@@ -128,6 +142,7 @@ pub struct SdsPParams {
 impl Default for SdsPParams {
     fn default() -> Self {
         SdsPParams {
+            stat: Stat::AccessNum,
             window: 200,
             step: 50,
             window_periods: 2.0,
@@ -200,6 +215,19 @@ pub struct SdsParams {
     pub sdsb: SdsBParams,
     /// Period-scheme parameters (used only when the profile is periodic).
     pub sdsp: SdsPParams,
+}
+
+impl SdsParams {
+    /// Validates both channels' parameter sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when either channel's
+    /// parameters are out of domain.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.sdsb.validate()?;
+        self.sdsp.validate()
+    }
 }
 
 /// Parameters of the KStest baseline (§3.2, after [49]), in ticks.
@@ -282,6 +310,8 @@ mod tests {
     #[test]
     fn table1_defaults() {
         let b = SdsBParams::default();
+        assert_eq!(b.stat, Stat::AccessNum);
+        assert_eq!(SdsPParams::default().stat, Stat::AccessNum);
         assert_eq!((b.window, b.step), (200, 50));
         assert_eq!(b.alpha, 0.2);
         assert_eq!(b.k, 1.125);
@@ -335,5 +365,16 @@ mod tests {
         let mut ks = KsTestParams::default();
         ks.l_r_ticks = 200;
         assert!(ks.validate().is_err());
+    }
+
+    #[test]
+    fn sds_params_validate_covers_both_channels() {
+        assert!(SdsParams::default().validate().is_ok());
+        let mut p = SdsParams::default();
+        p.sdsb.k = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = SdsParams::default();
+        p.sdsp.h_p = 0;
+        assert!(p.validate().is_err());
     }
 }

@@ -14,6 +14,8 @@
 //! [`DetectorStep`], which the experiment loop applies to the simulated
 //! server — mirroring how the real system drives the KVM scheduler.
 
+use crate::profile::Profile;
+use crate::CoreError;
 use memdos_sim::pcm::{PcmSample, Stat};
 
 /// The per-tick PCM statistics of the protected VM.
@@ -50,9 +52,47 @@ pub enum ThrottleRequest {
     ResumeAll,
 }
 
+/// The detector's judgement after a step — the full state callers need,
+/// so they never reassemble it from `alarm_active()` plus the per-scheme
+/// consecutive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Verdict {
+    /// The detection condition shows no sign of an attack.
+    #[default]
+    Normal,
+    /// The condition is partially satisfied: `consecutive` violations
+    /// (or period changes / KS rejections) in a row, below the scheme's
+    /// threshold.
+    Suspicious {
+        /// Length of the current violation streak.
+        consecutive: u32,
+    },
+    /// The detection condition is fully satisfied.
+    Alarm,
+}
+
+impl Verdict {
+    /// Stable lowercase label (used by the engine's JSONL event log).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Normal => "normal",
+            Verdict::Suspicious { .. } => "suspicious",
+            Verdict::Alarm => "alarm",
+        }
+    }
+
+    /// Whether two verdicts fall in the same class, ignoring the
+    /// suspicious streak length (transition logs key on this).
+    pub fn same_class(&self, other: &Verdict) -> bool {
+        self.label() == other.label()
+    }
+}
+
 /// What happened during one detector step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectorStep {
+    /// The detector's judgement after consuming this observation.
+    pub verdict: Verdict,
     /// The alarm state transitioned from inactive to active on this tick.
     pub became_active: bool,
     /// Hypervisor action the detector requires (KStest baseline only).
@@ -60,7 +100,8 @@ pub struct DetectorStep {
 }
 
 impl DetectorStep {
-    /// A step with no alarm transition and no throttle request.
+    /// A step with a `Normal` verdict, no alarm transition and no
+    /// throttle request.
     pub fn quiet() -> Self {
         DetectorStep::default()
     }
@@ -79,6 +120,26 @@ pub trait Detector {
 
     /// Number of inactive→active transitions so far.
     fn activations(&self) -> u64;
+}
+
+/// Uniform construction from a Stage-1 profile: every scheme builds the
+/// same way — a profile plus its own parameter struct — so generic code
+/// (the engine's session stack, the conformance suite) can instantiate
+/// any detector without per-scheme special cases. The KStest baseline
+/// participates for parity even though it derives nothing from the
+/// profile content (it builds its own reference under throttling).
+pub trait FromProfile: Detector + Sized {
+    /// The scheme's parameter struct (all of them expose `validate()`).
+    type Params;
+
+    /// Builds the detector from a Stage-1 profile and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for invalid parameters or
+    /// a degenerate profile, and [`CoreError::NotPeriodic`] when the
+    /// scheme needs a periodicity entry the profile lacks.
+    fn from_profile(profile: &Profile, params: &Self::Params) -> Result<Self, CoreError>;
 }
 
 impl<D: Detector + ?Sized> Detector for Box<D> {
@@ -116,5 +177,17 @@ mod tests {
     fn quiet_step_is_default() {
         assert_eq!(DetectorStep::quiet(), DetectorStep::default());
         assert!(DetectorStep::quiet().throttle.is_none());
+        assert_eq!(DetectorStep::quiet().verdict, Verdict::Normal);
+    }
+
+    #[test]
+    fn verdict_labels_and_classes() {
+        assert_eq!(Verdict::Normal.label(), "normal");
+        assert_eq!(Verdict::Suspicious { consecutive: 3 }.label(), "suspicious");
+        assert_eq!(Verdict::Alarm.label(), "alarm");
+        assert!(Verdict::Suspicious { consecutive: 1 }
+            .same_class(&Verdict::Suspicious { consecutive: 7 }));
+        assert!(!Verdict::Normal.same_class(&Verdict::Alarm));
+        assert_eq!(Verdict::default(), Verdict::Normal);
     }
 }

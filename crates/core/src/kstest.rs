@@ -20,7 +20,10 @@
 //! when either statistic's distributions differ.
 
 use crate::config::KsTestParams;
-use crate::detector::{Detector, DetectorStep, Observation, ThrottleRequest};
+use crate::detector::{
+    Detector, DetectorStep, FromProfile, Observation, ThrottleRequest, Verdict,
+};
+use crate::profile::Profile;
 use crate::CoreError;
 use memdos_stats::ks::ks_two_sample;
 
@@ -78,11 +81,18 @@ impl KsTestDetector {
         })
     }
 
-    /// Creates the detector with the paper's default parameters.
-    pub fn with_defaults() -> Self {
-        // lint:allow(panic) -- KsTestParams::default() is a compile-time
-        // constant whose validity is pinned by the params_roundtrip tests.
-        KsTestDetector::new(KsTestParams::default()).expect("defaults are valid")
+    /// Creates the detector from a Stage-1 [`Profile`], for construction
+    /// parity with the SDS family ([`FromProfile`]). The KStest protocol
+    /// derives nothing from the profile content — it builds its own
+    /// reference under throttling — so the profile is accepted and
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `params` fail
+    /// validation.
+    pub fn from_profile(_profile: &Profile, params: &KsTestParams) -> Result<Self, CoreError> {
+        KsTestDetector::new(*params)
     }
 
     /// KS tests run so far.
@@ -103,6 +113,17 @@ impl KsTestDetector {
     /// Current consecutive-rejection count.
     pub fn consecutive_rejections(&self) -> u32 {
         self.consecutive
+    }
+
+    /// Verdict reflecting the current counter/alarm state.
+    fn verdict(&self) -> Verdict {
+        if self.active {
+            Verdict::Alarm
+        } else if self.consecutive > 0 {
+            Verdict::Suspicious { consecutive: self.consecutive }
+        } else {
+            Verdict::Normal
+        }
     }
 
     /// Phase of the cycle position `c` (ticks within the `L_R` cycle).
@@ -169,6 +190,7 @@ impl Detector for KsTestDetector {
             // The detection state persists across the refresh only if it
             // was already active; an active alarm stays active until a
             // passing round clears it below.
+            step.verdict = self.verdict();
             return step;
         }
 
@@ -209,6 +231,7 @@ impl Detector for KsTestDetector {
                 }
             }
         }
+        step.verdict = self.verdict();
         step
     }
 
@@ -218,6 +241,23 @@ impl Detector for KsTestDetector {
 
     fn activations(&self) -> u64 {
         self.activations
+    }
+}
+
+impl Default for KsTestDetector {
+    /// The detector at the paper's default parameters.
+    fn default() -> Self {
+        // lint:allow(panic) -- KsTestParams::default() is a compile-time
+        // constant whose validity is pinned by the params_roundtrip tests.
+        KsTestDetector::new(KsTestParams::default()).expect("defaults are valid")
+    }
+}
+
+impl FromProfile for KsTestDetector {
+    type Params = KsTestParams;
+
+    fn from_profile(profile: &Profile, params: &KsTestParams) -> Result<Self, CoreError> {
+        KsTestDetector::from_profile(profile, params)
     }
 }
 

@@ -47,7 +47,7 @@
 //! use memdos_core::sds::Sds;
 //!
 //! // Stage 1: profile 3000 ticks of a (synthetic) benign signal.
-//! let mut profiler = Profiler::with_defaults();
+//! let mut profiler = Profiler::default();
 //! for i in 0..3000u64 {
 //!     let wiggle = (i % 7) as f64;
 //!     profiler.observe(Observation { access_num: 1000.0 + wiggle, miss_num: 50.0 + wiggle });

@@ -108,6 +108,38 @@ pub struct ProfilerConfig {
     pub min_smoothed: usize,
 }
 
+impl ProfilerConfig {
+    /// Validates the configuration — the same contract every detector
+    /// params struct exposes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.sds.validate()?;
+        if !(self.min_period_strength > 0.0 && self.min_period_strength <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "min_period_strength",
+                reason: "must be in (0, 1]",
+            });
+        }
+        if !(self.consistency_tolerance > 0.0 && self.consistency_tolerance < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "consistency_tolerance",
+                reason: "must be in (0, 1)",
+            });
+        }
+        if self.min_smoothed == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "min_smoothed",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for ProfilerConfig {
     fn default() -> Self {
         ProfilerConfig {
@@ -139,8 +171,7 @@ impl Profiler {
     /// Returns [`CoreError::InvalidParameter`] if the preprocessing
     /// parameters are invalid.
     pub fn new(cfg: ProfilerConfig) -> Result<Self, CoreError> {
-        cfg.sds.sdsb.validate()?;
-        cfg.sds.sdsp.validate()?;
+        cfg.validate()?;
         let b = &cfg.sds.sdsb;
         Ok(Profiler {
             access_pipe: Pipeline::new(b.window, b.step, b.alpha)?,
@@ -151,17 +182,6 @@ impl Profiler {
             observations: 0,
             cfg,
         })
-    }
-
-    /// Creates a profiler with the Table 1 defaults.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the defaults are valid by construction.
-    pub fn with_defaults() -> Self {
-        // lint:allow(panic) -- ProfilerConfig::default() is a compile-time
-        // constant whose validity is pinned by unit tests.
-        Profiler::new(ProfilerConfig::default()).expect("default parameters are valid")
     }
 
     /// Feeds one tick of PCM statistics.
@@ -210,6 +230,15 @@ impl Profiler {
             self.cfg.consistency_tolerance,
         );
         Ok(Profile { params: self.cfg.sds, access, miss, periodicity })
+    }
+}
+
+impl Default for Profiler {
+    /// A profiler with the Table 1 defaults.
+    fn default() -> Self {
+        // lint:allow(panic) -- ProfilerConfig::default() is a compile-time
+        // constant whose validity is pinned by unit tests.
+        Profiler::new(ProfilerConfig::default()).expect("default parameters are valid")
     }
 }
 
@@ -275,7 +304,7 @@ mod tests {
 
     #[test]
     fn profiles_stationary_signal() {
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         observe_signal(&mut p, 5000, |i| {
             (1000.0 + (i % 11) as f64, 50.0 + (i % 7) as f64)
         });
@@ -289,7 +318,7 @@ mod tests {
     #[test]
     fn detects_periodic_signal() {
         // Square wave with period 1000 raw ticks = 20 MA windows (ΔW=50).
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         observe_signal(&mut p, 10_000, |i| {
             let phase = (i / 500) % 2;
             let a = if phase == 0 { 1200.0 } else { 400.0 };
@@ -307,7 +336,7 @@ mod tests {
 
     #[test]
     fn insufficient_data_errors() {
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         observe_signal(&mut p, 300, |_| (100.0, 10.0));
         assert!(matches!(
             p.finish(),
@@ -317,7 +346,7 @@ mod tests {
 
     #[test]
     fn observation_counter() {
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         observe_signal(&mut p, 42, |_| (1.0, 1.0));
         assert_eq!(p.observations(), 42);
     }

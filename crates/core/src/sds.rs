@@ -12,8 +12,8 @@
 //! SDS/B detection. SDS/P runs on the `AccessNum` MA series, where the
 //! periodic structure lives (Figs. 2(g), 6(a)).
 
-use crate::config::SdsParams;
-use crate::detector::{Detector, DetectorStep, Observation};
+use crate::config::{SdsBParams, SdsParams, SdsPParams};
+use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
 use crate::profile::Profile;
 use crate::sdsb::SdsB;
 use crate::sdsp::SdsP;
@@ -43,12 +43,17 @@ impl Sds {
     ///
     /// Propagates construction errors from [`SdsB::new`] / [`SdsP::new`].
     pub fn from_profile(profile: &Profile, params: &SdsParams) -> Result<Self, CoreError> {
-        let mut profile = profile.clone();
-        profile.params = *params;
-        let b_access = SdsB::from_profile(&profile, Stat::AccessNum)?;
-        let b_miss = SdsB::from_profile(&profile, Stat::MissNum)?;
+        let b_access = SdsB::from_profile(
+            profile,
+            &SdsBParams { stat: Stat::AccessNum, ..params.sdsb },
+        )?;
+        let b_miss =
+            SdsB::from_profile(profile, &SdsBParams { stat: Stat::MissNum, ..params.sdsb })?;
         let p = if profile.is_periodic() {
-            Some(SdsP::from_profile(&profile, Stat::AccessNum)?)
+            Some(SdsP::from_profile(
+                profile,
+                &SdsPParams { stat: Stat::AccessNum, ..params.sdsp },
+            )?)
         } else {
             None
         };
@@ -74,6 +79,26 @@ impl Sds {
     pub fn is_periodic_mode(&self) -> bool {
         self.p.is_some()
     }
+
+    /// Verdict reflecting the combined state: `Alarm` when the
+    /// scheme-level condition holds, `Suspicious` with the longest
+    /// channel streak while any channel counts violations, else
+    /// `Normal`.
+    fn verdict(&self) -> Verdict {
+        if self.active {
+            return Verdict::Alarm;
+        }
+        let mut streak = self.b_access.consecutive_violations();
+        streak = streak.max(self.b_miss.consecutive_violations());
+        if let Some(p) = &self.p {
+            streak = streak.max(p.consecutive_changes());
+        }
+        if streak > 0 {
+            Verdict::Suspicious { consecutive: streak }
+        } else {
+            Verdict::Normal
+        }
+    }
 }
 
 impl Detector for Sds {
@@ -97,7 +122,7 @@ impl Detector for Sds {
             self.activations += 1;
         }
         self.active = now_active;
-        DetectorStep { became_active: became, throttle: None }
+        DetectorStep { verdict: self.verdict(), became_active: became, throttle: None }
     }
 
     fn alarm_active(&self) -> bool {
@@ -109,6 +134,14 @@ impl Detector for Sds {
     }
 }
 
+impl FromProfile for Sds {
+    type Params = SdsParams;
+
+    fn from_profile(profile: &Profile, params: &SdsParams) -> Result<Self, CoreError> {
+        Sds::from_profile(profile, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,7 +150,14 @@ mod tests {
 
     fn fast_params() -> SdsParams {
         SdsParams {
-            sdsb: SdsBParams { window: 10, step: 5, alpha: 0.5, k: 2.0, h_c: 3 },
+            sdsb: SdsBParams {
+                window: 10,
+                step: 5,
+                alpha: 0.5,
+                k: 2.0,
+                h_c: 3,
+                ..SdsBParams::default()
+            },
             sdsp: SdsPParams {
                 window: 10,
                 step: 5,
@@ -125,13 +165,14 @@ mod tests {
                 step_ma: 2,
                 h_p: 3,
                 deviation: 0.2,
+                ..SdsPParams::default()
             },
         }
     }
 
     /// Profiles a flat (non-periodic) signal.
     fn flat_profile() -> Profile {
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         for i in 0..4000 {
             p.observe(Observation {
                 access_num: 1000.0 + (i % 10) as f64,
@@ -144,7 +185,7 @@ mod tests {
     /// Profiles a square-wave (periodic) signal with period 20 MA
     /// windows at the default ΔW=50 (1000 raw samples per cycle).
     fn periodic_profile() -> Profile {
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         for i in 0..12_000 {
             let phase = (i / 500) % 2;
             let a = if phase == 0 { 1200.0 } else { 400.0 };

@@ -8,24 +8,27 @@
 //! distribution, which is what makes the scheme robust across
 //! applications.
 //!
-//! A single [`SdsB`] instance monitors one statistic; the combined
-//! [`crate::sds::Sds`] runs one instance on `AccessNum` (bus-locking
-//! attacks drive it *below* range) and one on `MissNum` (cleansing
-//! attacks drive it *above* range).
+//! A single [`SdsB`] instance monitors one statistic (chosen by
+//! [`SdsBParams::stat`]); the combined [`crate::sds::Sds`] runs one
+//! instance on `AccessNum` (bus-locking attacks drive it *below* range)
+//! and one on `MissNum` (cleansing attacks drive it *above* range).
+//!
+//! Stepping goes exclusively through [`Detector::on_observation`]; the
+//! raw-sample path is private so every caller sees the same
+//! [`DetectorStep`]/[`Verdict`] surface.
 
 use crate::config::SdsBParams;
-use crate::detector::{Detector, DetectorStep, Observation};
+use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
 use crate::profile::{Profile, StatProfile};
 use crate::CoreError;
+use memdos_sim::pcm::Stat;
 use memdos_stats::bounds::NormalRange;
 use memdos_stats::smoothing::Pipeline;
-use memdos_sim::pcm::Stat;
 
 /// The SDS/B online detector for one cache statistic.
 #[derive(Debug)]
 pub struct SdsB {
     params: SdsBParams,
-    stat: Stat,
     range: NormalRange,
     pipeline: Pipeline,
     consecutive: u32,
@@ -36,19 +39,14 @@ pub struct SdsB {
 }
 
 impl SdsB {
-    /// Creates a detector for `stat` from a profiled mean and standard
-    /// deviation.
+    /// Creates a detector from a profiled mean and standard deviation of
+    /// the statistic selected by `params.stat`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for invalid `params` or a
     /// degenerate profile (negative or NaN `sigma`).
-    pub fn new(
-        params: SdsBParams,
-        stat: Stat,
-        mu: f64,
-        sigma: f64,
-    ) -> Result<Self, CoreError> {
+    pub fn new(params: SdsBParams, mu: f64, sigma: f64) -> Result<Self, CoreError> {
         params.validate()?;
         let range = NormalRange::new(mu, sigma, params.k).map_err(|_| {
             CoreError::InvalidParameter {
@@ -58,29 +56,28 @@ impl SdsB {
         })?;
         Ok(SdsB {
             pipeline: Pipeline::new(params.window, params.step, params.alpha)?,
-            params,
-            stat,
             range,
             consecutive: 0,
             active: false,
             activations: 0,
             last_ewma: None,
-            name: format!("SDS/B[{stat}]"),
+            name: format!("SDS/B[{}]", params.stat),
+            params,
         })
     }
 
-    /// Creates a detector for `stat` from a Stage-1 [`Profile`], using
-    /// the profile's own preprocessing parameters.
+    /// Creates a detector from a Stage-1 [`Profile`], monitoring the
+    /// statistic selected by `params.stat`.
     ///
     /// # Errors
     ///
     /// See [`SdsB::new`].
-    pub fn from_profile(profile: &Profile, stat: Stat) -> Result<Self, CoreError> {
-        let sp: &StatProfile = match stat {
+    pub fn from_profile(profile: &Profile, params: &SdsBParams) -> Result<Self, CoreError> {
+        let sp: &StatProfile = match params.stat {
             Stat::AccessNum => &profile.access,
             Stat::MissNum => &profile.miss,
         };
-        SdsB::new(profile.params.sdsb, stat, sp.mu, sp.sigma)
+        SdsB::new(*params, sp.mu, sp.sigma)
     }
 
     /// The normal range in use.
@@ -90,7 +87,7 @@ impl SdsB {
 
     /// The statistic this instance monitors.
     pub fn stat(&self) -> Stat {
-        self.stat
+        self.params.stat
     }
 
     /// Parameters in use.
@@ -108,26 +105,35 @@ impl SdsB {
         self.last_ewma
     }
 
-    /// Feeds one raw sample of the monitored statistic. Returns `true`
-    /// when this sample transitioned the alarm state from inactive to
-    /// active.
-    pub fn on_sample(&mut self, raw: f64) -> bool {
-        let Some(s) = self.pipeline.push(raw) else {
-            return false;
-        };
-        self.last_ewma = Some(s.ewma);
-        if self.range.is_violation(s.ewma) {
-            self.consecutive = self.consecutive.saturating_add(1);
+    /// Verdict reflecting the current counter/alarm state.
+    fn verdict(&self) -> Verdict {
+        if self.active {
+            Verdict::Alarm
+        } else if self.consecutive > 0 {
+            Verdict::Suspicious { consecutive: self.consecutive }
         } else {
-            self.consecutive = 0;
+            Verdict::Normal
         }
-        let now_active = self.consecutive >= self.params.h_c;
-        let became = now_active && !self.active;
-        if became {
-            self.activations += 1;
+    }
+
+    /// Feeds one raw sample of the monitored statistic.
+    fn step_raw(&mut self, raw: f64) -> DetectorStep {
+        let mut became = false;
+        if let Some(s) = self.pipeline.push(raw) {
+            self.last_ewma = Some(s.ewma);
+            if self.range.is_violation(s.ewma) {
+                self.consecutive = self.consecutive.saturating_add(1);
+            } else {
+                self.consecutive = 0;
+            }
+            let now_active = self.consecutive >= self.params.h_c;
+            became = now_active && !self.active;
+            if became {
+                self.activations += 1;
+            }
+            self.active = now_active;
         }
-        self.active = now_active;
-        became
+        DetectorStep { verdict: self.verdict(), became_active: became, throttle: None }
     }
 }
 
@@ -137,8 +143,7 @@ impl Detector for SdsB {
     }
 
     fn on_observation(&mut self, obs: Observation) -> DetectorStep {
-        let became_active = self.on_sample(obs.stat(self.stat));
-        DetectorStep { became_active, throttle: None }
+        self.step_raw(obs.stat(self.params.stat))
     }
 
     fn alarm_active(&self) -> bool {
@@ -150,26 +155,38 @@ impl Detector for SdsB {
     }
 }
 
+impl FromProfile for SdsB {
+    type Params = SdsBParams;
+
+    fn from_profile(profile: &Profile, params: &SdsBParams) -> Result<Self, CoreError> {
+        SdsB::from_profile(profile, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// Parameters that react quickly, for compact tests.
     fn fast_params() -> SdsBParams {
-        SdsBParams { window: 10, step: 5, alpha: 0.5, k: 2.0, h_c: 3 }
+        SdsBParams { window: 10, step: 5, alpha: 0.5, k: 2.0, h_c: 3, ..SdsBParams::default() }
+    }
+
+    fn miss_params() -> SdsBParams {
+        SdsBParams { stat: Stat::MissNum, ..fast_params() }
     }
 
     fn feed(d: &mut SdsB, value: f64, n: usize) -> bool {
         let mut any = false;
         for _ in 0..n {
-            any |= d.on_sample(value);
+            any |= d.step_raw(value).became_active;
         }
         any
     }
 
     #[test]
     fn stays_quiet_within_range() {
-        let mut d = SdsB::new(fast_params(), Stat::AccessNum, 100.0, 10.0).unwrap();
+        let mut d = SdsB::new(fast_params(), 100.0, 10.0).unwrap();
         assert!(!feed(&mut d, 105.0, 500));
         assert!(!d.alarm_active());
         assert_eq!(d.activations(), 0);
@@ -178,7 +195,7 @@ mod tests {
     #[test]
     fn detects_drop_below_range() {
         // Bus-locking signature: AccessNum collapses.
-        let mut d = SdsB::new(fast_params(), Stat::AccessNum, 100.0, 10.0).unwrap();
+        let mut d = SdsB::new(fast_params(), 100.0, 10.0).unwrap();
         feed(&mut d, 100.0, 100);
         assert!(!d.alarm_active());
         let became = feed(&mut d, 20.0, 200);
@@ -190,7 +207,7 @@ mod tests {
     #[test]
     fn detects_rise_above_range() {
         // Cleansing signature: MissNum inflates.
-        let mut d = SdsB::new(fast_params(), Stat::MissNum, 50.0, 5.0).unwrap();
+        let mut d = SdsB::new(miss_params(), 50.0, 5.0).unwrap();
         feed(&mut d, 50.0, 100);
         feed(&mut d, 300.0, 200);
         assert!(d.alarm_active());
@@ -200,8 +217,15 @@ mod tests {
     fn needs_h_c_consecutive_violations() {
         // α = 1 (no EWMA memory) and non-overlapping windows isolate the
         // consecutive-counter logic: 3 violating windows < H_C = 4.
-        let params = SdsBParams { window: 10, step: 10, alpha: 1.0, k: 2.0, h_c: 4 };
-        let mut d = SdsB::new(params, Stat::AccessNum, 100.0, 10.0).unwrap();
+        let params = SdsBParams {
+            window: 10,
+            step: 10,
+            alpha: 1.0,
+            k: 2.0,
+            h_c: 4,
+            ..SdsBParams::default()
+        };
+        let mut d = SdsB::new(params, 100.0, 10.0).unwrap();
         feed(&mut d, 100.0, 50);
         feed(&mut d, 0.0, 30); // exactly 3 violating windows
         assert_eq!(d.consecutive_violations(), 3);
@@ -215,7 +239,7 @@ mod tests {
 
     #[test]
     fn alarm_clears_when_condition_clears() {
-        let mut d = SdsB::new(fast_params(), Stat::AccessNum, 100.0, 1.0).unwrap();
+        let mut d = SdsB::new(fast_params(), 100.0, 1.0).unwrap();
         feed(&mut d, 100.0, 50);
         feed(&mut d, 0.0, 100);
         assert!(d.alarm_active());
@@ -229,8 +253,36 @@ mod tests {
     }
 
     #[test]
+    fn verdict_tracks_streak_and_alarm() {
+        let params = SdsBParams {
+            window: 10,
+            step: 10,
+            alpha: 1.0,
+            k: 2.0,
+            h_c: 4,
+            ..SdsBParams::default()
+        };
+        let mut d = SdsB::new(params, 100.0, 10.0).unwrap();
+        let mut last = DetectorStep::quiet();
+        for _ in 0..50 {
+            last = d.on_observation(Observation { access_num: 100.0, miss_num: 0.0 });
+        }
+        assert_eq!(last.verdict, Verdict::Normal);
+        for _ in 0..20 {
+            last = d.on_observation(Observation { access_num: 0.0, miss_num: 0.0 });
+        }
+        assert_eq!(d.consecutive_violations(), 2);
+        assert_eq!(last.verdict, Verdict::Suspicious { consecutive: 2 });
+        for _ in 0..20 {
+            last = d.on_observation(Observation { access_num: 0.0, miss_num: 0.0 });
+        }
+        assert_eq!(last.verdict, Verdict::Alarm);
+        assert!(d.alarm_active());
+    }
+
+    #[test]
     fn detector_trait_selects_stat() {
-        let mut d = SdsB::new(fast_params(), Stat::MissNum, 50.0, 5.0).unwrap();
+        let mut d = SdsB::new(miss_params(), 50.0, 5.0).unwrap();
         // Access wildly anomalous, miss normal: a MissNum detector must
         // not react.
         for _ in 0..300 {
@@ -243,7 +295,7 @@ mod tests {
     #[test]
     fn from_profile_uses_right_channel() {
         use crate::profile::Profiler;
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         for i in 0..4000 {
             p.observe(Observation {
                 access_num: 1000.0 + (i % 10) as f64,
@@ -251,16 +303,20 @@ mod tests {
             });
         }
         let profile = p.finish().unwrap();
-        let a = SdsB::from_profile(&profile, Stat::AccessNum).unwrap();
-        let m = SdsB::from_profile(&profile, Stat::MissNum).unwrap();
+        let a = SdsB::from_profile(&profile, &SdsBParams::default()).unwrap();
+        let m = SdsB::from_profile(
+            &profile,
+            &SdsBParams { stat: Stat::MissNum, ..SdsBParams::default() },
+        )
+        .unwrap();
         assert!(a.range().lower > 900.0 && a.range().upper < 1100.0);
         assert!(m.range().lower > 80.0 && m.range().upper < 120.0);
     }
 
     #[test]
     fn rejects_bad_profile() {
-        assert!(SdsB::new(fast_params(), Stat::AccessNum, f64::NAN, 1.0).is_err());
-        assert!(SdsB::new(fast_params(), Stat::AccessNum, 1.0, -1.0).is_err());
+        assert!(SdsB::new(fast_params(), f64::NAN, 1.0).is_err());
+        assert!(SdsB::new(fast_params(), 1.0, -1.0).is_err());
     }
 
     #[test]
@@ -268,11 +324,11 @@ mod tests {
         // The alarm cannot fire before H_C · ΔW raw samples after the
         // anomaly starts (§4.2.1).
         let params = fast_params(); // H_C=3, ΔW=5 → ≥15 samples
-        let mut d = SdsB::new(params, Stat::AccessNum, 100.0, 1.0).unwrap();
+        let mut d = SdsB::new(params, 100.0, 1.0).unwrap();
         feed(&mut d, 100.0, 100);
         let mut samples_to_alarm = 0;
         for i in 1..=1000 {
-            if d.on_sample(0.0) {
+            if d.step_raw(0.0).became_active {
                 samples_to_alarm = i;
                 break;
             }

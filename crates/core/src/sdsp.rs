@@ -10,12 +10,16 @@
 //! `H_P` consecutive estimates deviate by more than 20 % — or the
 //! periodic pattern disappears entirely, which a destroyed pattern under
 //! harsh attack does — the alarm raises.
+//!
+//! Stepping goes exclusively through [`Detector::on_observation`] (the
+//! statistic is chosen by [`SdsPParams::stat`]); the raw-sample path is
+//! private so every caller sees the same [`DetectorStep`]/[`Verdict`]
+//! surface.
 
 use crate::config::SdsPParams;
-use crate::detector::{Detector, DetectorStep, Observation};
+use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
 use crate::profile::Profile;
 use crate::CoreError;
-use memdos_sim::pcm::Stat;
 use memdos_stats::period::PeriodDetector;
 use memdos_stats::smoothing::MovingAverage;
 use std::collections::VecDeque;
@@ -24,7 +28,6 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub struct SdsP {
     params: SdsPParams,
-    stat: Stat,
     normal_period: f64,
     w_p: usize,
     ma: MovingAverage,
@@ -41,13 +44,13 @@ pub struct SdsP {
 
 impl SdsP {
     /// Creates a detector from the profiled normal period (in MA
-    /// windows).
+    /// windows) for the statistic selected by `params.stat`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for invalid `params` or a
     /// non-positive/NaN `normal_period`.
-    pub fn new(params: SdsPParams, stat: Stat, normal_period: f64) -> Result<Self, CoreError> {
+    pub fn new(params: SdsPParams, normal_period: f64) -> Result<Self, CoreError> {
         params.validate()?;
         if !(normal_period >= 4.0) {
             return Err(CoreError::InvalidParameter {
@@ -58,8 +61,6 @@ impl SdsP {
         let w_p = ((params.window_periods * normal_period).round() as usize).max(8);
         Ok(SdsP {
             ma: MovingAverage::new(params.window, params.step)?,
-            params,
-            stat,
             normal_period,
             w_p,
             window: VecDeque::with_capacity(w_p),
@@ -70,24 +71,31 @@ impl SdsP {
             activations: 0,
             last_period: None,
             computations: 0,
-            name: format!("SDS/P[{stat}]"),
+            name: format!("SDS/P[{}]", params.stat),
+            params,
         })
     }
 
-    /// Creates a detector from a Stage-1 [`Profile`].
+    /// Creates a detector from a Stage-1 [`Profile`], monitoring the
+    /// statistic selected by `params.stat`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NotPeriodic`] when the profile has no
     /// periodicity entry, or parameter errors as in [`SdsP::new`].
-    pub fn from_profile(profile: &Profile, stat: Stat) -> Result<Self, CoreError> {
+    pub fn from_profile(profile: &Profile, params: &SdsPParams) -> Result<Self, CoreError> {
         let p = profile.periodicity.as_ref().ok_or(CoreError::NotPeriodic)?;
-        SdsP::new(profile.params.sdsp, stat, p.period_ma)
+        SdsP::new(*params, p.period_ma)
     }
 
     /// The profiled normal period in MA windows.
     pub fn normal_period(&self) -> f64 {
         self.normal_period
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &SdsPParams {
+        &self.params
     }
 
     /// The monitoring window size `W_P` in MA values.
@@ -111,9 +119,25 @@ impl SdsP {
         self.consecutive
     }
 
-    /// Feeds one raw sample; returns `true` on an inactive→active alarm
-    /// transition.
-    pub fn on_sample(&mut self, raw: f64) -> bool {
+    /// Verdict reflecting the current counter/alarm state.
+    fn verdict(&self) -> Verdict {
+        if self.active {
+            Verdict::Alarm
+        } else if self.consecutive > 0 {
+            Verdict::Suspicious { consecutive: self.consecutive }
+        } else {
+            Verdict::Normal
+        }
+    }
+
+    /// Feeds one raw sample of the monitored statistic.
+    fn step_raw(&mut self, raw: f64) -> DetectorStep {
+        let became = self.advance(raw);
+        DetectorStep { verdict: self.verdict(), became_active: became, throttle: None }
+    }
+
+    /// Core update; returns `true` on an inactive→active transition.
+    fn advance(&mut self, raw: f64) -> bool {
         let Some(m) = self.ma.push(raw) else {
             return false;
         };
@@ -167,8 +191,7 @@ impl Detector for SdsP {
     }
 
     fn on_observation(&mut self, obs: Observation) -> DetectorStep {
-        let became_active = self.on_sample(obs.stat(self.stat));
-        DetectorStep { became_active, throttle: None }
+        self.step_raw(obs.stat(self.params.stat))
     }
 
     fn alarm_active(&self) -> bool {
@@ -177,6 +200,14 @@ impl Detector for SdsP {
 
     fn activations(&self) -> u64 {
         self.activations
+    }
+}
+
+impl FromProfile for SdsP {
+    type Params = SdsPParams;
+
+    fn from_profile(profile: &Profile, params: &SdsPParams) -> Result<Self, CoreError> {
+        SdsP::from_profile(profile, params)
     }
 }
 
@@ -194,6 +225,7 @@ mod tests {
             step_ma: 2,
             h_p: 3,
             deviation: 0.2,
+            ..SdsPParams::default()
         }
     }
 
@@ -206,14 +238,14 @@ mod tests {
         for i in 0..total_raw {
             let phase = (i % raw_per_cycle) < raw_per_cycle / 2;
             let v = if phase { 1000.0 } else { 200.0 };
-            any |= d.on_sample(v);
+            any |= d.step_raw(v).became_active;
         }
         any
     }
 
     #[test]
     fn quiet_on_normal_period() {
-        let mut d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
         feed_square(&mut d, 16.0, 300);
         assert!(!d.alarm_active(), "last period {:?}", d.last_period());
         assert!(d.computations() > 50);
@@ -221,7 +253,7 @@ mod tests {
 
     #[test]
     fn detects_dilated_period() {
-        let mut d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
         feed_square(&mut d, 16.0, 100);
         assert!(!d.alarm_active());
         // Attack: period grows 50 %.
@@ -240,18 +272,18 @@ mod tests {
 
     #[test]
     fn detects_destroyed_pattern() {
-        let mut d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
         feed_square(&mut d, 16.0, 100);
         // Pattern collapses to a constant: DFT-ACF finds nothing.
         for _ in 0..2000 {
-            d.on_sample(500.0);
+            d.step_raw(500.0);
         }
         assert!(d.alarm_active());
     }
 
     #[test]
     fn small_fluctuation_within_tolerance_stays_quiet() {
-        let mut d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
         // 10 % longer period: below the 20 % threshold. The estimate may
         // jitter between windows, so require merely that a sustained
         // alarm does not form.
@@ -262,7 +294,7 @@ mod tests {
 
     #[test]
     fn window_size_is_two_periods() {
-        let d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let d = SdsP::new(fast_params(), 16.0).unwrap();
         assert_eq!(d.window_size(), 32);
         assert_eq!(d.normal_period(), 16.0);
     }
@@ -270,16 +302,16 @@ mod tests {
     #[test]
     fn rejects_tiny_period() {
         assert!(matches!(
-            SdsP::new(fast_params(), Stat::AccessNum, 2.0),
+            SdsP::new(fast_params(), 2.0),
             Err(CoreError::InvalidParameter { .. })
         ));
-        assert!(SdsP::new(fast_params(), Stat::AccessNum, f64::NAN).is_err());
+        assert!(SdsP::new(fast_params(), f64::NAN).is_err());
     }
 
     #[test]
     fn from_profile_requires_periodicity() {
         use crate::profile::Profiler;
-        let mut p = Profiler::with_defaults();
+        let mut p = Profiler::default();
         for i in 0..3000 {
             p.observe(Observation {
                 access_num: 100.0 + (i % 3) as f64,
@@ -288,14 +320,30 @@ mod tests {
         }
         let profile = p.finish().unwrap();
         assert!(matches!(
-            SdsP::from_profile(&profile, Stat::AccessNum),
+            SdsP::from_profile(&profile, &SdsPParams::default()),
             Err(CoreError::NotPeriodic)
         ));
     }
 
     #[test]
+    fn verdict_reflects_streak_then_alarm() {
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
+        feed_square(&mut d, 16.0, 100);
+        let mut last = DetectorStep::quiet();
+        for _ in 0..5000 {
+            last = d.on_observation(Observation { access_num: 500.0, miss_num: 0.0 });
+            if d.alarm_active() {
+                break;
+            }
+        }
+        assert_eq!(last.verdict, Verdict::Alarm);
+        assert!(last.became_active);
+        assert_eq!(d.activations(), 1);
+    }
+
+    #[test]
     fn computation_cadence_follows_step_ma() {
-        let mut d = SdsP::new(fast_params(), Stat::AccessNum, 16.0).unwrap();
+        let mut d = SdsP::new(fast_params(), 16.0).unwrap();
         feed_square(&mut d, 16.0, 100);
         let c1 = d.computations();
         feed_square(&mut d, 16.0, 20); // 20 new MA values, step_ma = 2

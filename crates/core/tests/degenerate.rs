@@ -81,7 +81,7 @@ fn kstest_rejects_degenerate_windows() {
 
 #[test]
 fn starved_profiler_reports_insufficient_profile() {
-    let mut profiler = Profiler::with_defaults();
+    let mut profiler = Profiler::default();
     // One observation is far below the minimum smoothed-point count.
     profiler.observe(Observation { access_num: 10.0, miss_num: 1.0 });
     match profiler.finish() {

@@ -1,0 +1,259 @@
+//! Shared behavioural conformance suite over all four detectors.
+//!
+//! Every scheme — SDS/B, SDS/P, the combined SDS and the KStest
+//! baseline — is exercised through the same trait surface
+//! ([`Detector`] + [`FromProfile`]) against the same contract:
+//!
+//! * construction is uniform: `from_profile(&Profile, &Params)`;
+//! * the alarm state clears when the detection condition clears;
+//! * `activations()` is monotonic and increments exactly when a step
+//!   reports `became_active`;
+//! * the `Alarm` verdict class coincides with `alarm_active()`;
+//! * degenerate observations (NaN) never panic and leave a fresh
+//!   detector at `Verdict::Normal`.
+//!
+//! The drive loop honours throttle requests the way the experiment loop
+//! does (while throttled, the protected VM runs alone and its statistics
+//! are clean), so the KStest baseline runs its real protocol.
+
+use memdos_core::config::{KsTestParams, SdsBParams, SdsPParams, SdsParams};
+use memdos_core::detector::{Detector, FromProfile, Observation, ThrottleRequest, Verdict};
+use memdos_core::kstest::KsTestDetector;
+use memdos_core::profile::{Profile, Profiler, ProfilerConfig};
+use memdos_core::sds::Sds;
+use memdos_core::sdsb::SdsB;
+use memdos_core::sdsp::SdsP;
+use std::sync::OnceLock;
+
+/// Stationary benign signal (non-periodic). The jitter is a hash, not a
+/// modular pattern: a pattern whose period divides the MA window would
+/// make every MA value identical and the profiled sigma exactly zero,
+/// leaving a degenerate zero-width normal range.
+fn flat_obs(i: u64) -> Observation {
+    let h = i.wrapping_mul(2654435761);
+    Observation {
+        access_num: 1000.0 + (h % 17) as f64,
+        miss_num: 100.0 + (h % 7) as f64,
+    }
+}
+
+/// Square-wave benign signal: period 1000 ticks = 20 MA windows.
+fn square_obs(i: u64) -> Observation {
+    let phase = (i / 500) % 2;
+    let base = if phase == 0 { 1200.0 } else { 400.0 };
+    Observation { access_num: base + (i % 13) as f64, miss_num: 30.0 + (i % 3) as f64 }
+}
+
+/// Attack signature: AccessNum collapses, MissNum inflates, and any
+/// periodic structure vanishes.
+fn attack_obs(i: u64) -> Observation {
+    Observation { access_num: 100.0 + (i % 7) as f64, miss_num: 300.0 + (i % 3) as f64 }
+}
+
+fn profile_of(signal: fn(u64) -> Observation, ticks: u64) -> Profile {
+    let mut profiler =
+        Profiler::new(ProfilerConfig::default()).expect("default profiler config is valid");
+    for i in 0..ticks {
+        profiler.observe(signal(i));
+    }
+    profiler.finish().expect("profile signal is long enough")
+}
+
+fn flat_profile() -> &'static Profile {
+    static P: OnceLock<Profile> = OnceLock::new();
+    P.get_or_init(|| profile_of(flat_obs, 6_000))
+}
+
+fn periodic_profile() -> &'static Profile {
+    static P: OnceLock<Profile> = OnceLock::new();
+    P.get_or_init(|| {
+        let p = profile_of(square_obs, 10_000);
+        assert!(p.is_periodic(), "square wave must profile as periodic");
+        p
+    })
+}
+
+/// One detector under test, with the benign signal its profile was
+/// built from and stage lengths matched to its detection delay.
+struct Case {
+    label: &'static str,
+    det: Box<dyn Detector>,
+    benign: fn(u64) -> Observation,
+    benign_ticks: u64,
+    attack_ticks: u64,
+    recovery_ticks: u64,
+}
+
+/// Every scheme, constructed through the uniform [`FromProfile`] path.
+fn cases() -> Vec<Case> {
+    fn build<D: FromProfile>(profile: &Profile, params: &D::Params) -> Box<D> {
+        Box::new(D::from_profile(profile, params).expect("conformance profile is valid"))
+    }
+    // Compact KStest schedule: W_R = W_M = 20, L_M = 40, L_R = 2000, so
+    // an alarm needs 4 × 40 = 160 attack ticks and no reference refresh
+    // lands inside the attack stage.
+    let ks = KsTestParams {
+        w_r_ticks: 20,
+        w_m_ticks: 20,
+        l_m_ticks: 40,
+        l_r_ticks: 2_000,
+        ..KsTestParams::default()
+    };
+    vec![
+        Case {
+            label: "SDS/B",
+            det: build::<SdsB>(flat_profile(), &SdsBParams::default()),
+            benign: flat_obs,
+            benign_ticks: 3_000,
+            attack_ticks: 4_000,
+            recovery_ticks: 5_000,
+        },
+        Case {
+            label: "SDS/P",
+            det: build::<SdsP>(periodic_profile(), &SdsPParams::default()),
+            benign: square_obs,
+            benign_ticks: 3_000,
+            attack_ticks: 5_000,
+            recovery_ticks: 8_000,
+        },
+        Case {
+            label: "SDS",
+            det: build::<Sds>(periodic_profile(), &SdsParams::default()),
+            benign: square_obs,
+            benign_ticks: 3_000,
+            attack_ticks: 5_000,
+            recovery_ticks: 8_000,
+        },
+        Case {
+            label: "KStest",
+            det: build::<KsTestDetector>(flat_profile(), &ks),
+            benign: flat_obs,
+            benign_ticks: 500,
+            attack_ticks: 600,
+            recovery_ticks: 600,
+        },
+    ]
+}
+
+/// Drives `det` over `ticks`, feeding the attack signature when
+/// `attacked` (except while the detector holds the server throttled),
+/// and checks the per-step invariants of the [`Detector`] contract.
+fn drive(
+    case: &mut Case,
+    start: u64,
+    ticks: u64,
+    attacked: bool,
+    throttled: &mut bool,
+    baseline_activations: u64,
+    became_total: &mut u64,
+) {
+    for i in start..start + ticks {
+        let obs = if *throttled || !attacked { (case.benign)(i) } else { attack_obs(i) };
+        let step = case.det.on_observation(obs);
+        match step.throttle {
+            Some(ThrottleRequest::PauseOthers) => *throttled = true,
+            Some(ThrottleRequest::ResumeAll) => *throttled = false,
+            None => {}
+        }
+        if step.became_active {
+            *became_total += 1;
+            assert!(
+                case.det.alarm_active(),
+                "{}: became_active step must leave the alarm active",
+                case.label
+            );
+        }
+        // activations() counts exactly the became_active transitions.
+        assert_eq!(
+            case.det.activations(),
+            baseline_activations + *became_total,
+            "{}: activations() out of sync with became_active",
+            case.label
+        );
+        // The Alarm verdict class coincides with alarm_active().
+        assert_eq!(
+            step.verdict.same_class(&Verdict::Alarm),
+            case.det.alarm_active(),
+            "{}: verdict {:?} disagrees with alarm_active()",
+            case.label,
+            step.verdict
+        );
+    }
+}
+
+#[test]
+fn alarm_activates_under_attack_and_clears_after() {
+    for mut case in cases() {
+        let base = case.det.activations();
+        assert_eq!(base, 0, "{}: fresh detector has activations", case.label);
+        let mut throttled = false;
+        let mut became = 0u64;
+        let (b, a, r) = (case.benign_ticks, case.attack_ticks, case.recovery_ticks);
+
+        drive(&mut case, 0, b, false, &mut throttled, base, &mut became);
+        assert!(
+            !case.det.alarm_active(),
+            "{}: false alarm on the profiled benign signal",
+            case.label
+        );
+        assert_eq!(became, 0, "{}: activation during benign stage", case.label);
+
+        drive(&mut case, b, a, true, &mut throttled, base, &mut became);
+        assert!(became >= 1, "{}: attack not detected", case.label);
+        assert!(
+            case.det.alarm_active(),
+            "{}: alarm not active at the end of the attack",
+            case.label
+        );
+
+        drive(&mut case, b + a, r, false, &mut throttled, base, &mut became);
+        assert!(
+            !case.det.alarm_active(),
+            "{}: alarm did not clear after the attack stopped",
+            case.label
+        );
+    }
+}
+
+#[test]
+fn nan_observations_never_panic_and_stay_normal() {
+    for mut case in cases() {
+        for i in 0..5u64 {
+            let nan = Observation { access_num: f64::NAN, miss_num: f64::NAN };
+            let step = case.det.on_observation(nan);
+            assert_eq!(
+                step.verdict,
+                Verdict::Normal,
+                "{}: NaN tick {i} produced a non-normal verdict",
+                case.label
+            );
+            assert!(!step.became_active, "{}: NaN activated the alarm", case.label);
+        }
+        assert!(!case.det.alarm_active());
+        assert_eq!(case.det.activations(), 0);
+    }
+}
+
+#[test]
+fn construction_is_uniform_and_validated() {
+    // All four schemes build from the same profile through the same
+    // trait path; names are distinct and stable.
+    let names: Vec<String> = cases().iter().map(|c| c.det.name().to_string()).collect();
+    assert_eq!(names.len(), 4);
+    for (i, name) in names.iter().enumerate() {
+        assert!(!name.is_empty());
+        assert!(!names.iter().skip(i + 1).any(|other| other == name), "duplicate name {name}");
+    }
+    // A scheme that needs periodicity refuses a non-periodic profile...
+    assert!(SdsP::from_profile(flat_profile(), &SdsPParams::default()).is_err());
+    // ...and invalid parameters are rejected by every scheme the same
+    // way, via the params' shared validate() contract.
+    let bad_b = SdsBParams { h_c: 0, ..SdsBParams::default() };
+    assert!(SdsB::from_profile(flat_profile(), &bad_b).is_err());
+    let bad_p = SdsPParams { h_p: 0, ..SdsPParams::default() };
+    assert!(SdsP::from_profile(periodic_profile(), &bad_p).is_err());
+    let bad_sds = SdsParams { sdsb: bad_b, ..SdsParams::default() };
+    assert!(Sds::from_profile(flat_profile(), &bad_sds).is_err());
+    let bad_ks = KsTestParams { consecutive: 0, ..KsTestParams::default() };
+    assert!(KsTestDetector::from_profile(flat_profile(), &bad_ks).is_err());
+}

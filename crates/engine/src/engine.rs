@@ -1,0 +1,478 @@
+//! The multi-tenant engine: session registry, batched dispatch, and the
+//! deterministic event log.
+//!
+//! Ingestion is single-threaded: each input line receives a global
+//! arrival index (`seq`) and is routed to its tenant's [`Session`] queue.
+//! Every `batch` lines the engine **flushes**: sessions are moved onto
+//! the [`memdos_runner::parallel_map_owned`] worker pool (one shard per
+//! tenant — per-tenant order preserved, tenants processed in parallel),
+//! each drains its queue sequentially, and the produced events are
+//! merge-sorted by `(seq, sub)` into the log.
+//!
+//! ## Determinism guarantee
+//!
+//! Replaying the same input produces a **byte-identical** event log at
+//! any worker count:
+//!
+//! * `seq` is assigned at single-threaded ingest, never by a worker;
+//! * a session's events depend only on the sample sequence it received
+//!   (queues drain fully at each flush, so flush boundaries do not change
+//!   what any session observes, only when it observes it);
+//! * backpressure drops are decided at ingest time, before any worker
+//!   runs;
+//! * `(seq, sub)` keys are unique across all events, so the merge-sort
+//!   has exactly one order.
+//!
+//! The log is also identical across **batch sizes** as long as no
+//! session queue overflows (i.e. `batch <= queue_capacity`, or the input
+//! spreads across tenants): flushing is the only thing that drains
+//! queues, so a larger batch holds samples longer and can trip the drop
+//! policy earlier — backpressure is timing, and timing is what `batch`
+//! configures. `tests/engine_replay_determinism.rs` (tier-1) pins the
+//! worker-count guarantee on the demo stream.
+
+use crate::protocol::Record;
+use crate::session::{Session, SessionConfig, SessionEvent};
+use memdos_core::CoreError;
+use memdos_metrics::jsonl::{JsonObject, JsonValue};
+use memdos_runner::parallel_map_owned;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Sub-index that sorts an ingest-side event (malformed line, dropped
+/// sample) after any session-side events of the same arrival index.
+const SUB_INGEST: u32 = u32::MAX;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads for session dispatch (>= 1). The log is identical
+    /// at any value; this only sets the parallelism.
+    pub workers: usize,
+    /// Input lines between flushes (>= 1). Keep at or below the session
+    /// queue capacity to rule out backpressure drops from batching alone
+    /// (see the module docs on determinism).
+    pub batch: usize,
+    /// Configuration applied to every session the engine opens.
+    pub session: SessionConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 1, batch: 256, session: SessionConfig::default() }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration — the shared `validate()` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "workers",
+                reason: "must be positive",
+            });
+        }
+        if self.batch == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "batch",
+                reason: "must be positive",
+            });
+        }
+        self.session.validate()
+    }
+
+    /// Builds a configuration from the `MEMDOS_ENGINE_*` environment
+    /// variables (see the README), with `MEMDOS_THREADS` supplying the
+    /// worker count. Unset variables take their defaults; set-but-invalid
+    /// ones are an error — the engine is a long-running service, so a
+    /// typo must fail loudly at startup rather than be silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid
+    /// variable.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = EngineConfig {
+            workers: memdos_runner::threads(),
+            ..EngineConfig::default()
+        };
+        cfg.batch = env_usize("MEMDOS_ENGINE_BATCH", cfg.batch)?;
+        cfg.session.profile_ticks =
+            env_u64("MEMDOS_ENGINE_PROFILE_TICKS", cfg.session.profile_ticks)?;
+        cfg.session.queue_capacity =
+            env_usize("MEMDOS_ENGINE_QUEUE", cfg.session.queue_capacity)?;
+        cfg.session.quarantine_after =
+            env_u64("MEMDOS_ENGINE_QUARANTINE", cfg.session.quarantine_after)?;
+        if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
+            cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
+                .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
+        }
+        if let Ok(v) = std::env::var("MEMDOS_ENGINE_KSTEST") {
+            cfg.session.kstest = match v.trim() {
+                "1" | "true" | "on" => {
+                    Some(memdos_core::config::KsTestParams::default())
+                }
+                "0" | "false" | "off" => None,
+                other => {
+                    return Err(format!(
+                        "MEMDOS_ENGINE_KSTEST={other:?} is not a boolean \
+                         (use 1/0, true/false or on/off)"
+                    ))
+                }
+            };
+        }
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok(cfg)
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> Result<u64, String> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("{name}={v:?} is not a non-negative integer")),
+        Err(_) => Ok(default),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> Result<usize, String> {
+    env_u64(name, default as u64).map(|n| n as usize)
+}
+
+/// The multi-tenant streaming detection engine.
+pub struct Engine {
+    config: EngineConfig,
+    /// Sessions in creation order; `parallel_map_owned` preserves this
+    /// order across flushes, so `index` entries stay valid.
+    sessions: Vec<Session>,
+    index: BTreeMap<String, usize>,
+    /// Events produced at ingest time (malformed lines, drops), merged
+    /// with session events at the next flush.
+    ingest_events: Vec<SessionEvent>,
+    next_seq: u64,
+    pending: usize,
+    log: Vec<String>,
+    malformed: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("sessions", &self.sessions.len())
+            .field("next_seq", &self.next_seq)
+            .field("log_lines", &self.log.len())
+            .field("malformed", &self.malformed)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with no sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an invalid `config`.
+    pub fn new(config: EngineConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Engine {
+            config,
+            sessions: Vec::new(),
+            index: BTreeMap::new(),
+            ingest_events: Vec::new(),
+            next_seq: 0,
+            pending: 0,
+            log: Vec::new(),
+            malformed: 0,
+        })
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of sessions ever opened.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Input lines that failed to parse so far.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Read-only view of the sessions, in creation order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The event log emitted so far, one JSONL line per entry. Call
+    /// [`Engine::flush`] first to include everything ingested.
+    pub fn log_lines(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Ingests one input line, flushing when the batch fills.
+    pub fn ingest_line(&mut self, line: &str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending += 1;
+        match Record::parse(line) {
+            Ok(Record::Sample { tenant, obs }) => {
+                let idx = self.session_index(seq, &tenant);
+                if let Some(&i) = idx.as_ref() {
+                    if let Some(session) = self.sessions.get_mut(i) {
+                        if session.offer(seq, obs) {
+                            let payload = session.drop_event();
+                            self.ingest_events.push(SessionEvent {
+                                seq,
+                                sub: SUB_INGEST,
+                                payload,
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(Record::Close { tenant }) => {
+                let idx = self.session_index(seq, &tenant);
+                if let Some(&i) = idx.as_ref() {
+                    if let Some(session) = self.sessions.get_mut(i) {
+                        session.offer_close(seq);
+                    }
+                }
+            }
+            Err(reason) => {
+                self.malformed += 1;
+                let mut o = JsonObject::new();
+                o.push_str("event", "malformed").push_str("reason", reason);
+                self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
+            }
+        }
+        if self.pending >= self.config.batch {
+            self.flush();
+        }
+    }
+
+    /// Ingests every line of `reader` (draining the engine at EOF) and
+    /// returns the number of lines consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the reader; lines ingested before the
+    /// error remain processed.
+    pub fn ingest_reader<R: BufRead>(&mut self, reader: R) -> std::io::Result<u64> {
+        let mut n = 0;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.ingest_line(&line);
+            n += 1;
+        }
+        self.flush();
+        Ok(n)
+    }
+
+    /// Looks up (or opens) the session for `tenant`, returning its index.
+    fn session_index(&mut self, seq: u64, tenant: &str) -> Option<usize> {
+        if let Some(&i) = self.index.get(tenant) {
+            return Some(i);
+        }
+        match Session::open(tenant, self.config.session) {
+            Ok(session) => {
+                let i = self.sessions.len();
+                self.sessions.push(session);
+                self.index.insert(tenant.to_string(), i);
+                Some(i)
+            }
+            Err(e) => {
+                // Unreachable when `config` validated, but a session that
+                // cannot open must be visible, not a panic.
+                let mut o = JsonObject::new();
+                o.push_str("event", "open_failed")
+                    .push_str("tenant", tenant)
+                    .push_str("reason", e.to_string());
+                self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
+                None
+            }
+        }
+    }
+
+    /// Dispatches every session's queued items across the worker pool and
+    /// appends the produced events to the log in `(seq, sub)` order.
+    pub fn flush(&mut self) {
+        if self.pending == 0 && self.ingest_events.is_empty() {
+            return;
+        }
+        self.pending = 0;
+        let sessions = std::mem::take(&mut self.sessions);
+        let processed = parallel_map_owned(sessions, self.config.workers, |mut s: Session| {
+            let events = s.process_queued();
+            (s, events)
+        });
+        let mut events = std::mem::take(&mut self.ingest_events);
+        for (session, session_events) in processed {
+            events.extend(session_events);
+            self.sessions.push(session);
+        }
+        events.sort_by_key(|e| (e.seq, e.sub));
+        for ev in &events {
+            self.log.push(render_event(ev));
+        }
+    }
+}
+
+/// Serializes one event as a log line, with the global arrival index
+/// prepended as `seq`.
+fn render_event(ev: &SessionEvent) -> String {
+    let mut o = JsonObject::new();
+    o.push_num("seq", ev.seq as f64);
+    for (k, v) in ev.payload.entries() {
+        match v {
+            JsonValue::Str(s) => o.push_str(k, s.clone()),
+            JsonValue::Num(n) => o.push_num(k, *n),
+            JsonValue::Bool(b) => o.push_bool(k, *b),
+        };
+    }
+    o.to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(workers: usize, batch: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            batch,
+            session: SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() },
+        }
+    }
+
+    /// Three tenants: two flat, one that collapses mid-stream.
+    fn synthetic_lines() -> Vec<String> {
+        let mut lines = Vec::new();
+        for i in 0..4_000u64 {
+            for tenant in ["vm-a", "vm-b", "vm-c"] {
+                let attacked = tenant == "vm-b" && i >= 2_500;
+                let access = if attacked { 100.0 } else { 1000.0 + (i % 10) as f64 };
+                lines.push(format!(
+                    r#"{{"tenant":"{tenant}","access":{access},"miss":{}}}"#,
+                    100.0 + (i % 5) as f64
+                ));
+            }
+        }
+        for tenant in ["vm-a", "vm-b", "vm-c"] {
+            lines.push(format!(r#"{{"tenant":"{tenant}","ctl":"close"}}"#));
+        }
+        lines
+    }
+
+    fn run(config: EngineConfig, lines: &[String]) -> Vec<String> {
+        let mut engine = Engine::new(config).unwrap();
+        for line in lines {
+            engine.ingest_line(line);
+        }
+        engine.flush();
+        engine.log_lines().to_vec()
+    }
+
+    #[test]
+    fn log_is_identical_across_workers_and_batch_sizes() {
+        let lines = synthetic_lines();
+        let reference = run(fast_config(1, 256), &lines);
+        assert!(!reference.is_empty());
+        // Any worker count; any batch size up to the queue capacity
+        // (1024 default, 3 tenants → up to 3072 lines per flush).
+        for (workers, batch) in [(2, 256), (8, 256), (1, 7), (4, 1_024)] {
+            assert_eq!(
+                run(fast_config(workers, batch), &lines),
+                reference,
+                "workers={workers} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batch_drops_visibly_and_stays_worker_invariant() {
+        let lines = synthetic_lines();
+        // A batch far beyond the queue capacity forces the drop policy;
+        // the drops are logged, and the log is still identical at any
+        // worker count because drops are decided at ingest time.
+        let reference = run(fast_config(1, 1_000_000), &lines);
+        assert!(reference.iter().any(|l| l.contains(r#""event":"dropped""#)));
+        assert_eq!(run(fast_config(8, 1_000_000), &lines), reference);
+    }
+
+    #[test]
+    fn log_contains_lifecycle_and_alarm() {
+        let lines = synthetic_lines();
+        let log = run(fast_config(4, 256), &lines);
+        let count = |needle: &str| log.iter().filter(|l| l.contains(needle)).count();
+        assert_eq!(count(r#""event":"opened""#), 3);
+        assert_eq!(count(r#""event":"profile_ready""#), 3);
+        assert_eq!(count(r#""event":"closed""#), 3);
+        assert!(log
+            .iter()
+            .any(|l| l.contains(r#""to":"alarm""#) && l.contains(r#""tenant":"vm-b""#)));
+        // The non-attacked tenants never reach an alarm.
+        assert!(!log
+            .iter()
+            .any(|l| l.contains(r#""to":"alarm""#) && l.contains(r#""tenant":"vm-a""#)));
+    }
+
+    #[test]
+    fn malformed_lines_are_logged_not_fatal() {
+        let mut engine = Engine::new(fast_config(1, 4)).unwrap();
+        engine.ingest_line("not json at all");
+        engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
+        engine.flush();
+        assert_eq!(engine.malformed(), 1);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"malformed""#)));
+        assert_eq!(engine.session_count(), 1);
+    }
+
+    #[test]
+    fn ingest_reader_consumes_jsonl() {
+        let input = "{\"tenant\":\"vm-0\",\"access\":1,\"miss\":2}\n\n{\"tenant\":\"vm-0\",\"ctl\":\"close\"}\n";
+        let mut engine = Engine::new(fast_config(1, 256)).unwrap();
+        let n = engine.ingest_reader(input.as_bytes()).unwrap();
+        assert_eq!(n, 2);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"closed""#)));
+    }
+
+    #[test]
+    fn log_lines_are_valid_jsonl_with_seq() {
+        let lines = synthetic_lines();
+        let log = run(fast_config(2, 128), &lines);
+        let mut last = None;
+        for line in &log {
+            let obj = JsonObject::parse(line).expect("log line parses");
+            let seq = obj.get_f64("seq").expect("seq present");
+            assert!(obj.get_str("event").is_some());
+            if let Some(prev) = last {
+                assert!(seq >= prev, "log sorted by seq");
+            }
+            last = Some(seq);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        assert!(Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() }).is_err());
+        assert!(Engine::new(EngineConfig { batch: 0, ..EngineConfig::default() }).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # memdos-engine
+//!
+//! A long-running, multi-tenant streaming detection engine on top of the
+//! paper's detectors — the deployment shape of §6: one engine per cloud
+//! host, one session per monitored VM, verdicts as an event stream.
+//!
+//! * [`protocol`] — the JSONL wire format: one flat object per line,
+//!   either a PCM sample (`{"tenant":"vm-0","access":1234,"miss":56}`)
+//!   or a control record (`{"tenant":"vm-0","ctl":"close"}`).
+//! * [`session`] — per-tenant lifecycle
+//!   (`Profiling → Monitoring → Quarantined/Closed`), the detector stack
+//!   behind the uniform [`memdos_core::detector::Detector`] /
+//!   [`memdos_core::detector::FromProfile`] surface, and bounded queues
+//!   with an explicit backpressure drop policy.
+//! * [`engine`] — the session registry, batched dispatch onto the
+//!   [`memdos_runner`] worker pool (sharded by tenant: per-tenant order
+//!   preserved, tenants parallel), and the deterministic `(seq, sub)`
+//!   merge-sorted event log. Replaying the same input yields a
+//!   byte-identical log at any worker count and batch size.
+//! * [`demo`] — the four-tenant demo stream (two periodic victims, two
+//!   non-periodic, bus-locking and LLC-cleansing attack windows), which
+//!   doubles as the fixture for the replay-determinism tier-1 test.
+//!
+//! The `memdos-engine` binary wraps this as a CLI: `demo`, `gen-demo`,
+//! `replay` (file or stdin) and `serve` (TCP).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use memdos_engine::engine::{Engine, EngineConfig};
+//! use memdos_engine::session::SessionConfig;
+//!
+//! let mut engine = Engine::new(EngineConfig {
+//!     session: SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() },
+//!     ..EngineConfig::default()
+//! })
+//! .unwrap();
+//! for i in 0..2_100u64 {
+//!     engine.ingest_line(&format!(
+//!         r#"{{"tenant":"vm-0","access":{},"miss":40}}"#,
+//!         1000 + i % 7
+//!     ));
+//! }
+//! engine.flush();
+//! assert!(engine.log_lines().iter().any(|l| l.contains("profile_ready")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demo;
+pub mod engine;
+pub mod protocol;
+pub mod session;

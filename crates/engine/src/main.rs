@@ -1,0 +1,247 @@
+//! The `memdos-engine` CLI.
+//!
+//! ```text
+//! memdos-engine demo [seed]       # simulate 4 tenants and replay them
+//! memdos-engine gen-demo [seed]   # print the demo JSONL stream
+//! memdos-engine replay [path]     # replay a JSONL file (or stdin)
+//! memdos-engine serve <addr>      # ingest JSONL over TCP
+//! ```
+//!
+//! Configuration comes from the environment: `MEMDOS_THREADS` (worker
+//! count) and the `MEMDOS_ENGINE_*` knobs (see the README and
+//! [`EngineConfig::from_env`]). The verdict event log goes to stdout;
+//! diagnostics go to stderr.
+//!
+//! `serve` accepts one connection at a time and ingests it to EOF — the
+//! parallelism budget goes to tenant dispatch inside the engine, not to
+//! connection handling.
+
+use memdos_engine::demo::{demo_engine_config, demo_jsonl, LAYOUT, TENANTS};
+use memdos_engine::engine::{Engine, EngineConfig};
+use std::io::{BufRead, BufReader, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    let threads = memdos_runner::threads_config();
+    if let Some(diag) = &threads.diagnostic {
+        eprintln!("memdos-engine: {diag}");
+    }
+    match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(args.get(1)),
+        Some("gen-demo") => cmd_gen_demo(args.get(1)),
+        Some("replay") => cmd_replay(args.get(1)),
+        Some("serve") => cmd_serve(args.get(1)),
+        Some(other) => {
+            eprintln!("memdos-engine: unknown command {other:?}");
+            usage();
+            2
+        }
+        None => {
+            usage();
+            2
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr>>"
+    );
+}
+
+fn parse_seed(arg: Option<&String>) -> Result<u64, String> {
+    match arg {
+        None => Ok(0xD05),
+        Some(s) => s
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("seed {s:?} is not a non-negative integer")),
+    }
+}
+
+/// Builds the engine from the environment, preferring the demo's
+/// profile/SDS settings for the demo commands.
+fn engine_from_env(demo_defaults: bool) -> Result<Engine, String> {
+    let mut config = EngineConfig::from_env()?;
+    if demo_defaults {
+        let demo = demo_engine_config(config.workers);
+        config.session.profile_ticks = demo.session.profile_ticks;
+        config.session.sds = demo.session.sds;
+    }
+    Engine::new(config).map_err(|e| e.to_string())
+}
+
+/// Prints log lines the engine produced since `printed`, returning the
+/// new high-water mark.
+fn print_new_log(engine: &Engine, printed: usize) -> usize {
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    for line in engine.log_lines().iter().skip(printed) {
+        if writeln!(out, "{line}").is_err() {
+            break;
+        }
+    }
+    engine.log_lines().len()
+}
+
+fn cmd_demo(seed: Option<&String>) -> i32 {
+    let seed = match parse_seed(seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let mut engine = match engine_from_env(true) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let workers = engine.config().workers;
+    eprintln!(
+        "memdos-engine: simulating {} tenants (seed {seed}, {workers} workers)",
+        TENANTS.len()
+    );
+    let lines = demo_jsonl(seed, &LAYOUT, workers);
+    for line in &lines {
+        engine.ingest_line(line);
+    }
+    engine.flush();
+    print_new_log(&engine, 0);
+    eprintln!(
+        "memdos-engine: {} input lines, {} log events, {} sessions",
+        lines.len(),
+        engine.log_lines().len(),
+        engine.session_count()
+    );
+    for session in engine.sessions() {
+        eprintln!(
+            "memdos-engine:   {}: {} ({} alarms, {} ingested, {} dropped)",
+            session.tenant(),
+            session.state().label(),
+            session.alarms(),
+            session.ingested(),
+            session.dropped()
+        );
+    }
+    0
+}
+
+fn cmd_gen_demo(seed: Option<&String>) -> i32 {
+    let seed = match parse_seed(seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let workers = memdos_runner::threads();
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    for line in demo_jsonl(seed, &LAYOUT, workers) {
+        if writeln!(out, "{line}").is_err() {
+            return 1;
+        }
+    }
+    0
+}
+
+fn cmd_replay(path: Option<&String>) -> i32 {
+    let mut engine = match engine_from_env(false) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let consumed = match path {
+        Some(p) => std::fs::File::open(p)
+            .map_err(|e| format!("{p}: {e}"))
+            .and_then(|f| {
+                engine.ingest_reader(BufReader::new(f)).map_err(|e| format!("{p}: {e}"))
+            }),
+        None => {
+            let stdin = std::io::stdin();
+            let locked = stdin.lock();
+            engine.ingest_reader(locked).map_err(|e| format!("stdin: {e}"))
+        }
+    };
+    let consumed = match consumed {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 1;
+        }
+    };
+    print_new_log(&engine, 0);
+    eprintln!(
+        "memdos-engine: replayed {consumed} lines into {} sessions ({} malformed)",
+        engine.session_count(),
+        engine.malformed()
+    );
+    0
+}
+
+fn cmd_serve(addr: Option<&String>) -> i32 {
+    let Some(addr) = addr else {
+        eprintln!("memdos-engine: serve requires an address (e.g. 127.0.0.1:7700)");
+        return 2;
+    };
+    let mut engine = match engine_from_env(false) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("memdos-engine: bind {addr}: {e}");
+            return 1;
+        }
+    };
+    eprintln!("memdos-engine: listening on {addr} (one connection at a time)");
+    let mut printed = 0;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".to_string());
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                let mut consumed = 0u64;
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) => break,
+                        Ok(_) => {
+                            let trimmed = line.trim();
+                            if !trimmed.is_empty() {
+                                engine.ingest_line(trimmed);
+                                consumed += 1;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("memdos-engine: {peer}: {e}");
+                            break;
+                        }
+                    }
+                }
+                engine.flush();
+                printed = print_new_log(&engine, printed);
+                eprintln!("memdos-engine: {peer}: {consumed} lines");
+            }
+            Err(e) => eprintln!("memdos-engine: accept: {e}"),
+        }
+    }
+    0
+}

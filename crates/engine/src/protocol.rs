@@ -1,0 +1,132 @@
+//! The engine's line-delimited JSON wire protocol.
+//!
+//! Each input line is one flat JSON object (see
+//! [`memdos_metrics::jsonl`]) and decodes to one [`Record`]:
+//!
+//! * a **sample** — `{"tenant":"vm-0","access":1234,"miss":56}` — one
+//!   `T_PCM` tick of the tenant's LLC counters, or
+//! * a **control** — `{"tenant":"vm-0","ctl":"close"}` — a lifecycle
+//!   request.
+//!
+//! Unknown extra fields are ignored (forward compatibility); missing or
+//! mis-typed required fields are an error carrying the reason, so the
+//! engine can log and count malformed input without dying.
+
+use memdos_core::detector::Observation;
+use memdos_metrics::jsonl::JsonObject;
+
+/// One decoded input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// One PCM tick of a tenant.
+    Sample {
+        /// Tenant id (session key).
+        tenant: String,
+        /// The tick's LLC statistics.
+        obs: Observation,
+    },
+    /// A request to close the tenant's session.
+    Close {
+        /// Tenant id (session key).
+        tenant: String,
+    },
+}
+
+impl Record {
+    /// The tenant the record addresses.
+    pub fn tenant(&self) -> &str {
+        match self {
+            Record::Sample { tenant, .. } | Record::Close { tenant } => tenant,
+        }
+    }
+
+    /// Decodes one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for syntax errors, a missing
+    /// `tenant`, an unknown `ctl` verb, or missing/non-finite counters.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let obj = JsonObject::parse(line)?;
+        let tenant = obj
+            .get_str("tenant")
+            .ok_or_else(|| "missing string field \"tenant\"".to_string())?
+            .to_string();
+        if tenant.is_empty() {
+            return Err("field \"tenant\" must be non-empty".to_string());
+        }
+        if let Some(ctl) = obj.get("ctl") {
+            return match ctl.as_str() {
+                Some("close") => Ok(Record::Close { tenant }),
+                Some(other) => Err(format!("unknown control verb {other:?}")),
+                None => Err("field \"ctl\" must be a string".to_string()),
+            };
+        }
+        let access = obj
+            .get_f64("access")
+            .ok_or_else(|| "missing numeric field \"access\"".to_string())?;
+        let miss = obj
+            .get_f64("miss")
+            .ok_or_else(|| "missing numeric field \"miss\"".to_string())?;
+        if !access.is_finite() || !miss.is_finite() {
+            return Err("counter fields must be finite".to_string());
+        }
+        Ok(Record::Sample { tenant, obs: Observation { access_num: access, miss_num: miss } })
+    }
+
+    /// Encodes the record as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut obj = JsonObject::new();
+        match self {
+            Record::Sample { tenant, obs } => {
+                obj.push_str("tenant", tenant)
+                    .push_num("access", obs.access_num)
+                    .push_num("miss", obs.miss_num);
+            }
+            Record::Close { tenant } => {
+                obj.push_str("tenant", tenant).push_str("ctl", "close");
+            }
+        }
+        obj.to_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_roundtrips() {
+        let r = Record::Sample {
+            tenant: "vm-0".to_string(),
+            obs: Observation { access_num: 1234.0, miss_num: 56.5 },
+        };
+        let line = r.to_line();
+        assert_eq!(Record::parse(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn close_roundtrips() {
+        let r = Record::Close { tenant: "vm-1".to_string() };
+        assert_eq!(r.to_line(), r#"{"tenant":"vm-1","ctl":"close"}"#);
+        assert_eq!(Record::parse(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn extra_fields_are_ignored() {
+        let r = Record::parse(r#"{"tenant":"vm-0","access":1,"miss":2,"host":"node-7"}"#)
+            .unwrap();
+        assert_eq!(r.tenant(), "vm-0");
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(Record::parse("not json").is_err());
+        assert!(Record::parse(r#"{"access":1,"miss":2}"#).is_err());
+        assert!(Record::parse(r#"{"tenant":"","access":1,"miss":2}"#).is_err());
+        assert!(Record::parse(r#"{"tenant":"vm-0","access":1}"#).is_err());
+        assert!(Record::parse(r#"{"tenant":"vm-0","ctl":"open"}"#).is_err());
+        assert!(Record::parse(r#"{"tenant":"vm-0","ctl":7}"#).is_err());
+        assert!(Record::parse(r#"{"tenant":"vm-0","access":"x","miss":2}"#).is_err());
+    }
+}

@@ -1,0 +1,608 @@
+//! Per-tenant detection sessions.
+//!
+//! One [`Session`] monitors one VM through an explicit lifecycle:
+//!
+//! ```text
+//! Profiling ──profile ok──▶ Monitoring ──alarm budget──▶ Quarantined
+//!     │                          │
+//!     └─profile failed──▶ Closed ◀──────── close ────────────┘
+//! ```
+//!
+//! During `Profiling` the samples feed the Stage-1 [`Profiler`]; once
+//! `profile_ticks` samples arrive the profile is finalised and the
+//! detector stack is built through the uniform [`FromProfile`] surface —
+//! the combined SDS always, the KStest baseline optionally for
+//! comparison. During `Monitoring` every sample steps every detector via
+//! the [`Detector`] trait and verdict-class transitions are emitted as
+//! events. KStest throttle requests are ignored in this passive streaming
+//! mode (there is no hypervisor behind a JSONL stream to throttle).
+//!
+//! Samples are queued in a bounded ring buffer between engine flushes;
+//! when the queue is full the [`DropPolicy`] decides which side loses,
+//! and every drop is logged so backpressure is visible, never silent.
+
+use memdos_core::config::{KsTestParams, SdsParams};
+use memdos_core::detector::{Detector, Observation, Verdict};
+use memdos_core::kstest::KsTestDetector;
+use memdos_core::profile::{Profiler, ProfilerConfig};
+use memdos_core::sds::Sds;
+use memdos_core::CoreError;
+use memdos_metrics::jsonl::JsonObject;
+use std::collections::VecDeque;
+
+/// Lifecycle state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Collecting the Stage-1 benign profile.
+    Profiling,
+    /// Detector stack armed; verdict transitions are logged.
+    Monitoring,
+    /// Alarm budget exhausted; samples are discarded.
+    Quarantined,
+    /// Closed by the tenant or by a failed profile; samples are
+    /// discarded.
+    Closed,
+}
+
+impl SessionState {
+    /// Stable lowercase label used in the event log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionState::Profiling => "profiling",
+            SessionState::Monitoring => "monitoring",
+            SessionState::Quarantined => "quarantined",
+            SessionState::Closed => "closed",
+        }
+    }
+}
+
+/// What to discard when a session's sample queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Evict the oldest queued sample to admit the new one (the stream
+    /// stays fresh; detector state skips a tick).
+    #[default]
+    Oldest,
+    /// Reject the incoming sample (queued history wins).
+    Newest,
+}
+
+impl DropPolicy {
+    /// Stable lowercase label used in the event log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropPolicy::Oldest => "oldest",
+            DropPolicy::Newest => "newest",
+        }
+    }
+
+    /// Parses the `MEMDOS_ENGINE_DROP` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for anything but `oldest`/`newest`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "oldest" => Ok(DropPolicy::Oldest),
+            "newest" => Ok(DropPolicy::Newest),
+            other => Err(format!(
+                "unknown drop policy {other:?} (expected \"oldest\" or \"newest\")"
+            )),
+        }
+    }
+}
+
+/// Configuration shared by every session an engine opens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Samples consumed by Stage-1 profiling before monitoring starts.
+    pub profile_ticks: u64,
+    /// SDS parameters for the profiler and the primary detector.
+    pub sds: SdsParams,
+    /// When set, a KStest baseline detector runs beside SDS (its
+    /// throttle requests are ignored — passive streaming mode).
+    pub kstest: Option<KsTestParams>,
+    /// Primary-detector alarm activations before the session is
+    /// quarantined; `0` disables quarantine.
+    pub quarantine_after: u64,
+    /// Bounded sample-queue capacity between engine flushes.
+    pub queue_capacity: usize,
+    /// Which sample loses when the queue is full.
+    pub drop_policy: DropPolicy,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            profile_ticks: 6_000,
+            sds: SdsParams::default(),
+            kstest: None,
+            quarantine_after: 0,
+            queue_capacity: 1_024,
+            drop_policy: DropPolicy::Oldest,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Validates the configuration — the shared `validate()` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.sds.validate()?;
+        if let Some(ks) = &self.kstest {
+            ks.validate()?;
+        }
+        if self.profile_ticks == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "profile_ticks",
+                reason: "must be positive",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "queue_capacity",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One queued unit of work: a sample or a close request, tagged with the
+/// engine-assigned global arrival index.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Item {
+    /// A PCM sample.
+    Obs(u64, Observation),
+    /// A tenant close request.
+    Close(u64),
+}
+
+impl Item {
+    fn seq(&self) -> u64 {
+        match self {
+            Item::Obs(seq, _) | Item::Close(seq) => *seq,
+        }
+    }
+}
+
+/// One event produced by session processing, ordered globally by
+/// `(seq, sub)` — the arrival index of the input item that produced it,
+/// then emission order within that item.
+#[derive(Debug, Clone)]
+pub struct SessionEvent {
+    /// Global arrival index of the triggering input line.
+    pub seq: u64,
+    /// Emission order among events of the same input line.
+    pub sub: u32,
+    /// The serialized JSONL payload (without `seq` — appended by the
+    /// engine when writing the log).
+    pub payload: JsonObject,
+}
+
+/// A per-tenant detection session.
+pub struct Session {
+    tenant: String,
+    config: SessionConfig,
+    state: SessionState,
+    profiler: Option<Profiler>,
+    detectors: Vec<Box<dyn Detector + Send>>,
+    last_verdicts: Vec<Verdict>,
+    queue: VecDeque<Item>,
+    /// Monitoring ticks consumed (starts counting after the profile).
+    monitor_ticks: u64,
+    ingested: u64,
+    dropped: u64,
+    alarms: u64,
+    opened_logged: bool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tenant", &self.tenant)
+            .field("state", &self.state)
+            .field("ingested", &self.ingested)
+            .field("dropped", &self.dropped)
+            .field("alarms", &self.alarms)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Opens a session in the `Profiling` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for invalid `config`.
+    pub fn open(tenant: impl Into<String>, config: SessionConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let profiler = Profiler::new(ProfilerConfig {
+            sds: config.sds,
+            ..ProfilerConfig::default()
+        })?;
+        Ok(Session {
+            tenant: tenant.into(),
+            config,
+            state: SessionState::Profiling,
+            profiler: Some(profiler),
+            detectors: Vec::new(),
+            last_verdicts: Vec::new(),
+            queue: VecDeque::with_capacity(config.queue_capacity),
+            monitor_ticks: 0,
+            ingested: 0,
+            dropped: 0,
+            alarms: 0,
+            opened_logged: false,
+        })
+    }
+
+    /// The tenant id this session monitors.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Samples accepted so far (queued or processed).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Samples lost to backpressure or to a terminal state.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Primary-detector alarm activations so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Queued items awaiting the next engine flush.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues one sample under the backpressure policy. Returns `true`
+    /// when a sample (old or new, per policy) was dropped.
+    pub(crate) fn offer(&mut self, seq: u64, obs: Observation) -> bool {
+        if matches!(self.state, SessionState::Quarantined | SessionState::Closed) {
+            self.dropped += 1;
+            return true;
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            self.dropped += 1;
+            match self.config.drop_policy {
+                DropPolicy::Oldest => {
+                    self.queue.pop_front();
+                    self.ingested += 1;
+                    self.queue.push_back(Item::Obs(seq, obs));
+                }
+                DropPolicy::Newest => {}
+            }
+            return true;
+        }
+        self.ingested += 1;
+        self.queue.push_back(Item::Obs(seq, obs));
+        false
+    }
+
+    /// Enqueues a close request (always admitted — control traffic is
+    /// not subject to the sample drop policy).
+    pub(crate) fn offer_close(&mut self, seq: u64) {
+        self.queue.push_back(Item::Close(seq));
+    }
+
+    /// Drains the queue through the lifecycle, producing the session's
+    /// events for this flush.
+    pub(crate) fn process_queued(&mut self) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        while let Some(item) = self.queue.pop_front() {
+            let seq = item.seq();
+            let mut sub = 0u32;
+            let mut emit = |payload: JsonObject| {
+                events.push(SessionEvent { seq, sub, payload });
+                sub += 1;
+            };
+            if !self.opened_logged {
+                self.opened_logged = true;
+                let mut o = JsonObject::new();
+                o.push_str("event", "opened").push_str("tenant", &self.tenant);
+                emit(o);
+            }
+            match item {
+                Item::Close(_) => {
+                    self.state = SessionState::Closed;
+                    let mut o = JsonObject::new();
+                    o.push_str("event", "closed")
+                        .push_str("tenant", &self.tenant)
+                        .push_num("ingested", self.ingested as f64)
+                        .push_num("dropped", self.dropped as f64)
+                        .push_num("alarms", self.alarms as f64);
+                    emit(o);
+                }
+                Item::Obs(_, obs) => match self.state {
+                    SessionState::Profiling => self.step_profiling(obs, &mut emit),
+                    SessionState::Monitoring => self.step_monitoring(obs, &mut emit),
+                    SessionState::Quarantined | SessionState::Closed => {
+                        // Items queued before the state flipped; counted
+                        // when offered, nothing to process.
+                        self.dropped += 1;
+                    }
+                },
+            }
+        }
+        events
+    }
+
+    fn step_profiling(&mut self, obs: Observation, emit: &mut impl FnMut(JsonObject)) {
+        let Some(profiler) = self.profiler.as_mut() else {
+            return;
+        };
+        profiler.observe(obs);
+        if profiler.observations() < self.config.profile_ticks {
+            return;
+        }
+        // Profile complete: arm the detector stack.
+        let Some(profiler) = self.profiler.take() else {
+            return;
+        };
+        match profiler.finish().and_then(|profile| {
+            let mut stack: Vec<Box<dyn Detector + Send>> =
+                vec![Box::new(Sds::from_profile(&profile, &self.config.sds)?)];
+            if let Some(ks) = &self.config.kstest {
+                stack.push(Box::new(KsTestDetector::from_profile(&profile, ks)?));
+            }
+            Ok((profile, stack))
+        }) {
+            Ok((profile, stack)) => {
+                self.last_verdicts = vec![Verdict::Normal; stack.len()];
+                self.detectors = stack;
+                self.state = SessionState::Monitoring;
+                let mut o = JsonObject::new();
+                o.push_str("event", "profile_ready")
+                    .push_str("tenant", &self.tenant)
+                    .push_bool("periodic", profile.is_periodic());
+                if let Some(p) = &profile.periodicity {
+                    o.push_num("period_ma", p.period_ma);
+                }
+                emit(o);
+            }
+            Err(e) => {
+                self.state = SessionState::Closed;
+                let mut o = JsonObject::new();
+                o.push_str("event", "profile_failed")
+                    .push_str("tenant", &self.tenant)
+                    .push_str("reason", e.to_string());
+                emit(o);
+            }
+        }
+    }
+
+    fn step_monitoring(&mut self, obs: Observation, emit: &mut impl FnMut(JsonObject)) {
+        self.monitor_ticks += 1;
+        let mut primary_became_active = false;
+        for (i, det) in self.detectors.iter_mut().enumerate() {
+            // Throttle requests (KStest) are ignored: passive streaming.
+            let step = det.on_observation(obs);
+            if i == 0 && step.became_active {
+                primary_became_active = true;
+            }
+            let Some(last) = self.last_verdicts.get_mut(i) else {
+                continue;
+            };
+            if !step.verdict.same_class(last) {
+                let mut o = JsonObject::new();
+                o.push_str("event", "verdict")
+                    .push_str("tenant", &self.tenant)
+                    .push_str("detector", det.name())
+                    .push_str("from", last.label())
+                    .push_str("to", step.verdict.label())
+                    .push_num("tick", self.monitor_ticks as f64);
+                emit(o);
+                *last = step.verdict;
+            }
+        }
+        if primary_became_active {
+            self.alarms += 1;
+            if self.config.quarantine_after > 0 && self.alarms >= self.config.quarantine_after
+            {
+                self.state = SessionState::Quarantined;
+                let mut o = JsonObject::new();
+                o.push_str("event", "quarantined")
+                    .push_str("tenant", &self.tenant)
+                    .push_num("alarms", self.alarms as f64);
+                emit(o);
+            }
+        }
+    }
+
+    /// One `dropped` event payload (the engine logs it at the arrival
+    /// index of the sample that overflowed the queue).
+    pub(crate) fn drop_event(&self) -> JsonObject {
+        let mut o = JsonObject::new();
+        o.push_str("event", "dropped")
+            .push_str("tenant", &self.tenant)
+            .push_str("policy", self.config.drop_policy.label())
+            .push_num("total", self.dropped as f64);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> SessionConfig {
+        SessionConfig {
+            profile_ticks: 2_000,
+            queue_capacity: 8_192,
+            ..SessionConfig::default()
+        }
+    }
+
+    fn flat_obs(i: u64) -> Observation {
+        Observation {
+            access_num: 1000.0 + (i % 10) as f64,
+            miss_num: 100.0 + (i % 5) as f64,
+        }
+    }
+
+    fn feed(s: &mut Session, seq0: u64, n: u64, f: impl Fn(u64) -> Observation) -> Vec<SessionEvent> {
+        for i in 0..n {
+            s.offer(seq0 + i, f(i));
+        }
+        s.process_queued()
+    }
+
+    #[test]
+    fn lifecycle_profiling_to_monitoring() {
+        let mut s = Session::open("vm-0", fast_config()).unwrap();
+        assert_eq!(s.state(), SessionState::Profiling);
+        let events = feed(&mut s, 0, 2_000, flat_obs);
+        assert_eq!(s.state(), SessionState::Monitoring);
+        let kinds: Vec<&str> =
+            events.iter().filter_map(|e| e.payload.get_str("event")).collect();
+        assert_eq!(kinds, ["opened", "profile_ready"]);
+        assert_eq!(events[1].payload.get("periodic").is_some(), true);
+    }
+
+    #[test]
+    fn attack_produces_verdict_transitions_and_alarm() {
+        let cfg = fast_config();
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        feed(&mut s, 0, 2_000, flat_obs);
+        // Benign monitoring: no transitions expected beyond brief
+        // suspicion jitter; then a bus-lock-style collapse.
+        feed(&mut s, 2_000, 500, flat_obs);
+        let events = feed(&mut s, 2_500, 2_500, |_| Observation {
+            access_num: 100.0,
+            miss_num: 100.0,
+        });
+        let alarms: Vec<&SessionEvent> = events
+            .iter()
+            .filter(|e| {
+                e.payload.get_str("event") == Some("verdict")
+                    && e.payload.get_str("to") == Some("alarm")
+            })
+            .collect();
+        assert!(!alarms.is_empty(), "collapse must raise an SDS alarm");
+        assert!(s.alarms() >= 1);
+        // Events are (seq, sub)-ordered as produced.
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| (e.seq, e.sub));
+        assert_eq!(
+            events.iter().map(|e| (e.seq, e.sub)).collect::<Vec<_>>(),
+            sorted.iter().map(|e| (e.seq, e.sub)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn quarantine_after_alarm_budget() {
+        let cfg = SessionConfig { quarantine_after: 1, ..fast_config() };
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        feed(&mut s, 0, 2_000, flat_obs);
+        let events = feed(&mut s, 2_000, 3_000, |_| Observation {
+            access_num: 100.0,
+            miss_num: 100.0,
+        });
+        assert_eq!(s.state(), SessionState::Quarantined);
+        assert!(events
+            .iter()
+            .any(|e| e.payload.get_str("event") == Some("quarantined")));
+        // Further samples are discarded, not processed.
+        let before = s.dropped();
+        s.offer(9_999, flat_obs(0));
+        assert_eq!(s.dropped(), before + 1);
+    }
+
+    #[test]
+    fn close_emits_final_accounting() {
+        let mut s = Session::open("vm-0", fast_config()).unwrap();
+        feed(&mut s, 0, 100, flat_obs);
+        s.offer_close(100);
+        let events = s.process_queued();
+        let closed = events
+            .iter()
+            .find(|e| e.payload.get_str("event") == Some("closed"))
+            .expect("close event");
+        assert_eq!(closed.payload.get_f64("ingested"), Some(100.0));
+        assert_eq!(s.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn drop_policy_oldest_keeps_stream_fresh() {
+        let cfg = SessionConfig { queue_capacity: 4, ..fast_config() };
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        for i in 0..6u64 {
+            s.offer(i, flat_obs(i));
+        }
+        assert_eq!(s.queued(), 4);
+        assert_eq!(s.dropped(), 2);
+        // The queue holds the 4 newest items (seqs 2..=5).
+        let first_seq = match s.queue.front() {
+            Some(Item::Obs(seq, _)) => *seq,
+            _ => u64::MAX,
+        };
+        assert_eq!(first_seq, 2);
+    }
+
+    #[test]
+    fn drop_policy_newest_rejects_incoming() {
+        let cfg = SessionConfig {
+            queue_capacity: 4,
+            drop_policy: DropPolicy::Newest,
+            ..fast_config()
+        };
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        for i in 0..6u64 {
+            s.offer(i, flat_obs(i));
+        }
+        assert_eq!(s.queued(), 4);
+        assert_eq!(s.dropped(), 2);
+        let first_seq = match s.queue.front() {
+            Some(Item::Obs(seq, _)) => *seq,
+            _ => u64::MAX,
+        };
+        assert_eq!(first_seq, 0);
+    }
+
+    #[test]
+    fn kstest_stack_runs_beside_sds() {
+        let cfg = SessionConfig {
+            kstest: Some(KsTestParams::default()),
+            ..fast_config()
+        };
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        feed(&mut s, 0, 2_000, flat_obs);
+        assert_eq!(s.state(), SessionState::Monitoring);
+        assert_eq!(s.detectors.len(), 2);
+        // Stepping both through a benign stretch panics nowhere and
+        // leaves the session monitoring.
+        feed(&mut s, 2_000, 1_000, flat_obs);
+        assert_eq!(s.state(), SessionState::Monitoring);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let cfg = SessionConfig { profile_ticks: 0, ..SessionConfig::default() };
+        assert!(Session::open("vm-0", cfg).is_err());
+        let cfg = SessionConfig { queue_capacity: 0, ..SessionConfig::default() };
+        assert!(Session::open("vm-0", cfg).is_err());
+    }
+
+    #[test]
+    fn drop_policy_parse() {
+        assert_eq!(DropPolicy::parse("oldest"), Ok(DropPolicy::Oldest));
+        assert_eq!(DropPolicy::parse(" newest "), Ok(DropPolicy::Newest));
+        assert!(DropPolicy::parse("latest").is_err());
+    }
+}

@@ -18,7 +18,6 @@ use memdos_core::profile::{Profile, Profiler, ProfilerConfig};
 use memdos_core::sds::Sds;
 use memdos_core::sdsp::SdsP;
 use memdos_core::CoreError;
-use memdos_sim::pcm::Stat;
 use memdos_sim::server::{Server, ServerConfig};
 use memdos_sim::VmId;
 use memdos_workloads::catalog::Application;
@@ -297,7 +296,7 @@ impl ExperimentConfig {
                 boundary_only.periodicity = None;
                 Box::new(Sds::from_profile(&boundary_only, &self.sds_params)?)
             }
-            Scheme::SdsP => Box::new(SdsP::from_profile(&profile, Stat::AccessNum)?),
+            Scheme::SdsP => Box::new(SdsP::from_profile(&profile, &self.sds_params.sdsp)?),
             Scheme::KsTest => Box::new(KsTestDetector::new(self.ks_params)?),
         };
 
@@ -355,7 +354,7 @@ impl ExperimentConfig {
         if profile.is_periodic() {
             passive.push((
                 Scheme::SdsP,
-                Box::new(SdsP::from_profile(&profile, Stat::AccessNum)?),
+                Box::new(SdsP::from_profile(&profile, &self.sds_params.sdsp)?),
             ));
         }
 
@@ -467,7 +466,7 @@ impl CapturedRun {
     /// Returns [`CoreError::NotPeriodic`] on a non-periodic profile.
     pub fn replay_sdsp(&self, params: &SdsParams) -> Result<RunOutcome, CoreError> {
         self.replay_passive(Scheme::SdsP, params, |p| {
-            SdsP::from_profile(p, Stat::AccessNum)
+            SdsP::from_profile(p, &params.sdsp)
         })
     }
 }

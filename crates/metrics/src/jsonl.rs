@@ -1,0 +1,424 @@
+//! Hand-rolled line-delimited JSON (JSONL) codec.
+//!
+//! The engine's wire protocol is one flat JSON object per line: string,
+//! integer/float and boolean values only — no nesting, no arrays. This
+//! module supplies the std-only parse/serialize pair (the workspace has
+//! no serde), sharing the report-writing philosophy of
+//! [`crate::report`]: small, explicit, dependency-free.
+//!
+//! Serialization is deterministic: keys are emitted in insertion order,
+//! floats through Rust's shortest-roundtrip `Display` (the same bytes on
+//! every platform for the same bit pattern), and escaping covers exactly
+//! `"`/`\\` plus control characters (as `\u00XX`). Parsing accepts the
+//! standard JSON escapes and both integer and float notation.
+
+use std::fmt::Write as _;
+
+/// One scalar JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (stored as `f64`; integers round-trip exactly up to
+    /// 2^53).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A flat JSON object with insertion-ordered keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.entries.push((key.to_string(), JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Appends a numeric field.
+    pub fn push_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.entries.push((key.to_string(), JsonValue::Num(value)));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.entries.push((key.to_string(), JsonValue::Bool(value)));
+        self
+    }
+
+    /// First value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String value under `key`, if present and a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// Numeric value under `key`, if present and a number.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// All fields in insertion order.
+    pub fn entries(&self) -> &[(String, JsonValue)] {
+        &self.entries
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to one compact JSON line (no trailing newline).
+    ///
+    /// Non-finite numbers serialize as `null`-free `0` replacements are
+    /// **not** applied here — they are the caller's bug; this codec
+    /// emits them as `null` so a corrupt value is visible, not hidden.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(16 + 16 * self.entries.len());
+        out.push('{');
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, k);
+            out.push(':');
+            match v {
+                JsonValue::Str(s) => escape_into(&mut out, s),
+                JsonValue::Num(n) => {
+                    if n.is_finite() {
+                        // Integers print without a fraction; everything
+                        // else uses shortest-roundtrip formatting.
+                        // lint:allow(float-eq) -- exact zero fraction selects integer formatting; near-integers must round-trip via {n}
+                        if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                            let _ = write!(out, "{}", *n as i64);
+                        } else {
+                            let _ = write!(out, "{n}");
+                        }
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line into a flat object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem: non-object
+    /// lines, nested values, unterminated strings, bad escapes, or
+    /// malformed numbers.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        Parser { bytes: line.as_bytes(), pos: 0 }.parse_object()
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )),
+            None => Err(format!("expected '{}' at end of line", b as char)),
+        }
+    }
+
+    fn parse_object(mut self) -> Result<JsonObject, String> {
+        self.skip_ws();
+        self.expect_byte(b'{')?;
+        let mut obj = JsonObject::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return self.finish(obj);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            obj.entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return self.finish(obj),
+                Some(b) => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found '{}'",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn finish(mut self, obj: JsonObject) -> Result<JsonObject, String> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing content at byte {}", self.pos));
+        }
+        Ok(obj)
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'{' | b'[') => Err(format!(
+                "nested values are not part of the protocol (byte {})",
+                self.pos
+            )),
+            Some(_) => self.parse_number(),
+            None => Err("expected a value at end of line".to_string()),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(format!("malformed keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let end = self.pos + 4;
+                        let hex = self
+                            .bytes
+                            .get(self.pos..end)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Surrogate pairs are outside the protocol's
+                        // character set; reject rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                        out.push(c);
+                        self.pos = end;
+                    }
+                    Some(b) => return Err(format!("bad escape '\\{}'", b as char)),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err("raw control character in string".to_string())
+                }
+                Some(_) => {
+                    // Re-scan from the byte we consumed to keep UTF-8
+                    // sequences intact.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in number".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_typical_sample_line() {
+        let mut obj = JsonObject::new();
+        obj.push_str("tenant", "vm-0").push_num("access", 1234.0).push_num("miss", 56.0);
+        let line = obj.to_line();
+        assert_eq!(line, r#"{"tenant":"vm-0","access":1234,"miss":56}"#);
+        let back = JsonObject::parse(&line).unwrap();
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn roundtrips_floats_and_bools() {
+        let mut obj = JsonObject::new();
+        obj.push_num("period", 17.25).push_bool("periodic", true).push_num("neg", -0.5);
+        let back = JsonObject::parse(&obj.to_line()).unwrap();
+        assert_eq!(back.get_f64("period"), Some(17.25));
+        assert_eq!(back.get("periodic").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(back.get_f64("neg"), Some(-0.5));
+    }
+
+    #[test]
+    fn escapes_are_symmetric() {
+        let mut obj = JsonObject::new();
+        obj.push_str("name", "a\"b\\c\nd\te\u{1}");
+        let line = obj.to_line();
+        let back = JsonObject::parse(&line).unwrap();
+        assert_eq!(back.get_str("name"), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn parses_whitespace_and_scientific_notation() {
+        let obj = JsonObject::parse(r#" { "a" : 1e3 , "b" : "x" } "#).unwrap();
+        assert_eq!(obj.get_f64("a"), Some(1000.0));
+        assert_eq!(obj.get_str("b"), Some("x"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(JsonObject::parse("").is_err());
+        assert!(JsonObject::parse("[1,2]").is_err());
+        assert!(JsonObject::parse(r#"{"a":}"#).is_err());
+        assert!(JsonObject::parse(r#"{"a":1"#).is_err());
+        assert!(JsonObject::parse(r#"{"a":{"b":1}}"#).is_err());
+        assert!(JsonObject::parse(r#"{"a":1} trailing"#).is_err());
+        assert!(JsonObject::parse(r#"{"a":"unterminated}"#).is_err());
+        assert!(JsonObject::parse(r#"{"a":nope}"#).is_err());
+    }
+
+    #[test]
+    fn empty_object_roundtrips() {
+        let obj = JsonObject::parse("{}").unwrap();
+        assert!(obj.is_empty());
+        assert_eq!(obj.to_line(), "{}");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        let mut obj = JsonObject::new();
+        obj.push_num("bad", f64::NAN);
+        assert_eq!(obj.to_line(), r#"{"bad":null}"#);
+    }
+
+    #[test]
+    fn unicode_content_roundtrips() {
+        let mut obj = JsonObject::new();
+        obj.push_str("name", "tenant-α-β");
+        let back = JsonObject::parse(&obj.to_line()).unwrap();
+        assert_eq!(back.get_str("name"), Some("tenant-α-β"));
+    }
+}

@@ -20,6 +20,8 @@
 //!   collection.
 //! * [`report`] — median/p10/p90 summaries over runs in the paper's
 //!   reporting format.
+//! * [`jsonl`] — the hand-rolled line-delimited JSON codec behind the
+//!   engine's streaming wire protocol (std-only, flat objects).
 //! * [`robustness`] — failure injection on the measurement channel
 //!   (dropout / noise / freezes), an extension beyond the paper.
 //!
@@ -47,6 +49,7 @@
 pub mod accuracy;
 pub mod delay;
 pub mod experiment;
+pub mod jsonl;
 pub mod overhead;
 pub mod report;
 pub mod robustness;

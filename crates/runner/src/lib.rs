@@ -27,10 +27,14 @@
 //! ## Worker count
 //!
 //! [`threads`] reads the `MEMDOS_THREADS` environment variable, falling
-//! back to the machine's available parallelism. Each experiment cell is
-//! single-threaded and simulates ~60 s of cloud time per wall-clock
-//! second per core, so grid throughput scales near-linearly until the
-//! cell count or the core count is exhausted.
+//! back to the machine's available parallelism. An invalid value (not a
+//! positive integer) also falls back, and [`threads_config`] reports the
+//! problem as a diagnostic string so long-running callers (the engine
+//! binary, xtask) can surface it once instead of silently ignoring the
+//! variable. Each experiment cell is single-threaded and simulates
+//! ~60 s of cloud time per wall-clock second per core, so grid
+//! throughput scales near-linearly until the cell count or the core
+//! count is exhausted.
 
 #![forbid(unsafe_code)]
 
@@ -42,17 +46,57 @@ use memdos_core::CoreError;
 use memdos_metrics::experiment::{CapturedRun, ExperimentConfig, RunOutcome, StageConfig};
 use memdos_workloads::catalog::Application;
 
+/// The resolved worker count plus any configuration diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsSelection {
+    /// Worker count to use (always >= 1).
+    pub workers: usize,
+    /// Human-readable description of an ignored `MEMDOS_THREADS` value,
+    /// when the variable was set but not a positive integer. Callers
+    /// with a user-facing surface should print this once.
+    pub diagnostic: Option<String>,
+}
+
+/// Resolves the worker count from `MEMDOS_THREADS`, reporting invalid
+/// values instead of silently swallowing them.
+///
+/// A set-but-invalid value (unparsable, or `0`) falls back to the
+/// machine's available parallelism and fills `diagnostic`.
+pub fn threads_config() -> ThreadsSelection {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("MEMDOS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => ThreadsSelection { workers: n, diagnostic: None },
+            Ok(_) => ThreadsSelection {
+                workers: fallback(),
+                diagnostic: Some(
+                    "MEMDOS_THREADS=0 is invalid (must be a positive integer); \
+                     falling back to available parallelism"
+                        .to_string(),
+                ),
+            },
+            Err(_) => ThreadsSelection {
+                workers: fallback(),
+                diagnostic: Some(format!(
+                    "MEMDOS_THREADS={v:?} is not a positive integer; \
+                     falling back to available parallelism"
+                )),
+            },
+        },
+        Err(_) => ThreadsSelection { workers: fallback(), diagnostic: None },
+    }
+}
+
 /// Worker count: `MEMDOS_THREADS` when set to a positive integer, else
 /// the machine's available parallelism (1 if that cannot be determined).
+/// Invalid values fall back silently here — use [`threads_config`] to
+/// surface the diagnostic.
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var("MEMDOS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    threads_config().workers
 }
 
 /// Applies `f` to every item of `items` on `workers` threads and returns
@@ -101,6 +145,69 @@ where
             }
         }
         slots.into_iter().flatten().collect()
+    })
+}
+
+/// [`parallel_map`] over **owned** items: applies `f` to every item of
+/// `items` on `workers` threads and returns the results in input order.
+///
+/// The engine's batch dispatch needs this variant — each tenant shard
+/// owns mutable session state (`&mut` inside the closure's argument), so
+/// items must move into the workers rather than be shared behind `&T`.
+/// Items are parked in per-index `Mutex<Option<T>>` slots; each worker
+/// claims indices from a shared atomic cursor and takes the item out of
+/// its slot, so every item is processed exactly once. With `workers <= 1`
+/// the items are mapped inline on the calling thread, producing the same
+/// `Vec` in the same order.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                // Each index is claimed exactly once via the cursor, so
+                // the slot still holds its item; a poisoned lock (another
+                // worker panicked while holding it) cannot occur for a
+                // distinct index, but recover rather than unwrap to stay
+                // panic-free.
+                let item = match slot.lock() {
+                    Ok(mut guard) => guard.take(),
+                    Err(poisoned) => poisoned.into_inner().take(),
+                };
+                let Some(item) = item else { break };
+                // A send only fails when the receiver is gone, which
+                // means the collector below already stopped; just exit.
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, result) in rx {
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(result);
+            }
+        }
+        out.into_iter().flatten().collect()
     })
 }
 
@@ -221,5 +328,25 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_owned_preserves_input_order() {
+        let items: Vec<String> = (0..57).map(|i| format!("item-{i}")).collect();
+        let expected: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        for workers in [1, 2, 3, 8] {
+            let got = parallel_map_owned(items.clone(), workers, |mut s: String| {
+                s.push('!');
+                s
+            });
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn parallel_map_owned_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(parallel_map_owned(empty, 4, |x: u64| x).len(), 0);
+        assert_eq!(parallel_map_owned(vec![7u64], 4, |x| x + 1), vec![8]);
     }
 }

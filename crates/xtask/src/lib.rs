@@ -2,8 +2,9 @@
 //!
 //! A dependency-free lint pass for the memdos workspace, run as
 //! `cargo run -p xtask -- lint`. It walks every `crates/*/src` tree (and
-//! the root package's `src/`), strips comments and string literals with a
-//! small hand-rolled lexer, and enforces four rule families:
+//! the root package's `src/`) with one task per crate fanned across
+//! `MEMDOS_THREADS` workers, strips comments and string literals with a
+//! small hand-rolled lexer, and enforces six rule families:
 //!
 //! * **L1 panic-freedom** — no `unwrap()`/`expect()`/`panic!`/
 //!   `unreachable!`/`todo!`/`unimplemented!` and no unchecked slice
@@ -26,15 +27,20 @@
 //!   seed constant may appear only in `stats` — everyone else derives
 //!   seeds through `memdos_stats::rng::derive_seed`/`Rng::fork`, which
 //!   keeps parallel and sequential schedules bit-identical.
+//! * **L6 detector authority** — outside `core`, detectors are stepped
+//!   only through the `Detector` trait (`on_observation`); the
+//!   scheme-private `on_sample` methods were folded into the trait path
+//!   during the verdict API unification and must not leak back out.
 //!
 //! A finding is suppressed only by an inline justification on the same
 //! line or the line above: `// lint:allow(<category>) -- <reason>`.
 //! Categories: `panic`, `index`, `time`, `collections`, `rand`,
-//! `float-eq`, `partial-cmp`, `thread`, `seed`. Markers without a reason
-//! are themselves reported and suppress nothing.
+//! `float-eq`, `partial-cmp`, `thread`, `seed`, `step`. Markers without a
+//! reason are themselves reported and suppress nothing.
 //!
 //! A second subcommand, `cargo run -p xtask -- bench-check <current>
-//! <baseline>`, validates a `BENCH_*.json` micro-benchmark report and
+//! <baseline> [<current> <baseline> ...]`, validates one or more
+//! `BENCH_*.json` micro-benchmark reports against their baselines and
 //! fails on kernel regressions (see [`benchcheck`]).
 
 #![forbid(unsafe_code)]
@@ -46,11 +52,58 @@ pub mod rules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use rules::{FileScope, Finding};
 
+/// The worker count for the parallel lint walk plus any `MEMDOS_THREADS`
+/// diagnostic. Mirrors `memdos_runner::threads_config()`: xtask cannot
+/// depend on the runner crate — the lint must stay runnable even when the
+/// workspace it checks does not compile — so the strict-parse semantics
+/// are duplicated here and pinned by the [`parse_threads`] tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsHint {
+    /// Worker count to use (always >= 1).
+    pub workers: usize,
+    /// Human-readable description of an ignored `MEMDOS_THREADS` value,
+    /// when the variable was set but not a positive integer. Printed
+    /// once by `main`.
+    pub diagnostic: Option<String>,
+}
+
+/// Resolves a raw `MEMDOS_THREADS` value (`None` when unset) against a
+/// fallback worker count, reporting invalid values instead of silently
+/// swallowing them.
+pub fn parse_threads(value: Option<&str>, fallback: usize) -> ThreadsHint {
+    let fallback = fallback.max(1);
+    match value {
+        None => ThreadsHint { workers: fallback, diagnostic: None },
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => ThreadsHint { workers: n, diagnostic: None },
+            _ => ThreadsHint {
+                workers: fallback,
+                diagnostic: Some(format!(
+                    "MEMDOS_THREADS={v:?} is not a positive integer; \
+                     falling back to available parallelism"
+                )),
+            },
+        },
+    }
+}
+
+/// Reads `MEMDOS_THREADS` from the environment and resolves it against
+/// the machine's available parallelism.
+pub fn threads_hint() -> ThreadsHint {
+    let fallback = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    parse_threads(std::env::var("MEMDOS_THREADS").ok().as_deref(), fallback)
+}
+
 /// Crates whose outputs must be reproducible bit-for-bit across runs.
-const DETERMINISTIC_CRATES: [&str; 3] = ["sim", "stats", "core"];
+/// `engine` joins the original three: its verdict log is the replayable
+/// artifact the whole serving layer is built around.
+const DETERMINISTIC_CRATES: [&str; 4] = ["sim", "stats", "core", "engine"];
 
 /// Harness crates: the only places allowed to spawn threads or measure
 /// wall-clock time. Everything else must stay single-threaded and
@@ -60,6 +113,10 @@ const HARNESS_CRATES: [&str; 3] = ["runner", "bench", "xtask"];
 /// The one crate allowed to spell the golden-ratio seed constant; all
 /// other crates must route seed derivation through `memdos_stats::rng`.
 const SEED_AUTHORITY_CRATES: [&str; 1] = ["stats"];
+
+/// The one crate allowed to call the scheme-private `on_sample` stepping
+/// methods; everyone else steps detectors through the `Detector` trait.
+const DETECTOR_AUTHORITY_CRATES: [&str; 1] = ["core"];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -93,6 +150,7 @@ fn lint_crate(root: &Path, crate_dir: &Path, name: &str) -> Result<Vec<Finding>,
         deterministic: DETERMINISTIC_CRATES.contains(&name),
         harness: HARNESS_CRATES.contains(&name),
         seed_authority: SEED_AUTHORITY_CRATES.contains(&name),
+        detector_authority: DETECTOR_AUTHORITY_CRATES.contains(&name),
     };
 
     let manifest_path = crate_dir.join("Cargo.toml");
@@ -126,9 +184,10 @@ fn lint_crate(root: &Path, crate_dir: &Path, name: &str) -> Result<Vec<Finding>,
 }
 
 /// Lints the whole workspace rooted at `root`: the root package plus
-/// every directory under `crates/`. Findings come back sorted by file
-/// and line.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+/// every directory under `crates/`, fanned across `workers` threads (one
+/// crate per task). Findings come back sorted by file and line, so the
+/// output is identical at any worker count.
+pub fn lint_workspace(root: &Path, workers: usize) -> Result<Vec<Finding>, String> {
     let mut findings = lint_crate(root, root, ".")?;
     let crates_dir = root.join("crates");
     let entries = fs::read_dir(&crates_dir)
@@ -141,16 +200,72 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         }
     }
     dirs.sort();
-    for dir in dirs {
-        let name = dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        findings.extend(lint_crate(root, &dir, &name)?);
+
+    let workers = workers.clamp(1, dirs.len().max(1));
+    let slots: Vec<Mutex<Option<Result<Vec<Finding>, String>>>> =
+        dirs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let dirs = &dirs;
+            scope.spawn(move || {
+                for (i, dir) in dirs.iter().enumerate() {
+                    if i % workers != w {
+                        continue;
+                    }
+                    let name = dir
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    let result = lint_crate(root, dir, &name);
+                    if let Some(slot) = slots.get(i) {
+                        match slot.lock() {
+                            Ok(mut guard) => *guard = Some(result),
+                            Err(poisoned) => *poisoned.into_inner() = Some(result),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    for (slot, dir) in slots.into_iter().zip(&dirs) {
+        let inner = match slot.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match inner {
+            Some(Ok(crate_findings)) => findings.extend(crate_findings),
+            Some(Err(e)) => return Err(e),
+            None => return Err(format!("lint worker dropped {}", dir.display())),
+        }
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     findings.dedup();
     Ok(findings)
+}
+
+#[cfg(test)]
+mod threads_tests {
+    use super::parse_threads;
+
+    #[test]
+    fn valid_values_win_and_invalid_values_carry_a_diagnostic() {
+        assert_eq!(parse_threads(Some("8"), 4).workers, 8);
+        assert_eq!(parse_threads(Some(" 2 "), 4).workers, 2);
+        assert!(parse_threads(Some("8"), 4).diagnostic.is_none());
+        // Unset: silent fallback, floored at one worker.
+        assert_eq!(parse_threads(None, 4).workers, 4);
+        assert_eq!(parse_threads(None, 0).workers, 1);
+        assert!(parse_threads(None, 4).diagnostic.is_none());
+        // Set-but-invalid: fallback plus a printable diagnostic, the same
+        // contract as memdos_runner::threads_config().
+        for bad in ["0", "-3", "many", "2.5", ""] {
+            let hint = parse_threads(Some(bad), 4);
+            assert_eq!(hint.workers, 4, "fallback for {bad:?}");
+            let diag = hint.diagnostic.unwrap_or_default();
+            assert!(diag.contains("MEMDOS_THREADS"), "diagnostic for {bad:?}: {diag}");
+        }
+    }
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares

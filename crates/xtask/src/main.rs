@@ -1,9 +1,12 @@
 //! CLI entry point:
 //!
-//! * `cargo run -p xtask -- lint [--root <path>]` — workspace lint.
-//! * `cargo run -p xtask -- bench-check <current> <baseline>` — validate
-//!   a `BENCH_*.json` report and fail on regressions beyond the
-//!   tolerance factor (default 2.0, override `MEMDOS_BENCH_TOLERANCE`).
+//! * `cargo run -p xtask -- lint [--root <path>]` — workspace lint,
+//!   fanned across `MEMDOS_THREADS` workers (one crate per task).
+//! * `cargo run -p xtask -- bench-check <current> <baseline> [<current>
+//!   <baseline> ...]` — validate one or more `BENCH_*.json` reports
+//!   against their checked-in baselines and fail on regressions beyond
+//!   the tolerance factor (default 2.0, override
+//!   `MEMDOS_BENCH_TOLERANCE`).
 
 #![forbid(unsafe_code)]
 
@@ -13,15 +16,17 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- lint [--root <workspace-dir>]\n       \
-         cargo run -p xtask -- bench-check <current.json> <baseline.json>"
+         cargo run -p xtask -- bench-check <current.json> <baseline.json> \
+         [<current.json> <baseline.json> ...]"
     );
     ExitCode::from(2)
 }
 
-fn bench_check(mut args: impl Iterator<Item = String>) -> ExitCode {
-    let (Some(current), Some(baseline), None) = (args.next(), args.next(), args.next()) else {
+fn bench_check(args: impl Iterator<Item = String>) -> ExitCode {
+    let rest: Vec<String> = args.collect();
+    if rest.is_empty() || rest.len() % 2 != 0 {
         return usage();
-    };
+    }
     let tolerance = match std::env::var("MEMDOS_BENCH_TOLERANCE") {
         Ok(v) => match v.trim().parse::<f64>() {
             Ok(t) => t,
@@ -32,26 +37,36 @@ fn bench_check(mut args: impl Iterator<Item = String>) -> ExitCode {
         },
         Err(_) => 2.0,
     };
-    match xtask::benchcheck::run(
-        &PathBuf::from(&current),
-        &PathBuf::from(&baseline),
-        tolerance,
-    ) {
-        Ok(problems) if problems.is_empty() => {
-            println!("xtask bench-check: {current} within {tolerance}x of {baseline}");
-            ExitCode::SUCCESS
-        }
-        Ok(problems) => {
-            for p in &problems {
-                println!("bench-check: {p}");
+    let mut regressions = 0usize;
+    for pair in rest.chunks(2) {
+        let (Some(current), Some(baseline)) = (pair.first(), pair.get(1)) else {
+            return usage();
+        };
+        match xtask::benchcheck::run(
+            &PathBuf::from(current),
+            &PathBuf::from(baseline),
+            tolerance,
+        ) {
+            Ok(problems) if problems.is_empty() => {
+                println!("xtask bench-check: {current} within {tolerance}x of {baseline}");
             }
-            println!("xtask bench-check: {} regression(s)", problems.len());
-            ExitCode::FAILURE
+            Ok(problems) => {
+                for p in &problems {
+                    println!("bench-check: {p}");
+                }
+                regressions += problems.len();
+            }
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
         }
-        Err(e) => {
-            eprintln!("xtask: {e}");
-            ExitCode::from(2)
-        }
+    }
+    if regressions == 0 {
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask bench-check: {regressions} regression(s)");
+        ExitCode::FAILURE
     }
 }
 
@@ -96,7 +111,11 @@ fn main() -> ExitCode {
             }
         }
     };
-    match xtask::lint_workspace(&root) {
+    let threads = xtask::threads_hint();
+    if let Some(diag) = &threads.diagnostic {
+        eprintln!("xtask: {diag}");
+    }
+    match xtask::lint_workspace(&root, threads.workers) {
         Ok(findings) if findings.is_empty() => {
             println!("xtask lint: clean");
             ExitCode::SUCCESS

@@ -1,4 +1,4 @@
-//! The rule scanners (L1–L3, L5) that run over lexed source files.
+//! The rule scanners (L1–L3, L5, L6) that run over lexed source files.
 //!
 //! Every scanner works on the *stripped* code from [`crate::lexer`], so
 //! comments and string literals can never trigger a finding. Code inside
@@ -34,6 +34,12 @@ pub struct FileScope {
     /// re-deriving seeds by hand instead of going through
     /// `memdos_stats::rng`.
     pub seed_authority: bool,
+    /// True for the crate that owns the detection schemes (`core`): the
+    /// only place allowed to call the scheme-private `on_sample` stepping
+    /// methods. Every other crate steps detectors through the `Detector`
+    /// trait (`on_observation`), which is the sole supported surface
+    /// since the verdict API unification.
+    pub detector_authority: bool,
 }
 
 fn is_ident(c: u8) -> bool {
@@ -221,8 +227,16 @@ fn unchecked_index_on_line(line: &str) -> bool {
             "let", "in", "if", "else", "match", "return", "mut", "ref", "as", "move", "box",
             "dyn",
         ];
+        // A lifetime before the bracket (`&'a [u8]`) is a slice type,
+        // not an indexing expression.
+        let lifetime = head
+            .len()
+            .checked_sub(word.len() + 1)
+            .and_then(|p| head.as_bytes().get(p))
+            .is_some_and(|&c| c == b'\'');
         let is_index = matches!(prev, Some(c) if is_ident(c) || c == b']' || c == b')')
-            && !KEYWORDS.contains(&word.as_str());
+            && !KEYWORDS.contains(&word.as_str())
+            && !lifetime;
         // Find the matching close bracket on this line.
         let mut depth = 0usize;
         let mut j = i;
@@ -380,6 +394,16 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                     .to_string(),
             );
         }
+        if !scope.detector_authority && raw_line.contains(".on_sample(") {
+            push(
+                "L6/step",
+                "step",
+                "scheme-private on_sample stepping outside memdos-core; step \
+                 detectors through the Detector trait (on_observation), which \
+                 carries the Verdict and throttle state callers need"
+                    .to_string(),
+            );
+        }
     }
     findings
 }
@@ -426,8 +450,12 @@ pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Finding> {
 mod tests {
     use super::*;
 
-    const SCOPE: FileScope =
-        FileScope { deterministic: true, harness: false, seed_authority: false };
+    const SCOPE: FileScope = FileScope {
+        deterministic: true,
+        harness: false,
+        seed_authority: false,
+        detector_authority: false,
+    };
 
     fn rules_of(source: &str) -> Vec<&'static str> {
         check_source("t.rs", source, SCOPE).iter().map(|f| f.rule).collect()
@@ -461,6 +489,7 @@ mod tests {
         assert!(rules_of("fn f() { b = &a[..n]; }\n").is_empty());
         assert!(rules_of("fn f() { v = vec![0; n]; }\n").is_empty());
         assert!(rules_of("fn f(x: [u8; 4]) {}\n").is_empty());
+        assert!(rules_of("struct S<'a> { bytes: &'a [u8] }\n").is_empty());
     }
 
     #[test]
@@ -479,7 +508,7 @@ mod tests {
             rules_of("use std::collections::HashMap;\n"),
             vec!["L2/collections"]
         );
-        let loose = FileScope { deterministic: false, harness: false, seed_authority: false };
+        let loose = FileScope { detector_authority: false, deterministic: false, harness: false, seed_authority: false };
         assert!(check_source("t.rs", "use std::collections::HashMap;\n", loose).is_empty());
     }
 
@@ -489,7 +518,7 @@ mod tests {
         assert_eq!(rules_of("fn f() { thread::scope(|s| {}); }\n"), vec!["L5/thread"]);
         // Thread-local storage and prose are not spawning.
         assert!(rules_of("thread_local! { static X: u8 = 0; }\n").is_empty());
-        let harness = FileScope { deterministic: false, harness: true, seed_authority: false };
+        let harness = FileScope { detector_authority: false, deterministic: false, harness: true, seed_authority: false };
         let src = "fn f() { std::thread::spawn(|| {}); let t = Instant::now(); }\n";
         assert!(check_source("t.rs", src, harness).is_empty());
     }
@@ -501,10 +530,20 @@ mod tests {
             vec!["L5/seed"]
         );
         assert_eq!(rules_of("let s = x * 0x9e3779b97f4a7c15u64;\n"), vec!["L5/seed"]);
-        let stats = FileScope { deterministic: true, harness: false, seed_authority: true };
+        let stats = FileScope { detector_authority: false, deterministic: true, harness: false, seed_authority: true };
         let src = "const S: u64 = 0x9E37_79B9_7F4A_7C15;\n";
         assert!(check_source("t.rs", src, stats).is_empty());
         assert!(rules_of("let s = memdos_stats::rng::derive_seed(base, run);\n").is_empty());
+    }
+
+    #[test]
+    fn flags_on_sample_stepping_outside_core() {
+        assert_eq!(rules_of("fn f() { det.on_sample(x); }\n"), vec!["L6/step"]);
+        assert!(rules_of("fn f() { det.on_observation(obs); }\n").is_empty());
+        // A local function *named* on_sample is not a method call.
+        assert!(rules_of("fn on_sample(x: f64) {}\n").is_empty());
+        let core = FileScope { detector_authority: true, ..SCOPE };
+        assert!(check_source("t.rs", "fn f() { det.on_sample(x); }\n", core).is_empty());
     }
 
     #[test]

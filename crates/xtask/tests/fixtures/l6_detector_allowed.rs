@@ -1,0 +1,31 @@
+//! Fixture: what the detector-authority rule must NOT flag outside
+//! `memdos-core` — the `Detector` trait path, prose and string mentions
+//! of on_sample, a local function of the same name, a justified allow,
+//! and test code.
+
+/// Steps the detector through the one supported surface. A comment
+/// mentioning det.on_sample(x) is not a call.
+pub fn drive(det: &mut dyn Detector, obs: Observation) -> bool {
+    let step = det.on_observation(obs);
+    let label = "legacy name: .on_sample()";
+    step.became_active && !label.is_empty()
+}
+
+/// A free function named on_sample is not a method call on a detector.
+pub fn on_sample(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn justified(det: &mut SdsB, s: f64) -> bool {
+    // lint:allow(step) -- documented escape hatch exercised by the fixture
+    det.on_sample(s)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_step_directly() {
+        let mut det = fresh();
+        assert!(!det.on_sample(1.0));
+    }
+}

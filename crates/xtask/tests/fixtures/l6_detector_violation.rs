@@ -1,0 +1,16 @@
+//! Fixture: scheme-private detector stepping outside `memdos-core` —
+//! every direct `on_sample` method call must fire L6/step.
+
+pub fn drive_boundary(det: &mut SdsB, samples: &[f64]) -> u64 {
+    let mut alarms = 0u64;
+    for &s in samples {
+        if det.on_sample(s) {
+            alarms += 1;
+        }
+    }
+    alarms
+}
+
+pub fn drive_period(det: &mut SdsP, sample: f64) -> bool {
+    det.inner().on_sample(sample)
+}

@@ -5,14 +5,18 @@
 use xtask::manifest::check_manifest;
 use xtask::rules::{check_forbid_unsafe, check_source, FileScope, Finding};
 
-const LIB_SCOPE: FileScope =
-    FileScope { deterministic: false, harness: false, seed_authority: false };
-const DET_SCOPE: FileScope =
-    FileScope { deterministic: true, harness: false, seed_authority: false };
-const HARNESS_SCOPE: FileScope =
-    FileScope { deterministic: false, harness: true, seed_authority: false };
+const LIB_SCOPE: FileScope = FileScope {
+    deterministic: false,
+    harness: false,
+    seed_authority: false,
+    detector_authority: false,
+};
+const DET_SCOPE: FileScope = FileScope { deterministic: true, ..LIB_SCOPE };
+const HARNESS_SCOPE: FileScope = FileScope { harness: true, ..LIB_SCOPE };
 const STATS_SCOPE: FileScope =
-    FileScope { deterministic: true, harness: false, seed_authority: true };
+    FileScope { deterministic: true, seed_authority: true, ..LIB_SCOPE };
+const CORE_SCOPE: FileScope =
+    FileScope { deterministic: true, detector_authority: true, ..LIB_SCOPE };
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -127,6 +131,25 @@ fn l5_seed_spares_rng_api_allows_and_the_stats_crate() {
     let violation = include_str!("fixtures/l5_seed_violation.rs");
     let findings = check_source("fixture.rs", violation, STATS_SCOPE);
     assert_eq!(count(&findings, "L5/seed"), 0, "{findings:?}");
+}
+
+#[test]
+fn l6_step_fires_on_direct_on_sample_calls() {
+    let src = include_str!("fixtures/l6_detector_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // the plain method call and the chained one
+    assert_eq!(count(&findings, "L6/step"), 2, "{findings:?}");
+}
+
+#[test]
+fn l6_step_spares_trait_path_allows_tests_and_the_core_crate() {
+    let src = include_str!("fixtures/l6_detector_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+    // The violation fixture is legal inside memdos-core itself.
+    let violation = include_str!("fixtures/l6_detector_violation.rs");
+    let findings = check_source("fixture.rs", violation, CORE_SCOPE);
+    assert_eq!(count(&findings, "L6/step"), 0, "{findings:?}");
 }
 
 #[test]

@@ -77,7 +77,7 @@ fn main() -> Result<(), CoreError> {
     }
 
     println!("[stage 1] profiling the custom kv-store for 40 s ...");
-    let mut profiler = Profiler::with_defaults();
+    let mut profiler = Profiler::default();
     for _ in 0..4_000 {
         let report = server.tick();
         profiler.observe(Observation::from(report.sample(victim).expect("victim")));

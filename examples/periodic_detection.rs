@@ -14,7 +14,7 @@ use memdos::core::detector::{Detector, Observation};
 use memdos::core::profile::Profiler;
 use memdos::core::sdsp::SdsP;
 use memdos::core::CoreError;
-use memdos::sim::pcm::Stat;
+use memdos::core::config::SdsPParams;
 use memdos::sim::server::{Server, ServerConfig};
 use memdos::workloads::Application;
 
@@ -42,7 +42,7 @@ fn main() -> Result<(), CoreError> {
 
     // Stage 1: profile 80 s (several training batches).
     println!("[stage 1] profiling facenet for 80 s ...");
-    let mut profiler = Profiler::with_defaults();
+    let mut profiler = Profiler::default();
     for _ in 0..8_000 {
         let report = server.tick();
         profiler.observe(Observation::from(report.sample(victim).expect("victim")));
@@ -57,7 +57,7 @@ fn main() -> Result<(), CoreError> {
     );
 
     // Monitor with SDS/P alone; print each period estimate (Fig. 8(b)).
-    let mut sdsp = SdsP::from_profile(&profile, Stat::AccessNum)?;
+    let mut sdsp = SdsP::from_profile(&profile, &SdsPParams::default())?;
     println!("[monitor] SDS/P armed (W_P = {} MA values); attack at t = 120 s", sdsp.window_size());
     let mut computations = 0;
     for _ in 0..14_000u64 {

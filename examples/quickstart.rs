@@ -41,7 +41,7 @@ fn main() -> Result<(), CoreError> {
 
     // Stage 1 — profile 40 s of benign behaviour.
     println!("[stage 1] profiling `{app}` for 40 s of simulated time ...");
-    let mut profiler = Profiler::with_defaults();
+    let mut profiler = Profiler::default();
     for _ in 0..4_000 {
         let report = server.tick();
         profiler.observe(Observation::from(report.sample(victim).expect("victim sample")));

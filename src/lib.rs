@@ -26,6 +26,9 @@
 //! * [`runner`] — the std-only parallel experiment engine that fans the
 //!   evaluation grid across `MEMDOS_THREADS` workers with bit-identical
 //!   (deterministically seeded, order-restored) results.
+//! * [`engine`] — the long-running multi-tenant streaming detection
+//!   engine: per-VM sessions, JSONL ingestion, tenant-sharded parallel
+//!   dispatch and a deterministic verdict event log.
 //!
 //! ## Quickstart
 //!
@@ -48,7 +51,7 @@
 //! );
 //!
 //! // Stage 1: profile the benign behaviour (shortened for the doctest).
-//! let mut profiler = Profiler::with_defaults();
+//! let mut profiler = Profiler::default();
 //! for _ in 0..3_000 {
 //!     let report = server.tick();
 //!     profiler.observe(Observation::from(report.sample(victim).unwrap()));
@@ -75,6 +78,7 @@
 
 pub use memdos_attacks as attacks;
 pub use memdos_core as core;
+pub use memdos_engine as engine;
 pub use memdos_metrics as metrics;
 pub use memdos_runner as runner;
 pub use memdos_sim as sim;

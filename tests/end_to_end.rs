@@ -41,7 +41,7 @@ fn run_sds(
     seed: u64,
 ) -> Option<u64> {
     let (mut server, victim) = build(app, attack, attack_at, seed);
-    let mut profiler = Profiler::with_defaults();
+    let mut profiler = Profiler::default();
     for _ in 0..profile_ticks {
         let r = server.tick();
         profiler.observe(Observation::from(r.sample(victim).unwrap()));
@@ -87,7 +87,7 @@ fn sds_stays_quiet_without_attack() {
 #[test]
 fn kstest_protocol_throttles_and_detects() {
     let (mut server, victim) = build(Application::KMeans, AttackKind::BusLocking, 4_000, 4);
-    let mut det = KsTestDetector::with_defaults();
+    let mut det = KsTestDetector::default();
     let mut throttle_events = 0u32;
     let mut alarmed_during_attack = false;
     for t in 0..9_000u64 {
