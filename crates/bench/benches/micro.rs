@@ -17,8 +17,11 @@
 //! this file), and `grid_cells_per_sec_t{1,2,4}` keys measuring parallel
 //! runner throughput on the evaluation grid. A second report,
 //! `BENCH_3.json` (override with `MEMDOS_BENCH_OUT_ENGINE`), carries the
-//! streaming-engine ingest throughput (`engine_ingest_samples_per_sec`).
-//! CI compares both files against their counterparts under
+//! streaming-engine ingest throughput (`engine_ingest_samples_per_sec`);
+//! a third, `BENCH_4.json` (override with `MEMDOS_BENCH_OUT_SOAK`),
+//! carries the chaos-path throughput (`engine_soak_samples_per_sec` — a
+//! fault-injected stream through the full recovery machinery). CI
+//! compares all of them against their counterparts under
 //! `crates/bench/baseline/` via `cargo run -p xtask -- bench-check`.
 //!
 //! The harness is deliberately dependency-free (the build environment is
@@ -491,6 +494,41 @@ fn bench_engine_ingest(report: &mut Report) {
     report.push("engine_ingest_samples_per_sec_t4", 1.0e9 * total / ns_t4);
 }
 
+/// Chaos-path throughput: a compact fault-injected demo stream replayed
+/// end to end (resync, backpressure drops/recoveries, idle closes,
+/// reopen generations all exercised), emitted into the separate
+/// `BENCH_4.json` report. The scenario is a pure function of its seed,
+/// so successive runs measure identical work.
+fn bench_engine_soak(report: &mut Report) {
+    use memdos_engine::chaos::{FaultPlan, FaultPlanConfig};
+    use memdos_engine::demo::{demo_jsonl, DemoLayout};
+    use memdos_engine::engine::Engine;
+    use memdos_engine::soak::scenario_engine_config;
+
+    let layout = DemoLayout {
+        profile_ticks: 400,
+        benign_ticks: 100,
+        attack_ticks: 100,
+        tail_ticks: 50,
+    };
+    let clean = demo_jsonl(0xD05, &layout, memdos_runner::threads());
+    let (chaotic, trace) = FaultPlan::apply(7, FaultPlanConfig::chaos(), &clean)
+        .expect("chaos rates are valid");
+    assert!(trace.total() > 0, "the bench scenario must inject faults");
+    let total = chaotic.len() as f64;
+    let ns = bench("engine_soak_scenario", || {
+        let mut engine = Engine::new(scenario_engine_config(1, &layout))
+            .expect("soak scenario configuration is valid");
+        for line in &chaotic {
+            engine.ingest_line(line);
+        }
+        engine.finish();
+        black_box(engine.log_lines().len());
+    });
+    report.push("engine_soak_line_ns", ns / total);
+    report.push("engine_soak_samples_per_sec", 1.0e9 * total / ns);
+}
+
 fn main() {
     println!("memdos micro-benchmarks (median of {PASSES} passes)");
     let mut report = Report::default();
@@ -508,4 +546,8 @@ fn main() {
     let mut engine_report = Report::default();
     bench_engine_ingest(&mut engine_report);
     engine_report.write("MEMDOS_BENCH_OUT_ENGINE", "BENCH_3.json");
+
+    let mut soak_report = Report::default();
+    bench_engine_soak(&mut soak_report);
+    soak_report.write("MEMDOS_BENCH_OUT_SOAK", "BENCH_4.json");
 }

@@ -10,7 +10,6 @@ use memdos_core::profile::{Profiler, ProfilerConfig};
 use memdos_core::sdsb::SdsB;
 use memdos_core::sdsp::SdsP;
 use memdos_core::CoreError;
-use memdos_sim::pcm::Stat;
 
 #[test]
 fn sdsb_rejects_degenerate_parameters() {
@@ -25,7 +24,7 @@ fn sdsb_rejects_degenerate_parameters() {
     ];
     for (label, params) in cases {
         assert!(
-            SdsB::new(params, Stat::AccessNum, 100.0, 5.0).is_err(),
+            SdsB::new(params, 100.0, 5.0).is_err(),
             "{label}: must be rejected"
         );
     }
@@ -42,12 +41,12 @@ fn sdsb_rejects_degenerate_profiles() {
     ];
     for (label, mu, sigma) in cases {
         assert!(
-            SdsB::new(p, Stat::AccessNum, mu, sigma).is_err(),
+            SdsB::new(p, mu, sigma).is_err(),
             "{label}: must be rejected"
         );
     }
     // σ = 0 (an all-constant profile) is legal: the band is a point.
-    let det = SdsB::new(p, Stat::AccessNum, 100.0, 0.0).expect("sigma=0 is legal");
+    let det = SdsB::new(p, 100.0, 0.0).expect("sigma=0 is legal");
     assert!(!det.range().is_violation(100.0));
 }
 
@@ -62,7 +61,7 @@ fn sdsp_rejects_degenerate_periods() {
     ];
     for (label, period) in cases {
         assert!(
-            SdsP::new(p, Stat::AccessNum, period).is_err(),
+            SdsP::new(p, period).is_err(),
             "{label}: must be rejected"
         );
     }

@@ -216,6 +216,103 @@ fn alarm_activates_under_attack_and_clears_after() {
 }
 
 #[test]
+fn duplicated_and_reordered_samples_keep_invariants() {
+    // Transport-level glitches the chaos harness injects upstream: a
+    // sample delivered twice, or two adjacent samples swapped. Every
+    // detector must keep the per-step contract; the flat-profile schemes
+    // (SDS/B, KStest) must additionally not false-alarm, since neither
+    // duplication nor a local swap changes the flat signal's statistics.
+    for mut case in cases() {
+        let mut stream: Vec<Observation> = (0..case.benign_ticks).map(case.benign).collect();
+        let mut i = 1usize;
+        while i + 1 < stream.len() {
+            if i % 53 == 0 {
+                stream.swap(i, i + 1);
+            }
+            i += 1;
+        }
+        let mut perturbed = Vec::with_capacity(stream.len() + stream.len() / 97 + 1);
+        for (i, obs) in stream.iter().enumerate() {
+            perturbed.push(*obs);
+            if i % 97 == 0 {
+                perturbed.push(*obs);
+            }
+        }
+        let mut became = 0u64;
+        for (i, obs) in perturbed.iter().enumerate() {
+            let step = case.det.on_observation(*obs);
+            if step.became_active {
+                became += 1;
+                assert!(case.det.alarm_active(), "{}: tick {i}", case.label);
+            }
+            assert_eq!(case.det.activations(), became, "{}: tick {i}", case.label);
+            assert_eq!(
+                step.verdict.same_class(&Verdict::Alarm),
+                case.det.alarm_active(),
+                "{}: tick {i}: verdict {:?} disagrees with alarm_active()",
+                case.label,
+                step.verdict
+            );
+        }
+        if matches!(case.label, "SDS/B" | "KStest") {
+            assert_eq!(
+                became, 0,
+                "{}: duplicated/reordered benign samples raised an alarm",
+                case.label
+            );
+            assert!(!case.det.alarm_active(), "{}", case.label);
+        }
+    }
+}
+
+#[test]
+fn stepping_long_past_alarm_is_safe() {
+    // Once the engine quarantines a tenant it stops consuming verdicts,
+    // but samples can keep arriving (queued batches, replay). Stepping a
+    // detector far past its alarm — including degenerate observations in
+    // that regime — must stay panic-free, keep activations monotonic,
+    // and still recover once the attack stops.
+    for mut case in cases() {
+        let mut throttled = false;
+        let mut became = 0u64;
+        let (b, a, r) = (case.benign_ticks, case.attack_ticks, case.recovery_ticks);
+        drive(&mut case, 0, b, false, &mut throttled, 0, &mut became);
+        drive(&mut case, b, a, true, &mut throttled, 0, &mut became);
+        assert!(became >= 1, "{}: attack not detected", case.label);
+        let at_alarm = case.det.activations();
+
+        // Sustained attack long past the first alarm.
+        drive(&mut case, b + a, a, true, &mut throttled, 0, &mut became);
+        assert!(
+            case.det.activations() >= at_alarm,
+            "{}: activations went backwards",
+            case.label
+        );
+
+        // Degenerate samples while alarmed: no panic, no lost counts.
+        let before_nan = case.det.activations();
+        for _ in 0..3 {
+            let step = case.det.on_observation(Observation {
+                access_num: f64::NAN,
+                miss_num: f64::NAN,
+            });
+            if step.became_active {
+                became += 1;
+            }
+        }
+        assert!(case.det.activations() >= before_nan, "{}", case.label);
+        assert_eq!(case.det.activations(), became, "{}", case.label);
+
+        drive(&mut case, b + 2 * a, r, false, &mut throttled, 0, &mut became);
+        assert!(
+            !case.det.alarm_active(),
+            "{}: alarm did not clear after the extended attack stopped",
+            case.label
+        );
+    }
+}
+
+#[test]
 fn nan_observations_never_panic_and_stay_normal() {
     for mut case in cases() {
         for i in 0..5u64 {

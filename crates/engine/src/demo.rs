@@ -116,6 +116,32 @@ pub fn demo_engine_config(workers: usize) -> EngineConfig {
             sds: demo_sds_params(),
             ..SessionConfig::default()
         },
+        ..EngineConfig::default()
+    }
+}
+
+/// The compact layout the chaos soak replays: the same four-phase shape
+/// as [`LAYOUT`] shrunk to ~3.1 k ticks per tenant so a multi-seed,
+/// multi-worker sweep stays fast. The profile stretch still spans
+/// several FaceNet periods (Stage-1 periodicity detection works) and
+/// the attack window still clears the demo SDS minimum detection delay
+/// (750 ticks) with margin for chaos-induced sample loss, so attacked
+/// tenants reach the quarantine → terminal-drop path.
+pub const SOAK_LAYOUT: DemoLayout = DemoLayout {
+    profile_ticks: 1_500,
+    benign_ticks: 300,
+    attack_ticks: 1_200,
+    tail_ticks: 150,
+};
+
+/// Engine configuration matched to [`SOAK_LAYOUT`].
+pub fn soak_engine_config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        session: SessionConfig {
+            profile_ticks: SOAK_LAYOUT.profile_ticks,
+            ..demo_engine_config(workers).session
+        },
+        ..demo_engine_config(workers)
     }
 }
 

@@ -32,9 +32,9 @@
 //! worker-count guarantee on the demo stream.
 
 use crate::protocol::Record;
-use crate::session::{Session, SessionConfig, SessionEvent};
+use crate::session::{CloseReason, Offered, Session, SessionConfig, SessionEvent, SessionState};
 use memdos_core::CoreError;
-use memdos_metrics::jsonl::{JsonObject, JsonValue};
+use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, JsonValue, Segment};
 use memdos_runner::parallel_map_owned;
 use std::collections::BTreeMap;
 use std::io::BufRead;
@@ -53,13 +53,25 @@ pub struct EngineConfig {
     /// queue capacity to rule out backpressure drops from batching alone
     /// (see the module docs on determinism).
     pub batch: usize,
+    /// Drop-burst coalescing interval (>= 1): inside one backpressure
+    /// burst, a `dropped` event is logged for the first loss and then
+    /// every `drop_log_every`-th, so a sustained overload degrades the
+    /// log gracefully instead of flooding it one event per lost sample.
+    /// The totals stay exact in the event payloads and in
+    /// [`EngineStats`].
+    pub drop_log_every: u64,
     /// Configuration applied to every session the engine opens.
     pub session: SessionConfig,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 1, batch: 256, session: SessionConfig::default() }
+        EngineConfig {
+            workers: 1,
+            batch: 256,
+            drop_log_every: 64,
+            session: SessionConfig::default(),
+        }
     }
 }
 
@@ -80,6 +92,12 @@ impl EngineConfig {
         if self.batch == 0 {
             return Err(CoreError::InvalidParameter {
                 name: "batch",
+                reason: "must be positive",
+            });
+        }
+        if self.drop_log_every == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "drop_log_every",
                 reason: "must be positive",
             });
         }
@@ -108,6 +126,8 @@ impl EngineConfig {
             env_usize("MEMDOS_ENGINE_QUEUE", cfg.session.queue_capacity)?;
         cfg.session.quarantine_after =
             env_u64("MEMDOS_ENGINE_QUARANTINE", cfg.session.quarantine_after)?;
+        cfg.session.idle_timeout = env_u64("MEMDOS_ENGINE_IDLE", cfg.session.idle_timeout)?;
+        cfg.drop_log_every = env_u64("MEMDOS_ENGINE_DROP_LOG", cfg.drop_log_every)?;
         if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
             cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
                 .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
@@ -145,20 +165,59 @@ fn env_usize(name: &str, default: usize) -> Result<usize, String> {
     env_u64(name, default as u64).map(|n| n as usize)
 }
 
+/// Engine-level recovery and degradation counters, surfaced in the
+/// `engine_stats` log line written by [`Engine::finish`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Input spans that failed to decode into a record.
+    pub malformed: u64,
+    /// Records recovered by resynchronisation from dirty lines.
+    pub resynced: u64,
+    /// Samples lost to queue backpressure.
+    pub drops_backpressure: u64,
+    /// Samples lost to a quarantined or closed session.
+    pub drops_terminal: u64,
+    /// Drop bursts that ended with the queue admitting samples again.
+    pub recoveries: u64,
+    /// Sessions closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Sessions reopened after a close (tenant churn).
+    pub reopened: u64,
+    /// High-water mark of total queued items observed at a flush.
+    pub peak_queued: u64,
+}
+
+/// Per-tenant routing state kept at the ingest side, so reopen and idle
+/// decisions never depend on flush timing (which would break the
+/// worker-count determinism guarantee).
+#[derive(Debug)]
+struct TenantSlot {
+    /// Index into `Engine::sessions` of the current incarnation.
+    idx: usize,
+    /// Arrival index of the tenant's most recent record.
+    last_seen: u64,
+    /// The engine has routed a close (ctl or idle) to this incarnation.
+    closed_at_ingest: bool,
+    /// Incarnation counter (0 = first session).
+    generation: u32,
+}
+
 /// The multi-tenant streaming detection engine.
 pub struct Engine {
     config: EngineConfig,
     /// Sessions in creation order; `parallel_map_owned` preserves this
-    /// order across flushes, so `index` entries stay valid.
+    /// order across flushes, so `index` entries stay valid. Closed
+    /// incarnations stay in place (append-only) so their final events
+    /// drain normally.
     sessions: Vec<Session>,
-    index: BTreeMap<String, usize>,
+    index: BTreeMap<String, TenantSlot>,
     /// Events produced at ingest time (malformed lines, drops), merged
     /// with session events at the next flush.
     ingest_events: Vec<SessionEvent>,
     next_seq: u64,
     pending: usize,
     log: Vec<String>,
-    malformed: u64,
+    stats: EngineStats,
 }
 
 impl std::fmt::Debug for Engine {
@@ -167,7 +226,7 @@ impl std::fmt::Debug for Engine {
             .field("sessions", &self.sessions.len())
             .field("next_seq", &self.next_seq)
             .field("log_lines", &self.log.len())
-            .field("malformed", &self.malformed)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -188,7 +247,7 @@ impl Engine {
             next_seq: 0,
             pending: 0,
             log: Vec::new(),
-            malformed: 0,
+            stats: EngineStats::default(),
         })
     }
 
@@ -197,14 +256,20 @@ impl Engine {
         &self.config
     }
 
-    /// Number of sessions ever opened.
+    /// Number of sessions ever opened (reopened tenants count once per
+    /// incarnation).
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
 
-    /// Input lines that failed to parse so far.
+    /// Input spans that failed to decode so far.
     pub fn malformed(&self) -> u64 {
-        self.malformed
+        self.stats.malformed
+    }
+
+    /// Recovery/degradation counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// Read-only view of the sessions, in creation order.
@@ -218,18 +283,149 @@ impl Engine {
         &self.log
     }
 
-    /// Ingests one input line, flushing when the batch fills.
-    pub fn ingest_line(&mut self, line: &str) {
+    /// Allocates the next arrival index for an input span (counts toward
+    /// the flush batch).
+    fn alloc_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending += 1;
+        seq
+    }
+
+    /// Allocates an arrival index for an engine-originated event (idle
+    /// close, stats line) without counting it toward the batch.
+    fn alloc_seq_quiet(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Ingests one input line, flushing when the batch fills.
+    ///
+    /// A line that fails the fast-path parse is resynchronised: every
+    /// embedded valid record is recovered (each under its own arrival
+    /// index, in line order) and the corrupted spans are logged as
+    /// `malformed` events — one bad byte never costs more than its own
+    /// span.
+    pub fn ingest_line(&mut self, line: &str) {
         match Record::parse(line) {
-            Ok(Record::Sample { tenant, obs }) => {
-                let idx = self.session_index(seq, &tenant);
-                if let Some(&i) = idx.as_ref() {
-                    if let Some(session) = self.sessions.get_mut(i) {
-                        if session.offer(seq, obs) {
-                            let payload = session.drop_event();
+            Ok(record) => {
+                let seq = self.alloc_seq();
+                self.ingest_record(seq, record);
+            }
+            Err(_) => {
+                for segment in jsonl::resync_line(line) {
+                    let seq = self.alloc_seq();
+                    match segment {
+                        Segment::Object(obj) => match Record::from_object(&obj) {
+                            Ok(record) => {
+                                self.stats.resynced += 1;
+                                self.ingest_record(seq, record);
+                            }
+                            Err(reason) => self.push_malformed(seq, reason, None),
+                        },
+                        Segment::Skipped { bytes, reason } => {
+                            self.push_malformed(seq, reason, Some(bytes));
+                        }
+                    }
+                }
+            }
+        }
+        if self.pending >= self.config.batch {
+            self.flush();
+        }
+    }
+
+    /// Ingests every byte of `reader` through the resynchronising
+    /// [`Decoder`] (draining the engine at EOF) and returns the number of
+    /// physical lines consumed. Invalid UTF-8, oversized lines and
+    /// corrupted records are logged and skipped, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the reader; input ingested before the
+    /// error remains processed.
+    pub fn ingest_reader<R: BufRead>(&mut self, mut reader: R) -> std::io::Result<u64> {
+        let mut dec = Decoder::new();
+        loop {
+            let len = {
+                let chunk = reader.fill_buf()?;
+                if chunk.is_empty() {
+                    break;
+                }
+                dec.push_bytes(chunk);
+                chunk.len()
+            };
+            reader.consume(len);
+            for frame in dec.drain() {
+                self.ingest_frame(frame);
+            }
+        }
+        for frame in dec.finish() {
+            self.ingest_frame(frame);
+        }
+        self.stats.resynced += dec.resynced();
+        self.flush();
+        Ok(dec.lines())
+    }
+
+    /// Routes one decoded frame (from [`Decoder`]) into the engine.
+    fn ingest_frame(&mut self, frame: Frame) {
+        let seq = self.alloc_seq();
+        match frame {
+            Frame::Object(obj) => match Record::from_object(&obj) {
+                Ok(record) => self.ingest_record(seq, record),
+                Err(reason) => self.push_malformed(seq, reason, None),
+            },
+            Frame::Skipped { bytes, reason } => {
+                self.push_malformed(seq, reason, Some(bytes));
+            }
+        }
+        if self.pending >= self.config.batch {
+            self.flush();
+        }
+    }
+
+    /// Routes one decoded record to its tenant's session, handling
+    /// drops, recoveries, closes and reopen-after-close.
+    fn ingest_record(&mut self, seq: u64, record: Record) {
+        match record {
+            Record::Sample { tenant, obs } => {
+                let Some(i) = self.sample_session(seq, &tenant) else {
+                    return;
+                };
+                let Some(session) = self.sessions.get_mut(i) else {
+                    return;
+                };
+                match session.offer(seq, obs) {
+                    Offered::Admitted => {}
+                    Offered::Recovered { burst } => {
+                        self.stats.recoveries += 1;
+                        let payload = match self.sessions.get(i) {
+                            Some(s) => s.recovered_event(burst),
+                            None => return,
+                        };
+                        self.ingest_events.push(SessionEvent {
+                            seq,
+                            sub: SUB_INGEST,
+                            payload,
+                        });
+                    }
+                    Offered::Dropped { terminal, burst, total: _ } => {
+                        if terminal {
+                            self.stats.drops_terminal += 1;
+                        } else {
+                            self.stats.drops_backpressure += 1;
+                        }
+                        // Coalesce bursts: log the first loss, then every
+                        // `drop_log_every`-th, so overload cannot flood
+                        // the log (graceful degradation). Exact totals
+                        // ride along in each event and in the stats.
+                        if burst == 1 || burst % self.config.drop_log_every == 0 {
+                            let payload = match self.sessions.get(i) {
+                                Some(s) => s.drop_event(terminal, burst),
+                                None => return,
+                            };
                             self.ingest_events.push(SessionEvent {
                                 seq,
                                 sub: SUB_INGEST,
@@ -239,57 +435,60 @@ impl Engine {
                     }
                 }
             }
-            Ok(Record::Close { tenant }) => {
-                let idx = self.session_index(seq, &tenant);
-                if let Some(&i) = idx.as_ref() {
+            Record::Close { tenant } => {
+                if let Some(i) = self.close_session(seq, &tenant) {
                     if let Some(session) = self.sessions.get_mut(i) {
-                        session.offer_close(seq);
+                        session.offer_close(seq, CloseReason::Ctl);
                     }
                 }
             }
-            Err(reason) => {
-                self.malformed += 1;
-                let mut o = JsonObject::new();
-                o.push_str("event", "malformed").push_str("reason", reason);
-                self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
-            }
-        }
-        if self.pending >= self.config.batch {
-            self.flush();
         }
     }
 
-    /// Ingests every line of `reader` (draining the engine at EOF) and
-    /// returns the number of lines consumed.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from the reader; lines ingested before the
-    /// error remain processed.
-    pub fn ingest_reader<R: BufRead>(&mut self, reader: R) -> std::io::Result<u64> {
-        let mut n = 0;
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            self.ingest_line(&line);
-            n += 1;
+    /// Looks up (or opens, or reopens after churn) the session a sample
+    /// for `tenant` should land in, returning its index.
+    fn sample_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
+        enum Plan {
+            Use(usize),
+            Open,
+            Reopen(u32),
         }
-        self.flush();
-        Ok(n)
+        let plan = match self.index.get_mut(tenant) {
+            Some(slot) => {
+                slot.last_seen = seq;
+                if slot.closed_at_ingest {
+                    Plan::Reopen(slot.generation.saturating_add(1))
+                } else {
+                    Plan::Use(slot.idx)
+                }
+            }
+            None => Plan::Open,
+        };
+        match plan {
+            Plan::Use(i) => Some(i),
+            Plan::Open => self.open_session(seq, tenant, 0),
+            Plan::Reopen(generation) => {
+                // Tenant churn: a closed tenant is speaking again. The
+                // old incarnation stays in `sessions` (its final events
+                // drain normally); samples route to a fresh session.
+                let i = self.open_session(seq, tenant, generation)?;
+                self.stats.reopened += 1;
+                Some(i)
+            }
+        }
     }
 
-    /// Looks up (or opens) the session for `tenant`, returning its index.
-    fn session_index(&mut self, seq: u64, tenant: &str) -> Option<usize> {
-        if let Some(&i) = self.index.get(tenant) {
-            return Some(i);
-        }
-        match Session::open(tenant, self.config.session) {
+    /// Opens incarnation `generation` of `tenant` and points the tenant
+    /// slot at it.
+    fn open_session(&mut self, seq: u64, tenant: &str, generation: u32) -> Option<usize> {
+        match Session::open_generation(tenant, self.config.session, generation) {
             Ok(session) => {
                 let i = self.sessions.len();
                 self.sessions.push(session);
-                self.index.insert(tenant.to_string(), i);
+                self.index.insert(
+                    tenant.to_string(),
+                    TenantSlot { idx: i, last_seen: seq, closed_at_ingest: false, generation },
+                );
                 Some(i)
             }
             Err(e) => {
@@ -305,13 +504,46 @@ impl Engine {
         }
     }
 
+    /// Resolves the session a close for `tenant` addresses, marking the
+    /// slot closed at the ingest side. A close for an unknown tenant
+    /// opens a session first so the lifecycle stays visible in the log.
+    fn close_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
+        if let Some(slot) = self.index.get_mut(tenant) {
+            slot.last_seen = seq;
+            slot.closed_at_ingest = true;
+            return Some(slot.idx);
+        }
+        let i = self.open_session(seq, tenant, 0)?;
+        if let Some(slot) = self.index.get_mut(tenant) {
+            slot.closed_at_ingest = true;
+        }
+        Some(i)
+    }
+
+    /// Records one malformed span in the log and the stats.
+    fn push_malformed(&mut self, seq: u64, reason: String, bytes: Option<usize>) {
+        self.stats.malformed += 1;
+        let mut o = JsonObject::new();
+        o.push_str("event", "malformed").push_str("reason", reason);
+        if let Some(b) = bytes {
+            o.push_num("bytes", b as f64);
+        }
+        self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
+    }
+
     /// Dispatches every session's queued items across the worker pool and
-    /// appends the produced events to the log in `(seq, sub)` order.
+    /// appends the produced events to the log in `(seq, sub)` order, then
+    /// applies the idle timeout.
     pub fn flush(&mut self) {
-        if self.pending == 0 && self.ingest_events.is_empty() {
+        if self.pending == 0
+            && self.ingest_events.is_empty()
+            && self.sessions.iter().all(|s| s.queued() == 0)
+        {
             return;
         }
         self.pending = 0;
+        let queued: u64 = self.sessions.iter().map(|s| s.queued() as u64).sum();
+        self.stats.peak_queued = self.stats.peak_queued.max(queued);
         let sessions = std::mem::take(&mut self.sessions);
         let processed = parallel_map_owned(sessions, self.config.workers, |mut s: Session| {
             let events = s.process_queued();
@@ -326,6 +558,75 @@ impl Engine {
         for ev in &events {
             self.log.push(render_event(ev));
         }
+        self.check_idle();
+    }
+
+    /// Closes sessions whose tenants have been silent for more than
+    /// `idle_timeout` arrival indices. Runs at flush boundaries, which
+    /// are a pure function of the input (line count vs `batch`), so the
+    /// transition replays deterministically at any worker count. The
+    /// synthetic close consumes a fresh arrival index and drains at the
+    /// next flush.
+    fn check_idle(&mut self) {
+        let timeout = self.config.session.idle_timeout;
+        if timeout == 0 {
+            return;
+        }
+        // BTreeMap order keeps the scan (and the seq each close gets)
+        // deterministic.
+        let stale: Vec<String> = self
+            .index
+            .iter()
+            .filter(|(_, slot)| {
+                !slot.closed_at_ingest
+                    && self.next_seq.saturating_sub(slot.last_seen) > timeout
+            })
+            .filter(|(_, slot)| {
+                self.sessions.get(slot.idx).is_some_and(|s| {
+                    matches!(s.state(), SessionState::Profiling | SessionState::Monitoring)
+                })
+            })
+            .map(|(tenant, _)| tenant.clone())
+            .collect();
+        for tenant in stale {
+            let seq = self.alloc_seq_quiet();
+            if let Some(slot) = self.index.get_mut(&tenant) {
+                slot.closed_at_ingest = true;
+                if let Some(session) = self.sessions.get_mut(slot.idx) {
+                    session.offer_close(seq, CloseReason::Idle);
+                    self.stats.idle_closed += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains everything still queued (including closes the idle check
+    /// enqueued at the final flush) and appends one `engine_stats` log
+    /// line with the recovery counters. Call once at end of stream.
+    pub fn finish(&mut self) {
+        // Two flushes suffice (queued input, then idle closes); the
+        // bound guards the invariant rather than trusting it.
+        for _ in 0..4 {
+            self.flush();
+            if self.ingest_events.is_empty() && self.sessions.iter().all(|s| s.queued() == 0)
+            {
+                break;
+            }
+        }
+        let seq = self.alloc_seq_quiet();
+        let s = self.stats;
+        let mut o = JsonObject::new();
+        o.push_str("event", "engine_stats")
+            .push_num("sessions", self.sessions.len() as f64)
+            .push_num("malformed", s.malformed as f64)
+            .push_num("resynced", s.resynced as f64)
+            .push_num("drops_backpressure", s.drops_backpressure as f64)
+            .push_num("drops_terminal", s.drops_terminal as f64)
+            .push_num("recoveries", s.recoveries as f64)
+            .push_num("idle_closed", s.idle_closed as f64)
+            .push_num("reopened", s.reopened as f64)
+            .push_num("peak_queued", s.peak_queued as f64);
+        self.log.push(render_event(&SessionEvent { seq, sub: SUB_INGEST, payload: o }));
     }
 }
 
@@ -353,6 +654,7 @@ mod tests {
             workers,
             batch,
             session: SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() },
+            ..EngineConfig::default()
         }
     }
 
@@ -447,11 +749,143 @@ mod tests {
         let input = "{\"tenant\":\"vm-0\",\"access\":1,\"miss\":2}\n\n{\"tenant\":\"vm-0\",\"ctl\":\"close\"}\n";
         let mut engine = Engine::new(fast_config(1, 256)).unwrap();
         let n = engine.ingest_reader(input.as_bytes()).unwrap();
-        assert_eq!(n, 2);
+        // Physical lines, blank included.
+        assert_eq!(n, 3);
         assert!(engine
             .log_lines()
             .iter()
             .any(|l| l.contains(r#""event":"closed""#)));
+    }
+
+    #[test]
+    fn ingest_reader_survives_corruption_and_resyncs() {
+        // A healthy record fused behind a truncated one, a line of
+        // invalid UTF-8, and a clean close.
+        let mut input = Vec::new();
+        input.extend_from_slice(b"{\"tenant\":\"vm-0\",\"acc{\"tenant\":\"vm-0\",\"access\":1,\"miss\":2}\n");
+        input.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        input.extend_from_slice(b"{\"tenant\":\"vm-0\",\"ctl\":\"close\"}\n");
+        let mut engine = Engine::new(fast_config(1, 256)).unwrap();
+        let n = engine.ingest_reader(&input[..]).unwrap();
+        assert_eq!(n, 3);
+        let stats = engine.stats();
+        assert_eq!(stats.resynced, 1, "fused record recovered");
+        assert!(stats.malformed >= 2, "corrupted spans logged");
+        assert_eq!(engine.session_count(), 1);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"closed""#)));
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"malformed""#) && l.contains("UTF-8")));
+    }
+
+    #[test]
+    fn ingest_line_resyncs_fused_records() {
+        let mut engine = Engine::new(fast_config(1, 256)).unwrap();
+        // Two valid records fused onto one line around a corrupted span.
+        engine.ingest_line(
+            "{\"tenant\":\"vm-0\",\"access\":1,\"miss\":2}garbage{\"tenant\":\"vm-1\",\"access\":3,\"miss\":4}",
+        );
+        engine.flush();
+        assert_eq!(engine.session_count(), 2);
+        assert_eq!(engine.stats().resynced, 2);
+        assert_eq!(engine.malformed(), 1);
+    }
+
+    #[test]
+    fn idle_timeout_closes_silent_tenants() {
+        let mut config = fast_config(1, 8);
+        config.session.idle_timeout = 16;
+        let mut engine = Engine::new(config).unwrap();
+        // vm-idle speaks once, then vm-busy floods past the timeout.
+        engine.ingest_line(r#"{"tenant":"vm-idle","access":1,"miss":2}"#);
+        for _ in 0..64 {
+            engine.ingest_line(r#"{"tenant":"vm-busy","access":1,"miss":2}"#);
+        }
+        engine.finish();
+        let idle_closed = engine
+            .log_lines()
+            .iter()
+            .any(|l| {
+                l.contains(r#""event":"closed""#)
+                    && l.contains(r#""tenant":"vm-idle""#)
+                    && l.contains(r#""reason":"idle""#)
+            });
+        assert!(idle_closed, "idle tenant must close with reason idle");
+        assert_eq!(engine.stats().idle_closed, 1);
+        // The busy tenant is still open.
+        assert!(!engine.log_lines().iter().any(|l| {
+            l.contains(r#""event":"closed""#) && l.contains(r#""tenant":"vm-busy""#)
+        }));
+    }
+
+    #[test]
+    fn closed_tenant_reopens_as_new_generation() {
+        let mut engine = Engine::new(fast_config(1, 4)).unwrap();
+        engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
+        engine.ingest_line(r#"{"tenant":"vm-0","ctl":"close"}"#);
+        engine.ingest_line(r#"{"tenant":"vm-0","access":3,"miss":4}"#);
+        engine.finish();
+        assert_eq!(engine.session_count(), 2, "churned tenant gets a fresh session");
+        assert_eq!(engine.stats().reopened, 1);
+        let opened_gens: Vec<&String> = engine
+            .log_lines()
+            .iter()
+            .filter(|l| l.contains(r#""event":"opened""#))
+            .collect();
+        assert_eq!(opened_gens.len(), 2);
+        assert!(opened_gens[0].contains(r#""gen":0"#));
+        assert!(opened_gens[1].contains(r#""gen":1"#));
+    }
+
+    #[test]
+    fn drop_bursts_are_coalesced_and_recovery_logged() {
+        let mut config = fast_config(1, 1_000_000);
+        config.session.queue_capacity = 4;
+        config.session.drop_policy = crate::session::DropPolicy::Newest;
+        config.drop_log_every = 8;
+        let mut engine = Engine::new(config).unwrap();
+        // 4 admitted + 20 dropped in one burst.
+        for i in 0..24 {
+            engine.ingest_line(&format!(r#"{{"tenant":"vm-0","access":{i},"miss":2}}"#));
+        }
+        engine.flush();
+        // Queue drained: the next sample is a recovery.
+        engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
+        engine.finish();
+        let drops = engine
+            .log_lines()
+            .iter()
+            .filter(|l| l.contains(r#""event":"dropped""#))
+            .count();
+        // burst 1, 8, 16 logged; 2..=7, 9..=15, 17..=20 coalesced.
+        assert_eq!(drops, 3);
+        assert_eq!(engine.stats().drops_backpressure, 20);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"recovered""#) && l.contains(r#""burst":20"#)));
+        assert_eq!(engine.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn finish_appends_engine_stats_line() {
+        let mut engine = Engine::new(fast_config(2, 8)).unwrap();
+        engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
+        engine.ingest_line("garbage");
+        engine.finish();
+        let stats_line = engine
+            .log_lines()
+            .last()
+            .expect("log non-empty");
+        assert!(stats_line.contains(r#""event":"engine_stats""#));
+        assert!(stats_line.contains(r#""malformed":1"#));
+        assert!(stats_line.contains(r#""sessions":1"#));
+        let obj = JsonObject::parse(stats_line).expect("stats line parses");
+        assert!(obj.get_f64("peak_queued").is_some());
     }
 
     #[test]
@@ -474,5 +908,8 @@ mod tests {
     fn rejects_invalid_config() {
         assert!(Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() }).is_err());
         assert!(Engine::new(EngineConfig { batch: 0, ..EngineConfig::default() }).is_err());
+        assert!(
+            Engine::new(EngineConfig { drop_log_every: 0, ..EngineConfig::default() }).is_err()
+        );
     }
 }

@@ -20,9 +20,19 @@
 //! * [`demo`] — the four-tenant demo stream (two periodic victims, two
 //!   non-periodic, bus-locking and LLC-cleansing attack windows), which
 //!   doubles as the fixture for the replay-determinism tier-1 test.
+//! * [`chaos`] — seeded fault injection ([`chaos::FaultPlan`]) over any
+//!   line source: byte corruption, truncation, duplication, reordering,
+//!   stalls, disconnect replays and tenant churn, all drawn from
+//!   [`memdos_stats::rng`] so a scenario is a pure function of its
+//!   seed; plus the deterministic [`chaos::Backoff`] retry schedule the
+//!   CLI uses for TCP recovery.
+//! * [`soak`] — the chaos soak harness: N seeded scenarios over the
+//!   demo stream, each replayed at several worker counts, asserting no
+//!   panic, bounded memory, byte-identical logs and full fault-class
+//!   coverage.
 //!
 //! The `memdos-engine` binary wraps this as a CLI: `demo`, `gen-demo`,
-//! `replay` (file or stdin) and `serve` (TCP).
+//! `replay` (file or stdin), `serve` (TCP) and `soak`.
 //!
 //! ## Example
 //!
@@ -48,7 +58,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod demo;
 pub mod engine;
 pub mod protocol;
 pub mod session;
+pub mod soak;

@@ -5,6 +5,7 @@
 //! memdos-engine gen-demo [seed]   # print the demo JSONL stream
 //! memdos-engine replay [path]     # replay a JSONL file (or stdin)
 //! memdos-engine serve <addr>      # ingest JSONL over TCP
+//! memdos-engine soak [--seeds N] [--base-seed S]   # chaos soak
 //! ```
 //!
 //! Configuration comes from the environment: `MEMDOS_THREADS` (worker
@@ -14,11 +15,19 @@
 //!
 //! `serve` accepts one connection at a time and ingests it to EOF — the
 //! parallelism budget goes to tenant dispatch inside the engine, not to
-//! connection handling.
+//! connection handling. Accept failures retry on the deterministic
+//! capped [`Backoff`] schedule instead of dying or spinning.
+//!
+//! `soak` replays N seeded chaos scenarios (fault injection over the
+//! demo stream) and exits non-zero unless every scenario's verdict log
+//! is byte-identical across worker counts 1/2/4, memory stays bounded,
+//! and every fault class fired. The JSONL report goes to stdout.
 
+use memdos_engine::chaos::Backoff;
 use memdos_engine::demo::{demo_engine_config, demo_jsonl, LAYOUT, TENANTS};
 use memdos_engine::engine::{Engine, EngineConfig};
-use std::io::{BufRead, BufReader, Write};
+use memdos_engine::soak::{run_soak, SoakConfig};
+use std::io::{BufReader, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +44,7 @@ fn run(args: &[String]) -> i32 {
         Some("gen-demo") => cmd_gen_demo(args.get(1)),
         Some("replay") => cmd_replay(args.get(1)),
         Some("serve") => cmd_serve(args.get(1)),
+        Some("soak") => cmd_soak(args.get(1..).unwrap_or(&[])),
         Some(other) => {
             eprintln!("memdos-engine: unknown command {other:?}");
             usage();
@@ -49,7 +59,8 @@ fn run(args: &[String]) -> i32 {
 
 fn usage() {
     eprintln!(
-        "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr>>"
+        "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr> \
+         | soak [--seeds N] [--base-seed S]>"
     );
 }
 
@@ -188,6 +199,77 @@ fn cmd_replay(path: Option<&String>) -> i32 {
     0
 }
 
+fn cmd_soak(args: &[String]) -> i32 {
+    let mut config = SoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |v: Option<&String>, flag: &str| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{flag} requires a value"))?
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} value is not a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--seeds" => match value(it.next(), "--seeds") {
+                Ok(n) => config.seeds = n,
+                Err(e) => {
+                    eprintln!("memdos-engine: {e}");
+                    return 2;
+                }
+            },
+            "--base-seed" => match value(it.next(), "--base-seed") {
+                Ok(n) => config.base_seed = n,
+                Err(e) => {
+                    eprintln!("memdos-engine: {e}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("memdos-engine: unknown soak option {other:?}");
+                return 2;
+            }
+        }
+    }
+    eprintln!(
+        "memdos-engine: soak: {} seeded chaos scenarios (base seed {}), workers 1/2/4",
+        config.seeds, config.base_seed
+    );
+    let report = run_soak(&config, |scenario| {
+        eprintln!(
+            "memdos-engine: soak: scenario {} seed {}: {} faults, {} log lines, \
+             identical={} bounded={}",
+            scenario.index,
+            scenario.seed,
+            scenario.trace.total(),
+            scenario.log_lines,
+            scenario.identical,
+            scenario.bounded
+        );
+        println!("{}", scenario.to_line());
+    });
+    match report {
+        Ok(report) => {
+            println!("{}", report.summary_line());
+            if report.passed() {
+                eprintln!("memdos-engine: soak: PASS");
+                0
+            } else {
+                eprintln!(
+                    "memdos-engine: soak: FAIL (identical={} bounded={} missing={:?})",
+                    report.all_identical(),
+                    report.all_bounded(),
+                    report.missing_classes()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("memdos-engine: soak: {e}");
+            2
+        }
+    }
+}
+
 fn cmd_serve(addr: Option<&String>) -> i32 {
     let Some(addr) = addr else {
         eprintln!("memdos-engine: serve requires an address (e.g. 127.0.0.1:7700)");
@@ -200,48 +282,61 @@ fn cmd_serve(addr: Option<&String>) -> i32 {
             return 2;
         }
     };
-    let listener = match std::net::TcpListener::bind(addr) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("memdos-engine: bind {addr}: {e}");
-            return 1;
+    // Bind retries on the deterministic capped schedule (the address is
+    // often still in TIME_WAIT after a restart), as do accept failures;
+    // a successful operation resets the budget.
+    let mut backoff = Backoff::transport();
+    let listener = loop {
+        match std::net::TcpListener::bind(addr) {
+            Ok(l) => break l,
+            Err(e) => match backoff.next_delay_ms() {
+                Some(delay_ms) => {
+                    eprintln!("memdos-engine: bind {addr}: {e} (retrying in {delay_ms} ms)");
+                    // The binary owns real sleeps; the schedule itself is
+                    // pure and tested in chaos::Backoff.
+                    // lint:allow(thread) -- transport retry sleep in the CLI
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                }
+                None => {
+                    eprintln!("memdos-engine: bind {addr}: {e} (retry budget spent)");
+                    return 1;
+                }
+            },
         }
     };
+    backoff.reset();
     eprintln!("memdos-engine: listening on {addr} (one connection at a time)");
     let mut printed = 0;
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
-                let peer = stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "<unknown>".to_string());
-                let mut reader = BufReader::new(stream);
-                let mut line = String::new();
-                let mut consumed = 0u64;
-                loop {
-                    line.clear();
-                    match reader.read_line(&mut line) {
-                        Ok(0) => break,
-                        Ok(_) => {
-                            let trimmed = line.trim();
-                            if !trimmed.is_empty() {
-                                engine.ingest_line(trimmed);
-                                consumed += 1;
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("memdos-engine: {peer}: {e}");
-                            break;
-                        }
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                backoff.reset();
+                // The resynchronising reader path: corrupted bytes and
+                // invalid UTF-8 are logged and skipped, never fatal; an
+                // I/O error mid-connection keeps everything ingested
+                // before it.
+                let consumed = match engine.ingest_reader(BufReader::new(stream)) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("memdos-engine: {peer}: {e}");
+                        engine.flush();
+                        0
                     }
-                }
-                engine.flush();
+                };
                 printed = print_new_log(&engine, printed);
                 eprintln!("memdos-engine: {peer}: {consumed} lines");
             }
-            Err(e) => eprintln!("memdos-engine: accept: {e}"),
+            Err(e) => match backoff.next_delay_ms() {
+                Some(delay_ms) => {
+                    eprintln!("memdos-engine: accept: {e} (retrying in {delay_ms} ms)");
+                    // lint:allow(thread) -- transport retry sleep in the CLI
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                }
+                None => {
+                    eprintln!("memdos-engine: accept: {e} (retry budget spent)");
+                    return 1;
+                }
+            },
         }
     }
-    0
 }

@@ -48,6 +48,18 @@ impl Record {
     /// `tenant`, an unknown `ctl` verb, or missing/non-finite counters.
     pub fn parse(line: &str) -> Result<Record, String> {
         let obj = JsonObject::parse(line)?;
+        Record::from_object(&obj)
+    }
+
+    /// Decodes an already-parsed object — the path resynchronised
+    /// records take (see [`memdos_metrics::jsonl::resync_line`]), where
+    /// the object comes out of a dirty line rather than a clean one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for a missing `tenant`, an
+    /// unknown `ctl` verb, or missing/non-finite counters.
+    pub fn from_object(obj: &JsonObject) -> Result<Record, String> {
         let tenant = obj
             .get_str("tenant")
             .ok_or_else(|| "missing string field \"tenant\"".to_string())?

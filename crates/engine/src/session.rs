@@ -92,6 +92,26 @@ impl DropPolicy {
     }
 }
 
+/// Why a session transitioned to `Closed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The tenant sent a `ctl:close` record.
+    Ctl,
+    /// The engine closed the session after an idle gap (no records for
+    /// more than `idle_timeout` arrival indices).
+    Idle,
+}
+
+impl CloseReason {
+    /// Stable lowercase label used in the event log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CloseReason::Ctl => "ctl",
+            CloseReason::Idle => "idle",
+        }
+    }
+}
+
 /// Configuration shared by every session an engine opens.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
@@ -109,6 +129,11 @@ pub struct SessionConfig {
     pub queue_capacity: usize,
     /// Which sample loses when the queue is full.
     pub drop_policy: DropPolicy,
+    /// Arrival-index gap after which the engine closes an inactive
+    /// session (`Closed` with reason `idle`); `0` disables the timeout.
+    /// Measured in global `seq` ticks, not wall-clock time, so the
+    /// transition replays deterministically.
+    pub idle_timeout: u64,
 }
 
 impl Default for SessionConfig {
@@ -120,6 +145,7 @@ impl Default for SessionConfig {
             quarantine_after: 0,
             queue_capacity: 1_024,
             drop_policy: DropPolicy::Oldest,
+            idle_timeout: 0,
         }
     }
 }
@@ -158,16 +184,41 @@ impl SessionConfig {
 pub(crate) enum Item {
     /// A PCM sample.
     Obs(u64, Observation),
-    /// A tenant close request.
-    Close(u64),
+    /// A close request (from the tenant or the idle timeout).
+    Close(u64, CloseReason),
 }
 
 impl Item {
     fn seq(&self) -> u64 {
         match self {
-            Item::Obs(seq, _) | Item::Close(seq) => *seq,
+            Item::Obs(seq, _) | Item::Close(seq, _) => *seq,
         }
     }
+}
+
+/// What happened to an offered sample, so the engine can log drops
+/// (coalesced) and recoveries without peeking into the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Offered {
+    /// Queued normally.
+    Admitted,
+    /// Queued normally after a drop burst — the queue recovered; `burst`
+    /// is the number of samples lost in the burst that just ended.
+    Recovered {
+        /// Samples lost in the burst that just ended.
+        burst: u64,
+    },
+    /// Lost. `terminal` distinguishes a quarantined/closed session from
+    /// backpressure; `burst` counts consecutive losses so far and
+    /// `total` the session's lifetime losses.
+    Dropped {
+        /// Dropped because the session is quarantined or closed.
+        terminal: bool,
+        /// Consecutive losses in the current burst.
+        burst: u64,
+        /// Lifetime losses.
+        total: u64,
+    },
 }
 
 /// One event produced by session processing, ordered globally by
@@ -197,7 +248,14 @@ pub struct Session {
     monitor_ticks: u64,
     ingested: u64,
     dropped: u64,
+    /// Consecutive drops in the current burst (0 = queue healthy).
+    drop_burst: u64,
+    /// Drop bursts that ended with the queue admitting again.
+    recoveries: u64,
     alarms: u64,
+    /// Incarnation of this tenant: 0 for the first session, +1 for every
+    /// reopen after a close (tenant churn).
+    generation: u32,
     opened_logged: bool,
 }
 
@@ -220,6 +278,21 @@ impl Session {
     ///
     /// Returns [`CoreError::InvalidParameter`] for invalid `config`.
     pub fn open(tenant: impl Into<String>, config: SessionConfig) -> Result<Self, CoreError> {
+        Session::open_generation(tenant, config, 0)
+    }
+
+    /// Opens a later incarnation of a churned tenant: same contract as
+    /// [`Session::open`], but the `opened` event carries the generation
+    /// so reopen-after-close is visible in the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for invalid `config`.
+    pub fn open_generation(
+        tenant: impl Into<String>,
+        config: SessionConfig,
+        generation: u32,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let profiler = Profiler::new(ProfilerConfig {
             sds: config.sds,
@@ -236,7 +309,10 @@ impl Session {
             monitor_ticks: 0,
             ingested: 0,
             dropped: 0,
+            drop_burst: 0,
+            recoveries: 0,
             alarms: 0,
+            generation,
             opened_logged: false,
         })
     }
@@ -261,9 +337,19 @@ impl Session {
         self.dropped
     }
 
+    /// Drop bursts that ended with the queue admitting samples again.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
     /// Primary-detector alarm activations so far.
     pub fn alarms(&self) -> u64 {
         self.alarms
+    }
+
+    /// Incarnation of this tenant (0 = first session, +1 per reopen).
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Queued items awaiting the next engine flush.
@@ -271,15 +357,21 @@ impl Session {
         self.queue.len()
     }
 
-    /// Enqueues one sample under the backpressure policy. Returns `true`
-    /// when a sample (old or new, per policy) was dropped.
-    pub(crate) fn offer(&mut self, seq: u64, obs: Observation) -> bool {
+    /// Enqueues one sample under the backpressure policy, reporting what
+    /// happened so the engine can log drops and recoveries.
+    pub(crate) fn offer(&mut self, seq: u64, obs: Observation) -> Offered {
         if matches!(self.state, SessionState::Quarantined | SessionState::Closed) {
             self.dropped += 1;
-            return true;
+            self.drop_burst += 1;
+            return Offered::Dropped {
+                terminal: true,
+                burst: self.drop_burst,
+                total: self.dropped,
+            };
         }
         if self.queue.len() >= self.config.queue_capacity {
             self.dropped += 1;
+            self.drop_burst += 1;
             match self.config.drop_policy {
                 DropPolicy::Oldest => {
                     self.queue.pop_front();
@@ -288,17 +380,27 @@ impl Session {
                 }
                 DropPolicy::Newest => {}
             }
-            return true;
+            return Offered::Dropped {
+                terminal: false,
+                burst: self.drop_burst,
+                total: self.dropped,
+            };
         }
         self.ingested += 1;
         self.queue.push_back(Item::Obs(seq, obs));
-        false
+        if self.drop_burst > 0 {
+            let burst = self.drop_burst;
+            self.drop_burst = 0;
+            self.recoveries += 1;
+            return Offered::Recovered { burst };
+        }
+        Offered::Admitted
     }
 
     /// Enqueues a close request (always admitted — control traffic is
     /// not subject to the sample drop policy).
-    pub(crate) fn offer_close(&mut self, seq: u64) {
-        self.queue.push_back(Item::Close(seq));
+    pub(crate) fn offer_close(&mut self, seq: u64, reason: CloseReason) {
+        self.queue.push_back(Item::Close(seq, reason));
     }
 
     /// Drains the queue through the lifecycle, producing the session's
@@ -315,15 +417,23 @@ impl Session {
             if !self.opened_logged {
                 self.opened_logged = true;
                 let mut o = JsonObject::new();
-                o.push_str("event", "opened").push_str("tenant", &self.tenant);
+                o.push_str("event", "opened")
+                    .push_str("tenant", &self.tenant)
+                    .push_num("gen", self.generation as f64);
                 emit(o);
             }
             match item {
-                Item::Close(_) => {
+                Item::Close(_, reason) => {
+                    // Idempotent: duplicated close records (redelivery,
+                    // chaos) log a single transition.
+                    if self.state == SessionState::Closed {
+                        continue;
+                    }
                     self.state = SessionState::Closed;
                     let mut o = JsonObject::new();
                     o.push_str("event", "closed")
                         .push_str("tenant", &self.tenant)
+                        .push_str("reason", reason.label())
                         .push_num("ingested", self.ingested as f64)
                         .push_num("dropped", self.dropped as f64)
                         .push_num("alarms", self.alarms as f64);
@@ -426,13 +536,25 @@ impl Session {
     }
 
     /// One `dropped` event payload (the engine logs it at the arrival
-    /// index of the sample that overflowed the queue).
-    pub(crate) fn drop_event(&self) -> JsonObject {
+    /// index of the sample that overflowed the queue, coalescing bursts).
+    pub(crate) fn drop_event(&self, terminal: bool, burst: u64) -> JsonObject {
         let mut o = JsonObject::new();
         o.push_str("event", "dropped")
             .push_str("tenant", &self.tenant)
             .push_str("policy", self.config.drop_policy.label())
+            .push_bool("terminal", terminal)
+            .push_num("burst", burst as f64)
             .push_num("total", self.dropped as f64);
+        o
+    }
+
+    /// One `recovered` event payload: the queue admitted a sample again
+    /// after a drop burst of `burst` samples.
+    pub(crate) fn recovered_event(&self, burst: u64) -> JsonObject {
+        let mut o = JsonObject::new();
+        o.push_str("event", "recovered")
+            .push_str("tenant", &self.tenant)
+            .push_num("burst", burst as f64);
         o
     }
 }
@@ -528,7 +650,7 @@ mod tests {
     fn close_emits_final_accounting() {
         let mut s = Session::open("vm-0", fast_config()).unwrap();
         feed(&mut s, 0, 100, flat_obs);
-        s.offer_close(100);
+        s.offer_close(100, CloseReason::Ctl);
         let events = s.process_queued();
         let closed = events
             .iter()
@@ -604,5 +726,61 @@ mod tests {
         assert_eq!(DropPolicy::parse("oldest"), Ok(DropPolicy::Oldest));
         assert_eq!(DropPolicy::parse(" newest "), Ok(DropPolicy::Newest));
         assert!(DropPolicy::parse("latest").is_err());
+    }
+
+    #[test]
+    fn offer_reports_bursts_and_recovery() {
+        let cfg = SessionConfig { queue_capacity: 2, ..fast_config() };
+        let mut s = Session::open("vm-0", cfg).unwrap();
+        assert_eq!(s.offer(0, flat_obs(0)), Offered::Admitted);
+        assert_eq!(s.offer(1, flat_obs(1)), Offered::Admitted);
+        assert_eq!(
+            s.offer(2, flat_obs(2)),
+            Offered::Dropped { terminal: false, burst: 1, total: 1 }
+        );
+        assert_eq!(
+            s.offer(3, flat_obs(3)),
+            Offered::Dropped { terminal: false, burst: 2, total: 2 }
+        );
+        // Drain the queue; the next offer is a recovery carrying the
+        // burst size.
+        s.process_queued();
+        assert_eq!(s.offer(4, flat_obs(4)), Offered::Recovered { burst: 2 });
+        assert_eq!(s.recoveries(), 1);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn duplicate_close_is_idempotent() {
+        let mut s = Session::open("vm-0", fast_config()).unwrap();
+        feed(&mut s, 0, 10, flat_obs);
+        s.offer_close(10, CloseReason::Ctl);
+        s.offer_close(11, CloseReason::Ctl);
+        let events = s.process_queued();
+        let closes = events
+            .iter()
+            .filter(|e| e.payload.get_str("event") == Some("closed"))
+            .count();
+        assert_eq!(closes, 1);
+        assert_eq!(s.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn close_reason_and_generation_are_logged() {
+        let mut s = Session::open_generation("vm-0", fast_config(), 2).unwrap();
+        assert_eq!(s.generation(), 2);
+        s.offer(0, flat_obs(0));
+        s.offer_close(1, CloseReason::Idle);
+        let events = s.process_queued();
+        let opened = events
+            .iter()
+            .find(|e| e.payload.get_str("event") == Some("opened"))
+            .expect("opened event");
+        assert_eq!(opened.payload.get_f64("gen"), Some(2.0));
+        let closed = events
+            .iter()
+            .find(|e| e.payload.get_str("event") == Some("closed"))
+            .expect("closed event");
+        assert_eq!(closed.payload.get_str("reason"), Some("idle"));
     }
 }

@@ -157,7 +157,301 @@ impl JsonObject {
     /// lines, nested values, unterminated strings, bad escapes, or
     /// malformed numbers.
     pub fn parse(line: &str) -> Result<Self, String> {
-        Parser { bytes: line.as_bytes(), pos: 0 }.parse_object()
+        let mut parser = Parser { bytes: line.as_bytes(), pos: 0 };
+        let obj = parser.parse_object()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing content at byte {}", parser.pos));
+        }
+        Ok(obj)
+    }
+
+    /// Parses one object from the front of `text`, returning it together
+    /// with the number of bytes consumed. Unlike [`JsonObject::parse`],
+    /// trailing content after the closing `}` is allowed — this is the
+    /// building block of [`resync_line`], which recovers records from
+    /// lines where a corrupted record and a valid one were fused.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse_prefix(text: &str) -> Result<(Self, usize), String> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        let obj = parser.parse_object()?;
+        Ok((obj, parser.pos))
+    }
+}
+
+/// One segment of a dirty input line, in line order: either a recovered
+/// object or a span of bytes the decoder had to skip to resynchronise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// A valid flat object recovered from the line.
+    Object(JsonObject),
+    /// Bytes skipped while hunting for the next parsable record.
+    Skipped {
+        /// Number of bytes the span covers.
+        bytes: usize,
+        /// Why the span failed to parse (first failure in the span).
+        reason: String,
+    },
+}
+
+/// Scans a line that failed (or may fail) to parse as a single object
+/// and recovers every embedded valid record, resynchronising past
+/// corrupted spans.
+///
+/// The scanner walks the line left to right: at each `{` it attempts a
+/// prefix parse ([`JsonObject::parse_prefix`]); on success the object is
+/// emitted and scanning resumes after it, on failure the next `{` is
+/// tried. Bytes not covered by a recovered object are reported as
+/// [`Segment::Skipped`] spans carrying the first parse failure seen in
+/// the span, so a truncated record fused with a healthy one
+/// (`{"a":1,"b{"tenant":...}`) loses only the corrupted prefix.
+///
+/// Whitespace-only residue is not reported. The scan is linear in the
+/// number of `{` candidates; callers bounding line length (see
+/// [`Decoder`]) bound its cost.
+pub fn resync_line(line: &str) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    // Start of the current unconsumed (potentially skipped) span, plus
+    // the first parse failure inside it.
+    let mut skip_from = 0usize;
+    let mut skip_reason: Option<String> = None;
+    let flush_skip = |segments: &mut Vec<Segment>,
+                          from: usize,
+                          to: usize,
+                          reason: &mut Option<String>| {
+        let span = line.get(from..to).unwrap_or("");
+        if !span.trim().is_empty() {
+            segments.push(Segment::Skipped {
+                bytes: to - from,
+                reason: reason
+                    .take()
+                    .unwrap_or_else(|| "no object found".to_string()),
+            });
+        }
+        *reason = None;
+    };
+    while pos < bytes.len() {
+        let Some(off) = line.get(pos..).and_then(|rest| rest.find('{')) else {
+            break;
+        };
+        let brace = pos + off;
+        match line.get(brace..).map(JsonObject::parse_prefix) {
+            Some(Ok((obj, consumed))) => {
+                flush_skip(&mut segments, skip_from, brace, &mut skip_reason);
+                segments.push(Segment::Object(obj));
+                pos = brace + consumed;
+                skip_from = pos;
+            }
+            Some(Err(reason)) => {
+                if skip_reason.is_none() {
+                    skip_reason = Some(reason);
+                }
+                pos = brace + 1;
+            }
+            None => break,
+        }
+    }
+    flush_skip(&mut segments, skip_from, bytes.len(), &mut skip_reason);
+    segments
+}
+
+/// One decoded frame from a [`Decoder`]: a record or a skipped span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A valid flat object.
+    Object(JsonObject),
+    /// Bytes the decoder skipped to resynchronise (corruption, oversized
+    /// lines, invalid UTF-8).
+    Skipped {
+        /// Number of bytes the span covers.
+        bytes: usize,
+        /// Why the span was skipped.
+        reason: String,
+    },
+}
+
+/// Incremental byte-stream JSONL decoder with resynchronisation and
+/// bounded buffering.
+///
+/// Feed arbitrary byte chunks with [`Decoder::push_bytes`] and drain
+/// complete frames with [`Decoder::drain`]; call [`Decoder::finish`] at
+/// end of stream for the trailing unterminated line. The decoder never
+/// panics on any input and always resynchronises to the next valid
+/// record:
+///
+/// * lines longer than `max_line` bytes are discarded wholesale (one
+///   `Skipped` frame), so a stream that stops sending newlines cannot
+///   grow the buffer without bound;
+/// * invalid UTF-8 splits the line — the valid prefix is scanned for
+///   records, the offending bytes are skipped, and scanning resumes
+///   after them;
+/// * within a (UTF-8-valid) line, [`resync_line`] recovers every
+///   embedded record around corrupted spans.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    max_line: usize,
+    /// In discard mode (oversized line): bytes thrown away so far.
+    discarding: Option<u64>,
+    frames: Vec<Frame>,
+    lines: u64,
+    /// Objects recovered by resynchronisation from dirty lines (lines
+    /// that did not parse cleanly as exactly one object).
+    resynced: u64,
+}
+
+/// Default per-line byte cap for [`Decoder::new`].
+pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder::new()
+    }
+}
+
+impl Decoder {
+    /// A decoder with the [`DEFAULT_MAX_LINE`] line cap.
+    pub fn new() -> Self {
+        Decoder::with_max_line(DEFAULT_MAX_LINE)
+    }
+
+    /// A decoder with a custom per-line byte cap (minimum 16).
+    pub fn with_max_line(max_line: usize) -> Self {
+        Decoder {
+            buf: Vec::new(),
+            max_line: max_line.max(16),
+            discarding: None,
+            frames: Vec::new(),
+            lines: 0,
+            resynced: 0,
+        }
+    }
+
+    /// Number of physical lines (newline-terminated or final partial)
+    /// consumed so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Objects recovered by resynchronisation from dirty lines so far
+    /// (a clean one-object line does not count).
+    pub fn resynced(&self) -> u64 {
+        self.resynced
+    }
+
+    /// Feeds one chunk of the stream into the decoder.
+    pub fn push_bytes(&mut self, chunk: &[u8]) {
+        for &b in chunk {
+            if let Some(dropped) = self.discarding.as_mut() {
+                if b == b'\n' {
+                    let total = *dropped;
+                    self.discarding = None;
+                    self.lines += 1;
+                    self.frames.push(Frame::Skipped {
+                        bytes: total as usize,
+                        reason: format!(
+                            "line exceeds the {}-byte cap",
+                            self.max_line
+                        ),
+                    });
+                } else {
+                    *dropped += 1;
+                }
+                continue;
+            }
+            if b == b'\n' {
+                self.lines += 1;
+                let line = std::mem::take(&mut self.buf);
+                self.decode_line(&line);
+            } else {
+                self.buf.push(b);
+                if self.buf.len() > self.max_line {
+                    self.discarding = Some(self.buf.len() as u64);
+                    self.buf.clear();
+                }
+            }
+        }
+    }
+
+    /// Takes every frame decoded so far.
+    pub fn drain(&mut self) -> Vec<Frame> {
+        std::mem::take(&mut self.frames)
+    }
+
+    /// Flushes the trailing unterminated line (end of stream) and takes
+    /// the remaining frames.
+    pub fn finish(&mut self) -> Vec<Frame> {
+        if let Some(dropped) = self.discarding.take() {
+            self.lines += 1;
+            self.frames.push(Frame::Skipped {
+                bytes: dropped as usize,
+                reason: format!("line exceeds the {}-byte cap", self.max_line),
+            });
+        } else if !self.buf.is_empty() {
+            self.lines += 1;
+            let line = std::mem::take(&mut self.buf);
+            self.decode_line(&line);
+        }
+        self.drain()
+    }
+
+    /// Decodes one complete physical line (no trailing newline) into
+    /// frames, splitting around invalid UTF-8.
+    fn decode_line(&mut self, line: &[u8]) {
+        let mut rest = line;
+        loop {
+            match std::str::from_utf8(rest) {
+                Ok(text) => {
+                    self.scan_text(text);
+                    return;
+                }
+                Err(e) => {
+                    let valid = e.valid_up_to();
+                    if let Some(prefix) =
+                        rest.get(..valid).and_then(|p| std::str::from_utf8(p).ok())
+                    {
+                        self.scan_text(prefix);
+                    }
+                    let bad = e.error_len().unwrap_or(rest.len() - valid).max(1);
+                    self.frames.push(Frame::Skipped {
+                        bytes: bad,
+                        reason: "invalid UTF-8".to_string(),
+                    });
+                    let next = (valid + bad).min(rest.len());
+                    rest = rest.get(next..).unwrap_or(&[]);
+                    if rest.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan_text(&mut self, text: &str) {
+        if text.trim().is_empty() {
+            return;
+        }
+        // Fast path: the common case of one clean object per line.
+        if let Ok(obj) = JsonObject::parse(text) {
+            self.frames.push(Frame::Object(obj));
+            return;
+        }
+        for segment in resync_line(text) {
+            self.frames.push(match segment {
+                Segment::Object(obj) => {
+                    self.resynced += 1;
+                    Frame::Object(obj)
+                }
+                Segment::Skipped { bytes, reason } => {
+                    Frame::Skipped { bytes, reason }
+                }
+            });
+        }
     }
 }
 
@@ -215,14 +509,14 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_object(mut self) -> Result<JsonObject, String> {
+    fn parse_object(&mut self) -> Result<JsonObject, String> {
         self.skip_ws();
         self.expect_byte(b'{')?;
         let mut obj = JsonObject::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return self.finish(obj);
+            return Ok(obj);
         }
         loop {
             self.skip_ws();
@@ -235,7 +529,7 @@ impl Parser<'_> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return self.finish(obj),
+                Some(b'}') => return Ok(obj),
                 Some(b) => {
                     return Err(format!(
                         "expected ',' or '}}' at byte {}, found '{}'",
@@ -246,14 +540,6 @@ impl Parser<'_> {
                 None => return Err("unterminated object".to_string()),
             }
         }
-    }
-
-    fn finish(mut self, obj: JsonObject) -> Result<JsonObject, String> {
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing content at byte {}", self.pos));
-        }
-        Ok(obj)
     }
 
     fn parse_value(&mut self) -> Result<JsonValue, String> {
@@ -420,5 +706,109 @@ mod tests {
         obj.push_str("name", "tenant-α-β");
         let back = JsonObject::parse(&obj.to_line()).unwrap();
         assert_eq!(back.get_str("name"), Some("tenant-α-β"));
+    }
+
+    #[test]
+    fn parse_prefix_reports_consumed_bytes() {
+        let text = r#"{"a":1} {"b":2}"#;
+        let (obj, consumed) = JsonObject::parse_prefix(text).unwrap();
+        assert_eq!(obj.get_f64("a"), Some(1.0));
+        assert_eq!(consumed, 7);
+        let (obj2, _) = JsonObject::parse_prefix(&text[consumed..]).unwrap();
+        assert_eq!(obj2.get_f64("b"), Some(2.0));
+    }
+
+    #[test]
+    fn resync_recovers_record_after_truncated_prefix() {
+        // A record truncated mid-field, fused with a healthy one — the
+        // exact shape a lost newline produces.
+        let line = r#"{"tenant":"vm-0","acc{"tenant":"vm-1","access":1,"miss":2}"#;
+        let segments = resync_line(line);
+        assert_eq!(segments.len(), 2, "{segments:?}");
+        assert!(matches!(&segments[0], Segment::Skipped { bytes: 21, .. }));
+        match &segments[1] {
+            Segment::Object(obj) => assert_eq!(obj.get_str("tenant"), Some("vm-1")),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resync_recovers_multiple_fused_records() {
+        let line = r#"{"a":1}{"b":2}garbage{"c":3}"#;
+        let segments = resync_line(line);
+        let objects: Vec<&JsonObject> = segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Object(o) => Some(o),
+                Segment::Skipped { .. } => None,
+            })
+            .collect();
+        assert_eq!(objects.len(), 3);
+        let skipped = segments.len() - objects.len();
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn resync_on_hopeless_garbage_is_one_skip() {
+        let segments = resync_line("%%% not json at all %%%");
+        assert_eq!(segments.len(), 1);
+        assert!(matches!(&segments[0], Segment::Skipped { .. }));
+        assert!(resync_line("   ").is_empty());
+    }
+
+    #[test]
+    fn decoder_reassembles_split_chunks() {
+        let mut dec = Decoder::new();
+        dec.push_bytes(b"{\"a\":1}\n{\"b\"");
+        let first = dec.drain();
+        assert_eq!(first.len(), 1);
+        dec.push_bytes(b":2}\n");
+        let second = dec.drain();
+        assert_eq!(second.len(), 1);
+        assert!(matches!(&second[0], Frame::Object(o) if o.get_f64("b") == Some(2.0)));
+        assert!(dec.finish().is_empty());
+        assert_eq!(dec.lines(), 2);
+    }
+
+    #[test]
+    fn decoder_finish_flushes_unterminated_line() {
+        let mut dec = Decoder::new();
+        dec.push_bytes(b"{\"a\":1}");
+        assert!(dec.drain().is_empty());
+        let frames = dec.finish();
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(&frames[0], Frame::Object(_)));
+    }
+
+    #[test]
+    fn decoder_caps_oversized_lines() {
+        let mut dec = Decoder::with_max_line(16);
+        let long = vec![b'x'; 100];
+        dec.push_bytes(&long);
+        dec.push_bytes(b"\n{\"a\":1}\n");
+        let frames = dec.drain();
+        assert_eq!(frames.len(), 2, "{frames:?}");
+        assert!(matches!(&frames[0], Frame::Skipped { reason, .. } if reason.contains("cap")));
+        assert!(matches!(&frames[1], Frame::Object(_)));
+    }
+
+    #[test]
+    fn decoder_skips_invalid_utf8_and_resyncs() {
+        let mut dec = Decoder::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(br#"{"a":1}"#);
+        bytes.push(0xFF);
+        bytes.extend_from_slice(br#"{"b":2}"#);
+        bytes.push(b'\n');
+        dec.push_bytes(&bytes);
+        let frames = dec.drain();
+        let objects = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Object(_)))
+            .count();
+        assert_eq!(objects, 2, "{frames:?}");
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Skipped { reason, .. } if reason.contains("UTF-8"))));
     }
 }

@@ -151,8 +151,14 @@ mod tests {
 
     fn detector() -> SdsB {
         SdsB::new(
-            SdsBParams { window: 10, step: 5, alpha: 0.5, k: 2.0, h_c: 3 },
-            Stat::AccessNum,
+            SdsBParams {
+                window: 10,
+                step: 5,
+                alpha: 0.5,
+                k: 2.0,
+                h_c: 3,
+                stat: Stat::AccessNum,
+            },
             1000.0,
             100.0,
         )

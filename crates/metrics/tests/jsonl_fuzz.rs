@@ -1,0 +1,218 @@
+//! Seeded fuzz-style property tests for the resynchronising JSONL
+//! decoder (`metrics::jsonl::Decoder`).
+//!
+//! Std-only and fully deterministic: all "arbitrary" input derives from
+//! `memdos_stats::rng` seeds, so a failure reproduces from its seed
+//! alone (no proptest dependency, no shrink files). The properties:
+//!
+//! * decoding arbitrary byte soup never panics, at any chunking;
+//! * corrupting arbitrary in-line bytes never costs an *intact* line —
+//!   the decoder always resynchronises to the next valid record;
+//! * the frame stream is independent of how the bytes were chunked;
+//! * the per-line byte cap bounds buffering without losing the records
+//!   that follow an oversized line.
+
+use memdos_metrics::jsonl::{Decoder, Frame, JsonObject};
+use memdos_stats::rng::{derive_seed, Rng};
+
+/// Builds a clean JSONL stream of `n` records and returns (bytes, the
+/// expected access values in order).
+fn clean_stream(rng: &mut Rng, n: u64) -> (Vec<u8>, Vec<f64>) {
+    let mut bytes = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..n {
+        let access = (rng.next_below(1_000_000) + i) as f64;
+        bytes.extend_from_slice(
+            format!(r#"{{"tenant":"vm-{}","access":{access},"miss":7}}"#, i % 5).as_bytes(),
+        );
+        bytes.push(b'\n');
+        values.push(access);
+    }
+    (bytes, values)
+}
+
+/// Feeds `bytes` to a decoder in seeded random chunks and returns every
+/// frame.
+fn decode_chunked(rng: &mut Rng, bytes: &[u8]) -> Vec<Frame> {
+    let mut dec = Decoder::new();
+    let mut frames = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let take = (1 + rng.next_below(37) as usize).min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        dec.push_bytes(chunk);
+        frames.extend(dec.drain());
+        rest = tail;
+    }
+    frames.extend(dec.finish());
+    frames
+}
+
+#[test]
+fn arbitrary_byte_soup_never_panics() {
+    for case in 0..200u64 {
+        let mut rng = Rng::new(derive_seed(0xF022, case));
+        let len = rng.next_below(2_048) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        let frames = decode_chunked(&mut rng, &bytes);
+        for frame in &frames {
+            match frame {
+                Frame::Object(obj) => {
+                    // Whatever was recovered must re-serialize as an object.
+                    assert!(obj.to_line().starts_with('{'), "case {case}");
+                }
+                Frame::Skipped { bytes, reason } => {
+                    assert!(*bytes > 0, "case {case}: empty skip span");
+                    assert!(!reason.is_empty(), "case {case}: silent skip");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_never_costs_an_intact_line() {
+    for case in 0..100u64 {
+        let mut rng = Rng::new(derive_seed(0xBAD5, case));
+        let n = 8 + rng.next_below(24);
+        let (mut bytes, values) = clean_stream(&mut rng, n);
+        // Overwrite up to 12 in-line bytes (newlines stay, so untouched
+        // lines keep their framing), possibly none.
+        let hits = rng.next_below(13);
+        let mut dirty_lines = std::collections::BTreeSet::new();
+        for _ in 0..hits {
+            let pos = rng.next_below(bytes.len() as u64) as usize;
+            if bytes.get(pos).copied() == Some(b'\n') {
+                continue;
+            }
+            let mut junk = rng.next_below(256) as u8;
+            if junk == b'\n' {
+                junk = b'#';
+            }
+            let line_no = bytes
+                .iter()
+                .take(pos)
+                .filter(|b| **b == b'\n')
+                .count();
+            dirty_lines.insert(line_no);
+            if let Some(b) = bytes.get_mut(pos) {
+                *b = junk;
+            }
+        }
+        let frames = decode_chunked(&mut rng, &bytes);
+        let decoded: Vec<f64> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Object(obj) => obj.get_f64("access"),
+                Frame::Skipped { .. } => None,
+            })
+            .collect();
+        // Every intact line's record must come back, in order: the
+        // decoder resynchronised past every corrupted span.
+        let expected: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dirty_lines.contains(i))
+            .map(|(_, v)| *v)
+            .collect();
+        let mut cursor = decoded.iter();
+        for want in &expected {
+            assert!(
+                cursor.any(|got| got == want),
+                "case {case}: record {want} from an intact line was lost \
+                 (dirty lines {dirty_lines:?}, decoded {decoded:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn frames_are_independent_of_chunking() {
+    for case in 0..50u64 {
+        let mut rng = Rng::new(derive_seed(0xC40C, case));
+        let (mut bytes, _) = clean_stream(&mut rng, 16);
+        // Sprinkle corruption so the resync paths run too.
+        for _ in 0..rng.next_below(20) {
+            let pos = rng.next_below(bytes.len() as u64) as usize;
+            if let Some(b) = bytes.get_mut(pos) {
+                *b = rng.next_below(256) as u8;
+            }
+        }
+        let mut whole = Decoder::new();
+        whole.push_bytes(&bytes);
+        let mut reference = whole.drain();
+        reference.extend(whole.finish());
+        let mut one = Decoder::new();
+        for b in &bytes {
+            one.push_bytes(std::slice::from_ref(b));
+        }
+        let mut byte_at_a_time = one.drain();
+        byte_at_a_time.extend(one.finish());
+        assert_eq!(reference, byte_at_a_time, "case {case}: chunking changed the frames");
+        let random_chunks = decode_chunked(&mut rng, &bytes);
+        assert_eq!(reference, random_chunks, "case {case}: chunking changed the frames");
+    }
+}
+
+#[test]
+fn oversized_lines_are_bounded_and_do_not_eat_successors() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(derive_seed(0x512E, case));
+        let cap = 64;
+        let mut bytes = Vec::new();
+        // A line far beyond the cap, without a single newline.
+        let oversized = cap * (2 + rng.next_below(8) as usize);
+        for _ in 0..oversized {
+            let mut b = rng.next_below(256) as u8;
+            if b == b'\n' {
+                b = b'x';
+            }
+            bytes.push(b);
+        }
+        bytes.push(b'\n');
+        bytes.extend_from_slice(br#"{"tenant":"vm-9","access":42,"miss":7}"#);
+        bytes.push(b'\n');
+        let mut dec = Decoder::with_max_line(cap);
+        dec.push_bytes(&bytes);
+        let frames = dec.finish();
+        assert!(
+            frames.iter().any(|f| matches!(
+                f,
+                Frame::Skipped { reason, .. } if reason.contains("byte cap")
+            )),
+            "case {case}: oversized line not reported"
+        );
+        let survivor = frames.iter().any(|f| match f {
+            Frame::Object(obj) => obj.get_f64("access") == Some(42.0),
+            Frame::Skipped { .. } => false,
+        });
+        assert!(survivor, "case {case}: record after the oversized line was lost");
+    }
+}
+
+#[test]
+fn clean_streams_roundtrip_exactly() {
+    for case in 0..30u64 {
+        let mut rng = Rng::new(derive_seed(0xC1EA, case));
+        let n = 1 + rng.next_below(40);
+        let (bytes, values) = clean_stream(&mut rng, n);
+        let frames = decode_chunked(&mut rng, &bytes);
+        assert_eq!(frames.len() as u64, n, "case {case}");
+        for (frame, want) in frames.iter().zip(&values) {
+            match frame {
+                Frame::Object(obj) => {
+                    assert_eq!(obj.get_f64("access"), Some(*want), "case {case}")
+                }
+                Frame::Skipped { reason, .. } => {
+                    unreachable!("case {case}: clean line skipped: {reason}")
+                }
+            }
+        }
+        // And each line text parses identically through the one-shot
+        // object parser.
+        let text = String::from_utf8(bytes).expect("clean stream is UTF-8");
+        for line in text.lines() {
+            assert!(JsonObject::parse(line).is_ok(), "case {case}");
+        }
+    }
+}

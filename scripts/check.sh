@@ -25,4 +25,14 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test -q
 
+# The property-based suite is feature-gated because the offline build
+# environment cannot fetch the external proptest crate. Run it whenever
+# the dependency has been restored under [dev-dependencies].
+if grep -Eq '^proptest *=' Cargo.toml; then
+    echo "==> cargo test --features proptest --test properties"
+    cargo test -q --features proptest --test properties
+else
+    echo "==> proptest not in [dev-dependencies]; skipping the property suite"
+fi
+
 echo "All checks passed."

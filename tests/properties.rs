@@ -179,6 +179,19 @@ proptest! {
     }
 }
 
+/// Historical proptest shrink case (formerly the only entry in
+/// `properties.proptest-regressions`): the all-zero one-sample signal
+/// must round-trip through the FFT. Pinned here explicitly so the case
+/// survives without the external shrink-seed file.
+#[test]
+fn fft_roundtrip_regression_zero_signal() {
+    let signal = [0.0f64];
+    let mut spec = fft_real(&signal, 1).unwrap();
+    ifft_in_place(&mut spec).unwrap();
+    let z = spec.first().unwrap();
+    assert!(z.re.abs() < 1e-12 && z.im.abs() < 1e-12, "{z:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
