@@ -3,11 +3,24 @@
 //!
 //! Ingestion is single-threaded: each input line receives a global
 //! arrival index (`seq`) and is routed to its tenant's [`Session`] queue.
-//! Every `batch` lines the engine **flushes**: sessions are moved onto
-//! the [`memdos_runner::parallel_map_owned`] worker pool (one shard per
-//! tenant — per-tenant order preserved, tenants processed in parallel),
-//! each drains its queue sequentially, and the produced events are
-//! merge-sorted by `(seq, sub)` into the log.
+//! Every `batch` lines the engine **flushes**: sessions are sharded
+//! across the persistent [`memdos_runner::ShardPool`] workers (per-tenant
+//! order preserved, tenants processed in parallel), each drains its queue
+//! sequentially into a recycled event buffer, and the produced events
+//! are merge-sorted by `(seq, sub)` into the log.
+//!
+//! ## Ingest fast path
+//!
+//! Clean lines decode through the borrowed
+//! [`parse_record_borrowed`](jsonl::parse_record_borrowed) parser —
+//! tenant names stay `&str` slices of the input line and route through
+//! the intern table ([`TenantId`]) without touching the heap. Lines the
+//! fast path cannot represent (escape sequences in protocol strings)
+//! fall back to the allocating [`JsonObject`] parser; lines it rejects
+//! go through [`jsonl::resync_line`] recovery, exactly as the slow path
+//! always did. `EngineConfig::fast_parse` turns the fast path off so
+//! equivalence tests can pin that both routes produce byte-identical
+//! logs.
 //!
 //! ## Determinism guarantee
 //!
@@ -33,9 +46,10 @@
 
 use crate::protocol::Record;
 use crate::session::{CloseReason, Offered, Session, SessionConfig, SessionEvent, SessionState};
+use memdos_core::detector::Observation;
 use memdos_core::CoreError;
-use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, JsonValue, Segment};
-use memdos_runner::parallel_map_owned;
+use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, LineBuf, RawKind, RawParse, Segment};
+use memdos_runner::ShardPool;
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -60,6 +74,16 @@ pub struct EngineConfig {
     /// The totals stay exact in the event payloads and in
     /// [`EngineStats`].
     pub drop_log_every: u64,
+    /// Decode clean lines through the borrowed zero-allocation parser
+    /// (`true`, the default). `false` forces every line through the
+    /// allocating [`JsonObject`] slow path; the log is identical either
+    /// way — this switch exists so equivalence tests can prove it.
+    pub fast_parse: bool,
+    /// Collect per-stage ns counters (decode/dispatch/step/merge/write)
+    /// and emit them in the final `engine_stats` line. Off by default:
+    /// the counters are wall-clock measurements, so enabling them makes
+    /// the stats line (and only the stats line) non-reproducible.
+    pub prof: bool,
     /// Configuration applied to every session the engine opens.
     pub session: SessionConfig,
 }
@@ -70,6 +94,8 @@ impl Default for EngineConfig {
             workers: 1,
             batch: 256,
             drop_log_every: 64,
+            fast_parse: true,
+            prof: false,
             session: SessionConfig::default(),
         }
     }
@@ -128,6 +154,7 @@ impl EngineConfig {
             env_u64("MEMDOS_ENGINE_QUARANTINE", cfg.session.quarantine_after)?;
         cfg.session.idle_timeout = env_u64("MEMDOS_ENGINE_IDLE", cfg.session.idle_timeout)?;
         cfg.drop_log_every = env_u64("MEMDOS_ENGINE_DROP_LOG", cfg.drop_log_every)?;
+        cfg.prof = env_bool("MEMDOS_ENGINE_PROF", cfg.prof)?;
         if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
             cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
                 .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
@@ -165,6 +192,19 @@ fn env_usize(name: &str, default: usize) -> Result<usize, String> {
     env_u64(name, default as u64).map(|n| n as usize)
 }
 
+fn env_bool(name: &str, default: bool) -> Result<bool, String> {
+    match std::env::var(name) {
+        Ok(v) => match v.trim() {
+            "1" | "true" | "on" => Ok(true),
+            "0" | "false" | "off" => Ok(false),
+            other => Err(format!(
+                "{name}={other:?} is not a boolean (use 1/0, true/false or on/off)"
+            )),
+        },
+        Err(_) => Ok(default),
+    }
+}
+
 /// Engine-level recovery and degradation counters, surfaced in the
 /// `engine_stats` log line written by [`Engine::finish`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -187,13 +227,74 @@ pub struct EngineStats {
     pub peak_queued: u64,
 }
 
+/// Per-stage wall-clock counters for the ingest path, collected only
+/// when `MEMDOS_ENGINE_PROF=1` (`EngineConfig::prof`). Disabled, the
+/// probes cost two predictable branches per line and never read a
+/// clock, so the counters cannot perturb what they measure. The clock
+/// is [`memdos_runner::monotonic_ns`] — wall time is harness territory,
+/// and these numbers only ever surface as diagnostics in the final
+/// `engine_stats` line, never in an event the determinism contract
+/// covers.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageProf {
+    enabled: bool,
+    /// Line → record decoding (fast parse, fallback and resync).
+    decode_ns: u64,
+    /// Record → session routing (intern lookup, offer, drop policy).
+    dispatch_ns: u64,
+    /// Session queue draining (detector stepping) across the pool.
+    step_ns: u64,
+    /// The `(seq, sub)` merge-sort of the flush's events.
+    merge_ns: u64,
+    /// Event rendering and log append.
+    write_ns: u64,
+}
+
+impl StageProf {
+    fn new(enabled: bool) -> Self {
+        StageProf { enabled, ..StageProf::default() }
+    }
+
+    /// Stamp the start of a stage (0 when disabled).
+    fn start(&self) -> u64 {
+        if self.enabled {
+            memdos_runner::monotonic_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Elapsed ns since a [`StageProf::start`] stamp (0 when disabled).
+    fn lap(&self, t0: u64) -> u64 {
+        if self.enabled {
+            memdos_runner::monotonic_ns().saturating_sub(t0)
+        } else {
+            0
+        }
+    }
+}
+
+/// Interned tenant identity: a dense index into the engine's tenant
+/// slot table. Routing a record costs one name lookup to obtain the id;
+/// everything after (slot access, session lookup, reopen and idle
+/// bookkeeping) keys on this `Copy` value, never on the `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The dense table index this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Per-tenant routing state kept at the ingest side, so reopen and idle
 /// decisions never depend on flush timing (which would break the
 /// worker-count determinism guarantee).
 #[derive(Debug)]
 struct TenantSlot {
     /// Index into `Engine::sessions` of the current incarnation.
-    idx: usize,
+    session: usize,
     /// Arrival index of the tenant's most recent record.
     last_seen: u64,
     /// The engine has routed a close (ctl or idle) to this incarnation.
@@ -205,15 +306,33 @@ struct TenantSlot {
 /// The multi-tenant streaming detection engine.
 pub struct Engine {
     config: EngineConfig,
-    /// Sessions in creation order; `parallel_map_owned` preserves this
-    /// order across flushes, so `index` entries stay valid. Closed
+    /// Sessions in creation order; [`ShardPool::run_sharded`] restores
+    /// this order after every flush, so slot entries stay valid. Closed
     /// incarnations stay in place (append-only) so their final events
     /// drain normally.
     sessions: Vec<Session>,
-    index: BTreeMap<String, TenantSlot>,
+    /// Tenant-name intern table: name → dense [`TenantId`]. Consulted
+    /// once per record; every later step keys on the `Copy` id.
+    ids: BTreeMap<String, TenantId>,
+    /// Routing state per interned tenant, indexed by [`TenantId`].
+    slots: Vec<TenantSlot>,
     /// Events produced at ingest time (malformed lines, drops), merged
     /// with session events at the next flush.
     ingest_events: Vec<SessionEvent>,
+    /// Persistent dispatch pool, spawned lazily at the first flush that
+    /// can use more than one worker.
+    pool: Option<ShardPool<Session, SessionEvent>>,
+    /// `config.workers` clamped to the machine's available parallelism:
+    /// oversubscribing a CPU-bound pool adds channel latency without
+    /// adding concurrency (on a 1-core host a requested 4-worker pool
+    /// ran ~40 % *slower* than inline). The log is byte-identical at
+    /// any width, so the clamp is unobservable in output.
+    effective_workers: usize,
+    /// Recycled flush-event buffer (capacity survives across flushes).
+    events_buf: Vec<SessionEvent>,
+    /// Recycled log-line writer.
+    render: LineBuf,
+    prof: StageProf,
     next_seq: u64,
     pending: usize,
     log: Vec<String>,
@@ -242,8 +361,14 @@ impl Engine {
         Ok(Engine {
             config,
             sessions: Vec::new(),
-            index: BTreeMap::new(),
+            ids: BTreeMap::new(),
+            slots: Vec::new(),
             ingest_events: Vec::new(),
+            pool: None,
+            effective_workers: config.workers.min(memdos_runner::cores()),
+            events_buf: Vec::new(),
+            render: LineBuf::new(),
+            prof: StageProf::new(config.prof),
             next_seq: 0,
             pending: 0,
             log: Vec::new(),
@@ -302,37 +427,80 @@ impl Engine {
 
     /// Ingests one input line, flushing when the batch fills.
     ///
-    /// A line that fails the fast-path parse is resynchronised: every
-    /// embedded valid record is recovered (each under its own arrival
-    /// index, in line order) and the corrupted spans are logged as
-    /// `malformed` events — one bad byte never costs more than its own
-    /// span.
+    /// Clean lines take the borrowed zero-allocation parse; lines it
+    /// cannot represent (escapes in protocol strings) fall back to the
+    /// [`JsonObject`] parser. A line neither accepts is resynchronised:
+    /// every embedded valid record is recovered (each under its own
+    /// arrival index, in line order) and the corrupted spans are logged
+    /// as `malformed` events — one bad byte never costs more than its
+    /// own span.
+    // hot-path
     pub fn ingest_line(&mut self, line: &str) {
-        match Record::parse(line) {
-            Ok(record) => {
-                let seq = self.alloc_seq();
-                self.ingest_record(seq, record);
-            }
-            Err(_) => {
-                for segment in jsonl::resync_line(line) {
+        if self.config.fast_parse {
+            let t0 = self.prof.start();
+            let parsed = jsonl::parse_record_borrowed(line);
+            let d = self.prof.lap(t0);
+            self.prof.decode_ns += d;
+            match parsed {
+                RawParse::Record(raw) => {
                     let seq = self.alloc_seq();
-                    match segment {
-                        Segment::Object(obj) => match Record::from_object(&obj) {
-                            Ok(record) => {
-                                self.stats.resynced += 1;
-                                self.ingest_record(seq, record);
-                            }
-                            Err(reason) => self.push_malformed(seq, reason, None),
-                        },
-                        Segment::Skipped { bytes, reason } => {
-                            self.push_malformed(seq, reason, Some(bytes));
-                        }
+                    let t1 = self.prof.start();
+                    match raw.kind {
+                        RawKind::Sample { access, miss } => self.route_sample(
+                            seq,
+                            raw.tenant,
+                            Observation { access_num: access, miss_num: miss },
+                        ),
+                        RawKind::Close => self.route_close(seq, raw.tenant),
                     }
+                    let d = self.prof.lap(t1);
+                    self.prof.dispatch_ns += d;
                 }
+                // The fast path only rejects what the slow path rejects
+                // for the same reason (pinned by the equivalence suite),
+                // so resync directly — re-parsing would fail again.
+                RawParse::Reject(_) => self.ingest_resync(line),
+                RawParse::Fallback => match Record::parse_slow(line) {
+                    Ok(record) => {
+                        let seq = self.alloc_seq();
+                        self.ingest_record(seq, record);
+                    }
+                    Err(_) => self.ingest_resync(line),
+                },
+            }
+        } else {
+            match Record::parse(line) {
+                Ok(record) => {
+                    let seq = self.alloc_seq();
+                    self.ingest_record(seq, record);
+                }
+                Err(_) => self.ingest_resync(line),
             }
         }
         if self.pending >= self.config.batch {
             self.flush();
+        }
+    }
+
+    /// Recovers what it can from a line no parser accepted whole: each
+    /// embedded valid record re-enters the normal path under its own
+    /// arrival index and each corrupted span becomes a `malformed`
+    /// event.
+    fn ingest_resync(&mut self, line: &str) {
+        for segment in jsonl::resync_line(line) {
+            let seq = self.alloc_seq();
+            match segment {
+                Segment::Object(obj) => match Record::from_object(&obj) {
+                    Ok(record) => {
+                        self.stats.resynced += 1;
+                        self.ingest_record(seq, record);
+                    }
+                    Err(e) => self.push_malformed(seq, e.reason(), None),
+                },
+                Segment::Skipped { bytes, reason } => {
+                    self.push_malformed(seq, &reason, Some(bytes));
+                }
+            }
         }
     }
 
@@ -375,10 +543,10 @@ impl Engine {
         match frame {
             Frame::Object(obj) => match Record::from_object(&obj) {
                 Ok(record) => self.ingest_record(seq, record),
-                Err(reason) => self.push_malformed(seq, reason, None),
+                Err(e) => self.push_malformed(seq, e.reason(), None),
             },
             Frame::Skipped { bytes, reason } => {
-                self.push_malformed(seq, reason, Some(bytes));
+                self.push_malformed(seq, &reason, Some(bytes));
             }
         }
         if self.pending >= self.config.batch {
@@ -386,82 +554,97 @@ impl Engine {
         }
     }
 
-    /// Routes one decoded record to its tenant's session, handling
-    /// drops, recoveries, closes and reopen-after-close.
+    /// Routes one decoded (owned) record — the slow/resync path. The
+    /// fast path routes its borrowed fields through the same
+    /// [`Engine::route_sample`]/[`Engine::route_close`], so both paths
+    /// share one behaviour.
     fn ingest_record(&mut self, seq: u64, record: Record) {
         match record {
-            Record::Sample { tenant, obs } => {
-                let Some(i) = self.sample_session(seq, &tenant) else {
-                    return;
+            Record::Sample { tenant, obs } => self.route_sample(seq, &tenant, obs),
+            Record::Close { tenant } => self.route_close(seq, &tenant),
+        }
+    }
+
+    /// Routes one sample to its tenant's session, handling drops,
+    /// recoveries and reopen-after-close. `tenant` may borrow from the
+    /// input line — nothing is cloned unless a session opens.
+    // hot-path
+    fn route_sample(&mut self, seq: u64, tenant: &str, obs: Observation) {
+        let Some(i) = self.sample_session(seq, tenant) else {
+            return;
+        };
+        let Some(session) = self.sessions.get_mut(i) else {
+            return;
+        };
+        match session.offer(seq, obs) {
+            Offered::Admitted => {}
+            Offered::Recovered { burst } => {
+                self.stats.recoveries += 1;
+                let payload = match self.sessions.get(i) {
+                    Some(s) => s.recovered_event(burst),
+                    None => return,
                 };
-                let Some(session) = self.sessions.get_mut(i) else {
-                    return;
-                };
-                match session.offer(seq, obs) {
-                    Offered::Admitted => {}
-                    Offered::Recovered { burst } => {
-                        self.stats.recoveries += 1;
-                        let payload = match self.sessions.get(i) {
-                            Some(s) => s.recovered_event(burst),
-                            None => return,
-                        };
-                        self.ingest_events.push(SessionEvent {
-                            seq,
-                            sub: SUB_INGEST,
-                            payload,
-                        });
-                    }
-                    Offered::Dropped { terminal, burst, total: _ } => {
-                        if terminal {
-                            self.stats.drops_terminal += 1;
-                        } else {
-                            self.stats.drops_backpressure += 1;
-                        }
-                        // Coalesce bursts: log the first loss, then every
-                        // `drop_log_every`-th, so overload cannot flood
-                        // the log (graceful degradation). Exact totals
-                        // ride along in each event and in the stats.
-                        if burst == 1 || burst % self.config.drop_log_every == 0 {
-                            let payload = match self.sessions.get(i) {
-                                Some(s) => s.drop_event(terminal, burst),
-                                None => return,
-                            };
-                            self.ingest_events.push(SessionEvent {
-                                seq,
-                                sub: SUB_INGEST,
-                                payload,
-                            });
-                        }
-                    }
-                }
+                self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload });
             }
-            Record::Close { tenant } => {
-                if let Some(i) = self.close_session(seq, &tenant) {
-                    if let Some(session) = self.sessions.get_mut(i) {
-                        session.offer_close(seq, CloseReason::Ctl);
-                    }
+            Offered::Dropped { terminal, burst, total: _ } => {
+                if terminal {
+                    self.stats.drops_terminal += 1;
+                } else {
+                    self.stats.drops_backpressure += 1;
+                }
+                // Coalesce bursts: log the first loss, then every
+                // `drop_log_every`-th, so overload cannot flood
+                // the log (graceful degradation). Exact totals
+                // ride along in each event and in the stats.
+                if burst == 1 || burst % self.config.drop_log_every == 0 {
+                    let payload = match self.sessions.get(i) {
+                        Some(s) => s.drop_event(terminal, burst),
+                        None => return,
+                    };
+                    self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload });
                 }
             }
         }
     }
 
+    /// Routes one close request to its tenant's session (opening one
+    /// first for an unknown tenant, so the lifecycle stays visible).
+    // hot-path
+    fn route_close(&mut self, seq: u64, tenant: &str) {
+        if let Some(i) = self.close_session(seq, tenant) {
+            if let Some(session) = self.sessions.get_mut(i) {
+                session.offer_close(seq, CloseReason::Ctl);
+            }
+        }
+    }
+
+    /// Resolves `tenant` to its interned id without allocating.
+    // hot-path
+    fn tenant_id(&self, tenant: &str) -> Option<TenantId> {
+        self.ids.get(tenant).copied()
+    }
+
     /// Looks up (or opens, or reopens after churn) the session a sample
     /// for `tenant` should land in, returning its index.
+    // hot-path
     fn sample_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
         enum Plan {
             Use(usize),
             Open,
             Reopen(u32),
         }
-        let plan = match self.index.get_mut(tenant) {
-            Some(slot) => {
-                slot.last_seen = seq;
-                if slot.closed_at_ingest {
-                    Plan::Reopen(slot.generation.saturating_add(1))
-                } else {
-                    Plan::Use(slot.idx)
+        let plan = match self.tenant_id(tenant) {
+            Some(id) => match self.slots.get_mut(id.index()) {
+                Some(slot) => {
+                    slot.last_seen = seq;
+                    if slot.closed_at_ingest {
+                        Plan::Reopen(slot.generation.saturating_add(1))
+                    } else {
+                        Plan::Use(slot.session)
+                    }
                 }
-            }
+                None => Plan::Open,
+            },
             None => Plan::Open,
         };
         match plan {
@@ -479,16 +662,27 @@ impl Engine {
     }
 
     /// Opens incarnation `generation` of `tenant` and points the tenant
-    /// slot at it.
+    /// slot at it, interning the name on first contact. The only
+    /// per-tenant allocations in the whole routing path live here.
     fn open_session(&mut self, seq: u64, tenant: &str, generation: u32) -> Option<usize> {
         match Session::open_generation(tenant, self.config.session, generation) {
             Ok(session) => {
                 let i = self.sessions.len();
                 self.sessions.push(session);
-                self.index.insert(
-                    tenant.to_string(),
-                    TenantSlot { idx: i, last_seen: seq, closed_at_ingest: false, generation },
-                );
+                let slot =
+                    TenantSlot { session: i, last_seen: seq, closed_at_ingest: false, generation };
+                match self.tenant_id(tenant) {
+                    Some(id) => {
+                        if let Some(s) = self.slots.get_mut(id.index()) {
+                            *s = slot;
+                        }
+                    }
+                    None => {
+                        let id = TenantId(self.slots.len() as u32);
+                        self.slots.push(slot);
+                        self.ids.insert(tenant.to_string(), id);
+                    }
+                }
                 Some(i)
             }
             Err(e) => {
@@ -507,21 +701,28 @@ impl Engine {
     /// Resolves the session a close for `tenant` addresses, marking the
     /// slot closed at the ingest side. A close for an unknown tenant
     /// opens a session first so the lifecycle stays visible in the log.
+    // hot-path
     fn close_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
-        if let Some(slot) = self.index.get_mut(tenant) {
+        if let Some(slot) =
+            self.tenant_id(tenant).and_then(|id| self.slots.get_mut(id.index()))
+        {
             slot.last_seen = seq;
             slot.closed_at_ingest = true;
-            return Some(slot.idx);
+            return Some(slot.session);
         }
         let i = self.open_session(seq, tenant, 0)?;
-        if let Some(slot) = self.index.get_mut(tenant) {
+        if let Some(slot) =
+            self.tenant_id(tenant).and_then(|id| self.slots.get_mut(id.index()))
+        {
             slot.closed_at_ingest = true;
         }
         Some(i)
     }
 
-    /// Records one malformed span in the log and the stats.
-    fn push_malformed(&mut self, seq: u64, reason: String, bytes: Option<usize>) {
+    /// Records one malformed span in the log and the stats. The reason
+    /// arrives as `&str` so the (hot) reject path never renders one the
+    /// log won't carry.
+    fn push_malformed(&mut self, seq: u64, reason: &str, bytes: Option<usize>) {
         self.stats.malformed += 1;
         let mut o = JsonObject::new();
         o.push_str("event", "malformed").push_str("reason", reason);
@@ -531,9 +732,12 @@ impl Engine {
         self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
     }
 
-    /// Dispatches every session's queued items across the worker pool and
-    /// appends the produced events to the log in `(seq, sub)` order, then
-    /// applies the idle timeout.
+    /// Dispatches every session's queued items across the persistent
+    /// worker pool and appends the produced events to the log in
+    /// `(seq, sub)` order, then applies the idle timeout. Sessions are
+    /// sharded in place and the event buffer is recycled, so a
+    /// steady-state flush performs no per-flush allocations beyond the
+    /// log lines themselves.
     pub fn flush(&mut self) {
         if self.pending == 0
             && self.ingest_events.is_empty()
@@ -544,20 +748,42 @@ impl Engine {
         self.pending = 0;
         let queued: u64 = self.sessions.iter().map(|s| s.queued() as u64).sum();
         self.stats.peak_queued = self.stats.peak_queued.max(queued);
-        let sessions = std::mem::take(&mut self.sessions);
-        let processed = parallel_map_owned(sessions, self.config.workers, |mut s: Session| {
-            let events = s.process_queued();
-            (s, events)
-        });
-        let mut events = std::mem::take(&mut self.ingest_events);
-        for (session, session_events) in processed {
-            events.extend(session_events);
-            self.sessions.push(session);
+        let mut events = std::mem::take(&mut self.events_buf);
+        events.append(&mut self.ingest_events);
+        let t0 = self.prof.start();
+        if self.effective_workers <= 1 || self.sessions.len() <= 1 {
+            // A single worker (or session) would serialise through the
+            // pool anyway; keep the channel machinery out of the path.
+            for s in self.sessions.iter_mut() {
+                s.process_queued_into(&mut events);
+            }
+        } else {
+            let workers = self.effective_workers;
+            let pool = self.pool.get_or_insert_with(|| {
+                ShardPool::new(workers, |s: &mut Session, out: &mut Vec<SessionEvent>| {
+                    s.process_queued_into(out)
+                })
+            });
+            pool.run_sharded(&mut self.sessions, &mut events);
         }
+        let d = self.prof.lap(t0);
+        self.prof.step_ns += d;
+        // `(seq, sub)` keys are unique, so this imposes the one total
+        // order regardless of the shard-completion order events arrived
+        // in.
+        let t1 = self.prof.start();
         events.sort_by_key(|e| (e.seq, e.sub));
+        let d = self.prof.lap(t1);
+        self.prof.merge_ns += d;
+        let t2 = self.prof.start();
         for ev in &events {
-            self.log.push(render_event(ev));
+            let line = render_event(&mut self.render, ev);
+            self.log.push(line);
         }
+        let d = self.prof.lap(t2);
+        self.prof.write_ns += d;
+        events.clear();
+        self.events_buf = events;
         self.check_idle();
     }
 
@@ -572,27 +798,30 @@ impl Engine {
         if timeout == 0 {
             return;
         }
-        // BTreeMap order keeps the scan (and the seq each close gets)
-        // deterministic.
-        let stale: Vec<String> = self
-            .index
-            .iter()
-            .filter(|(_, slot)| {
-                !slot.closed_at_ingest
-                    && self.next_seq.saturating_sub(slot.last_seen) > timeout
-            })
-            .filter(|(_, slot)| {
-                self.sessions.get(slot.idx).is_some_and(|s| {
-                    matches!(s.state(), SessionState::Profiling | SessionState::Monitoring)
+        // BTreeMap name order keeps the scan (and the seq each close
+        // gets) deterministic; collecting `Copy` ids costs no clones.
+        let stale: Vec<TenantId> = self
+            .ids
+            .values()
+            .copied()
+            .filter(|id| {
+                self.slots.get(id.index()).is_some_and(|slot| {
+                    !slot.closed_at_ingest
+                        && self.next_seq.saturating_sub(slot.last_seen) > timeout
+                        && self.sessions.get(slot.session).is_some_and(|s| {
+                            matches!(
+                                s.state(),
+                                SessionState::Profiling | SessionState::Monitoring
+                            )
+                        })
                 })
             })
-            .map(|(tenant, _)| tenant.clone())
             .collect();
-        for tenant in stale {
+        for id in stale {
             let seq = self.alloc_seq_quiet();
-            if let Some(slot) = self.index.get_mut(&tenant) {
+            if let Some(slot) = self.slots.get_mut(id.index()) {
                 slot.closed_at_ingest = true;
-                if let Some(session) = self.sessions.get_mut(slot.idx) {
+                if let Some(session) = self.sessions.get_mut(slot.session) {
                     session.offer_close(seq, CloseReason::Idle);
                     self.stats.idle_closed += 1;
                 }
@@ -626,23 +855,31 @@ impl Engine {
             .push_num("idle_closed", s.idle_closed as f64)
             .push_num("reopened", s.reopened as f64)
             .push_num("peak_queued", s.peak_queued as f64);
-        self.log.push(render_event(&SessionEvent { seq, sub: SUB_INGEST, payload: o }));
+        if self.prof.enabled {
+            // Wall-clock diagnostics (MEMDOS_ENGINE_PROF=1): these make
+            // the stats line — and only the stats line — vary run to run.
+            let p = self.prof;
+            o.push_num("prof_decode_ns", p.decode_ns as f64)
+                .push_num("prof_dispatch_ns", p.dispatch_ns as f64)
+                .push_num("prof_step_ns", p.step_ns as f64)
+                .push_num("prof_merge_ns", p.merge_ns as f64)
+                .push_num("prof_write_ns", p.write_ns as f64);
+        }
+        let line =
+            render_event(&mut self.render, &SessionEvent { seq, sub: SUB_INGEST, payload: o });
+        self.log.push(line);
     }
 }
 
-/// Serializes one event as a log line, with the global arrival index
-/// prepended as `seq`.
-fn render_event(ev: &SessionEvent) -> String {
-    let mut o = JsonObject::new();
-    o.push_num("seq", ev.seq as f64);
+/// Serializes one event as a log line through the recycled [`LineBuf`]
+/// writer, with the global arrival index prepended as `seq`. Only the
+/// returned log line itself is allocated.
+fn render_event(buf: &mut LineBuf, ev: &SessionEvent) -> String {
+    buf.begin().field_u64("seq", ev.seq);
     for (k, v) in ev.payload.entries() {
-        match v {
-            JsonValue::Str(s) => o.push_str(k, s.clone()),
-            JsonValue::Num(n) => o.push_num(k, *n),
-            JsonValue::Bool(b) => o.push_bool(k, *b),
-        };
+        buf.field_value(k, v);
     }
-    o.to_line()
+    buf.end().to_string()
 }
 
 #[cfg(test)]
@@ -902,6 +1139,49 @@ mod tests {
             }
             last = Some(seq);
         }
+    }
+
+    #[test]
+    fn fast_parse_off_produces_identical_log() {
+        // The zero-allocation path must be unobservable in the output:
+        // clean lines, dirty lines, fused records, closes and reopens.
+        let mut lines = synthetic_lines();
+        lines.insert(100, "not json at all".to_string());
+        lines.insert(
+            200,
+            "{\"tenant\":\"vm-a\",\"acc{\"tenant\":\"vm-a\",\"access\":1,\"miss\":2}".to_string(),
+        );
+        lines.insert(300, "{\"tenant\":\"vm\\u002da\",\"access\":7,\"miss\":3}".to_string());
+        lines.insert(400, r#"{"tenant":"vm-c","ctl":"close"}"#.to_string());
+        for workers in [1usize, 4] {
+            let fast = run(fast_config(workers, 256), &lines);
+            let slow = run(
+                EngineConfig { fast_parse: false, ..fast_config(workers, 256) },
+                &lines,
+            );
+            assert_eq!(fast, slow, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn profiler_fields_appear_only_when_enabled() {
+        let run_stats_line = |prof: bool| {
+            let mut engine =
+                Engine::new(EngineConfig { prof, ..fast_config(1, 8) }).unwrap();
+            engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
+            engine.finish();
+            engine.log_lines().last().cloned().expect("stats line")
+        };
+        let plain = run_stats_line(false);
+        assert!(!plain.contains("prof_decode_ns"));
+        let profiled = run_stats_line(true);
+        for key in
+            ["prof_decode_ns", "prof_dispatch_ns", "prof_step_ns", "prof_merge_ns", "prof_write_ns"]
+        {
+            assert!(profiled.contains(key), "missing {key} in {profiled}");
+        }
+        let obj = JsonObject::parse(&profiled).expect("stats line parses");
+        assert!(obj.get_f64("prof_decode_ns").is_some());
     }
 
     #[test]

@@ -123,7 +123,10 @@ fn cmd_demo(seed: Option<&String>) -> i32 {
     for line in &lines {
         engine.ingest_line(line);
     }
-    engine.flush();
+    // finish() rather than flush(): the run is over, so drain and emit
+    // the `engine_stats` trailer (which carries the `MEMDOS_ENGINE_PROF`
+    // stage counters when enabled).
+    engine.finish();
     print_new_log(&engine, 0);
     eprintln!(
         "memdos-engine: {} input lines, {} log events, {} sessions",
@@ -190,6 +193,9 @@ fn cmd_replay(path: Option<&String>) -> i32 {
             return 1;
         }
     };
+    // The replay is complete: emit the `engine_stats` trailer too (and
+    // the `MEMDOS_ENGINE_PROF` stage counters when enabled).
+    engine.finish();
     print_new_log(&engine, 0);
     eprintln!(
         "memdos-engine: replayed {consumed} lines into {} sessions ({} malformed)",

@@ -13,7 +13,9 @@
 //! engine can log and count malformed input without dying.
 
 use memdos_core::detector::Observation;
-use memdos_metrics::jsonl::JsonObject;
+use memdos_metrics::jsonl::{parse_record_borrowed, JsonObject, RawKind, RawParse, RawRecord};
+
+pub use memdos_metrics::jsonl::RecordError;
 
 /// One decoded input line.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,15 +42,47 @@ impl Record {
         }
     }
 
-    /// Decodes one JSONL line.
+    /// Decodes one JSONL line: the zero-allocation fast path first
+    /// ([`parse_record_borrowed`]), with the [`JsonObject`] slow path
+    /// covering the escape-bearing lines the fast path defers on. Both
+    /// paths accept/reject identically (pinned by the engine's
+    /// parser-equivalence suite).
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason for syntax errors, a missing
+    /// Returns the [`RecordError`] class — syntax errors, a missing
     /// `tenant`, an unknown `ctl` verb, or missing/non-finite counters.
-    pub fn parse(line: &str) -> Result<Record, String> {
-        let obj = JsonObject::parse(line)?;
+    /// Render a human-readable reason lazily via
+    /// [`RecordError::reason`].
+    pub fn parse(line: &str) -> Result<Record, RecordError> {
+        match parse_record_borrowed(line) {
+            RawParse::Record(raw) => Ok(Record::from_raw(raw)),
+            RawParse::Reject(e) => Err(e),
+            RawParse::Fallback => Record::parse_slow(line),
+        }
+    }
+
+    /// Decodes one JSONL line through the allocating [`JsonObject`]
+    /// parser only — the reference implementation [`Record::parse`]'s
+    /// fast path must agree with.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RecordError`] class of the first problem.
+    pub fn parse_slow(line: &str) -> Result<Record, RecordError> {
+        let obj = JsonObject::parse(line).map_err(|_| RecordError::Syntax)?;
         Record::from_object(&obj)
+    }
+
+    /// Takes ownership of a borrowed fast-path record.
+    fn from_raw(raw: RawRecord<'_>) -> Record {
+        match raw.kind {
+            RawKind::Sample { access, miss } => Record::Sample {
+                tenant: raw.tenant.to_string(),
+                obs: Observation { access_num: access, miss_num: miss },
+            },
+            RawKind::Close => Record::Close { tenant: raw.tenant.to_string() },
+        }
     }
 
     /// Decodes an already-parsed object — the path resynchronised
@@ -57,31 +91,27 @@ impl Record {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason for a missing `tenant`, an
+    /// Returns the [`RecordError`] class for a missing `tenant`, an
     /// unknown `ctl` verb, or missing/non-finite counters.
-    pub fn from_object(obj: &JsonObject) -> Result<Record, String> {
+    pub fn from_object(obj: &JsonObject) -> Result<Record, RecordError> {
         let tenant = obj
             .get_str("tenant")
-            .ok_or_else(|| "missing string field \"tenant\"".to_string())?
+            .ok_or(RecordError::MissingTenant)?
             .to_string();
         if tenant.is_empty() {
-            return Err("field \"tenant\" must be non-empty".to_string());
+            return Err(RecordError::EmptyTenant);
         }
         if let Some(ctl) = obj.get("ctl") {
             return match ctl.as_str() {
                 Some("close") => Ok(Record::Close { tenant }),
-                Some(other) => Err(format!("unknown control verb {other:?}")),
-                None => Err("field \"ctl\" must be a string".to_string()),
+                Some(_) => Err(RecordError::UnknownCtl),
+                None => Err(RecordError::CtlNotString),
             };
         }
-        let access = obj
-            .get_f64("access")
-            .ok_or_else(|| "missing numeric field \"access\"".to_string())?;
-        let miss = obj
-            .get_f64("miss")
-            .ok_or_else(|| "missing numeric field \"miss\"".to_string())?;
+        let access = obj.get_f64("access").ok_or(RecordError::MissingAccess)?;
+        let miss = obj.get_f64("miss").ok_or(RecordError::MissingMiss)?;
         if !access.is_finite() || !miss.is_finite() {
-            return Err("counter fields must be finite".to_string());
+            return Err(RecordError::NonFinite);
         }
         Ok(Record::Sample { tenant, obs: Observation { access_num: access, miss_num: miss } })
     }
@@ -140,5 +170,36 @@ mod tests {
         assert!(Record::parse(r#"{"tenant":"vm-0","ctl":"open"}"#).is_err());
         assert!(Record::parse(r#"{"tenant":"vm-0","ctl":7}"#).is_err());
         assert!(Record::parse(r#"{"tenant":"vm-0","access":"x","miss":2}"#).is_err());
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree() {
+        let lines = [
+            r#"{"tenant":"vm-0","access":1234,"miss":56}"#,
+            r#"{"tenant":"vm-1","ctl":"close"}"#,
+            r#" { "tenant" : "vm-2" , "access" : 1e3 , "miss" : 0.5 } "#,
+            "not json",
+            r#"{"access":1,"miss":2}"#,
+            r#"{"tenant":"","access":1,"miss":2}"#,
+            r#"{"tenant":"vm-0","ctl":"open"}"#,
+            r#"{"tenant":"vm-0","access":1e999,"miss":2}"#,
+            // Escape-bearing lines take the slow path inside parse().
+            "{\"tenant\":\"vm\\u002d9\",\"access\":1,\"miss\":2}",
+            "{\"\\u0074enant\":\"vm-8\",\"access\":3,\"miss\":4}",
+        ];
+        for line in lines {
+            assert_eq!(Record::parse(line), Record::parse_slow(line), "line {line:?}");
+        }
+        // The escaped tenant decodes through the fallback.
+        let r = Record::parse("{\"tenant\":\"vm\\u002d9\",\"access\":1,\"miss\":2}").unwrap();
+        assert_eq!(r.tenant(), "vm-9");
+    }
+
+    #[test]
+    fn error_classes_render_lazily() {
+        let err = Record::parse(r#"{"tenant":"vm-0","ctl":"open"}"#).unwrap_err();
+        assert_eq!(err, RecordError::UnknownCtl);
+        assert_eq!(err.reason(), "unknown control verb");
+        assert_eq!(err.to_string(), err.reason());
     }
 }

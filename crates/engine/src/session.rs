@@ -403,10 +403,20 @@ impl Session {
         self.queue.push_back(Item::Close(seq, reason));
     }
 
-    /// Drains the queue through the lifecycle, producing the session's
+    /// Drains the queue through the lifecycle, collecting the session's
     /// events for this flush.
+    #[cfg(test)]
     pub(crate) fn process_queued(&mut self) -> Vec<SessionEvent> {
         let mut events = Vec::new();
+        self.process_queued_into(&mut events);
+        events
+    }
+
+    /// Drains the queue through the lifecycle, appending the session's
+    /// events for this flush to `events` — the engine passes a recycled
+    /// buffer so the steady-state flush allocates nothing here.
+    // hot-path
+    pub(crate) fn process_queued_into(&mut self, events: &mut Vec<SessionEvent>) {
         while let Some(item) = self.queue.pop_front() {
             let seq = item.seq();
             let mut sub = 0u32;
@@ -450,7 +460,6 @@ impl Session {
                 },
             }
         }
-        events
     }
 
     fn step_profiling(&mut self, obs: Observation, emit: &mut impl FnMut(JsonObject)) {

@@ -11,6 +11,16 @@
 //! every platform for the same bit pattern), and escaping covers exactly
 //! `"`/`\\` plus control characters (as `\u00XX`). Parsing accepts the
 //! standard JSON escapes and both integer and float notation.
+//!
+//! Two surfaces share that grammar:
+//!
+//! * the [`JsonObject`] tree — general, allocating, used by reports and
+//!   the [`Decoder`]'s resynchronisation path;
+//! * the ingest fast path — [`parse_record_borrowed`] decodes a
+//!   protocol record as borrowed spans with zero heap allocation, and
+//!   [`LineBuf`] renders event lines into a reusable buffer through the
+//!   shared [`write_f64`]/[`write_u64`] formatters, byte-identical to
+//!   [`JsonObject::to_line`].
 
 use std::fmt::Write as _;
 
@@ -128,20 +138,7 @@ impl JsonObject {
             out.push(':');
             match v {
                 JsonValue::Str(s) => escape_into(&mut out, s),
-                JsonValue::Num(n) => {
-                    if n.is_finite() {
-                        // Integers print without a fraction; everything
-                        // else uses shortest-roundtrip formatting.
-                        // lint:allow(float-eq) -- exact zero fraction selects integer formatting; near-integers must round-trip via {n}
-                        if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                            let _ = write!(out, "{}", *n as i64);
-                        } else {
-                            let _ = write!(out, "{n}");
-                        }
-                    } else {
-                        out.push_str("null");
-                    }
-                }
+                JsonValue::Num(n) => write_f64(&mut out, *n),
                 JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             }
         }
@@ -634,6 +631,494 @@ impl Parser<'_> {
     }
 }
 
+/// Appends `n` in decimal without going through `core::fmt`.
+// hot-path
+pub fn write_u64(out: &mut String, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    loop {
+        at -= 1;
+        if let Some(d) = digits.get_mut(at) {
+            *d = b'0' + (n % 10) as u8;
+        }
+        n /= 10;
+        if n == 0 || at == 0 {
+            break;
+        }
+    }
+    if let Ok(text) = std::str::from_utf8(digits.get(at..).unwrap_or(&[])) {
+        out.push_str(text);
+    }
+}
+
+/// Appends `n` in decimal, byte-identical to `i64`'s `Display`.
+// hot-path
+pub fn write_i64(out: &mut String, n: i64) {
+    if n < 0 {
+        out.push('-');
+    }
+    write_u64(out, n.unsigned_abs());
+}
+
+/// Appends `n` in the codec's canonical number format: integers without
+/// a fraction (fast digit loop), everything else through Rust's
+/// shortest-roundtrip `Display`, non-finite values as `null`. This is
+/// the single authority both [`JsonObject::to_line`] and [`LineBuf`]
+/// render numbers through, so their outputs are byte-identical.
+// hot-path
+pub fn write_f64(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Integers print without a fraction; everything else uses
+        // shortest-roundtrip formatting.
+        // lint:allow(float-eq) -- exact zero fraction selects integer formatting; near-integers must round-trip via {n}
+        if n.fract() == 0.0 && n.abs() < 9.0e15 {
+            write_i64(out, n as i64);
+        } else {
+            let _ = write!(out, "{n}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A reusable JSONL line writer: the allocation-free counterpart of
+/// building a [`JsonObject`] and calling [`JsonObject::to_line`]. The
+/// internal buffer is cleared — not freed — by [`LineBuf::begin`], so a
+/// long-lived `LineBuf` renders every event of a stream with zero
+/// steady-state allocation. Field for field it emits exactly the bytes
+/// `to_line` would (same escaping, same number format).
+#[derive(Debug, Default)]
+pub struct LineBuf {
+    buf: String,
+    fields: usize,
+}
+
+impl LineBuf {
+    /// An empty writer.
+    pub fn new() -> Self {
+        LineBuf::default()
+    }
+
+    /// Starts a new line, discarding the previous one (the allocation is
+    /// kept).
+    // hot-path
+    pub fn begin(&mut self) -> &mut Self {
+        self.buf.clear();
+        self.fields = 0;
+        self.buf.push('{');
+        self
+    }
+
+    // hot-path
+    fn sep(&mut self) {
+        if self.fields > 0 {
+            self.buf.push(',');
+        }
+        self.fields += 1;
+    }
+
+    /// Appends a string field.
+    // hot-path
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Appends a numeric field in the canonical [`write_f64`] format.
+    // hot-path
+    pub fn field_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer field via the fast digit loop.
+    ///
+    /// Matches [`LineBuf::field_num`] byte for byte up to 2^53, the
+    /// codec's exact-integer range.
+    // hot-path
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        write_u64(&mut self.buf, value);
+        self
+    }
+
+    /// Appends a boolean field.
+    // hot-path
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends an already-typed [`JsonValue`] field.
+    // hot-path
+    pub fn field_value(&mut self, key: &str, value: &JsonValue) -> &mut Self {
+        match value {
+            JsonValue::Str(s) => self.field_str(key, s),
+            JsonValue::Num(n) => self.field_num(key, *n),
+            JsonValue::Bool(b) => self.field_bool(key, *b),
+        }
+    }
+
+    /// Closes the line and returns it (no trailing newline). The buffer
+    /// stays valid until the next [`LineBuf::begin`].
+    // hot-path
+    pub fn end(&mut self) -> &str {
+        self.buf.push('}');
+        &self.buf
+    }
+}
+
+/// Why a line is not a protocol record. The fast path returns this as a
+/// small `Copy` enum — no `String` is built unless an error is actually
+/// rendered (see [`RecordError::reason`]), which keeps rejected lines
+/// cheap in the ingest hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The line is not one syntactically valid flat JSON object.
+    Syntax,
+    /// No `"tenant"` field with a string value.
+    MissingTenant,
+    /// The `"tenant"` string is empty.
+    EmptyTenant,
+    /// A `"ctl"` field is present but not a string.
+    CtlNotString,
+    /// The `"ctl"` verb is not one the protocol knows.
+    UnknownCtl,
+    /// No numeric `"access"` field on a sample record.
+    MissingAccess,
+    /// No numeric `"miss"` field on a sample record.
+    MissingMiss,
+    /// `"access"`/`"miss"` parsed to a non-finite number.
+    NonFinite,
+}
+
+impl RecordError {
+    /// The human-readable reason, rendered lazily (static, no
+    /// allocation).
+    pub fn reason(self) -> &'static str {
+        match self {
+            RecordError::Syntax => "malformed record syntax",
+            RecordError::MissingTenant => "missing string field \"tenant\"",
+            RecordError::EmptyTenant => "field \"tenant\" must be non-empty",
+            RecordError::CtlNotString => "field \"ctl\" must be a string",
+            RecordError::UnknownCtl => "unknown control verb",
+            RecordError::MissingAccess => "missing numeric field \"access\"",
+            RecordError::MissingMiss => "missing numeric field \"miss\"",
+            RecordError::NonFinite => "counter fields must be finite",
+        }
+    }
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
+/// A protocol record borrowed straight from the line that carried it:
+/// the tenant name is a span of the input, not a copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRecord<'a> {
+    /// Tenant name (borrowed from the line; guaranteed escape-free, so
+    /// the span *is* the decoded value).
+    pub tenant: &'a str,
+    /// Sample payload or control verb.
+    pub kind: RawKind,
+}
+
+/// The payload of a [`RawRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawKind {
+    /// A PCM sample: one `(AccessNum, MissNum)` pair.
+    Sample {
+        /// Bus accesses in the sampling period.
+        access: f64,
+        /// LLC misses in the sampling period.
+        miss: f64,
+    },
+    /// The `{"ctl":"close"}` control record.
+    Close,
+}
+
+/// Outcome of [`parse_record_borrowed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawParse<'a> {
+    /// A record, decoded with zero heap allocation.
+    Record(RawRecord<'a>),
+    /// The line is *definitely* not a record, for this reason — the
+    /// exact error the [`JsonObject`]-based slow path would report.
+    Reject(RecordError),
+    /// The fast path cannot decide without allocating (escape sequences
+    /// in a key or in a protocol string value); run the slow path.
+    Fallback,
+}
+
+/// Parses one protocol record directly from the line's bytes with zero
+/// heap allocation — the engine's ingest fast path.
+///
+/// The grammar and field semantics mirror [`JsonObject::parse`] +
+/// record validation exactly: flat objects only, duplicate keys
+/// first-wins, the same escape/number syntax. Three-way contract:
+///
+/// * [`RawParse::Record`] — the slow path would accept with the same
+///   field values;
+/// * [`RawParse::Reject`] — the slow path would reject with the same
+///   [`RecordError`];
+/// * [`RawParse::Fallback`] — escapes touched a key or a protocol
+///   string value, so decoding needs an allocation; the caller must
+///   re-parse through the slow path. Clean machine-generated streams
+///   never hit this.
+// hot-path
+pub fn parse_record_borrowed(line: &str) -> RawParse<'_> {
+    let mut p = RawParser { bytes: line.as_bytes(), text: line, pos: 0 };
+    // First occurrence per protocol key, matching `JsonObject::get`.
+    let mut tenant: Option<RawValue<'_>> = None;
+    let mut ctl: Option<RawValue<'_>> = None;
+    let mut access: Option<RawValue<'_>> = None;
+    let mut miss: Option<RawValue<'_>> = None;
+    let mut escaped_key = false;
+
+    p.skip_ws();
+    if p.bump() != Some(b'{') {
+        return RawParse::Reject(RecordError::Syntax);
+    }
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let Ok(key) = p.parse_string_raw() else {
+                return RawParse::Reject(RecordError::Syntax);
+            };
+            p.skip_ws();
+            if p.bump() != Some(b':') {
+                return RawParse::Reject(RecordError::Syntax);
+            }
+            p.skip_ws();
+            let Ok(value) = p.parse_value_raw() else {
+                return RawParse::Reject(RecordError::Syntax);
+            };
+            match key {
+                // An escaped key may decode to a protocol field name
+                // (and first-wins ordering would depend on it), so the
+                // whole line needs the decoding path.
+                RawStr::Escaped => escaped_key = true,
+                RawStr::Plain("tenant") => {
+                    if tenant.is_none() {
+                        tenant = Some(value);
+                    }
+                }
+                RawStr::Plain("ctl") => {
+                    if ctl.is_none() {
+                        ctl = Some(value);
+                    }
+                }
+                RawStr::Plain("access") => {
+                    if access.is_none() {
+                        access = Some(value);
+                    }
+                }
+                RawStr::Plain("miss") => {
+                    if miss.is_none() {
+                        miss = Some(value);
+                    }
+                }
+                RawStr::Plain(_) => {}
+            }
+            p.skip_ws();
+            match p.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return RawParse::Reject(RecordError::Syntax),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return RawParse::Reject(RecordError::Syntax);
+    }
+    if escaped_key {
+        return RawParse::Fallback;
+    }
+    // Record validation, in the exact order of the slow path.
+    let tenant = match tenant {
+        Some(RawValue::Str(RawStr::Plain(s))) => s,
+        Some(RawValue::Str(RawStr::Escaped)) => return RawParse::Fallback,
+        _ => return RawParse::Reject(RecordError::MissingTenant),
+    };
+    if tenant.is_empty() {
+        return RawParse::Reject(RecordError::EmptyTenant);
+    }
+    if let Some(ctl) = ctl {
+        return match ctl {
+            RawValue::Str(RawStr::Plain("close")) => {
+                RawParse::Record(RawRecord { tenant, kind: RawKind::Close })
+            }
+            RawValue::Str(RawStr::Plain(_)) => RawParse::Reject(RecordError::UnknownCtl),
+            RawValue::Str(RawStr::Escaped) => RawParse::Fallback,
+            _ => RawParse::Reject(RecordError::CtlNotString),
+        };
+    }
+    let access = match access {
+        Some(RawValue::Num(n)) => n,
+        _ => return RawParse::Reject(RecordError::MissingAccess),
+    };
+    let miss = match miss {
+        Some(RawValue::Num(n)) => n,
+        _ => return RawParse::Reject(RecordError::MissingMiss),
+    };
+    if !access.is_finite() || !miss.is_finite() {
+        return RawParse::Reject(RecordError::NonFinite);
+    }
+    RawParse::Record(RawRecord { tenant, kind: RawKind::Sample { access, miss } })
+}
+
+/// A string scanned in place by [`RawParser`]: either a clean span (the
+/// raw bytes are the decoded value) or one that contains escapes.
+#[derive(Debug, Clone, Copy)]
+enum RawStr<'a> {
+    Plain(&'a str),
+    Escaped,
+}
+
+/// A value scanned in place by [`RawParser`].
+#[derive(Debug, Clone, Copy)]
+enum RawValue<'a> {
+    Str(RawStr<'a>),
+    Num(f64),
+    Bool,
+}
+
+/// The zero-allocation twin of [`Parser`]: identical control flow and
+/// validation, but strings come back as spans of the input instead of
+/// freshly decoded `String`s. Any divergence between the two is a bug —
+/// the engine's parser-equivalence suite drives both over the same
+/// corpus.
+struct RawParser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> RawParser<'a> {
+    // hot-path
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    // hot-path
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    // hot-path
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Scans a quoted string, validating the same escape grammar as
+    /// [`Parser::parse_string`] without decoding it.
+    // hot-path
+    fn parse_string_raw(&mut self) -> Result<RawStr<'a>, ()> {
+        if self.bump() != Some(b'"') {
+            return Err(());
+        }
+        let start = self.pos;
+        let mut escaped = false;
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let end = self.pos - 1;
+                    return if escaped {
+                        Ok(RawStr::Escaped)
+                    } else {
+                        // Both span boundaries sit on ASCII quotes, so
+                        // the slice is valid UTF-8 whenever the input
+                        // is (it is: we were handed a `&str`).
+                        self.text.get(start..end).map(RawStr::Plain).ok_or(())
+                    };
+                }
+                Some(b'\\') => {
+                    escaped = true;
+                    match self.bump() {
+                        Some(b'"' | b'\\' | b'/' | b'n' | b'r' | b't' | b'b' | b'f') => {}
+                        Some(b'u') => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ())?;
+                            // Same scalar-value check as the slow path.
+                            char::from_u32(code).ok_or(())?;
+                            self.pos = end;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(()),
+                Some(_) => {}
+                None => return Err(()),
+            }
+        }
+    }
+
+    // hot-path
+    fn parse_number_raw(&mut self) -> Result<f64, ()> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ())?
+            .parse::<f64>()
+            .map_err(|_| ())
+    }
+
+    // hot-path
+    fn parse_value_raw(&mut self) -> Result<RawValue<'a>, ()> {
+        match self.peek() {
+            Some(b'"') => self.parse_string_raw().map(RawValue::Str),
+            Some(b't') => self.parse_keyword_raw("true"),
+            Some(b'f') => self.parse_keyword_raw("false"),
+            Some(b'{' | b'[') => Err(()),
+            Some(_) => self.parse_number_raw().map(RawValue::Num),
+            None => Err(()),
+        }
+    }
+
+    // hot-path
+    fn parse_keyword_raw(&mut self, word: &str) -> Result<RawValue<'a>, ()> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(RawValue::Bool)
+        } else {
+            Err(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +1275,141 @@ mod tests {
         assert_eq!(frames.len(), 2, "{frames:?}");
         assert!(matches!(&frames[0], Frame::Skipped { reason, .. } if reason.contains("cap")));
         assert!(matches!(&frames[1], Frame::Object(_)));
+    }
+
+    #[test]
+    fn integer_writers_match_display() {
+        let mut out = String::new();
+        for n in [0u64, 1, 9, 10, 99, 100, 12_345, u64::MAX, 10_u64.pow(19)] {
+            out.clear();
+            write_u64(&mut out, n);
+            assert_eq!(out, format!("{n}"));
+        }
+        for n in [0i64, -1, 1, -42, i64::MIN, i64::MAX, 9_007_199_254_740_992] {
+            out.clear();
+            write_i64(&mut out, n);
+            assert_eq!(out, format!("{n}"));
+        }
+    }
+
+    #[test]
+    fn write_f64_matches_to_line_rendering() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -17.0,
+            1234.5,
+            17.25,
+            -0.5,
+            1.0e-12,
+            9.0e15,
+            8.999e15,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            let mut fast = String::new();
+            write_f64(&mut fast, v);
+            let mut obj = JsonObject::new();
+            obj.push_num("v", v);
+            assert_eq!(format!("{{\"v\":{fast}}}"), obj.to_line(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn linebuf_matches_jsonobject_to_line() {
+        let mut obj = JsonObject::new();
+        obj.push_str("event", "verdict")
+            .push_str("tenant", "vm-α \"quoted\"\n")
+            .push_num("seq", 12_345.0)
+            .push_num("score", -0.125)
+            .push_bool("alarm", true);
+        let mut buf = LineBuf::new();
+        buf.begin();
+        for (k, v) in obj.entries() {
+            buf.field_value(k, v);
+        }
+        assert_eq!(buf.end(), obj.to_line());
+        // The buffer is reusable and begin() resets the separator state.
+        buf.begin().field_u64("seq", 7);
+        assert_eq!(buf.end(), r#"{"seq":7}"#);
+    }
+
+    #[test]
+    fn borrowed_parser_accepts_clean_records() {
+        match parse_record_borrowed(r#"{"tenant":"vm-0","access":1234,"miss":56}"#) {
+            RawParse::Record(RawRecord { tenant, kind: RawKind::Sample { access, miss } }) => {
+                assert_eq!(tenant, "vm-0");
+                assert_eq!(access, 1234.0);
+                assert_eq!(miss, 56.0);
+            }
+            other => panic!("expected sample, got {other:?}"),
+        }
+        match parse_record_borrowed(r#" { "tenant" : "vm-1" , "ctl" : "close" } "#) {
+            RawParse::Record(RawRecord { tenant, kind: RawKind::Close }) => {
+                assert_eq!(tenant, "vm-1");
+            }
+            other => panic!("expected close, got {other:?}"),
+        }
+        // Extra fields are ignored; duplicate keys are first-wins.
+        match parse_record_borrowed(r#"{"tenant":"a","access":1,"miss":2,"access":9,"x":true}"#) {
+            RawParse::Record(RawRecord { kind: RawKind::Sample { access, .. }, .. }) => {
+                assert_eq!(access, 1.0);
+            }
+            other => panic!("expected sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_parser_rejects_with_the_slow_path_reason() {
+        for (line, want) in [
+            ("", RecordError::Syntax),
+            ("nope", RecordError::Syntax),
+            (r#"{"tenant":"a","access":1,"miss":2} x"#, RecordError::Syntax),
+            (r#"{"tenant":{"a":1}}"#, RecordError::Syntax),
+            ("{}", RecordError::MissingTenant),
+            (r#"{"tenant":7,"access":1,"miss":2}"#, RecordError::MissingTenant),
+            (r#"{"tenant":"","access":1,"miss":2}"#, RecordError::EmptyTenant),
+            (r#"{"tenant":"a","ctl":7}"#, RecordError::CtlNotString),
+            (r#"{"tenant":"a","ctl":"open"}"#, RecordError::UnknownCtl),
+            (r#"{"tenant":"a"}"#, RecordError::MissingAccess),
+            (r#"{"tenant":"a","access":1}"#, RecordError::MissingMiss),
+            (r#"{"tenant":"a","access":1e999,"miss":2}"#, RecordError::NonFinite),
+        ] {
+            assert_eq!(
+                parse_record_borrowed(line),
+                RawParse::Reject(want),
+                "line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_parser_falls_back_on_escapes_in_protocol_strings() {
+        // Escaped key: could decode to a protocol field name.
+        let escaped_key = "{\"\\u0074enant\":\"a\",\"access\":1,\"miss\":2}";
+        assert_eq!(parse_record_borrowed(escaped_key), RawParse::Fallback);
+        // Escaped tenant value: the span is not the decoded value.
+        assert_eq!(
+            parse_record_borrowed(r#"{"tenant":"a\nb","access":1,"miss":2}"#),
+            RawParse::Fallback
+        );
+        // Escaped ctl verb.
+        let escaped_ctl = "{\"tenant\":\"a\",\"ctl\":\"clos\\u0065\"}";
+        assert_eq!(parse_record_borrowed(escaped_ctl), RawParse::Fallback);
+        // Escapes in an *ignored* string value decide nothing — still a
+        // clean record.
+        assert!(matches!(
+            parse_record_borrowed(r#"{"tenant":"a","note":"x\ty","access":1,"miss":2}"#),
+            RawParse::Record(_)
+        ));
+        // A malformed escape is a syntax error, not a fallback.
+        assert_eq!(
+            parse_record_borrowed(r#"{"tenant":"a\qb","access":1,"miss":2}"#),
+            RawParse::Reject(RecordError::Syntax)
+        );
     }
 
     #[test]

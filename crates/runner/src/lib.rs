@@ -38,6 +38,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod shard;
+
+pub use shard::ShardPool;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -97,6 +101,35 @@ pub fn threads_config() -> ThreadsSelection {
 /// surface the diagnostic.
 pub fn threads() -> usize {
     threads_config().workers
+}
+
+/// The machine's available parallelism (1 when it cannot be
+/// determined), independent of `MEMDOS_THREADS`.
+///
+/// Use this to *clamp* a requested worker count for CPU-bound pools:
+/// oversubscribing cores buys no concurrency, only scheduling latency
+/// and channel round-trips, so `requested.min(cores())` is the widest
+/// pool worth spawning. Output must never depend on the value —
+/// callers' determinism contracts already guarantee worker-count
+/// invariance.
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Monotonic nanoseconds since an arbitrary process-local origin.
+///
+/// Lives here because wall-clock access is reserved for the harness
+/// crates (lint rule L2): deterministic crates that need an *optional*
+/// profiling clock (the engine's `MEMDOS_ENGINE_PROF` stage counters)
+/// take timestamps through this helper instead of touching
+/// `std::time::Instant` themselves. Never feed the value into anything
+/// that shapes output — it is for diagnostics only.
+pub fn monotonic_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    Instant::now().duration_since(origin).as_nanos() as u64
 }
 
 /// Applies `f` to every item of `items` on `workers` threads and returns

@@ -10,7 +10,18 @@
 //!   object), or
 //! * any `*_ns` kernel got more than `tolerance`× slower than the
 //!   checked-in baseline, or
-//! * any `*per_sec*` throughput dropped below `1/tolerance` of baseline.
+//! * any `*per_sec*` throughput dropped below `1/tolerance` of baseline,
+//!   or
+//! * any `*scaling*` ratio fell below parity — these keys are
+//!   dimensionless speedups (e.g. 4-worker over 1-worker ingest
+//!   throughput), so the gate is absolute rather than
+//!   baseline-relative: parallel dispatch must never be materially
+//!   slower than single-threaded, on any machine, regardless of
+//!   tolerance. "Materially" is a fixed 5 % timer-noise floor
+//!   ([`SCALING_FLOOR`]): on a single-core host both sides of the
+//!   ratio run the identical clamped serial path and measure 1.0 ± a
+//!   few percent, while the pathology this gate was built against
+//!   (per-batch thread round-trips) measured 0.62.
 //!
 //! The default tolerance is 2.0 (a deliberate wide margin: CI machines
 //! are noisy and share cores); override with `MEMDOS_BENCH_TOLERANCE`.
@@ -118,6 +129,12 @@ fn lookup(report: &[(String, f64)], key: &str) -> Option<f64> {
     report.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
 }
 
+/// Absolute lower bound for `*scaling*` speedup ratios: parity minus a
+/// 5 % measurement-noise allowance. Not scaled by the tolerance — a
+/// parallel path slower than this is a structural regression, not a
+/// noisy machine.
+pub const SCALING_FLOOR: f64 = 0.95;
+
 /// Compares a current report against a baseline; returns one line per
 /// problem (empty = pass). `tolerance` is the allowed slowdown factor.
 pub fn compare(
@@ -151,6 +168,13 @@ pub fn compare(
         if key.contains("per_sec") && cur * tolerance < *base {
             problems.push(format!(
                 "{key}: {cur:.2}/s vs baseline {base:.2}/s — less than 1/{tolerance} of baseline"
+            ));
+        }
+        if key.contains("scaling") && cur < SCALING_FLOOR {
+            problems.push(format!(
+                "{key}: speedup ratio {cur:.3} < {SCALING_FLOOR} — parallel dispatch is \
+                 slower than single-threaded (baseline ratio {base:.3}); the gate is \
+                 absolute, not tolerance-scaled"
             ));
         }
     }
@@ -221,6 +245,25 @@ mod tests {
         // Extra keys in current are fine (new benchmarks).
         let grown = vec![("k_ns".to_string(), 100.0), ("new_ns".to_string(), 5.0)];
         assert!(compare(&grown, &base, 2.0).is_empty());
+    }
+
+    #[test]
+    fn scaling_ratios_gate_absolutely() {
+        let base =
+            vec![("k_ns".to_string(), 100.0), ("engine_ingest_scaling_t4".to_string(), 1.5)];
+        // Parity-within-noise passes even far below the baseline ratio —
+        // the gate is absolute, not relative.
+        let ok = vec![("k_ns".to_string(), 100.0), ("engine_ingest_scaling_t4".to_string(), 0.97)];
+        assert!(compare(&ok, &base, 2.0).is_empty());
+        // Below the noise floor fails regardless of how generous the
+        // tolerance is.
+        let neg =
+            vec![("k_ns".to_string(), 100.0), ("engine_ingest_scaling_t4".to_string(), 0.93)];
+        let problems = compare(&neg, &base, 1000.0);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        // A scaling key in the baseline must not vanish from the report.
+        let gone = vec![("k_ns".to_string(), 100.0)];
+        assert_eq!(compare(&gone, &base, 2.0).len(), 1);
     }
 
     #[test]

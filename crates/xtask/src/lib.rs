@@ -4,7 +4,7 @@
 //! `cargo run -p xtask -- lint`. It walks every `crates/*/src` tree (and
 //! the root package's `src/`) with one task per crate fanned across
 //! `MEMDOS_THREADS` workers, strips comments and string literals with a
-//! small hand-rolled lexer, and enforces six rule families:
+//! small hand-rolled lexer, and enforces seven rule families:
 //!
 //! * **L1 panic-freedom** — no `unwrap()`/`expect()`/`panic!`/
 //!   `unreachable!`/`todo!`/`unimplemented!` and no unchecked slice
@@ -31,12 +31,19 @@
 //!   only through the `Detector` trait (`on_observation`); the
 //!   scheme-private `on_sample` methods were folded into the trait path
 //!   during the verdict API unification and must not leak back out.
+//! * **L7 hot-path allocation** — in the ingest crates (`engine`,
+//!   `metrics`), functions marked with a `// hot-path` comment must not
+//!   build `String`s (`format!`, `.to_string()`, `.to_owned()`,
+//!   `String::new/from/with_capacity`): the streaming fast path promises
+//!   zero allocations per sample, and one stray `format!` silently
+//!   un-promises it. Render through `jsonl::LineBuf` and the `write_*`
+//!   formatters instead.
 //!
 //! A finding is suppressed only by an inline justification on the same
 //! line or the line above: `// lint:allow(<category>) -- <reason>`.
 //! Categories: `panic`, `index`, `time`, `collections`, `rand`,
-//! `float-eq`, `partial-cmp`, `thread`, `seed`, `step`. Markers without a
-//! reason are themselves reported and suppress nothing.
+//! `float-eq`, `partial-cmp`, `thread`, `seed`, `step`, `hot-alloc`.
+//! Markers without a reason are themselves reported and suppress nothing.
 //!
 //! A second subcommand, `cargo run -p xtask -- bench-check <current>
 //! <baseline> [<current> <baseline> ...]`, validates one or more
@@ -118,6 +125,11 @@ const SEED_AUTHORITY_CRATES: [&str; 1] = ["stats"];
 /// methods; everyone else steps detectors through the `Detector` trait.
 const DETECTOR_AUTHORITY_CRATES: [&str; 1] = ["core"];
 
+/// The crates carrying the allocation-free ingest contract: functions
+/// marked `// hot-path` there are held to the L7 no-String-allocation
+/// rule.
+const HOT_PATH_CRATES: [&str; 2] = ["engine", "metrics"];
+
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries =
@@ -151,6 +163,7 @@ fn lint_crate(root: &Path, crate_dir: &Path, name: &str) -> Result<Vec<Finding>,
         harness: HARNESS_CRATES.contains(&name),
         seed_authority: SEED_AUTHORITY_CRATES.contains(&name),
         detector_authority: DETECTOR_AUTHORITY_CRATES.contains(&name),
+        hot_path_checked: HOT_PATH_CRATES.contains(&name),
     };
 
     let manifest_path = crate_dir.join("Cargo.toml");

@@ -40,6 +40,11 @@ pub struct FileScope {
     /// trait (`on_observation`), which is the sole supported surface
     /// since the verdict API unification.
     pub detector_authority: bool,
+    /// True for the crates with an allocation-free ingest contract
+    /// (`engine`, `metrics`): functions marked `// hot-path` there must
+    /// not build `String`s (`format!`, `.to_string()`, …) — the L7
+    /// family.
+    pub hot_path_checked: bool,
 }
 
 fn is_ident(c: u8) -> bool {
@@ -122,6 +127,68 @@ fn test_ranges(code: &str) -> Vec<(usize, usize)> {
 
 fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
     ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+/// Inclusive 1-based line ranges of functions marked `// hot-path`.
+///
+/// The marker is a comment, so it is read from the *raw* source (the
+/// stripped code has blanked it); the function body it announces is then
+/// brace-matched in the stripped code, where braces in strings and
+/// comments cannot confuse the matcher. The marker covers the first `fn`
+/// within the next few lines, so it sits naturally between a doc comment
+/// and the signature.
+fn hot_path_ranges(source: &str, code: &str) -> Vec<(usize, usize)> {
+    let markers: Vec<usize> = source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            t == "// hot-path" || t.starts_with("// hot-path ")
+        })
+        .map(|(i, _)| i + 1)
+        .collect();
+    if markers.is_empty() {
+        return Vec::new();
+    }
+    let code_lines: Vec<&str> = code.lines().collect();
+    let mut ranges = Vec::new();
+    for mark in markers {
+        // `mark` is 1-based, so index `mark` is the line after it.
+        let Some(fn_idx) = (mark..code_lines.len().min(mark + 8))
+            .find(|&i| code_lines.get(i).is_some_and(|l| has_token(l, "fn")))
+        else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        let mut end = fn_idx;
+        'body: for (i, l) in code_lines.iter().enumerate().skip(fn_idx) {
+            for c in l.bytes() {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if seen_brace && depth == 0 {
+                            end = i;
+                            break 'body;
+                        }
+                    }
+                    // A body-less signature (trait method) ends the item.
+                    b';' if !seen_brace => {
+                        end = i;
+                        break 'body;
+                    }
+                    _ => {}
+                }
+            }
+            end = i;
+        }
+        ranges.push((fn_idx + 1, end + 1));
+    }
+    ranges
 }
 
 /// Resolved suppression targets: a justified marker covers its own line
@@ -269,6 +336,11 @@ fn unchecked_index_on_line(line: &str) -> bool {
 pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> {
     let stripped = strip(source);
     let tests = test_ranges(&stripped.code);
+    let hot = if scope.hot_path_checked {
+        hot_path_ranges(source, &stripped.code)
+    } else {
+        Vec::new()
+    };
     let mut findings: Vec<Finding> = Vec::new();
 
     for a in &stripped.allows {
@@ -404,6 +476,30 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                     .to_string(),
             );
         }
+        if in_ranges(&hot, line_no) {
+            const ALLOC_PATTERNS: [&str; 6] = [
+                "format!",
+                ".to_string(",
+                ".to_owned(",
+                "String::new(",
+                "String::from(",
+                "String::with_capacity(",
+            ];
+            for pat in ALLOC_PATTERNS {
+                if raw_line.contains(pat) {
+                    push(
+                        "L7/hot-alloc",
+                        "hot-alloc",
+                        format!(
+                            "{pat} inside a `// hot-path` function allocates a String \
+                             per call; render through jsonl::LineBuf / the write_* \
+                             formatters, or move the allocation out of the hot path"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
     }
     findings
 }
@@ -455,6 +551,7 @@ mod tests {
         harness: false,
         seed_authority: false,
         detector_authority: false,
+        hot_path_checked: false,
     };
 
     fn rules_of(source: &str) -> Vec<&'static str> {
@@ -508,7 +605,7 @@ mod tests {
             rules_of("use std::collections::HashMap;\n"),
             vec!["L2/collections"]
         );
-        let loose = FileScope { detector_authority: false, deterministic: false, harness: false, seed_authority: false };
+        let loose = FileScope { deterministic: false, ..SCOPE };
         assert!(check_source("t.rs", "use std::collections::HashMap;\n", loose).is_empty());
     }
 
@@ -518,7 +615,7 @@ mod tests {
         assert_eq!(rules_of("fn f() { thread::scope(|s| {}); }\n"), vec!["L5/thread"]);
         // Thread-local storage and prose are not spawning.
         assert!(rules_of("thread_local! { static X: u8 = 0; }\n").is_empty());
-        let harness = FileScope { detector_authority: false, deterministic: false, harness: true, seed_authority: false };
+        let harness = FileScope { deterministic: false, harness: true, ..SCOPE };
         let src = "fn f() { std::thread::spawn(|| {}); let t = Instant::now(); }\n";
         assert!(check_source("t.rs", src, harness).is_empty());
     }
@@ -530,7 +627,7 @@ mod tests {
             vec!["L5/seed"]
         );
         assert_eq!(rules_of("let s = x * 0x9e3779b97f4a7c15u64;\n"), vec!["L5/seed"]);
-        let stats = FileScope { detector_authority: false, deterministic: true, harness: false, seed_authority: true };
+        let stats = FileScope { seed_authority: true, ..SCOPE };
         let src = "const S: u64 = 0x9E37_79B9_7F4A_7C15;\n";
         assert!(check_source("t.rs", src, stats).is_empty());
         assert!(rules_of("let s = memdos_stats::rng::derive_seed(base, run);\n").is_empty());
@@ -544,6 +641,34 @@ mod tests {
         assert!(rules_of("fn on_sample(x: f64) {}\n").is_empty());
         let core = FileScope { detector_authority: true, ..SCOPE };
         assert!(check_source("t.rs", "fn f() { det.on_sample(x); }\n", core).is_empty());
+    }
+
+    #[test]
+    fn flags_string_allocation_in_hot_path_functions_only() {
+        let hot = FileScope { hot_path_checked: true, ..SCOPE };
+        let rules = |src: &str| -> Vec<&'static str> {
+            check_source("t.rs", src, hot).iter().map(|f| f.rule).collect()
+        };
+        // Inside a marked function: every String-allocating idiom flags.
+        let src = "// hot-path\nfn f(x: u32) -> String { format!(\"{x}\") }\n";
+        assert_eq!(rules(src), vec!["L7/hot-alloc"]);
+        let src = "// hot-path\nfn f(x: u32) -> String { x.to_string() }\n";
+        assert_eq!(rules(src), vec!["L7/hot-alloc"]);
+        let src = "// hot-path\nfn f(s: &str) -> String { s.to_owned() }\n";
+        assert_eq!(rules(src), vec!["L7/hot-alloc"]);
+        let src = "// hot-path\nfn f() -> String { String::with_capacity(8) }\n";
+        assert_eq!(rules(src), vec!["L7/hot-alloc"]);
+        // The marker reaches past attributes to its fn, and the range
+        // ends with the body: the next (unmarked) fn is free to allocate.
+        let src = "// hot-path\n#[inline]\nfn f(out: &mut String) {\n    out.push('x');\n}\n\nfn cold() -> String { format!(\"ok\") }\n";
+        assert!(rules(src).is_empty());
+        // Unmarked functions never flag, and without scope nothing does.
+        assert!(rules("fn f(x: u32) -> String { format!(\"{x}\") }\n").is_empty());
+        let src = "// hot-path\nfn f(x: u32) -> String { format!(\"{x}\") }\n";
+        assert!(check_source("t.rs", src, SCOPE).is_empty());
+        // A justified allow suppresses, as everywhere.
+        let src = "// hot-path\nfn f(x: u32) -> String {\n    // lint:allow(hot-alloc) -- cold error branch\n    format!(\"{x}\")\n}\n";
+        assert!(rules(src).is_empty());
     }
 
     #[test]

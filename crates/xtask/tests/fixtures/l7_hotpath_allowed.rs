@@ -1,0 +1,45 @@
+//! Fixture: what the hot-path allocation rule must NOT flag — unmarked
+//! functions (free to allocate), marked functions that write through
+//! reusable buffers, code past the marked body, justified allows, and
+//! test code.
+
+/// Appends digits without allocating; the marker covers only this body.
+// hot-path
+pub fn write_u64(out: &mut String, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    loop {
+        at -= 1;
+        if let Some(d) = digits.get_mut(at) {
+            *d = b'0' + (n % 10) as u8;
+        }
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(digits.get(at..).unwrap_or(&[])).unwrap_or(""));
+}
+
+/// Unmarked: the cold error path may build Strings freely.
+pub fn describe(seq: u64) -> String {
+    format!("cold diagnostic for seq {seq}")
+}
+
+// hot-path
+pub fn justified(line: &str) -> String {
+    // lint:allow(hot-alloc) -- the returned log line itself must own its bytes
+    line.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        // hot-path
+        fn helper(x: u64) -> String {
+            x.to_string()
+        }
+        assert_eq!(helper(7), "7");
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: String allocation inside `// hot-path` functions — every
+//! allocating idiom in a marked function must fire L7/hot-alloc.
+
+/// Renders a sample line the slow, allocating way.
+// hot-path
+pub fn render_sample(out: &mut String, seq: u64) {
+    out.push_str(&format!("{{\"seq\":{seq}}}"));
+}
+
+// hot-path
+#[inline]
+pub fn label_of(tenant: &str) -> String {
+    tenant.to_string()
+}
+
+// hot-path
+pub fn owned_reason(reason: &str) -> String {
+    let mut s = String::with_capacity(reason.len());
+    s.push_str(&reason.to_owned());
+    s
+}

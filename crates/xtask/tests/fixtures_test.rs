@@ -10,8 +10,10 @@ const LIB_SCOPE: FileScope = FileScope {
     harness: false,
     seed_authority: false,
     detector_authority: false,
+    hot_path_checked: false,
 };
 const DET_SCOPE: FileScope = FileScope { deterministic: true, ..LIB_SCOPE };
+const HOT_SCOPE: FileScope = FileScope { hot_path_checked: true, ..LIB_SCOPE };
 const HARNESS_SCOPE: FileScope = FileScope { harness: true, ..LIB_SCOPE };
 const STATS_SCOPE: FileScope =
     FileScope { deterministic: true, seed_authority: true, ..LIB_SCOPE };
@@ -150,6 +152,24 @@ fn l6_step_spares_trait_path_allows_tests_and_the_core_crate() {
     let violation = include_str!("fixtures/l6_detector_violation.rs");
     let findings = check_source("fixture.rs", violation, CORE_SCOPE);
     assert_eq!(count(&findings, "L6/step"), 0, "{findings:?}");
+}
+
+#[test]
+fn l7_hot_alloc_fires_inside_marked_functions() {
+    let src = include_str!("fixtures/l7_hotpath_violation.rs");
+    let findings = check_source("fixture.rs", src, HOT_SCOPE);
+    // format!, .to_string(), String::with_capacity(), .to_owned()
+    assert_eq!(count(&findings, "L7/hot-alloc"), 4, "{findings:?}");
+    // The family only guards the crates with the allocation-free contract.
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l7_hot_alloc_spares_buffers_cold_paths_allows_and_tests() {
+    let src = include_str!("fixtures/l7_hotpath_allowed.rs");
+    let findings = check_source("fixture.rs", src, HOT_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

@@ -27,8 +27,10 @@ cargo test -q
 
 # The property-based suite is feature-gated because the offline build
 # environment cannot fetch the external proptest crate. Run it whenever
-# the dependency has been restored under [dev-dependencies].
-if grep -Eq '^proptest *=' Cargo.toml; then
+# the dependency has been restored under [dev-dependencies] — the
+# section must be scoped, or the `proptest = []` entry under
+# [features] matches and the step fails on the missing crate.
+if sed -n '/^\[dev-dependencies\]/,/^\[/p' Cargo.toml | grep -Eq '^proptest *='; then
     echo "==> cargo test --features proptest --test properties"
     cargo test -q --features proptest --test properties
 else

@@ -44,6 +44,29 @@ fn demo_replay_is_byte_identical_across_workers_and_reruns() {
 }
 
 #[test]
+fn demo_replay_is_byte_identical_with_fast_path_on_and_off() {
+    // The zero-allocation ingest fast path must be unobservable: the
+    // demo replay through the borrowed parser and through the allocating
+    // JsonObject parser produces the same bytes at every worker count.
+    let lines = demo_lines();
+    let reference = replay(lines, 1);
+    for workers in [1usize, 2, 4] {
+        let mut config = demo_engine_config(workers);
+        config.fast_parse = false;
+        let mut engine = Engine::new(config).expect("demo config is valid");
+        for line in lines {
+            engine.ingest_line(line);
+        }
+        engine.flush();
+        assert_eq!(
+            engine.log_lines(),
+            &reference[..],
+            "slow-path replay diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
 fn demo_replay_log_tells_the_expected_story() {
     let log = replay(demo_lines(), memdos::runner::threads());
     let events: Vec<JsonObject> = log
