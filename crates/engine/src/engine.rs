@@ -459,7 +459,9 @@ impl Engine {
                 // The fast path only rejects what the slow path rejects
                 // for the same reason (pinned by the equivalence suite),
                 // so resync directly — re-parsing would fail again.
+                // lint:allow(hot-propagate) -- resync recovers from corrupt input; the fault path may allocate
                 RawParse::Reject(_) => self.ingest_resync(line),
+                // lint:allow(hot-propagate) -- the slow parse is the announced fallback; its diagnostics may allocate
                 RawParse::Fallback => match Record::parse_slow(line) {
                     Ok(record) => {
                         let seq = self.alloc_seq();
@@ -664,6 +666,7 @@ impl Engine {
     /// Opens incarnation `generation` of `tenant` and points the tenant
     /// slot at it, interning the name on first contact. The only
     /// per-tenant allocations in the whole routing path live here.
+    // lint:allow(hot-propagate) -- session open is once per tenant incarnation; interning the key and the failure event may allocate
     fn open_session(&mut self, seq: u64, tenant: &str, generation: u32) -> Option<usize> {
         match Session::open_generation(tenant, self.config.session, generation) {
             Ok(session) => {
@@ -879,6 +882,7 @@ fn render_event(buf: &mut LineBuf, ev: &SessionEvent) -> String {
     for (k, v) in ev.payload.entries() {
         buf.field_value(k, v);
     }
+    // lint:allow(hot-propagate) -- the emitted log line is the one permitted allocation per event; everything upstream renders into the recycled buffer
     buf.end().to_string()
 }
 

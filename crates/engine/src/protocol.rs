@@ -75,6 +75,7 @@ impl Record {
     }
 
     /// Takes ownership of a borrowed fast-path record.
+    // lint:allow(hot-propagate) -- owning the tenant key is the cost of leaving the borrowed fast path; the zero-alloc route stays on RawRecord
     fn from_raw(raw: RawRecord<'_>) -> Record {
         match raw.kind {
             RawKind::Sample { access, miss } => Record::Sample {
@@ -93,6 +94,7 @@ impl Record {
     ///
     /// Returns the [`RecordError`] class for a missing `tenant`, an
     /// unknown `ctl` verb, or missing/non-finite counters.
+    // lint:allow(hot-propagate) -- the resync decode path owns its tenant key; it runs only after a parse fault, not per sample
     pub fn from_object(obj: &JsonObject) -> Result<Record, RecordError> {
         let tenant = obj
             .get_str("tenant")

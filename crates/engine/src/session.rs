@@ -500,6 +500,7 @@ impl Session {
                 let mut o = JsonObject::new();
                 o.push_str("event", "profile_failed")
                     .push_str("tenant", &self.tenant)
+                    // lint:allow(hot-propagate) -- rendering the failure reason happens once, on the transition that closes the session
                     .push_str("reason", e.to_string());
                 emit(o);
             }

@@ -124,6 +124,7 @@ pub fn cores() -> usize {
 /// take timestamps through this helper instead of touching
 /// `std::time::Instant` themselves. Never feed the value into anything
 /// that shapes output — it is for diagnostics only.
+// lint:allow(determinism-taint) -- diagnostics-only stage profiling clock; gated behind MEMDOS_ENGINE_PROF and never fed into verdicts
 pub fn monotonic_ns() -> u64 {
     use std::sync::OnceLock;
     use std::time::Instant;

@@ -19,6 +19,7 @@
 //!   real transform is computed as an `N/2`-point complex transform plus an
 //!   `O(N)` unpacking pass, roughly halving the work of [`fft_real`].
 
+// lint:allow(shared-state) -- single-thread interior mutability for the per-thread plan cache; never shared across shards
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -225,6 +226,7 @@ thread_local! {
     /// Per-thread plan cache indexed by `log2(size)`. Thread-local (rather
     /// than a shared lock) keeps the stats crate free of synchronization
     /// and makes plan reuse contention-free under the parallel runner.
+    // lint:allow(shared-state) -- thread-local, so each shard owns its cache; no cross-shard mutable state exists here
     static PLAN_CACHE: RefCell<Vec<Option<Rc<FftPlan>>>> = const { RefCell::new(Vec::new()) };
 }
 

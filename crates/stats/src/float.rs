@@ -33,8 +33,9 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
         return false;
     }
     if a == b {
-        // lint:allow(float-eq) -- the one intentional exact comparison:
-        // catches identical bit patterns and infinities of the same sign.
+        // The one intentional exact comparison: catches identical bit
+        // patterns and infinities of the same sign. (The L3 scanner does
+        // not fire on untyped `a == b`, so no suppression is needed.)
         return true;
     }
     if a.is_infinite() || b.is_infinite() {

@@ -1,10 +1,18 @@
-//! A minimal Rust lexer for the lint pass.
+//! The Rust lexer behind both analyzer phases.
 //!
-//! `strip` blanks out comments and string/char literals while preserving
-//! byte offsets and line numbers, so the rule scanners never fire on
-//! prose or on patterns quoted inside strings. Line comments are scanned
-//! for `lint:allow(<category>) -- <reason>` suppression markers before
-//! being blanked.
+//! Two entry points over the same underlying scanner:
+//!
+//! * [`strip`] blanks out comments and string/char literals while
+//!   preserving byte offsets and line numbers, so the line-oriented rule
+//!   scanners never fire on prose or on patterns quoted inside strings.
+//! * [`tokenize`] produces a full token stream — identifiers (including
+//!   raw `r#ident`s), numbers, string/char literals (plain, byte, raw
+//!   with any number of `#`s), lifetimes, punctuation, and delimiters —
+//!   each carrying its byte span and 1-based line/column, which is what
+//!   the phase-1 item parser ([`crate::symbols`]) consumes.
+//!
+//! Line comments are scanned for `lint:allow(<category>) -- <reason>`
+//! suppression markers before being dropped, in both entry points.
 
 /// A suppression marker found in a line comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +59,15 @@ fn parse_allow(text: &str, line: usize, allows: &mut Vec<Allow>) {
         return;
     };
     let category = rest.get(..close).unwrap_or("").trim().to_string();
+    // Prose about the marker syntax (`lint:allow(<category>)` in docs)
+    // is not a marker: a real category is a bare kebab-case word.
+    let category_like = !category.is_empty()
+        && category
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+    if !category_like {
+        return;
+    }
     let after = rest.get(close + 1..).unwrap_or("");
     let justified = match after.find("--") {
         Some(dash) => !after.get(dash + 2..).unwrap_or("").trim().is_empty(),
@@ -191,6 +208,271 @@ pub fn strip(source: &str) -> Stripped {
     Stripped { code: String::from_utf8_lossy(&out).into_owned(), allows }
 }
 
+/// Kind of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`), without a closing quote.
+    Lifetime,
+    /// Numeric literal (integer, float, hex/oct/bin, with suffixes).
+    Number,
+    /// String literal: plain, byte, raw or raw-byte, any `#` count.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// One punctuation byte (`.`, `:`, `=`, `!`, …). Multi-byte
+    /// operators arrive as consecutive `Punct` tokens.
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte span in the source (`start..end`).
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Result of tokenizing one source file.
+#[derive(Debug, Clone)]
+pub struct TokenStream {
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` markers, in source order (same contract as
+    /// [`Stripped::allows`]).
+    pub allows: Vec<Allow>,
+}
+
+/// True for bytes that can start an identifier. Bytes >= 0x80 are the
+/// continuation of multi-byte UTF-8 identifiers and ride along.
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    is_ident(c) || c >= 0x80
+}
+
+/// Lexes `source` into a full token stream. Comments vanish (allow
+/// markers are still collected); string and char literals become single
+/// `Str`/`Char` tokens spanning the whole literal, so delimiter nesting
+/// computed over `Open`/`Close` tokens can never be confused by quoted
+/// braces.
+pub fn tokenize(source: &str) -> TokenStream {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::with_capacity(source.len() / 4);
+    let mut allows = Vec::new();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut i = 0usize;
+    // Advances the cursor over `n` bytes, tracking line/column.
+    macro_rules! advance {
+        ($n:expr) => {{
+            let n: usize = $n;
+            for k in i..(i + n).min(bytes.len()) {
+                if at(bytes, k) == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            i = (i + n).min(bytes.len());
+        }};
+    }
+    while i < bytes.len() {
+        let c = at(bytes, i);
+        let (tline, tcol) = (line, col);
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Line comment: collect allow markers, drop the text.
+        if c == b'/' && at(bytes, i + 1) == b'/' {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && at(bytes, j) != b'\n' {
+                j += 1;
+            }
+            parse_allow(source.get(start..j).unwrap_or(""), line as usize, &mut allows);
+            advance!(j - i);
+            continue;
+        }
+        // Block comment (nested), dropped.
+        if c == b'/' && at(bytes, i + 1) == b'*' {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if at(bytes, j) == b'/' && at(bytes, j + 1) == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if at(bytes, j) == b'*' && at(bytes, j + 1) == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            advance!(j - i);
+            continue;
+        }
+        let prev_ident = i > 0 && is_ident_cont(at(bytes, i - 1));
+        // String literals: plain, byte, raw, raw-byte — but not raw
+        // identifiers (`r#type`), which fall through to the ident arm.
+        if !prev_ident {
+            let (prefix_len, raw) = match (c, at(bytes, i + 1)) {
+                (b'"', _) => (0usize, false),
+                (b'b', b'"') => (1, false),
+                (b'r', b'"') => (1, true),
+                (b'r', b'#') if !is_ident_start(at(bytes, i + 2)) || at(bytes, i + 2) == b'"' => {
+                    (1, true)
+                }
+                (b'b', b'r') if matches!(at(bytes, i + 2), b'"' | b'#') => (2, true),
+                _ => (usize::MAX, false),
+            };
+            if prefix_len != usize::MAX {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                if raw {
+                    while at(bytes, j) == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if at(bytes, j) == b'"' {
+                    j += 1;
+                    loop {
+                        let b = at(bytes, j);
+                        if b == 0 {
+                            break; // unterminated: token runs to EOF
+                        }
+                        if !raw && b == b'\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if b == b'"' {
+                            let tail = (0..hashes).all(|k| at(bytes, j + 1 + k) == b'#');
+                            if tail {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let end = j.min(bytes.len());
+                    tokens.push(Token {
+                        kind: TokKind::Str,
+                        start: i,
+                        end,
+                        line: tline,
+                        col: tcol,
+                    });
+                    advance!(end - i);
+                    continue;
+                }
+            }
+        }
+        // Char literal vs lifetime / loop label.
+        if c == b'\'' || (c == b'b' && at(bytes, i + 1) == b'\'' && !prev_ident) {
+            let q = if c == b'b' { i + 1 } else { i };
+            let n1 = at(bytes, q + 1);
+            let is_char = n1 == b'\\' || n1 >= 0x80 || at(bytes, q + 2) == b'\'';
+            if is_char {
+                let mut j = q + 1;
+                if n1 == b'\\' {
+                    j += 2;
+                }
+                while j < bytes.len() && at(bytes, j) != b'\'' && at(bytes, j) != b'\n' {
+                    j += 1;
+                }
+                if at(bytes, j) == b'\'' {
+                    j += 1;
+                }
+                tokens.push(Token { kind: TokKind::Char, start: i, end: j, line: tline, col: tcol });
+                advance!(j - i);
+                continue;
+            }
+            if c == b'\'' && is_ident_start(n1) {
+                let mut j = q + 2;
+                while is_ident_cont(at(bytes, j)) {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    start: i,
+                    end: j,
+                    line: tline,
+                    col: tcol,
+                });
+                advance!(j - i);
+                continue;
+            }
+        }
+        // Numbers (before idents: both start the same ASCII classes).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                let b = at(bytes, j);
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    j += 1;
+                } else if b == b'.' && at(bytes, j + 1).is_ascii_digit() {
+                    j += 1;
+                } else if matches!(b, b'+' | b'-')
+                    && matches!(at(bytes, j - 1), b'e' | b'E')
+                    && at(bytes, j + 1).is_ascii_digit()
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { kind: TokKind::Number, start: i, end: j, line: tline, col: tcol });
+            advance!(j - i);
+            continue;
+        }
+        // Identifiers and keywords, including raw identifiers.
+        if is_ident_start(c) {
+            let mut j = i;
+            if c == b'r' && at(bytes, i + 1) == b'#' && is_ident_start(at(bytes, i + 2)) {
+                j += 2; // raw identifier prefix
+            }
+            j += 1;
+            while is_ident_cont(at(bytes, j)) {
+                j += 1;
+            }
+            tokens.push(Token { kind: TokKind::Ident, start: i, end: j, line: tline, col: tcol });
+            advance!(j - i);
+            continue;
+        }
+        // Delimiters and single-byte punctuation.
+        let kind = match c {
+            b'(' | b'[' | b'{' => TokKind::Open,
+            b')' | b']' | b'}' => TokKind::Close,
+            _ => TokKind::Punct,
+        };
+        tokens.push(Token { kind, start: i, end: i + 1, line: tline, col: tcol });
+        advance!(1);
+    }
+    TokenStream { tokens, allows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +524,136 @@ mod tests {
         assert!((a.line, a.category.as_str(), a.justified) == (1, "panic", true));
         let b = &s.allows[1];
         assert!((b.line, b.category.as_str(), b.justified) == (2, "index", false));
+    }
+
+    // ---- strip regression suite: edge cases exposed by the token-stream
+    // work. Each case asserts the dangerous text is blanked AND byte
+    // offsets are preserved (output length == input length).
+
+    fn assert_blanked(src: &str, gone: &[&str], kept: &[&str]) {
+        let s = strip(src);
+        assert_eq!(s.code.len(), src.len(), "byte offsets drifted for {src:?}");
+        assert_eq!(
+            s.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "line structure drifted for {src:?}"
+        );
+        for g in gone {
+            assert!(!s.code.contains(g), "{g:?} survived stripping of {src:?}: {}", s.code);
+        }
+        for k in kept {
+            assert!(s.code.contains(k), "{k:?} lost while stripping {src:?}: {}", s.code);
+        }
+    }
+
+    #[test]
+    fn strips_raw_strings_with_multiple_hashes() {
+        assert_blanked(
+            "let a = r##\"has \"# inside unwrap()\"## ; keep();\n",
+            &["unwrap", "inside"],
+            &["keep()"],
+        );
+        assert_blanked(
+            "let a = r###\"nested \"## quote panic!\"### ; keep();\n",
+            &["panic"],
+            &["keep()"],
+        );
+        // The closing guard must require *all* hashes: a shorter tail
+        // inside the literal does not terminate it.
+        assert_blanked("let a = r##\"x\"# y\"## + tail();\n", &["y\"##"], &["tail()"]);
+    }
+
+    #[test]
+    fn strips_byte_strings() {
+        assert_blanked("let b = b\"panic! bytes\"; keep();\n", &["panic"], &["keep()"]);
+        assert_blanked("let b = b\"esc \\\" quote unwrap()\"; keep();\n", &["unwrap"], &["keep()"]);
+        assert_blanked("let b = br#\"raw \" byte panic!\"#; keep();\n", &["panic"], &["keep()"]);
+    }
+
+    #[test]
+    fn strips_nested_block_comments_with_offsets() {
+        assert_blanked(
+            "a(); /* one /* two unwrap() */ still */ b();\n",
+            &["unwrap", "still"],
+            &["a()", "b()"],
+        );
+        // Unterminated nesting blanks to EOF but keeps line structure.
+        assert_blanked("a();\n/* open /* deep */ no close\nend\n", &["deep", "no close", "end"], &["a()"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        // `r#type` must survive as code, not open a raw string that
+        // swallows the rest of the file.
+        assert_blanked("let r#type = risky(); after();\n", &[], &["risky()", "after()"]);
+    }
+
+    // ---- tokenizer ----
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).tokens.iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn tokenizes_idents_puncts_and_delims() {
+        let src = "fn f(x: u32) -> u32 { x + 1 }";
+        let toks = tokenize(src);
+        let kinds: Vec<TokKind> = toks.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            texts(src),
+            vec!["fn", "f", "(", "x", ":", "u32", ")", "-", ">", "u32", "{", "x", "+", "1", "}"]
+        );
+        assert_eq!(kinds[0], TokKind::Ident);
+        assert_eq!(kinds[2], TokKind::Open);
+        assert_eq!(kinds[13], TokKind::Number);
+        assert_eq!(kinds[14], TokKind::Close);
+    }
+
+    #[test]
+    fn tokenizes_strings_chars_and_lifetimes_as_single_tokens() {
+        let src = "let s = r#\"a \" b\"#; let c = '\\n'; fn g<'a>(x: &'a str) {}";
+        let toks = tokenize(src);
+        let strs: Vec<&Token> =
+            toks.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text(src), "r#\"a \" b\"#");
+        assert_eq!(toks.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert_eq!(toks.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_columns() {
+        let src = "a\n  bb(\n\"s\")";
+        let toks = tokenize(src);
+        let t = |i: usize| -> (&str, u32, u32) {
+            let tok: &Token = &toks.tokens[i];
+            (tok.text(src), tok.line, tok.col)
+        };
+        assert_eq!(t(0), ("a", 1, 1));
+        assert_eq!(t(1), ("bb", 2, 3));
+        assert_eq!(t(2), ("(", 2, 5));
+        assert_eq!(t(3), ("\"s\"", 3, 1));
+        assert_eq!(t(4), (")", 3, 4));
+    }
+
+    #[test]
+    fn tokenizer_collects_allow_markers_and_skips_comments() {
+        let src = "x(); // lint:allow(panic) -- ok\n/* gone */ y();\n";
+        let toks = tokenize(src);
+        assert_eq!(toks.allows.len(), 1);
+        assert_eq!(toks.allows[0].category, "panic");
+        assert!(toks.allows[0].justified);
+        assert_eq!(texts(src), vec!["x", "(", ")", ";", "y", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn tokenizer_handles_raw_identifiers_and_numbers() {
+        let src = "let r#match = 0x1F; let f = 1.5e-3; let r = 0..n;";
+        let tx = texts(src);
+        assert!(tx.contains(&"r#match".to_string()), "{tx:?}");
+        assert!(tx.contains(&"0x1F".to_string()), "{tx:?}");
+        assert!(tx.contains(&"1.5e-3".to_string()), "{tx:?}");
+        assert!(tx.contains(&"0".to_string()), "{tx:?}");
+        assert!(tx.contains(&"n".to_string()), "{tx:?}");
     }
 }

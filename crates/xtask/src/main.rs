@@ -1,7 +1,13 @@
 //! CLI entry point:
 //!
-//! * `cargo run -p xtask -- lint [--root <path>]` — workspace lint,
-//!   fanned across `MEMDOS_THREADS` workers (one crate per task).
+//! * `cargo run -p xtask -- lint [--root <path>] [--format plain|json]
+//!   [--cache <path>] [--no-cache]` — two-phase workspace lint, fanned
+//!   across `MEMDOS_THREADS` workers (one file per task). The
+//!   content-hash cache defaults to `target/xtask-lint-cache.json`
+//!   under the workspace root; `--no-cache` forces a cold run. With
+//!   `--format json` the findings-plus-stats payload goes to stdout
+//!   (one object, one line — the CI artifact) and the human
+//!   `lint_stats:` line to stderr.
 //! * `cargo run -p xtask -- bench-check <current> <baseline> [<current>
 //!   <baseline> ...]` — validate one or more `BENCH_*.json` reports
 //!   against their checked-in baselines and fail on regressions beyond
@@ -15,7 +21,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--root <workspace-dir>]\n       \
+        "usage: cargo run -p xtask -- lint [--root <workspace-dir>] \
+         [--format plain|json] [--cache <path>] [--no-cache]\n       \
          cargo run -p xtask -- bench-check <current.json> <baseline.json> \
          [<current.json> <baseline.json> ...]"
     );
@@ -82,14 +89,26 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut root: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut no_cache = false;
+    let mut cache_override: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
-        if arg == "--root" {
-            match args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
-            }
-        } else {
-            return usage();
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("plain") => format_json = false,
+                _ => return usage(),
+            },
+            "--cache" => match args.next() {
+                Some(p) => cache_override = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--no-cache" => no_cache = true,
+            _ => return usage(),
         }
     }
     let root = match root {
@@ -115,17 +134,33 @@ fn main() -> ExitCode {
     if let Some(diag) = &threads.diagnostic {
         eprintln!("xtask: {diag}");
     }
-    match xtask::lint_workspace(&root, threads.workers) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    let cache_path = if no_cache {
+        None
+    } else {
+        Some(cache_override.unwrap_or_else(|| root.join("target/xtask-lint-cache.json")))
+    };
+    match xtask::lint_workspace_report(&root, threads.workers, cache_path.as_deref()) {
+        Ok(report) => {
+            let stats_line = report.stats.render();
+            if format_json {
+                println!("{}", report.to_json());
+                eprintln!("{stats_line}");
+            } else {
+                for f in &report.findings {
+                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+                if report.findings.is_empty() {
+                    println!("xtask lint: clean");
+                } else {
+                    println!("xtask lint: {} finding(s)", report.findings.len());
+                }
+                println!("{stats_line}");
             }
-            println!("xtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("xtask: {e}");

@@ -1,11 +1,16 @@
-//! The rule scanners (L1–L3, L5, L6) that run over lexed source files.
+//! The local rule scanners (L1–L3, L5–L8, L11) that run over lexed
+//! source files, plus the suppression-range machinery shared with the
+//! graph rules in [`crate::callgraph`].
 //!
 //! Every scanner works on the *stripped* code from [`crate::lexer`], so
 //! comments and string literals can never trigger a finding. Code inside
 //! `#[cfg(test)]` items is exempt from all content rules: tests may
 //! unwrap freely.
 
+use std::collections::BTreeSet;
+
 use crate::lexer::{strip, Allow};
+use crate::symbols::FileSymbols;
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +50,33 @@ pub struct FileScope {
     /// not build `String`s (`format!`, `.to_string()`, …) — the L7
     /// family.
     pub hot_path_checked: bool,
+    /// True for the modules sanctioned to hold cross-thread shared
+    /// state (`runner`, `engine::shard`): everywhere else
+    /// `Mutex`/`RwLock`/`Atomic*`/`RefCell`/`Cell`/`static mut` are
+    /// banned — the L8 family. Cross-shard mutable state is how
+    /// determinism dies at fleet scale.
+    pub shared_state_sanctioned: bool,
 }
+
+/// Every category a `lint:allow(<category>)` marker may name. A marker
+/// with any other category is reported by the `allow-unknown` rule.
+pub const KNOWN_CATEGORIES: [&str; 15] = [
+    "panic",
+    "index",
+    "time",
+    "collections",
+    "rand",
+    "float-eq",
+    "partial-cmp",
+    "thread",
+    "seed",
+    "step",
+    "hot-alloc",
+    "shared-state",
+    "hot-propagate",
+    "determinism-taint",
+    "verdict-match",
+];
 
 fn is_ident(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
@@ -191,26 +222,107 @@ fn hot_path_ranges(source: &str, code: &str) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// Resolved suppression targets: a justified marker covers its own line
-/// and the first following line that still has code after stripping, so
-/// a marker inside a multi-line comment reaches the code below it.
-fn allow_targets(allows: &[Allow], code: &str) -> Vec<(String, usize)> {
-    let blank: Vec<bool> = code.lines().map(|l| l.trim().is_empty()).collect();
-    allows
-        .iter()
-        .filter(|a| a.justified)
-        .flat_map(|a| {
-            let next = (a.line..blank.len())
-                .find(|&i| !blank.get(i).copied().unwrap_or(true))
-                .map(|i| i + 1)
-                .unwrap_or(a.line);
-            [(a.category.clone(), a.line), (a.category.clone(), next)]
-        })
-        .collect()
+/// A resolved suppression range: a justified `lint:allow` marker covers
+/// lines `lo..=hi` (1-based, inclusive) for its category. `marker`
+/// indexes the file's justified-marker list so the workspace pass can
+/// report markers that suppressed nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRange {
+    pub category: String,
+    pub lo: usize,
+    pub hi: usize,
+    pub marker: usize,
 }
 
-fn allowed(targets: &[(String, usize)], category: &str, line: usize) -> bool {
-    targets.iter().any(|(c, l)| c == category && *l == line)
+/// Everything the per-file phase knows about one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Local findings (L1–L3, L5–L8, L11 and the allow hygiene rules).
+    pub findings: Vec<Finding>,
+    /// Resolved suppression ranges, for the graph phase.
+    pub allows: Vec<AllowRange>,
+    /// Justified markers as `(line, category)`, indexed by
+    /// [`AllowRange::marker`].
+    pub markers: Vec<(usize, String)>,
+    /// Marker indices consumed by the local rules (or exempt from the
+    /// unused-allow report).
+    pub used: BTreeSet<usize>,
+}
+
+/// Resolves justified markers to suppression ranges. A marker covers
+/// its own line through the first following line with code; placed
+/// above an `fn` signature (attributes in between are fine) it covers
+/// the whole item, so one marker can justify a function-wide contract.
+fn allow_ranges(
+    allows: &[Allow],
+    code: &str,
+    symbols: &FileSymbols,
+) -> (Vec<AllowRange>, Vec<(usize, String)>) {
+    let lines: Vec<&str> = code.lines().collect();
+    let mut ranges = Vec::new();
+    let mut markers = Vec::new();
+    for a in allows.iter().filter(|a| a.justified) {
+        let marker = markers.len();
+        markers.push((a.line, a.category.clone()));
+        let mut hi = a.line;
+        // First line with code below the marker (the marker's own line
+        // is comment-only after stripping).
+        let next = (a.line..lines.len())
+            .find(|&i| lines.get(i).is_some_and(|l| !l.trim().is_empty()))
+            .map(|i| i + 1);
+        if let Some(next) = next {
+            hi = next;
+            // Walk past attribute lines to the signature they decorate.
+            let mut sig = next;
+            while lines
+                .get(sig.wrapping_sub(1))
+                .is_some_and(|l| l.trim_start().starts_with("#["))
+            {
+                sig += 1;
+            }
+            if let Some(f) = symbols.fns.iter().find(|f| f.sig_line as usize == sig) {
+                hi = hi.max(f.span.1 as usize);
+            }
+        }
+        ranges.push(AllowRange { category: a.category.clone(), lo: a.line, hi, marker });
+    }
+    (ranges, markers)
+}
+
+/// Resolves a file's justified markers to suppression ranges without
+/// running any content rules. The cache-hit path replays findings but
+/// still needs ranges when the graph phase has to rebuild.
+pub fn resolve_allows(
+    source: &str,
+    symbols: &FileSymbols,
+) -> (Vec<AllowRange>, Vec<(usize, String)>) {
+    let stripped = strip(source);
+    allow_ranges(&stripped.allows, &stripped.code, symbols)
+}
+
+/// Appends `finding` unless a suppression range covers it; covering
+/// ranges have their markers recorded in `used` either way.
+#[allow(clippy::too_many_arguments)]
+fn push_finding(
+    findings: &mut Vec<Finding>,
+    ranges: &[AllowRange],
+    used: &mut BTreeSet<usize>,
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    category: &str,
+    message: String,
+) {
+    let mut suppressed = false;
+    for r in ranges {
+        if r.category == category && (r.lo..=r.hi).contains(&line) {
+            used.insert(r.marker);
+            suppressed = true;
+        }
+    }
+    if !suppressed {
+        findings.push(Finding { file: file.to_string(), line, rule, message });
+    }
 }
 
 /// Context window around a comparison operator, cut at expression
@@ -332,8 +444,24 @@ fn unchecked_index_on_line(line: &str) -> bool {
     false
 }
 
-/// Runs all content rules (L1–L3) over one source file.
+/// Runs all local content rules over one source file. The convenience
+/// wrapper around [`check_file`] for callers that only want findings.
 pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> {
+    let stream = crate::lexer::tokenize(source);
+    let symbols = crate::symbols::extract(source, &stream);
+    check_file(file, source, scope, &symbols).findings
+}
+
+/// Runs all local content rules (L1–L3, L5–L8, L11) over one source
+/// file. `symbols` must be the phase-1 extraction of the same source;
+/// the fn spans drive item-wide allow coverage, and the returned ranges
+/// feed the graph phase.
+pub fn check_file(
+    file: &str,
+    source: &str,
+    scope: FileScope,
+    symbols: &FileSymbols,
+) -> FileReport {
     let stripped = strip(source);
     let tests = test_ranges(&stripped.code);
     let hot = if scope.hot_path_checked {
@@ -355,6 +483,29 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                 ),
             });
         }
+        if !KNOWN_CATEGORIES.contains(&a.category.as_str()) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "allow-unknown",
+                message: format!(
+                    "lint:allow({}) names no rule category; see KNOWN_CATEGORIES in \
+                     xtask::rules for the full list",
+                    a.category
+                ),
+            });
+        }
+    }
+
+    let (ranges, markers) = allow_ranges(&stripped.allows, &stripped.code, symbols);
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for (m, (line, category)) in markers.iter().enumerate() {
+        // Markers inside test code can never fire (tests are exempt from
+        // every rule), and unknown categories are already reported above:
+        // neither belongs in the unused-allow report.
+        if in_ranges(&tests, *line) || !KNOWN_CATEGORIES.contains(&category.as_str()) {
+            used.insert(m);
+        }
     }
 
     let panic_patterns: [(&str, &str); 6] = [
@@ -366,16 +517,22 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
         ("unimplemented!", "unimplemented! left in library code"),
     ];
 
-    let targets = allow_targets(&stripped.allows, &stripped.code);
     for (idx, raw_line) in stripped.code.lines().enumerate() {
         let line_no = idx + 1;
         if in_ranges(&tests, line_no) {
             continue;
         }
         let mut push = |rule: &'static str, category: &str, message: String| {
-            if !allowed(&targets, category, line_no) {
-                findings.push(Finding { file: file.to_string(), line: line_no, rule, message });
-            }
+            push_finding(
+                &mut findings,
+                &ranges,
+                &mut used,
+                file,
+                line_no,
+                rule,
+                category,
+                message,
+            );
         };
         for (pat, why) in panic_patterns {
             if raw_line.contains(pat) {
@@ -476,6 +633,20 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
                     .to_string(),
             );
         }
+        if !scope.shared_state_sanctioned {
+            if let Some(prim) = shared_state_on_line(raw_line) {
+                push(
+                    "L8/shared-state",
+                    "shared-state",
+                    format!(
+                        "`{prim}` outside the sanctioned shared-state modules \
+                         (runner, engine::shard); cross-shard mutable state breaks \
+                         the deterministic-merge contract — route state through the \
+                         shard owner, or justify with lint:allow(shared-state)"
+                    ),
+                );
+            }
+        }
         if in_ranges(&hot, line_no) {
             const ALLOC_PATTERNS: [&str; 6] = [
                 "format!",
@@ -501,7 +672,218 @@ pub fn check_source(file: &str, source: &str, scope: FileScope) -> Vec<Finding> 
             }
         }
     }
-    findings
+
+    // L11/exhaustive-verdicts: bare `_` arms in matches over the
+    // verdict/fault enums swallow new variants silently.
+    for (line_no, enum_name) in wildcard_verdict_arms(&stripped.code) {
+        if in_ranges(&tests, line_no) {
+            continue;
+        }
+        push_finding(
+            &mut findings,
+            &ranges,
+            &mut used,
+            file,
+            line_no,
+            "L11/verdict-match",
+            "verdict-match",
+            format!(
+                "`_` wildcard arm in a match over `{enum_name}`; a new \
+                 {enum_name} variant would be silently swallowed — enumerate \
+                 every variant, or justify with lint:allow(verdict-match)"
+            ),
+        );
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    FileReport { findings, allows: ranges, markers, used }
+}
+
+/// The first shared-state primitive named on the line: `Mutex`,
+/// `RwLock`, `RefCell`, std's `Cell` (matched through its `cell::Cell`
+/// path, because the workspace has unrelated `Cell` types of its own),
+/// a std `Atomic*` type, or `static mut`.
+fn shared_state_on_line(line: &str) -> Option<String> {
+    for tok in ["Mutex", "RwLock", "RefCell"] {
+        if has_token(line, tok) {
+            return Some(tok.to_string());
+        }
+    }
+    if line.contains("cell::Cell") {
+        return Some("cell::Cell".to_string());
+    }
+    if let Some(name) = atomic_type_on_line(line) {
+        return Some(name);
+    }
+    if static_mut_on_line(line) {
+        return Some("static mut".to_string());
+    }
+    None
+}
+
+/// The std interior-mutability atomics are `Atomic` plus a width suffix
+/// (`AtomicUsize`, `AtomicBool`, …). A bare `Atomic` identifier is the
+/// simulated bus-lock op (`MemOp::Atomic`) and must not match.
+fn atomic_type_on_line(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find("Atomic")) {
+        let start = from + pos;
+        let before_ok = start == 0 || !is_ident(bytes.get(start - 1).copied().unwrap_or(0));
+        let end = (start..line.len())
+            .find(|&i| !is_ident(bytes.get(i).copied().unwrap_or(0)))
+            .unwrap_or(line.len());
+        let ident = line.get(start..end).unwrap_or("");
+        if before_ok && ident.len() > "Atomic".len() {
+            return Some(ident.to_string());
+        }
+        from = end.max(start + 1);
+    }
+    None
+}
+
+/// True when the line declares a `static mut` item.
+fn static_mut_on_line(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    line.match_indices("static").any(|(p, _)| {
+        let before_ok = p == 0 || !is_ident(bytes.get(p - 1).copied().unwrap_or(0));
+        let rest = line.get(p + 6..).unwrap_or("").trim_start();
+        before_ok && (rest == "mut" || rest.starts_with("mut "))
+    })
+}
+
+/// Finds bare `_` arms in `match` bodies whose sibling arm *patterns*
+/// name one of the verdict/fault enums. Only patterns (the text before
+/// `=>`) are inspected, so an arm *body* mentioning `RecordError::…`
+/// does not make its match a verdict match. Returns `(line, enum)`
+/// pairs for each wildcard arm.
+fn wildcard_verdict_arms(code: &str) -> Vec<(usize, String)> {
+    const ENUMS: [&str; 3] = ["Verdict", "RecordError", "FaultClass"];
+    let bytes = code.as_bytes();
+    let at = |i: usize| bytes.get(i).copied().unwrap_or(0);
+    let newlines: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b == b'\n')
+        .map(|(p, _)| p)
+        .collect();
+    let line_of = |p: usize| newlines.partition_point(|&q| q < p) + 1;
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let boundary = i == 0 || !is_ident(at(i - 1));
+        if !(boundary && code.get(i..i + 5) == Some("match") && !is_ident(at(i + 5))) {
+            i += 1;
+            continue;
+        }
+        // The match body is the first `{` at paren/bracket depth 0
+        // (struct literals need parens in scrutinee position, so this
+        // cannot be fooled by the scrutinee).
+        let mut j = i + 5;
+        let mut depth = 0usize;
+        let body_open = loop {
+            match at(j) {
+                0 => break None,
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' if depth == 0 => break Some(j),
+                b';' if depth == 0 => break None, // not a match expression
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_open) = body_open else {
+            i = j.max(i + 5);
+            continue;
+        };
+
+        // Walk the arms: patterns run to `=>` at depth 0 (relative to
+        // the body); arm bodies are skipped (brace-matched blocks, or
+        // expressions to the `,` at depth 0).
+        let mut arms: Vec<(usize, usize)> = Vec::new();
+        let mut k = body_open + 1;
+        let mut pat_start = k;
+        let mut d = 0usize;
+        'body: while k < bytes.len() {
+            match at(k) {
+                b'(' | b'[' | b'{' => d += 1,
+                b'}' if d == 0 => break 'body, // end of the match body
+                b')' | b']' | b'}' => d = d.saturating_sub(1),
+                b'=' if d == 0 && at(k + 1) == b'>' => {
+                    arms.push((pat_start, k));
+                    // Skip the arm body.
+                    k += 2;
+                    while at(k).is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    if at(k) == b'{' {
+                        let mut bd = 0usize;
+                        while k < bytes.len() {
+                            match at(k) {
+                                b'{' => bd += 1,
+                                b'}' => {
+                                    bd = bd.saturating_sub(1);
+                                    if bd == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1;
+                        while at(k).is_ascii_whitespace() {
+                            k += 1;
+                        }
+                        if at(k) == b',' {
+                            k += 1;
+                        }
+                    } else {
+                        let mut ed = 0usize;
+                        while k < bytes.len() {
+                            match at(k) {
+                                b'(' | b'[' | b'{' => ed += 1,
+                                b',' if ed == 0 => {
+                                    k += 1;
+                                    break;
+                                }
+                                b'}' if ed == 0 => break 'body,
+                                b')' | b']' | b'}' => ed = ed.saturating_sub(1),
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    pat_start = k;
+                    continue 'body;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+
+        let pats: Vec<(usize, &str)> = arms
+            .iter()
+            .map(|&(s, e)| (s, code.get(s..e).unwrap_or("").trim()))
+            .collect();
+        if let Some(en) = ENUMS.iter().find(|en| {
+            let needle = format!("{en}::");
+            pats.iter().any(|(_, p)| p.contains(&needle))
+        }) {
+            for &(s, p) in &pats {
+                if p == "_" {
+                    // The pattern span may start with whitespace; report
+                    // the line of the `_` itself.
+                    let off = code.get(s..).map(|t| t.len() - t.trim_start().len()).unwrap_or(0);
+                    out.push((line_of(s + off), en.to_string()));
+                }
+            }
+        }
+        // Resume just inside the body so nested matches are found too.
+        i = body_open + 1;
+    }
+    out
 }
 
 /// True when the line creates OS threads: `std::thread` paths or the
@@ -552,6 +934,7 @@ mod tests {
         seed_authority: false,
         detector_authority: false,
         hot_path_checked: false,
+        shared_state_sanctioned: false,
     };
 
     fn rules_of(source: &str) -> Vec<&'static str> {
@@ -669,6 +1052,143 @@ mod tests {
         // A justified allow suppresses, as everywhere.
         let src = "// hot-path\nfn f(x: u32) -> String {\n    // lint:allow(hot-alloc) -- cold error branch\n    format!(\"{x}\")\n}\n";
         assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn flags_shared_state_outside_sanctioned_modules() {
+        assert_eq!(rules_of("static COUNT: Mutex<u64> = Mutex::new(0);\n"), vec!["L8/shared-state"]);
+        assert_eq!(rules_of("fn f() { let c = RefCell::new(0); }\n"), vec!["L8/shared-state"]);
+        assert_eq!(rules_of("use std::sync::atomic::AtomicUsize;\n"), vec!["L8/shared-state"]);
+        assert_eq!(rules_of("static mut X: u64 = 0;\n"), vec!["L8/shared-state"]);
+        assert_eq!(rules_of("use std::cell::Cell;\n"), vec!["L8/shared-state"]);
+        // The simulated bus-lock op is exactly `Atomic` — not a std type.
+        assert!(rules_of("fn f() { ops.push(MemOp::Atomic); }\n").is_empty());
+        // The workspace's own `Cell` types (bench figure cells) are fine.
+        assert!(rules_of("fn f(c: &Cell) -> u32 { c.runs }\n").is_empty());
+        // `OnceCell`/`OnceLock` are init-once, not shared mutability.
+        assert!(rules_of("fn f() { let c = OnceLock::new(); }\n").is_empty());
+        assert!(rules_of("static X: u64 = 0;\n").is_empty());
+        let sanctioned = FileScope { shared_state_sanctioned: true, ..SCOPE };
+        let src = "static COUNT: Mutex<u64> = Mutex::new(0);\n";
+        assert!(check_source("t.rs", src, sanctioned).is_empty());
+        // A justified allow suppresses, as everywhere.
+        let src = "// lint:allow(shared-state) -- plan cache is thread-local\nfn f() { let c = RefCell::new(0); }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn flags_wildcard_arms_over_verdict_enums_only() {
+        let src = "\
+fn f(v: Verdict) -> u32 {
+    match v {
+        Verdict::Normal => 0,
+        _ => 1,
+    }
+}
+";
+        assert_eq!(rules_of(src), vec!["L11/verdict-match"]);
+        // Line points at the wildcard arm.
+        let f = check_source("t.rs", src, SCOPE);
+        assert_eq!(f.first().map(|f| f.line), Some(4));
+        // A match whose *body* mentions the enum is not a verdict match.
+        let src = "\
+fn g(x: u32) -> RawParse {
+    match x {
+        0 => RawParse::Ok,
+        _ => RawParse::Reject(RecordError::Syntax),
+    }
+}
+";
+        assert!(rules_of(src).is_empty());
+        // Exhaustive matches and guarded wildcards pass.
+        let src = "\
+fn h(v: Verdict) -> u32 {
+    match v {
+        Verdict::Normal => 0,
+        Verdict::Suspicious { .. } => 1,
+        Verdict::Alarm => 2,
+    }
+}
+";
+        assert!(rules_of(src).is_empty());
+        let src = "\
+fn k(c: FaultClass) -> u32 {
+    match c {
+        FaultClass::Stall => 4,
+        _ if cheap() => 0,
+        other => tag(other),
+    }
+}
+";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_detection_handles_nested_matches_and_block_arms() {
+        let src = "\
+fn f(v: Verdict, x: u32) -> u32 {
+    match x {
+        0 => {
+            match v {
+                Verdict::Alarm => 1,
+                _ => 2,
+            }
+        }
+        n => n,
+    }
+}
+";
+        let f = check_source("t.rs", src, SCOPE);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f.first().map(|f| (f.rule, f.line)), Some(("L11/verdict-match", 6)));
+    }
+
+    #[test]
+    fn reports_unknown_allow_categories() {
+        let src = "// lint:allow(sloppiness) -- because\nfn f() {}\n";
+        assert_eq!(rules_of(src), vec!["allow-unknown"]);
+    }
+
+    #[test]
+    fn allow_above_fn_signature_covers_the_whole_item() {
+        let src = "\
+// lint:allow(panic) -- prototype scaffolding, tracked in #42
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    a + helper().unwrap()
+}
+fn g(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let f = check_source("t.rs", src, SCOPE);
+        // Both unwraps in `f` are covered; `g` still flags.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f.first().map(|f| f.line), Some(6));
+        // Attributes between the marker and the signature are fine.
+        let src = "\
+// lint:allow(panic) -- fixture
+#[inline]
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        assert!(check_source("t.rs", src, SCOPE).is_empty());
+    }
+
+    #[test]
+    fn check_file_tracks_used_markers() {
+        let src = "\
+// lint:allow(panic) -- covers the unwrap below
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+// lint:allow(panic) -- covers nothing
+fn g(x: u32) -> u32 { x }
+";
+        let stream = crate::lexer::tokenize(src);
+        let symbols = crate::symbols::extract(src, &stream);
+        let report = check_file("t.rs", src, SCOPE, &symbols);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.markers.len(), 2);
+        assert!(report.used.contains(&0), "first marker suppressed the unwrap");
+        assert!(!report.used.contains(&1), "second marker is stale");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Warm-cache contract: an unchanged workspace must replay entirely
+//! from the content-hash cache — zero files rule-scanned, graph reused
+//! — and editing one file must invalidate exactly that file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lint_workspace_report;
+
+const CLEAN_LIB: &str = "\
+#![forbid(unsafe_code)]
+
+//! Demo crate for the cache test.
+
+pub fn double(x: u64) -> u64 {
+    helper(x) * 2
+}
+
+fn helper(x: u64) -> u64 {
+    x + 1
+}
+";
+
+const CLEAN_UTIL: &str = "\
+//! Second file so the cache holds more than one entry.
+
+pub fn triple(x: u64) -> u64 {
+    x * 3
+}
+";
+
+const MANIFEST: &str = "\
+[package]
+name = \"demo\"
+version = \"0.1.0\"
+edition = \"2021\"
+";
+
+/// Builds a minimal fake workspace under the target tmp dir. The name
+/// is keyed on the process id so parallel test binaries never collide.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("cache_warm_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates/demo/src");
+    fs::create_dir_all(&src).expect("create scratch workspace");
+    fs::write(root.join("crates/demo/Cargo.toml"), MANIFEST).expect("write manifest");
+    fs::write(src.join("lib.rs"), CLEAN_LIB).expect("write lib.rs");
+    fs::write(src.join("util.rs"), CLEAN_UTIL).expect("write util.rs");
+    root
+}
+
+#[test]
+fn warm_run_scans_nothing_and_reuses_the_graph() {
+    let root = scratch_workspace("warm");
+    let cache = root.join("lint-cache.json");
+
+    let cold = lint_workspace_report(&root, 2, Some(&cache)).expect("cold run");
+    assert!(cold.findings.is_empty(), "{:?}", cold.findings);
+    assert_eq!(cold.stats.scanned, cold.stats.files, "{:?}", cold.stats.render());
+    assert!(!cold.stats.graph_cached, "{}", cold.stats.render());
+    assert!(cache.is_file(), "cache file not written");
+
+    let warm = lint_workspace_report(&root, 2, Some(&cache)).expect("warm run");
+    // The whole point: not a single file goes through rule scanning.
+    assert_eq!(warm.stats.scanned, 0, "{}", warm.stats.render());
+    assert_eq!(warm.stats.cached, cold.stats.files, "{}", warm.stats.render());
+    assert!(warm.stats.graph_cached, "{}", warm.stats.render());
+    assert_eq!(warm.findings, cold.findings);
+    assert_eq!(
+        (warm.stats.fns, warm.stats.edges),
+        (cold.stats.fns, cold.stats.edges),
+        "cached graph stats drifted"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn editing_one_file_rescans_exactly_that_file() {
+    let root = scratch_workspace("edit");
+    let cache = root.join("lint-cache.json");
+
+    let cold = lint_workspace_report(&root, 2, Some(&cache)).expect("cold run");
+    assert!(cold.findings.is_empty(), "{:?}", cold.findings);
+
+    // Introduce a fresh violation in one of the two source files.
+    let util = root.join("crates/demo/src/util.rs");
+    let dirty = format!("{CLEAN_UTIL}\npub fn boom(x: Option<u64>) -> u64 {{\n    x.unwrap()\n}}\n");
+    fs::write(&util, dirty).expect("rewrite util.rs");
+
+    let edited = lint_workspace_report(&root, 2, Some(&cache)).expect("edited run");
+    assert_eq!(edited.stats.scanned, 1, "{}", edited.stats.render());
+    assert_eq!(edited.stats.cached, cold.stats.files - 1, "{}", edited.stats.render());
+    // The tree digest changed with the file, so the graph rebuilds.
+    assert!(!edited.stats.graph_cached, "{}", edited.stats.render());
+    let rules: Vec<&str> = edited.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["L1/panic"], "{:?}", edited.findings);
+    let Some(f) = edited.findings.first() else {
+        return;
+    };
+    assert!(f.file.ends_with("util.rs"), "{f:?}");
+
+    let _ = fs::remove_dir_all(&root);
+}

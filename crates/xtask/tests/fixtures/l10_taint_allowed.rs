@@ -1,0 +1,24 @@
+//! Fixture: what L10/determinism-taint must NOT flag — taint in code no
+//! detector step can reach, and taint behind a justified marker.
+
+pub struct SdsY {
+    ewma: f64,
+}
+
+impl SdsY {
+    pub fn on_observation(&mut self, x: f64) -> bool {
+        self.ewma = 0.9 * self.ewma + 0.1 * x;
+        stat(self.ewma)
+    }
+}
+
+/// Deterministic helper on the step path.
+fn stat(x: f64) -> bool {
+    x > 1.0
+}
+
+/// Tainted, but only the (unmarked) reporting side calls it.
+pub fn ambient_report() -> String {
+    // lint:allow(determinism-taint) -- diagnostics-only; never feeds a verdict
+    std::env::var("MEMDOS_REPORT").unwrap_or_default()
+}

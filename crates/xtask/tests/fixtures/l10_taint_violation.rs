@@ -1,0 +1,24 @@
+//! Fixture: nondeterminism reachable from the detector step surface.
+//! The taint lives two calls below `on_observation`, so only the
+//! reachability rule (L10/determinism-taint) can connect them.
+
+pub struct SdsX {
+    ticks: u64,
+}
+
+impl SdsX {
+    pub fn on_observation(&mut self, x: f64) -> bool {
+        self.ticks += 1;
+        helper(x)
+    }
+}
+
+fn helper(x: f64) -> bool {
+    deep(x)
+}
+
+fn deep(x: f64) -> bool {
+    let mut seen = std::collections::HashMap::new();
+    seen.insert(0u64, x);
+    seen.len() == 1
+}

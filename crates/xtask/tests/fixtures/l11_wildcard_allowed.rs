@@ -1,0 +1,45 @@
+//! Fixture: what L11/verdict-match must NOT flag — exhaustive matches,
+//! named bindings, guarded wildcards, wildcards over foreign enums, and
+//! verdict names appearing only in arm *bodies*.
+
+pub enum Verdict {
+    Normal,
+    Alarm,
+    Quarantine,
+}
+
+pub fn label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Normal => "normal",
+        Verdict::Alarm => "alarm",
+        Verdict::Quarantine => "quarantine",
+    }
+}
+
+pub fn named_binding(v: &Verdict) -> bool {
+    match v {
+        Verdict::Alarm => true,
+        other => matches!(other, Verdict::Quarantine),
+    }
+}
+
+pub fn guarded(v: &Verdict, strict: bool) -> bool {
+    match v {
+        Verdict::Alarm => true,
+        _ if strict => false,
+        Verdict::Normal | Verdict::Quarantine => true,
+    }
+}
+
+pub enum RecordError {
+    Syntax,
+}
+
+/// The scrutinee is a plain byte — `RecordError` only appears in the
+/// arm body, which must not trigger the rule.
+pub fn classify(b: u8) -> Result<u8, RecordError> {
+    match b {
+        b'{' => Ok(b),
+        _ => Err(RecordError::Syntax),
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: `_` wildcard arms in matches over verdict-class enums —
+//! adding a variant must break the build, not fall through silently.
+
+pub enum Verdict {
+    Normal,
+    Alarm,
+    Quarantine,
+}
+
+pub fn label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Alarm => "alarm",
+        _ => "other",
+    }
+}
+
+pub enum RecordError {
+    Syntax,
+    MissingTenant,
+}
+
+pub fn retryable(e: &RecordError) -> bool {
+    match e {
+        RecordError::Syntax => false,
+        _ => true,
+    }
+}

@@ -2,6 +2,7 @@
 //! thread-local storage, prose, a justified allow, and test code.
 
 thread_local! {
+    // lint:allow(shared-state) -- per-thread scratch is single-owner; this fixture exercises storage, not sharing
     static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 

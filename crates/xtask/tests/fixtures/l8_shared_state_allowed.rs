@@ -1,0 +1,41 @@
+//! Fixture: what L8/shared-state must NOT flag — the workspace's own
+//! `Cell` figure type, the `MemOp::Atomic` enum variant, lazy-init
+//! primitives, plain statics, justified allows, and test code.
+
+use std::sync::OnceLock;
+
+/// The bench crate's own figure cell — not `std::cell::Cell`.
+pub struct Cell {
+    pub runs: u32,
+}
+
+pub enum MemOp {
+    Read,
+    Write,
+    Atomic,
+}
+
+pub fn classify(op: &MemOp, c: &Cell) -> u32 {
+    match op {
+        MemOp::Atomic => c.runs,
+        _ => 0,
+    }
+}
+
+static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+static LIMIT: u64 = 1024;
+
+pub fn justified() {
+    // lint:allow(shared-state) -- documented escape hatch exercised by the fixture
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    let _ = counter;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_lock() {
+        let m = std::sync::Mutex::new(1u64);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

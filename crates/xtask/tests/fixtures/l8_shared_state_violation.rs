@@ -1,0 +1,17 @@
+//! Fixture: shared-state primitives outside the sanctioned concurrency
+//! layer — every interior-mutability idiom must fire L8/shared-state.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Mutex, RwLock};
+
+pub struct Holder {
+    slots: Mutex<Vec<u64>>,
+    readers: RwLock<Vec<u64>>,
+    count: AtomicUsize,
+    scratch: RefCell<Vec<f64>>,
+    flag: std::cell::Cell<bool>,
+}
+
+static mut GLOBAL_TICKS: u64 = 0;

@@ -1,0 +1,33 @@
+//! Fixture: what L9/hot-propagate must NOT flag — allocation-free call
+//! chains, allocations behind a justified call site, and allocating
+//! helpers that no hot function can reach.
+
+// hot-path
+pub fn ingest(out: &mut Vec<u8>, seq: u64) {
+    write_digits(out, seq);
+    // lint:allow(hot-propagate) -- the session-open hop is per-tenant control plane, not per-sample
+    open_path(seq);
+}
+
+/// Allocation-free rendering: digits straight into the byte buffer.
+fn write_digits(out: &mut Vec<u8>, mut n: u64) {
+    let start = out.len();
+    loop {
+        out.push(b'0' + (n % 10) as u8);
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out[start..].reverse();
+}
+
+/// Allocates, but every chain into it is justified at the call site.
+fn open_path(seq: u64) -> String {
+    seq.to_string()
+}
+
+/// Allocates, but is never called from a hot function.
+pub fn cold_report(seq: u64) -> String {
+    format!("report {seq}")
+}

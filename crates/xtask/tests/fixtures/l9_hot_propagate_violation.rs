@@ -1,0 +1,19 @@
+//! Fixture: a transitive allocation L7 cannot see. The hot function
+//! allocates nothing itself — the String is built two calls away, so
+//! only the call-graph rule (L9/hot-propagate) catches it.
+
+/// The marked entry point: locally allocation-free.
+// hot-path
+pub fn ingest(out: &mut Vec<u8>, seq: u64) {
+    out.extend_from_slice(mid(seq).as_bytes());
+}
+
+/// Pass-through hop: also allocation-free on its own lines.
+fn mid(seq: u64) -> String {
+    leaf(seq)
+}
+
+/// The hidden allocation, two hops from the hot entry.
+fn leaf(seq: u64) -> String {
+    seq.to_string()
+}

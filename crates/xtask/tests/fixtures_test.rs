@@ -2,8 +2,11 @@
 //! `tests/fixtures/`, proving every family fires on its violation
 //! fixture and stays silent on the matching allowed fixture.
 
+use std::collections::BTreeSet;
+
+use xtask::callgraph::{graph_findings, FileAnalysis, Graph};
 use xtask::manifest::check_manifest;
-use xtask::rules::{check_forbid_unsafe, check_source, FileScope, Finding};
+use xtask::rules::{check_file, check_forbid_unsafe, check_source, FileScope, Finding};
 
 const LIB_SCOPE: FileScope = FileScope {
     deterministic: false,
@@ -11,7 +14,9 @@ const LIB_SCOPE: FileScope = FileScope {
     seed_authority: false,
     detector_authority: false,
     hot_path_checked: false,
+    shared_state_sanctioned: false,
 };
+const SANCTIONED_SCOPE: FileScope = FileScope { shared_state_sanctioned: true, ..LIB_SCOPE };
 const DET_SCOPE: FileScope = FileScope { deterministic: true, ..LIB_SCOPE };
 const HOT_SCOPE: FileScope = FileScope { hot_path_checked: true, ..LIB_SCOPE };
 const HARNESS_SCOPE: FileScope = FileScope { harness: true, ..LIB_SCOPE };
@@ -26,6 +31,30 @@ fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
 
 fn count(findings: &[Finding], rule: &str) -> usize {
     findings.iter().filter(|f| f.rule == rule).count()
+}
+
+/// Runs the full two-phase pipeline (extract, local scan for allow
+/// ranges, call graph, graph rules) over in-memory fixture files and
+/// returns the phase-2 findings.
+fn analyze(files: &[(&str, &str, &str, FileScope)]) -> Vec<Finding> {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|&(path, crate_name, src, scope)| {
+            let stream = xtask::lexer::tokenize(src);
+            let symbols = xtask::symbols::extract(src, &stream);
+            let report = check_file(path, src, scope, &symbols);
+            FileAnalysis {
+                path: path.to_string(),
+                crate_name: crate_name.to_string(),
+                scope,
+                symbols,
+                allows: report.allows,
+            }
+        })
+        .collect();
+    let graph = Graph::build(&analyses);
+    let mut used = BTreeSet::new();
+    graph_findings(&graph, &mut used)
 }
 
 #[test]
@@ -197,6 +226,84 @@ fn l4_manifest_wildcard_and_pinned_deps_fire() {
 fn l4_workspace_inherited_manifest_passes() {
     let src = include_str!("fixtures/manifest_ok.toml");
     let findings = check_manifest("Cargo.toml", src, false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l8_shared_state_fires_on_every_primitive() {
+    let src = include_str!("fixtures/l8_shared_state_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // four `use` lines, five struct fields (one per line), static mut
+    assert_eq!(count(&findings, "L8/shared-state"), 10, "{findings:?}");
+    // The sanctioned concurrency layer may hold all of them.
+    let findings = check_source("fixture.rs", src, SANCTIONED_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l8_shared_state_spares_lookalikes_allows_and_tests() {
+    let src = include_str!("fixtures/l8_shared_state_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l9_catches_the_transitive_allocation_l7_misses() {
+    let src = include_str!("fixtures/l9_hot_propagate_violation.rs");
+    // Phase 1 alone is blind: the hot function allocates nothing on
+    // its own lines, so the local L7 scan stays silent.
+    let local = check_source("engine/src/f.rs", src, HOT_SCOPE);
+    assert_eq!(count(&local, "L7/hot-alloc"), 0, "{local:?}");
+    // Phase 2 walks the call graph and connects the chain.
+    let findings = analyze(&[("engine/src/f.rs", "engine", src, HOT_SCOPE)]);
+    assert_eq!(count(&findings, "L9/hot-propagate"), 1, "{findings:?}");
+    let Some(f) = findings.iter().find(|f| f.rule == "L9/hot-propagate") else {
+        return;
+    };
+    assert!(f.message.contains("ingest -> mid -> leaf"), "{}", f.message);
+}
+
+#[test]
+fn l9_spares_alloc_free_chains_justified_call_sites_and_cold_code() {
+    let src = include_str!("fixtures/l9_hot_propagate_allowed.rs");
+    let findings = analyze(&[("engine/src/f.rs", "engine", src, HOT_SCOPE)]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l10_prints_the_full_reachability_chain() {
+    let src = include_str!("fixtures/l10_taint_violation.rs");
+    let findings = analyze(&[("core/src/sdsx.rs", "core", src, LIB_SCOPE)]);
+    assert_eq!(count(&findings, "L10/determinism-taint"), 1, "{findings:?}");
+    let Some(f) = findings.iter().find(|f| f.rule == "L10/determinism-taint") else {
+        return;
+    };
+    assert!(
+        f.message.contains("SdsX::on_observation -> helper -> deep"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn l10_spares_unreachable_taint_and_justified_sites() {
+    let src = include_str!("fixtures/l10_taint_allowed.rs");
+    let findings = analyze(&[("core/src/sdsy.rs", "core", src, LIB_SCOPE)]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l11_wildcard_fires_on_verdict_class_enums() {
+    let src = include_str!("fixtures/l11_wildcard_violation.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    // one `_` arm over Verdict, one over RecordError
+    assert_eq!(count(&findings, "L11/verdict-match"), 2, "{findings:?}");
+}
+
+#[test]
+fn l11_wildcard_spares_exhaustive_guarded_and_foreign_matches() {
+    let src = include_str!("fixtures/l11_wildcard_allowed.rs");
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
     assert!(findings.is_empty(), "{findings:?}");
 }
 

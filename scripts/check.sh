@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Full local gate: format, lint, build, test — the same sequence CI runs.
+# With --lint-only, stop after the static analysis pass (fast pre-commit).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+lint_only=0
+for arg in "$@"; do
+    case "$arg" in
+        --lint-only) lint_only=1 ;;
+        *) echo "usage: $0 [--lint-only]" >&2; exit 2 ;;
+    esac
+done
 
 # Advisory only: the tree predates rustfmt enforcement, so drift is
 # reported but does not fail the gate.
@@ -18,6 +27,11 @@ fi
 
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint
+
+if [ "$lint_only" -eq 1 ]; then
+    echo "Lint passed (--lint-only: skipping build and tests)."
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --workspace --release
