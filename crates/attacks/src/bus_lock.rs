@@ -92,6 +92,9 @@ impl VmProgram for BusLockAttack {
     fn name(&self) -> &str {
         "bus-lock-attack"
     }
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -227,6 +227,9 @@ impl VmProgram for LlcCleanseAttack {
     fn name(&self) -> &str {
         "llc-cleanse-attack"
     }
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

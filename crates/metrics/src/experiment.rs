@@ -18,6 +18,7 @@ use memdos_core::profile::{Profile, Profiler, ProfilerConfig};
 use memdos_core::sds::Sds;
 use memdos_core::sdsp::SdsP;
 use memdos_core::CoreError;
+use memdos_sim::program::VmProgram;
 use memdos_sim::server::{Server, ServerConfig};
 use memdos_sim::VmId;
 use memdos_workloads::catalog::Application;
@@ -231,18 +232,32 @@ impl ExperimentConfig {
     /// Builds the populated server for one run: victim + scheduled
     /// attacker + utilities. Returns the server and the victim's id.
     pub fn build_server(&self, run: u64) -> (Server, VmId) {
+        let (server, victim, _) = self.build_server_with_attacker(run);
+        (server, victim)
+    }
+
+    /// [`ExperimentConfig::build_server`], additionally returning the
+    /// attacker's id — fork flows need the handle to re-target the
+    /// parked attack VM's payload.
+    pub fn build_server_with_attacker(&self, run: u64) -> (Server, VmId, VmId) {
         let server_cfg = ServerConfig { seed: self.run_seed(run), ..self.server };
         let mut server = Server::new(server_cfg);
         let llc = server.config().geometry.lines() as u64;
         let geometry = server.config().geometry;
         let victim = server.add_vm(self.app.name(), self.app.build(llc));
-        server.add_vm_parallel(
+        // The attacker's thread pool spins up with the attack window:
+        // before `attack_start` the parked VM runs serially, so the
+        // pre-launch trace is independent of which payload (and thread
+        // count) Stage 3 will launch — the invariant behind
+        // [`ExperimentConfig::capture_attack_sweep`]'s shared prefix.
+        let attacker = server.add_vm_parallel_from(
             "attacker",
             Box::new(Scheduled::starting_at(
                 self.stages.attack_start(),
                 self.attack.build(geometry),
             )),
             self.attack.default_parallelism(),
+            self.stages.attack_start(),
         );
         for i in 0..self.utility_vms {
             server.add_vm(
@@ -250,7 +265,7 @@ impl ExperimentConfig {
                 Box::new(memdos_workloads::apps::utility::program(i as u64)),
             );
         }
-        (server, victim)
+        (server, victim, attacker)
     }
 
     /// Runs Stage 1 on `server`, returning the victim's profile.
@@ -489,6 +504,81 @@ impl ExperimentConfig {
             .collect();
         CapturedRun { stages: self.stages, observations }
     }
+
+    /// Captures one run per attack in `attacks`, sharing the stage-1/2
+    /// simulation prefix across all of them.
+    ///
+    /// The attacker VM is parked (and serial — see
+    /// [`ExperimentConfig::build_server_with_attacker`]) until
+    /// `stages.attack_start()`, so every tick before that point is
+    /// independent of which payload stage 3 will launch. The sweep
+    /// exploits that: it simulates the prefix **once**, then forks the
+    /// server per attack, swaps the parked attacker's payload and thread
+    /// count in place, and simulates only the attack stage. Output is
+    /// byte-identical to calling [`ExperimentConfig::capture_run`] once
+    /// per attack (pinned by `capture_sweep_matches_per_attack_runs`),
+    /// at roughly `prefix/total` less simulation per extra attack.
+    ///
+    /// `self.attack` is ignored; results follow `attacks` order.
+    pub fn capture_attack_sweep(&self, attacks: &[AttackKind], run: u64) -> Vec<CapturedRun> {
+        if attacks.is_empty() {
+            return Vec::new();
+        }
+        let (mut server, victim, attacker) = self.build_server_with_attacker(run);
+        server.set_monitor_tax(self.sds_tax_cycles);
+        let geometry = server.config().geometry;
+        let prefix_ticks = self.stages.attack_start();
+        let suffix_ticks = self.stages.total_ticks() - prefix_ticks;
+        let prefix: Vec<Observation> = (0..prefix_ticks)
+            .map(|_| {
+                let report = server.tick();
+                // lint:allow(panic) -- `victim` was registered by
+                // build_server above; a missing sample is a simulator bug.
+                Observation::from(report.sample(victim).expect("victim sample"))
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(attacks.len());
+        let mut warm = Some(server);
+        for (k, &attack) in attacks.iter().enumerate() {
+            // lint:allow(panic) -- `warm` is refilled on every iteration
+            // but the last, which consumes it.
+            let base = warm.take().expect("warm prefix server");
+            let mut fork = if k + 1 < attacks.len() {
+                // lint:allow(panic) -- every program build_server installs
+                // (PhaseMachine, Scheduled, the attack payloads) supports
+                // clone_box; a None here is a regression in one of them.
+                let fork = base.try_clone().expect("experiment programs are cloneable");
+                warm = Some(base);
+                fork
+            } else {
+                base
+            };
+
+            // Re-target the parked attacker: swap the payload and its
+            // thread count. The parked path never touched the old
+            // payload, and the serial window covers the whole prefix, so
+            // the continuation matches a from-scratch run of `attack`.
+            let scheduled = fork
+                .program_mut(attacker)
+                .and_then(|p| p.as_any_mut())
+                .and_then(|a| a.downcast_mut::<Scheduled<Box<dyn VmProgram>>>());
+            // lint:allow(panic) -- build_server installs exactly this
+            // wrapper type around the attacker.
+            scheduled.expect("attacker is Scheduled").swap_inner(attack.build(geometry));
+            fork.set_vm_parallelism(attacker, attack.default_parallelism());
+
+            let mut observations = prefix.clone();
+            observations.extend((0..suffix_ticks).map(|_| {
+                let report = fork.tick();
+                // lint:allow(panic) -- same victim registration argument
+                // as above.
+                Observation::from(report.sample(victim).expect("victim sample"))
+            }));
+            out.push(CapturedRun { stages: self.stages, observations });
+        }
+        out
+    }
 }
 
 /// Captures the raw `(AccessNum, MissNum)` trace of the victim for the
@@ -620,6 +710,38 @@ mod tests {
         let cfg = ExperimentConfig::default();
         assert_ne!(cfg.run_seed(0), cfg.run_seed(1));
         assert_eq!(cfg.run_seed(3), cfg.run_seed(3));
+    }
+
+    /// The fork-based attack sweep must be byte-identical to running
+    /// each attack from scratch — the contract that makes shared-prefix
+    /// capture legitimate for the sensitivity studies.
+    #[test]
+    fn capture_sweep_matches_per_attack_runs() {
+        let stages = StageConfig {
+            profile_ticks: 400,
+            benign_ticks: 400,
+            attack_ticks: 400,
+            interval_ticks: 100,
+            grace_ticks: 100,
+        };
+        let base = ExperimentConfig { stages, seed: 0x5EED_CAFE, ..ExperimentConfig::default() };
+        let attacks = AttackKind::ALL;
+        let swept = base.capture_attack_sweep(&attacks, 3);
+        assert_eq!(swept.len(), attacks.len());
+        for (attack, sweep_run) in attacks.iter().zip(&swept) {
+            let scratch =
+                ExperimentConfig { attack: *attack, ..base.clone() }.capture_run(3);
+            assert_eq!(sweep_run.observations.len(), scratch.observations.len());
+            for (t, (a, b)) in
+                sweep_run.observations.iter().zip(&scratch.observations).enumerate()
+            {
+                assert!(
+                    a.access_num.to_bits() == b.access_num.to_bits()
+                        && a.miss_num.to_bits() == b.miss_num.to_bits(),
+                    "{attack}: tick {t} diverged: sweep {a:?} vs scratch {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

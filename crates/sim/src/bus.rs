@@ -13,9 +13,14 @@
 //! * an ordinary **memory access** cannot start while the bus is locked —
 //!   it stalls until the lock releases.
 //!
-//! The simulation engine executes VM operations in global-cycle order
-//! (smallest local time first), so every lock visible at time `t` was
-//! placed by an operation that logically preceded `t`.
+//! The simulation engine executes VM operations in global-cycle order —
+//! the event heap in [`crate::event`] pops the smallest
+//! `(next_cycle, ComponentId)` key first — so every lock visible at
+//! time `t` was placed by an operation that logically preceded `t`.
+//! The bus itself never appears in the event queue: a stalled access
+//! folds the remaining lock time into its own cost
+//! ([`Bus::earliest_access`]), so the waiting VM reschedules itself
+//! past the release instead of the bus ticking idle cycles.
 
 /// The shared memory bus.
 #[derive(Debug, Clone, Default)]

@@ -10,6 +10,18 @@
 //! Replacement is true LRU within a set (the E5-2660's LLC is
 //! pseudo-LRU; true LRU preserves the eviction behaviour the attack
 //! relies on while keeping the model simple and deterministic).
+//!
+//! ## Layout
+//!
+//! Line metadata is stored structure-of-arrays: per-way LRU timestamps
+//! (`ts`, where 0 means *invalid* — the access clock pre-increments, so
+//! every valid line carries a timestamp ≥ 1) separate from the per-way
+//! address/domain tags, which the hot path never reads. Hits resolve
+//! through a per-domain *presence directory* (`shadow[domain][addr]` =
+//! way + 1, 0 = absent) maintained exactly on fill/evict/flush, so the
+//! common case is O(1) with no tag compare at all; the tag arrays are
+//! only consulted to identify eviction victims. Behaviour is identical
+//! to the straightforward scan — the directory is an index, not a cache.
 
 /// Identifier of a cache-ownership domain (one per VM, plus domain 0 for
 /// the hypervisor's own monitoring activity).
@@ -52,22 +64,16 @@ pub struct DomainCounters {
     pub misses: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    /// Line address (identifies the memory line within the domain).
-    addr: u64,
-    domain: DomainId,
-    valid: bool,
-    /// LRU timestamp: global access counter value at last touch.
-    last_used: u64,
+/// Interval and cumulative counters of one domain, kept together so one
+/// access touches a single stats slot. The hot path bumps only
+/// `interval`; `drained` accumulates past intervals when PCM drains, so
+/// the all-time totals are `drained + interval` — two counter updates
+/// per access become one without losing exactness.
+#[derive(Debug, Clone, Copy, Default)]
+struct DomainStat {
+    interval: DomainCounters,
+    drained: DomainCounters,
 }
-
-const INVALID_LINE: Line = Line {
-    addr: 0,
-    domain: DomainId(u16::MAX),
-    valid: false,
-    last_used: 0,
-};
 
 /// Geometry of the simulated LLC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,20 +101,47 @@ impl Default for CacheGeometry {
     }
 }
 
+/// Largest line address tracked by the presence directory. Addresses at
+/// or above this fall back to the tag scan (identical behaviour, slower)
+/// so a stray huge address cannot balloon the directory allocation.
+const DIRECTORY_LIMIT: u64 = 1 << 21;
+
 /// The shared last-level cache.
 #[derive(Debug, Clone)]
 pub struct Llc {
     geometry: CacheGeometry,
-    lines: Vec<Line>,
+    /// Per-way LRU timestamp; 0 = invalid way. Valid lines always carry
+    /// ts ≥ 1 because the clock pre-increments before every access.
+    ///
+    /// `u32` on purpose: LRU only needs the *relative order* of the
+    /// stamps, and halving their width halves the victim scan's memory
+    /// traffic. Before the clock would overflow a `u32`, the stamps are
+    /// compacted to their ranks ([`Llc::rebase_timestamps`]) — an
+    /// order-preserving renumbering, so replacement decisions are
+    /// identical to an unbounded clock.
+    ts: Vec<u32>,
+    /// Per-way line address; meaningful only where `ts` is non-zero.
+    addrs: Vec<u64>,
+    /// Per-way owning domain; meaningful only where `ts` is non-zero.
+    doms: Vec<u16>,
     clock: u64,
-    counters: Vec<DomainCounters>,
-    totals: Vec<DomainCounters>,
-    /// Per-set hint: the way most recently hit or filled. Workload inner
-    /// loops re-touch the same line often, so checking this way first
-    /// usually resolves the access without scanning the whole set. Purely
-    /// an accelerator — stale hints fail the tag compare and fall through
-    /// to the full scan, so behaviour is identical with or without it.
-    mru_way: Vec<u32>,
+    stats: Vec<DomainStat>,
+    /// Presence directory, stored flat so a hit costs a single indexed
+    /// load: `shadow[domain * shadow_stride + addr] = way + 1` (0 =
+    /// absent). The stride grows on demand (power-of-two steps, capped
+    /// at [`DIRECTORY_LIMIT`]) the first time a fill needs a larger
+    /// address, re-laying out every domain's region. Maintained exactly
+    /// on fill/evict/flush, so a non-zero entry *is* a hit — no tag
+    /// verification needed — and every resident line below the stride
+    /// has an entry, so a zero entry *is* a miss.
+    shadow: Vec<u8>,
+    /// Entries per domain in the flat `shadow` array. Addresses at or
+    /// above the stride that have never been filled are absent by the
+    /// grow-on-fill invariant.
+    shadow_stride: usize,
+    /// Directory disabled when a way index cannot fit in the `u8` slots
+    /// (associativity > 255); every access then uses the tag scan.
+    use_directory: bool,
 }
 
 impl Llc {
@@ -125,11 +158,14 @@ impl Llc {
         assert!(geometry.ways > 0, "associativity must be positive");
         Llc {
             geometry,
-            lines: vec![INVALID_LINE; geometry.lines()],
+            ts: vec![0; geometry.lines()],
+            addrs: vec![0; geometry.lines()],
+            doms: vec![u16::MAX; geometry.lines()],
             clock: 0,
-            counters: Vec::new(),
-            totals: Vec::new(),
-            mru_way: vec![0; geometry.sets],
+            stats: Vec::new(),
+            shadow: Vec::new(),
+            shadow_stride: 0,
+            use_directory: geometry.ways <= u8::MAX as usize,
         }
     }
 
@@ -140,10 +176,61 @@ impl Llc {
 
     /// Registers a new counter domain and returns its id.
     pub fn register_domain(&mut self) -> DomainId {
-        let id = DomainId(self.counters.len() as u16);
-        self.counters.push(DomainCounters::default());
-        self.totals.push(DomainCounters::default());
+        let id = DomainId(self.stats.len() as u16);
+        self.stats.push(DomainStat::default());
+        self.shadow.resize(self.stats.len() * self.shadow_stride, 0);
         id
+    }
+
+    /// Grows the presence directory so addresses up to `addr` fit,
+    /// re-laying out every domain's region at the new stride. Cold:
+    /// runs only the first time a fill outgrows the current stride.
+    #[cold]
+    fn grow_directory(&mut self, addr: usize) {
+        let stride = (addr + 1).next_power_of_two().min(DIRECTORY_LIMIT as usize);
+        let mut grown = vec![0u8; self.stats.len() * stride];
+        for d in 0..self.stats.len() {
+            let old = d * self.shadow_stride;
+            if let (Some(src), Some(dst)) = (
+                self.shadow.get(old..old + self.shadow_stride),
+                grown.get_mut(d * stride..d * stride + self.shadow_stride),
+            ) {
+                dst.copy_from_slice(src);
+            }
+        }
+        self.shadow = grown;
+        self.shadow_stride = stride;
+    }
+
+    /// Compacts every valid LRU timestamp to its rank (1-based, in
+    /// timestamp order) and resets the clock to the number of valid
+    /// lines. Strictly order-preserving — valid stamps are unique, so
+    /// ranking them changes no replacement decision, ever — which makes
+    /// the `u32` stamp width an implementation detail rather than a
+    /// behavioural limit. Cold: fires once every ~4 × 10⁹ accesses.
+    #[cold]
+    fn rebase_timestamps(&mut self) {
+        let mut order: Vec<(u32, u32)> = self
+            .ts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != 0)
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        order.sort_unstable();
+        for (rank, &(_, i)) in order.iter().enumerate() {
+            if let Some(t) = self.ts.get_mut(i as usize) {
+                *t = rank as u32 + 1;
+            }
+        }
+        self.clock = order.len() as u64;
+    }
+
+    /// Test hook: fast-forwards the access clock so the timestamp rebase
+    /// path can be exercised without simulating 4 × 10⁹ accesses.
+    #[cfg(test)]
+    fn set_clock_for_test(&mut self, clock: u64) {
+        self.clock = clock;
     }
 
     /// Set index a line address maps to.
@@ -158,70 +245,102 @@ impl Llc {
     ///
     /// Panics (in debug builds) if `domain` was not registered.
     pub fn access(&mut self, domain: DomainId, addr: u64) -> CacheOutcome {
-        debug_assert!((domain.0 as usize) < self.counters.len(), "unregistered domain");
+        debug_assert!((domain.0 as usize) < self.stats.len(), "unregistered domain");
         self.clock += 1;
+        if self.clock >= u32::MAX as u64 {
+            self.rebase_timestamps();
+            self.clock += 1;
+        }
+        let stamp = self.clock as u32;
+        let d = domain.0 as usize;
         let set = self.set_of(addr);
         let base = set * self.geometry.ways;
 
-        if let Some(c) = self.counters.get_mut(domain.0 as usize) {
-            c.accesses += 1;
-        }
-        if let Some(t) = self.totals.get_mut(domain.0 as usize) {
-            t.accesses += 1;
+        if let Some(s) = self.stats.get_mut(d) {
+            s.interval.accesses += 1;
         }
 
-        // Fast path: the most recently touched way of this set. Repeated
-        // touches of a hot line resolve here in O(1) instead of scanning
-        // all `ways` lines of the set.
-        let hinted = self.mru_way.get(set).copied().unwrap_or(0) as usize;
-        if hinted < self.geometry.ways {
-            if let Some(line) = self.lines.get_mut(base + hinted) {
-                if line.valid && line.domain == domain && line.addr == addr {
-                    line.last_used = self.clock;
+        // Fast path: the presence directory resolves hits with a single
+        // compare-and-indexed-load. `shadow_stride` is 0 both before any
+        // fill and when the directory is disabled, so one range check
+        // covers all three gates.
+        if (addr as usize) < self.shadow_stride {
+            let way = self
+                .shadow
+                .get(d * self.shadow_stride + addr as usize)
+                .copied()
+                .unwrap_or(0);
+            if way != 0 {
+                if let Some(t) = self.ts.get_mut(base + way as usize - 1) {
+                    *t = stamp;
+                }
+                return CacheOutcome::Hit;
+            }
+            // Directory says absent: this is a miss by construction.
+        } else if self.use_directory && addr < DIRECTORY_LIMIT {
+            // Tracked address range, directory not grown this far yet:
+            // never filled, so absent — a miss by construction.
+        } else {
+            // Tag-scan hit path for addresses outside the directory.
+            let end = base + self.geometry.ways;
+            for i in base..end {
+                let valid = self.ts.get(i).copied().unwrap_or(0) != 0;
+                if valid
+                    && self.addrs.get(i).copied() == Some(addr)
+                    && self.doms.get(i).copied() == Some(domain.0)
+                {
+                    if let Some(t) = self.ts.get_mut(i) {
+                        *t = stamp;
+                    }
                     return CacheOutcome::Hit;
                 }
             }
         }
 
-        let ways = &mut self.lines[base..base + self.geometry.ways];
-
-        // Hit path.
-        let mut victim = 0usize;
-        let mut victim_ts = u64::MAX;
-        for (i, line) in ways.iter_mut().enumerate() {
-            if line.valid && line.domain == domain && line.addr == addr {
-                line.last_used = self.clock;
-                if let Some(hint) = self.mru_way.get_mut(set) {
-                    *hint = i as u32;
+        // Miss: evict LRU (invalid ways have timestamp 0 and win; ties
+        // break to the lowest way index, matching the reference scan).
+        if let Some(s) = self.stats.get_mut(d) {
+            s.interval.misses += 1;
+        }
+        let mut victim = base;
+        let mut victim_ts = u32::MAX;
+        for (i, &t) in self.ts[base..base + self.geometry.ways].iter().enumerate() {
+            if t < victim_ts {
+                victim_ts = t;
+                victim = base + i;
+            }
+        }
+        let evicted = if victim_ts != 0 {
+            let old_addr = self.addrs.get(victim).copied().unwrap_or(0);
+            let old_dom = self.doms.get(victim).copied().unwrap_or(u16::MAX);
+            if (old_addr as usize) < self.shadow_stride {
+                if let Some(slot) = self
+                    .shadow
+                    .get_mut(old_dom as usize * self.shadow_stride + old_addr as usize)
+                {
+                    *slot = 0;
                 }
-                return CacheOutcome::Hit;
             }
-            let ts = if line.valid { line.last_used } else { 0 };
-            if ts < victim_ts {
-                victim_ts = ts;
-                victim = i;
-            }
-        }
-
-        // Miss: evict LRU (invalid lines have timestamp 0 and win).
-        if let Some(c) = self.counters.get_mut(domain.0 as usize) {
-            c.misses += 1;
-        }
-        if let Some(t) = self.totals.get_mut(domain.0 as usize) {
-            t.misses += 1;
-        }
-        // `victim` indexes into `ways` by construction: the selection loop
-        // above only assigns in-range positions.
-        let evicted = match ways.get_mut(victim) {
-            Some(line) => {
-                let evicted = if line.valid { Some(line.domain) } else { None };
-                *line = Line { addr, domain, valid: true, last_used: self.clock };
-                evicted
-            }
-            None => None,
+            Some(DomainId(old_dom))
+        } else {
+            None
         };
-        if let Some(hint) = self.mru_way.get_mut(set) {
-            *hint = victim as u32;
+        if let Some(t) = self.ts.get_mut(victim) {
+            *t = stamp;
+        }
+        if let Some(a) = self.addrs.get_mut(victim) {
+            *a = addr;
+        }
+        if let Some(o) = self.doms.get_mut(victim) {
+            *o = domain.0;
+        }
+        if self.use_directory && addr < DIRECTORY_LIMIT {
+            if addr as usize >= self.shadow_stride {
+                self.grow_directory(addr as usize);
+            }
+            if let Some(slot) = self.shadow.get_mut(d * self.shadow_stride + addr as usize) {
+                *slot = (victim - base + 1) as u8;
+            }
         }
         CacheOutcome::Miss { evicted }
     }
@@ -229,38 +348,53 @@ impl Llc {
     /// Reads and clears the per-interval counters of `domain` (what PCM
     /// does every `T_PCM`).
     pub fn drain_counters(&mut self, domain: DomainId) -> DomainCounters {
-        match self.counters.get_mut(domain.0 as usize) {
-            Some(c) => std::mem::take(c),
+        match self.stats.get_mut(domain.0 as usize) {
+            Some(s) => {
+                let c = std::mem::take(&mut s.interval);
+                s.drained.accesses += c.accesses;
+                s.drained.misses += c.misses;
+                c
+            }
             None => DomainCounters::default(),
         }
     }
 
     /// Cumulative counters of `domain` since creation (never reset).
     pub fn totals(&self, domain: DomainId) -> DomainCounters {
-        self.totals.get(domain.0 as usize).copied().unwrap_or_default()
+        self.stats
+            .get(domain.0 as usize)
+            .map(|s| DomainCounters {
+                accesses: s.drained.accesses + s.interval.accesses,
+                misses: s.drained.misses + s.interval.misses,
+            })
+            .unwrap_or_default()
     }
 
     /// Number of valid lines currently owned by `domain` — used by tests
     /// and by the cleansing attacker's probe validation.
     pub fn occupancy(&self, domain: DomainId) -> usize {
-        self.lines
+        self.ts
             .iter()
-            .filter(|l| l.valid && l.domain == domain)
+            .zip(&self.doms)
+            .filter(|&(&t, &o)| t != 0 && o == domain.0)
             .count()
     }
 
     /// Number of valid lines owned by `domain` in one set.
     pub fn set_occupancy(&self, domain: DomainId, set: usize) -> usize {
         let base = set * self.geometry.ways;
-        self.lines[base..base + self.geometry.ways]
+        let end = base + self.geometry.ways;
+        self.ts[base..end]
             .iter()
-            .filter(|l| l.valid && l.domain == domain)
+            .zip(&self.doms[base..end])
+            .filter(|&(&t, &o)| t != 0 && o == domain.0)
             .count()
     }
 
     /// Invalidates every line (used between experiment stages in tests).
     pub fn flush(&mut self) {
-        self.lines.fill(INVALID_LINE);
+        self.ts.fill(0);
+        self.shadow.fill(0);
     }
 }
 
@@ -387,19 +521,68 @@ mod tests {
     }
 
     #[test]
-    fn stale_mru_hint_never_changes_outcomes() {
-        // Alternate domains and addresses within one set so the hint is
-        // wrong on every other access; results must match LRU semantics.
+    fn presence_directory_never_changes_outcomes() {
+        // Alternate domains and addresses within one set; directory
+        // entries must track fills, evictions and flushes exactly, so
+        // results match plain LRU semantics.
         let mut c = small();
         let a = c.register_domain();
         let b = c.register_domain();
         assert!(c.access(a, 0).is_miss());
         assert_eq!(c.access(a, 0), CacheOutcome::Hit); // fast path
-        assert!(c.access(b, 0).is_miss()); // same set, hint points at a's line
+        assert!(c.access(b, 0).is_miss()); // same set, different domain
         assert_eq!(c.access(b, 0), CacheOutcome::Hit);
-        assert_eq!(c.access(a, 0), CacheOutcome::Hit); // hint stale again
+        assert_eq!(c.access(a, 0), CacheOutcome::Hit); // both resident
         c.flush();
-        assert!(c.access(a, 0).is_miss()); // hinted way is invalid after flush
+        assert!(c.access(a, 0).is_miss()); // directory cleared by flush
+    }
+
+    #[test]
+    fn directory_entry_cleared_on_eviction() {
+        // Ways = 2: two foreign fills evict a's line; a stale directory
+        // entry would turn the subsequent access into a phantom hit.
+        let mut c = small();
+        let a = c.register_domain();
+        let b = c.register_domain();
+        c.access(a, 0);
+        c.access(b, 0);
+        c.access(b, 4); // set 0 now holds only b's lines
+        assert!(c.access(a, 0).is_miss(), "evicted line must miss");
+        assert_eq!(c.occupancy(b), 1, "a's fill evicted one of b's lines");
+    }
+
+    #[test]
+    fn addresses_beyond_directory_limit_use_scan_path() {
+        let mut c = small();
+        let d = c.register_domain();
+        let jumbo = DIRECTORY_LIMIT + 4; // same set as line 0 (mod 4)
+        assert!(c.access(d, jumbo).is_miss());
+        assert_eq!(c.access(d, jumbo), CacheOutcome::Hit);
+        // Jumbo and small addresses share sets and evict each other.
+        assert!(c.access(d, jumbo + 4).is_miss());
+        assert!(c.access(d, jumbo + 8).is_miss()); // evicts `jumbo`
+        assert!(c.access(d, jumbo).is_miss());
+        assert_eq!(c.occupancy(d), 2);
+    }
+
+    #[test]
+    fn timestamp_rebase_preserves_lru_order() {
+        let mut c = small(); // 4 sets × 2 ways
+        let d = c.register_domain();
+        c.access(d, 0);
+        c.access(d, 4); // set 0 full; line 0 is LRU
+        // Park the clock just below the u32 boundary, then refresh line
+        // 0 so line 4 becomes LRU with a *tiny* stamp while line 0 holds
+        // a near-max one — the worst case for an order-preserving rebase.
+        c.set_clock_for_test(u32::MAX as u64 - 2);
+        assert_eq!(c.access(d, 0), CacheOutcome::Hit);
+        // This access crosses the boundary and triggers the rebase.
+        assert!(c.access(d, 8).is_miss()); // must evict LRU line 4
+        assert_eq!(c.access(d, 0), CacheOutcome::Hit, "MRU line survived");
+        assert!(c.access(d, 4).is_miss(), "LRU line was the victim");
+        // Clock restarted from the compacted rank count, far below the
+        // boundary again.
+        assert!(c.clock < 100);
     }
 
     #[test]

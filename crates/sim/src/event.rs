@@ -1,0 +1,283 @@
+//! The min-heap discrete-event scheduler backing [`crate::server`].
+//!
+//! Instead of polling every component every cycle, each component — the
+//! per-tick monitor, the PCM sampler and every VM — schedules its own
+//! next wake-up in an [`EventQueue`]: a `BinaryHeap`-backed min-heap
+//! keyed by `(next_tick, ComponentId)`. Idle VMs (long compute stalls,
+//! parked attackers), a quiescent bus and untouched LLC sets are simply
+//! *absent* from the heap until their wake-up cycle arrives, so the
+//! engine's cost scales with the number of events, not with the number
+//! of simulated cycles.
+//!
+//! ## Determinism
+//!
+//! The heap key is the pair `(time, ComponentId)`. Two events scheduled
+//! for the same cycle therefore always pop in `ComponentId` order, no
+//! matter in which order they were inserted — this is the tie-break the
+//! cycle-budgeted reference loop in `server.rs` applies implicitly
+//! (lowest VM-table index first), and it is what makes the event engine
+//! byte-identical to it. [`ComponentId::SAMPLER`] and
+//! [`ComponentId::MONITOR`] sort before every VM so the fixed per-tick
+//! clock-divider events keep their place relative to VM operations.
+//!
+//! The queue is single-owner state inside one `Server` (no sharing, no
+//! interior mutability), so it is compatible with the L8 shared-state
+//! lint policy as-is.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identity of a schedulable component of one simulated server.
+///
+/// The numeric value doubles as the deterministic tie-break for
+/// simultaneous events: smaller ids run first. Fixed infrastructure
+/// components take the smallest ids; VMs follow in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// The monitoring process (fires once per tick, at the tick start).
+    pub const MONITOR: ComponentId = ComponentId(0);
+    /// The PCM sampler (fires once per tick, at the tick boundary).
+    pub const SAMPLER: ComponentId = ComponentId(1);
+    /// First id assigned to a VM; VM *k* in table order is `VM_BASE + k`.
+    const VM_BASE: u32 = 2;
+
+    /// The component id of the VM at table index `index`.
+    pub fn vm(index: usize) -> ComponentId {
+        ComponentId(Self::VM_BASE + index as u32)
+    }
+
+    /// The VM-table index of this component, if it is a VM.
+    pub fn vm_index(self) -> Option<usize> {
+        self.0.checked_sub(Self::VM_BASE).map(|i| i as usize)
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ComponentId::SAMPLER => write!(f, "sampler"),
+            ComponentId::MONITOR => write!(f, "monitor"),
+            other => match other.vm_index() {
+                Some(i) => write!(f, "vm[{i}]"),
+                None => write!(f, "component{}", other.0),
+            },
+        }
+    }
+}
+
+/// A time-ordered queue of component wake-ups.
+///
+/// Thin wrapper around `BinaryHeap<Reverse<(u64, ComponentId)>>`: `pop`
+/// returns the earliest event, ties broken by smallest [`ComponentId`].
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, ComponentId)>>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity) }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Schedules `component` to wake at absolute cycle `time`.
+    #[inline]
+    pub fn schedule(&mut self, time: u64, component: ComponentId) {
+        self.heap.push(Reverse((time, component)));
+    }
+
+    /// The earliest pending event, without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(u64, ComponentId)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the earliest pending event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, ComponentId)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Replaces the earliest pending event with `(time, component)` and
+    /// returns the replaced event, restoring the heap order with a
+    /// single sift instead of the two a `pop` + `schedule` pair costs.
+    ///
+    /// This is the run-ahead *hand-off* primitive: when the running VM's
+    /// next wake-up is later than the queue head, the engine swaps the
+    /// two in place — equivalent to scheduling the runner and popping
+    /// the head, because inserting an event later than the head cannot
+    /// change which event is earliest.
+    #[inline]
+    pub fn replace_min(
+        &mut self,
+        time: u64,
+        component: ComponentId,
+    ) -> Option<(u64, ComponentId)> {
+        self.heap.peek_mut().map(|mut top| {
+            let Reverse(old) = std::mem::replace(&mut *top, Reverse((time, component)));
+            old
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memdos_stats::rng::Rng;
+
+    #[test]
+    fn component_id_roundtrip_and_reserved_ids() {
+        assert_eq!(ComponentId::vm(0).vm_index(), Some(0));
+        assert_eq!(ComponentId::vm(8).vm_index(), Some(8));
+        assert_eq!(ComponentId::SAMPLER.vm_index(), None);
+        assert_eq!(ComponentId::MONITOR.vm_index(), None);
+        assert!(ComponentId::MONITOR < ComponentId::SAMPLER);
+        assert!(ComponentId::SAMPLER < ComponentId::vm(0));
+        assert!(ComponentId::vm(0) < ComponentId::vm(1));
+    }
+
+    #[test]
+    fn component_id_display() {
+        assert_eq!(ComponentId::SAMPLER.to_string(), "sampler");
+        assert_eq!(ComponentId::MONITOR.to_string(), "monitor");
+        assert_eq!(ComponentId::vm(3).to_string(), "vm[3]");
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, ComponentId::vm(0));
+        q.schedule(10, ComponentId::vm(1));
+        q.schedule(20, ComponentId::vm(2));
+        assert_eq!(q.peek(), Some((10, ComponentId::vm(1))));
+        assert_eq!(q.pop(), Some((10, ComponentId::vm(1))));
+        assert_eq!(q.pop(), Some((20, ComponentId::vm(2))));
+        assert_eq!(q.pop(), Some((30, ComponentId::vm(0))));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Satellite: simultaneous events (equal `next_tick`) must pop in
+    /// `ComponentId` order regardless of insertion order.
+    #[test]
+    fn equal_time_events_pop_in_component_order_for_any_insertion_order() {
+        let mut rng = Rng::new(0xE7E41);
+        let n = 9usize;
+        for _round in 0..200 {
+            // A random permutation of components 0..n via seeded
+            // Fisher-Yates, all scheduled for the same cycle.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            let mut q = EventQueue::new();
+            for &c in &order {
+                q.schedule(77, ComponentId::vm(c));
+            }
+            // Mix in the fixed infrastructure components too.
+            q.schedule(77, ComponentId::MONITOR);
+            q.schedule(77, ComponentId::SAMPLER);
+            let popped: Vec<ComponentId> =
+                std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+            let mut expected = vec![ComponentId::MONITOR, ComponentId::SAMPLER];
+            expected.extend((0..n).map(ComponentId::vm));
+            assert_eq!(popped, expected, "insertion order {order:?}");
+        }
+    }
+
+    /// `replace_min` must be indistinguishable from `schedule` followed
+    /// by `pop` whenever the inserted key is strictly greater than the
+    /// head's — the only discipline under which the engine uses it (the
+    /// run-ahead loop hands off exactly when `head < (next, comp)`).
+    #[test]
+    fn replace_min_matches_schedule_then_pop() {
+        let mut rng = Rng::new(0xC0FFEE);
+        for _round in 0..100 {
+            let mut fast = EventQueue::new();
+            let mut slow = EventQueue::new();
+            for c in 0..6 {
+                let t = rng.next_below(50);
+                fast.schedule(t, ComponentId::vm(c));
+                slow.schedule(t, ComponentId::vm(c));
+            }
+            for _step in 0..200 {
+                let (ht, hc) = fast.peek().expect("queues stay populated");
+                // Same time with a larger component id, or a later time:
+                // both are `> head` in key order, like a real hand-off.
+                let (t, c) = if rng.chance(0.2) {
+                    (ht, ComponentId(hc.0 + 1 + rng.next_below(4) as u32))
+                } else {
+                    (ht + 1 + rng.next_below(40), ComponentId(2 + rng.next_below(8) as u32))
+                };
+                let got = fast.replace_min(t, c);
+                slow.schedule(t, c);
+                let want = slow.pop();
+                assert_eq!(got, want);
+                assert_eq!(fast.len(), slow.len());
+            }
+            let a: Vec<_> = std::iter::from_fn(|| fast.pop()).collect();
+            let b: Vec<_> = std::iter::from_fn(|| slow.pop()).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(EventQueue::new().replace_min(5, ComponentId::vm(0)), None);
+    }
+
+    /// Satellite: heap-invariant property test — under the scheduler
+    /// discipline (components only schedule wake-ups at or after the
+    /// current time), popped event times never decrease across a run.
+    #[test]
+    fn popped_event_times_never_decrease() {
+        let mut rng = Rng::new(0x5EEDED);
+        for round in 0..50 {
+            let mut q = EventQueue::with_capacity(16);
+            let mut now = 0u64;
+            let mut last_popped = 0u64;
+            // Seed a few initial wake-ups.
+            for c in 0..4 {
+                q.schedule(rng.next_below(100), ComponentId::vm(c));
+            }
+            for _step in 0..2000 {
+                if !q.is_empty() && (q.len() >= 12 || rng.chance(0.6)) {
+                    let (t, c) = q.pop().expect("non-empty");
+                    assert!(
+                        t >= last_popped,
+                        "round {round}: time went backwards: {t} after {last_popped}"
+                    );
+                    last_popped = t;
+                    now = t;
+                    // The popped component usually reschedules itself
+                    // later, like a VM finishing an operation does.
+                    if rng.chance(0.8) {
+                        q.schedule(now + rng.next_below(500), c);
+                    }
+                } else {
+                    // A fresh component joins at or after the current time.
+                    let c = ComponentId(2 + rng.next_below(32) as u32);
+                    q.schedule(now + rng.next_below(300), c);
+                }
+            }
+        }
+    }
+}

@@ -47,6 +47,10 @@ pub struct Vm {
     pub(crate) last_outcome: Option<AccessOutcome>,
     /// Absolute cycle at which this VM may issue its next operation.
     pub(crate) next_free: u64,
+    /// Line address of the access half of a fused
+    /// [`crate::program::MemOp::Work`] op whose compute half has executed;
+    /// the engine issues it at this VM's next scheduling slot.
+    pub(crate) pending_line: Option<u64>,
     /// Total ticks this VM has spent paused.
     pub(crate) paused_ticks: u64,
     /// Memory-level parallelism: ordinary accesses and compute from this
@@ -55,6 +59,14 @@ pub struct Vm {
     /// (the multi-threaded attack VM of Zhang et al.). Atomic bus locks
     /// are inherently serial and are never accelerated.
     pub(crate) parallelism: u8,
+    /// First tick at which `parallelism` takes effect; before it the VM
+    /// runs serially. Models a guest whose worker threads spin up on a
+    /// launch command (an attack VM idling before its activation window
+    /// has no reason to run multi-threaded) — and makes the pre-launch
+    /// trace independent of the payload's thread count, which is what
+    /// lets shared-prefix capture sweeps fork one warm-up across attack
+    /// variants.
+    pub(crate) parallelism_from: u64,
 }
 
 impl Vm {
@@ -81,6 +93,34 @@ impl Vm {
     /// Total ticks spent throttled.
     pub fn paused_ticks(&self) -> u64 {
         self.paused_ticks
+    }
+
+    /// Memory-level parallelism effective at `tick`.
+    #[inline]
+    pub(crate) fn parallelism_at(&self, tick: u64) -> u8 {
+        if tick >= self.parallelism_from {
+            self.parallelism
+        } else {
+            1
+        }
+    }
+
+    /// Snapshots this VM, program state included. Returns `None` when the
+    /// guest program does not support [`VmProgram::clone_box`].
+    fn try_clone(&self) -> Option<Vm> {
+        Some(Vm {
+            name: self.name.clone(),
+            program: self.program.clone_box()?,
+            state: self.state,
+            rng: self.rng.clone(),
+            domain: self.domain,
+            last_outcome: self.last_outcome,
+            next_free: self.next_free,
+            pending_line: self.pending_line,
+            paused_ticks: self.paused_ticks,
+            parallelism: self.parallelism,
+            parallelism_from: self.parallelism_from,
+        })
     }
 }
 
@@ -116,6 +156,7 @@ impl Hypervisor {
         domain: DomainId,
         rng: Rng,
         parallelism: u8,
+        parallelism_from: u64,
     ) -> VmId {
         let id = VmId(self.vms.len() as u16);
         self.vms.push(Vm {
@@ -126,8 +167,10 @@ impl Hypervisor {
             domain,
             last_outcome: None,
             next_free: 0,
+            pending_line: None,
             paused_ticks: 0,
             parallelism: parallelism.max(1),
+            parallelism_from,
         });
         id
     }
@@ -155,6 +198,19 @@ impl Hypervisor {
 
     pub(crate) fn vms_mut(&mut self) -> &mut [Vm] {
         &mut self.vms
+    }
+
+    /// Mutable access to one VM's guest program — for fork flows that
+    /// swap a wrapper program's payload in place.
+    pub fn program_mut(&mut self, id: VmId) -> Option<&mut Box<dyn VmProgram>> {
+        self.vms.get_mut(id.0 as usize).map(|vm| &mut vm.program)
+    }
+
+    /// Snapshots the whole VM table; `None` if any guest program does
+    /// not support [`VmProgram::clone_box`].
+    pub(crate) fn try_clone(&self) -> Option<Hypervisor> {
+        let vms = self.vms.iter().map(Vm::try_clone).collect::<Option<Vec<_>>>()?;
+        Some(Hypervisor { vms })
     }
 
     /// Iterator over `(VmId, &Vm)`.
@@ -214,7 +270,7 @@ mod tests {
         let mut rng = Rng::new(1);
         for i in 0..n {
             let child = rng.fork(i as u64);
-            hv.add_vm(format!("vm-{i}"), Box::new(IdleProgram), DomainId(i as u16 + 1), child, 1);
+            hv.add_vm(format!("vm-{i}"), Box::new(IdleProgram), DomainId(i as u16 + 1), child, 1, 0);
         }
         hv
     }

@@ -75,6 +75,7 @@
 
 pub mod bus;
 pub mod cache;
+pub mod event;
 pub mod hypervisor;
 pub mod pcm;
 pub mod program;

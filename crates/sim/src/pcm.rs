@@ -5,8 +5,11 @@
 //! number of LLC accesses (`AccessNum`, used against the bus-locking
 //! attack) and the number of LLC misses (`MissNum`, used against the
 //! LLC-cleansing attack). In the simulator one engine tick *is* one
-//! `T_PCM` interval, so the sampler simply drains each domain's interval
-//! counters at the end of every tick.
+//! `T_PCM` interval: the sampler is the fixed
+//! [`crate::event::ComponentId::SAMPLER`] event scheduled at every
+//! tick's cycle bound — a per-tick clock divider in event-queue terms —
+//! and popping it closes the tick and drains each domain's interval
+//! counters.
 
 use crate::cache::DomainId;
 use crate::hypervisor::VmId;

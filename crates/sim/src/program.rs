@@ -36,6 +36,21 @@ pub enum MemOp {
         /// Number of cycles consumed.
         cycles: u32,
     },
+    /// A fused compute-then-access operation: `compute` cycles of pure
+    /// computation followed by one memory access to `line`. Semantically
+    /// identical to emitting `Compute { cycles: compute }` and then
+    /// `Access { line, write }` on the next call, but costs the engine a
+    /// single `next_op` round-trip — the phase-machine workloads emit
+    /// almost every operation in this form. `compute` is clamped to at
+    /// least 1 cycle (like `Compute`); use `Access` for a bare access.
+    Work {
+        /// Compute cycles preceding the access.
+        compute: u32,
+        /// Line address of the trailing access.
+        line: u64,
+        /// Whether the trailing access is a store.
+        write: bool,
+    },
 }
 
 impl MemOp {
@@ -96,9 +111,32 @@ pub trait VmProgram: Send {
     fn work_completed(&self) -> u64 {
         0
     }
+
+    /// Snapshots this program — full mutable state included — into a
+    /// boxed copy, enabling [`crate::server::Server::try_clone`]-based
+    /// fork-at-a-tick flows (e.g. sharing a benign prefix across attack
+    /// variants). Programs that keep unsnapshottable state may leave the
+    /// default, which returns `None` and makes the owning server refuse
+    /// to fork.
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        None
+    }
+
+    /// Mutable [`std::any::Any`] access for orchestration code that must
+    /// downcast a stored program (e.g. swapping a parked
+    /// `Scheduled` attacker's payload after forking a shared prefix).
+    /// Defaults to `None`; only wrapper programs that explicitly support
+    /// in-place surgery override it.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
+// The forwarding shims below are statically dispatched (the receiver is
+// the sized `Box`), so with `#[inline]` each call collapses into the
+// single vtable dispatch on the boxed object instead of two calls.
 impl VmProgram for Box<dyn VmProgram> {
+    #[inline]
     fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
         (**self).next_op(ctx)
     }
@@ -107,6 +145,12 @@ impl VmProgram for Box<dyn VmProgram> {
     }
     fn work_completed(&self) -> u64 {
         (**self).work_completed()
+    }
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        (**self).clone_box()
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
     }
 }
 
@@ -121,6 +165,9 @@ impl VmProgram for IdleProgram {
     }
     fn name(&self) -> &str {
         "idle"
+    }
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        Some(Box::new(IdleProgram))
     }
 }
 

@@ -1,4 +1,4 @@
-//! The discrete-time server engine.
+//! The discrete-event server engine.
 //!
 //! One engine tick is one `T_PCM` sampling interval (10 ms of simulated
 //! time by default). Within a tick every *running* VM executes on its own
@@ -8,6 +8,25 @@
 //! contention on the shared bus causally consistent: any bus lock visible
 //! to an operation at cycle `t` was placed by an operation that logically
 //! preceded `t`.
+//!
+//! ## Scheduling
+//!
+//! The engine is driven by the min-heap event queue in [`crate::event`]:
+//! every component schedules its own next wake-up keyed by
+//! `(cycle, ComponentId)`. The per-tick clock dividers — the monitoring
+//! process at the tick start, the PCM sampler at the tick end — and every
+//! VM's next operation are all events in the same queue, so a VM sleeping
+//! through a long compute stall (an idle utility, a parked attacker
+//! waiting for its [`attack window`](ComponentId)) costs one heap entry
+//! instead of being polled every cycle. A *run-ahead* fast path keeps
+//! executing the VM that just ran while it remains the earliest event,
+//! avoiding heap traffic for back-to-back operations.
+//!
+//! The original cycle-budgeted scan loop is retained, byte-for-byte
+//! equivalent, as [`Server::tick_reference`] behind the `reference-tick`
+//! feature (always available to tests); the seeded equivalence suite at
+//! the bottom of this file pins the two engines to **byte-identical**
+//! PCM sample streams and counters across randomized configurations.
 //!
 //! ## Cost model
 //!
@@ -35,7 +54,8 @@
 
 use crate::bus::{Bus, Dram};
 use crate::cache::{CacheGeometry, DomainId, Llc};
-use crate::hypervisor::{Hypervisor, VmId, VmState};
+use crate::event::{ComponentId, EventQueue};
+use crate::hypervisor::{Hypervisor, Vm, VmId, VmState};
 use crate::pcm::PcmSample;
 use crate::program::{AccessOutcome, MemOp, ProgramCtx, VmProgram};
 use crate::rng::Rng;
@@ -122,6 +142,9 @@ pub struct Server {
     monitor_rng: Rng,
     /// Cache lines the monitoring process touches per tick (pollution).
     monitor_load_lines: u64,
+    /// The discrete-event wake-up queue, rebuilt each tick from the
+    /// running set (pause/resume only happens at tick boundaries).
+    queue: EventQueue,
 }
 
 impl std::fmt::Debug for Server {
@@ -153,6 +176,7 @@ impl Server {
             monitor_domain,
             monitor_rng,
             monitor_load_lines: 0,
+            queue: EventQueue::with_capacity(16),
         }
     }
 
@@ -177,10 +201,26 @@ impl Server {
         program: Box<dyn VmProgram>,
         parallelism: u8,
     ) -> VmId {
+        self.add_vm_parallel_from(name, program, parallelism, 0)
+    }
+
+    /// Like [`Server::add_vm_parallel`], but the parallelism only takes
+    /// effect from tick `from_tick`; before that the VM runs serially.
+    /// Models a guest whose worker threads spin up on a launch command —
+    /// a scheduled attack VM idles single-threaded until its activation
+    /// window, so its pre-launch trace does not depend on the payload's
+    /// thread count.
+    pub fn add_vm_parallel_from(
+        &mut self,
+        name: impl Into<String>,
+        program: Box<dyn VmProgram>,
+        parallelism: u8,
+        from_tick: u64,
+    ) -> VmId {
         let domain = self.cache.register_domain();
         let stream = domain.0 as u64;
         let rng = self.root_rng.fork(stream);
-        self.hv.add_vm(name, program, domain, rng, parallelism)
+        self.hv.add_vm(name, program, domain, rng, parallelism, from_tick)
     }
 
     /// Read-only access to the hypervisor (VM table).
@@ -245,23 +285,26 @@ impl Server {
         self.dram.mean_wait_cycles()
     }
 
-    /// Executes one tick (one `T_PCM` interval) and returns the PCM
-    /// samples of every VM.
-    pub fn tick(&mut self) -> TickReport {
+    /// Cycle window and monitoring tax of the tick about to execute.
+    fn tick_bounds(&self) -> (u64, u64, u64) {
         let start = self.tick * self.cfg.tick_cycles;
         let end = start + self.cfg.tick_cycles;
-        let tax = self.cfg.monitor_tax_cycles.min(self.cfg.tick_cycles);
+        (start, end, self.cfg.monitor_tax_cycles.min(self.cfg.tick_cycles))
+    }
 
-        // Monitoring pollution: the analysis process touches its own
-        // working set through the shared LLC.
+    /// Monitoring pollution: the analysis process touches its own working
+    /// set through the shared LLC, then drains its private counters.
+    fn run_monitor(&mut self) {
         for _ in 0..self.monitor_load_lines {
             let line = self.monitor_rng.next_below(1 << 20);
             self.cache.access(self.monitor_domain, line);
         }
         self.cache.drain_counters(self.monitor_domain);
+    }
 
-        // Tick prologue: align each VM's next-free cycle with the tick,
-        // apply the monitoring tax, account paused time.
+    /// Tick prologue: align each VM's next-free cycle with the tick,
+    /// apply the monitoring tax, account paused time.
+    fn tick_prologue(&mut self, start: u64, end: u64, tax: u64) {
         for vm in self.hv.vms_mut() {
             match vm.state {
                 VmState::Running => {
@@ -275,6 +318,163 @@ impl Server {
                 }
             }
         }
+    }
+
+    /// Tick epilogue: advance the tick counter and drain every domain's
+    /// interval counters into PCM samples (what the sampler component
+    /// does at its per-tick clock-divider event).
+    fn collect_report(&mut self) -> TickReport {
+        self.tick += 1;
+        let mut samples = Vec::with_capacity(self.hv.len());
+        for (id, vm) in self.hv.iter() {
+            let domain = vm.domain();
+            let c = self.cache.drain_counters(domain);
+            samples.push(PcmSample { vm: id, domain, accesses: c.accesses, misses: c.misses });
+        }
+        TickReport {
+            tick: self.tick - 1,
+            time_secs: self.tick as f64 * self.cfg.t_pcm_secs,
+            samples,
+        }
+    }
+
+    /// Executes one tick (one `T_PCM` interval) and returns the PCM
+    /// samples of every VM.
+    ///
+    /// Event-driven: the monitor, the PCM sampler and every runnable VM
+    /// are wake-up events in a min-heap keyed by `(cycle, ComponentId)`;
+    /// the loop pops the earliest event and lets the component run. A VM
+    /// keeps executing without heap traffic while it remains the earliest
+    /// event (run-ahead), and drops out of the queue entirely once its
+    /// budget is spent.
+    pub fn tick(&mut self) -> TickReport {
+        let (start, end, tax) = self.tick_bounds();
+        self.queue.clear();
+        self.queue.schedule(start, ComponentId::MONITOR);
+        self.queue.schedule(end, ComponentId::SAMPLER);
+        self.tick_prologue(start, end, tax);
+        for (i, vm) in self.hv.vms_mut().iter().enumerate() {
+            if vm.state == VmState::Running && vm.next_free < end {
+                self.queue.schedule(vm.next_free, ComponentId::vm(i));
+            }
+        }
+        while let Some((_, comp)) = self.queue.pop() {
+            match comp {
+                ComponentId::MONITOR => self.run_monitor(),
+                ComponentId::SAMPLER => break,
+                _ => {
+                    let Some(mut idx) = comp.vm_index() else { continue };
+                    let mut comp = comp;
+                    // Split the server into disjoint field borrows once
+                    // per pop so the run-ahead loop below re-steps the
+                    // same VM without re-fetching it (or re-borrowing
+                    // `self`) on every operation.
+                    let tick = self.tick;
+                    let Server { cfg, cache, bus, dram, hv, queue, .. } = self;
+                    let vms = hv.vms_mut();
+                    'vm: loop {
+                        let Some(vm) = vms.get_mut(idx) else { break 'vm };
+                        // The queue is untouched while this VM runs
+                        // ahead, so the head is segment-invariant: fold
+                        // the hand-off condition `head < (next, comp)`
+                        // and the budget bound into ONE cycle limit, so
+                        // the per-op loop test is a single compare. A VM
+                        // may run through a head at the same cycle iff
+                        // its component id is smaller (the deterministic
+                        // tie-break), hence the `+ 1`.
+                        let limit = match queue.peek() {
+                            Some((t, c)) if t < end => {
+                                t.saturating_add((comp < c) as u64).min(end)
+                            }
+                            _ => end,
+                        };
+                        let par = vm.parallelism_at(tick);
+                        let mut next =
+                            Self::step_vm_inner(cfg, cache, bus, dram, vm, tick, end, par);
+                        while next < limit {
+                            next = Self::step_vm_inner(cfg, cache, bus, dram, vm, tick, end, par);
+                        }
+                        if next >= end {
+                            // Budget spent: the VM drops out of the tick.
+                            break 'vm;
+                        }
+                        // Another component wakes first: swap places with
+                        // it in a single heap sift and keep running as
+                        // that component (hand-off).
+                        let Some((t2, c2)) = queue.replace_min(next, comp) else { break 'vm };
+                        match c2.vm_index() {
+                            Some(i2) => {
+                                comp = c2;
+                                idx = i2;
+                            }
+                            None => {
+                                // Non-VM wake-up (cannot happen mid-tick
+                                // under the monitor-first / sampler-at-
+                                // `end` schedule, but stay defensive):
+                                // put it back and return to the outer
+                                // pop.
+                                queue.schedule(t2, c2);
+                                break 'vm;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.collect_report()
+    }
+
+    /// Snapshots the entire server — cache, bus, DRAM, RNG streams, and
+    /// every VM's program state — so a shared simulation prefix can be
+    /// forked into independent continuations (e.g. one benign warm-up
+    /// continued under several attack variants, byte-identical to
+    /// running each variant from scratch). Returns `None` when any guest
+    /// program does not support [`VmProgram::clone_box`].
+    pub fn try_clone(&self) -> Option<Server> {
+        Some(Server {
+            cfg: self.cfg,
+            cache: self.cache.clone(),
+            bus: self.bus.clone(),
+            dram: self.dram.clone(),
+            hv: self.hv.try_clone()?,
+            root_rng: self.root_rng.clone(),
+            tick: self.tick,
+            monitor_domain: self.monitor_domain,
+            monitor_rng: self.monitor_rng.clone(),
+            monitor_load_lines: self.monitor_load_lines,
+            queue: self.queue.clone(),
+        })
+    }
+
+    /// Mutable access to a VM's guest program — the surgical hook fork
+    /// flows use to swap a wrapper program's payload in place.
+    pub fn program_mut(&mut self, vm: VmId) -> Option<&mut Box<dyn VmProgram>> {
+        self.hv.program_mut(vm)
+    }
+
+    /// Re-targets a VM's memory-level parallelism. Fork flows that swap
+    /// in a different payload use this so the continuation matches the
+    /// thread count that payload would have been registered with; the
+    /// `from_tick` window set at registration is unchanged, so a call
+    /// made while the VM is still in its serial window cannot perturb
+    /// already-simulated ticks.
+    pub fn set_vm_parallelism(&mut self, vm: VmId, parallelism: u8) {
+        if let Some(vm) = self.hv.vms_mut().get_mut(vm.0 as usize) {
+            vm.parallelism = parallelism.max(1);
+        }
+    }
+
+    /// Reference implementation of [`Server::tick`]: the original
+    /// cycle-budgeted scan loop that re-selects the minimum `next_free`
+    /// VM by linear scan on every operation. Kept (tests always, other
+    /// crates via the `reference-tick` feature) as the oracle the event
+    /// engine is pinned against — both must produce byte-identical
+    /// [`TickReport`] streams and counters from the same initial state.
+    #[cfg(any(test, feature = "reference-tick"))]
+    pub fn tick_reference(&mut self) -> TickReport {
+        let (start, end, tax) = self.tick_bounds();
+        self.run_monitor();
+        self.tick_prologue(start, end, tax);
 
         // Main loop: always advance the VM with the smallest next-free
         // cycle that still fits in this tick.
@@ -289,26 +489,9 @@ impl Server {
                 }
             }
             let Some((idx, _)) = best else { break };
-            self.step_vm(idx);
+            self.step_vm(idx, end);
         }
-
-        self.tick += 1;
-        let samples: Vec<PcmSample> = self
-            .hv
-            .iter()
-            .map(|(id, vm)| (id, vm.domain))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|(id, domain)| {
-                let c = self.cache.drain_counters(domain);
-                PcmSample { vm: id, domain, accesses: c.accesses, misses: c.misses }
-            })
-            .collect();
-        TickReport {
-            tick: self.tick - 1,
-            time_secs: self.tick as f64 * self.cfg.t_pcm_secs,
-            samples,
-        }
+        self.collect_report()
     }
 
     /// Executes `n` ticks, collecting every report.
@@ -316,53 +499,124 @@ impl Server {
         (0..n).map(|_| self.tick()).collect()
     }
 
-    /// Executes one operation of the VM at table index `idx`.
-    fn step_vm(&mut self, idx: usize) {
+    /// Executes one operation of the VM at table index `idx`; returns the
+    /// VM's new next-free cycle. `end` is the current tick's cycle bound,
+    /// used to decide whether a fused op's access half still falls inside
+    /// this tick.
+    #[inline]
+    #[cfg(any(test, feature = "reference-tick"))]
+    fn step_vm(&mut self, idx: usize, end: u64) -> u64 {
         let tick = self.tick;
-        let Some(vm) = self.hv.vms_mut().get_mut(idx) else {
-            return;
+        let Server { cfg, cache, bus, dram, hv, .. } = self;
+        let Some(vm) = hv.vms_mut().get_mut(idx) else {
+            return u64::MAX;
         };
+        let par = vm.parallelism_at(tick);
+        Self::step_vm_inner(cfg, cache, bus, dram, vm, tick, end, par)
+    }
+
+    /// [`Server::step_vm`] over pre-split borrows, so the event loop's
+    /// run-ahead path can step the same VM repeatedly without paying a
+    /// table lookup per operation. `par` is the VM's effective
+    /// parallelism for this tick ([`Vm::parallelism_at`]) — constant
+    /// across a tick, so callers hoist it out of their step loops.
+    #[inline]
+    fn step_vm_inner(
+        cfg: &ServerConfig,
+        cache: &mut Llc,
+        bus: &mut Bus,
+        dram: &mut Dram,
+        vm: &mut Vm,
+        tick: u64,
+        end: u64,
+        par: u8,
+    ) -> u64 {
+        let now = vm.next_free;
+        // Second half of a fused `Work` op: the compute part already ran,
+        // the access executes now.
+        if let Some(line) = vm.pending_line.take() {
+            return Self::finish_access(cfg, cache, bus, dram, vm, line, now, par);
+        }
         let mut ctx = ProgramCtx {
             rng: &mut vm.rng,
             last_outcome: vm.last_outcome,
             tick,
         };
         let op = vm.program.next_op(&mut ctx);
-        let domain = vm.domain;
-        let now = vm.next_free;
-        let par = vm.parallelism.max(1) as u64;
         match op {
             MemOp::Compute { cycles } => {
-                vm.next_free = now + (cycles.max(1) as u64).div_ceil(par);
+                vm.next_free = now + Self::scaled(cycles.max(1) as u64, par);
+                vm.next_free
             }
             MemOp::Access { line, .. } => {
-                let begin = self.bus.earliest_access(now);
-                let outcome = self.cache.access(domain, line);
-                let cost = if outcome.is_miss() {
-                    // The miss queues on the shared DRAM channel.
-                    let start = self.dram.serve(begin);
-                    (start - begin) + self.cfg.miss_cycles
+                Self::finish_access(cfg, cache, bus, dram, vm, line, now, par)
+            }
+            MemOp::Work { compute, line, .. } => {
+                // Fused compute-then-access. The access's scheduling slot
+                // is the cycle the compute finishes at; when that slot is
+                // still inside this tick, issue the access in the same
+                // engine step (one heap transit instead of two). A slot
+                // past the tick bound parks the access instead, so tick
+                // attribution of the counters is preserved exactly.
+                let slot = now + Self::scaled(compute.max(1) as u64, par);
+                if slot < end {
+                    Self::finish_access(cfg, cache, bus, dram, vm, line, slot, par)
                 } else {
-                    self.cfg.hit_cycles
-                };
-                vm.next_free = begin + cost.div_ceil(par).max(1);
-                vm.last_outcome = Some(if outcome.is_miss() {
-                    AccessOutcome::Miss
-                } else {
-                    AccessOutcome::Hit
-                });
+                    vm.pending_line = Some(line);
+                    vm.next_free = slot;
+                    slot
+                }
             }
             MemOp::Atomic { line } => {
-                let begin = self.bus.acquire_lock(now, self.cfg.atomic_lock_cycles);
-                let outcome = self.cache.access(domain, line);
-                vm.next_free = begin + self.cfg.atomic_lock_cycles;
+                let begin = bus.acquire_lock(now, cfg.atomic_lock_cycles);
+                let outcome = cache.access(vm.domain, line);
+                vm.next_free = begin + cfg.atomic_lock_cycles;
                 vm.last_outcome = Some(if outcome.is_miss() {
                     AccessOutcome::Miss
                 } else {
                     AccessOutcome::Hit
                 });
+                vm.next_free
             }
         }
+    }
+
+    /// Cost scaled by memory-level parallelism. `parallelism == 1` (the
+    /// overwhelmingly common case) skips the 64-bit division.
+    #[inline]
+    fn scaled(cost: u64, parallelism: u8) -> u64 {
+        if parallelism <= 1 {
+            cost
+        } else {
+            cost.div_ceil(parallelism as u64)
+        }
+    }
+
+    /// Executes one ordinary memory access for `vm` starting at `now`.
+    #[inline]
+    fn finish_access(
+        cfg: &ServerConfig,
+        cache: &mut Llc,
+        bus: &Bus,
+        dram: &mut Dram,
+        vm: &mut Vm,
+        line: u64,
+        now: u64,
+        par: u8,
+    ) -> u64 {
+        let begin = bus.earliest_access(now);
+        let outcome = cache.access(vm.domain, line);
+        if outcome.is_miss() {
+            // The miss queues on the shared DRAM channel.
+            let start = dram.serve(begin);
+            let cost = (start - begin) + cfg.miss_cycles;
+            vm.next_free = begin + Self::scaled(cost, par).max(1);
+            vm.last_outcome = Some(AccessOutcome::Miss);
+        } else {
+            vm.next_free = begin + Self::scaled(cfg.hit_cycles, par).max(1);
+            vm.last_outcome = Some(AccessOutcome::Hit);
+        }
+        vm.next_free
     }
 }
 
@@ -630,5 +884,239 @@ mod tests {
         let r = server.tick();
         assert!(r.sample(vm).is_some());
         assert!(r.sample(VmId(9)).is_none());
+    }
+
+    #[test]
+    fn fused_work_op_counts_compute_then_access() {
+        // One fused Work op must behave exactly like Compute followed by
+        // Access: the access executes at the VM's next slot and is
+        // counted in whichever tick that slot lands in.
+        struct Fused;
+        impl VmProgram for Fused {
+            fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+                MemOp::Work { compute: 70, line: 3, write: false }
+            }
+            fn name(&self) -> &str {
+                "fused"
+            }
+        }
+        struct Split {
+            pending: bool,
+        }
+        impl VmProgram for Split {
+            fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> MemOp {
+                self.pending = !self.pending;
+                if self.pending {
+                    MemOp::Compute { cycles: 70 }
+                } else {
+                    MemOp::read(3)
+                }
+            }
+            fn name(&self) -> &str {
+                "split"
+            }
+        }
+        let run = |program: Box<dyn VmProgram>| {
+            let mut server = Server::new(small_cfg());
+            let vm = server.add_vm("v", program);
+            (0..5)
+                .map(|_| {
+                    let r = server.tick();
+                    let s = r.sample(vm).unwrap();
+                    (s.accesses, s.misses)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(Box::new(Fused)), run(Box::new(Split { pending: false })));
+    }
+}
+
+/// Seeded equivalence suite: the event-driven [`Server::tick`] and the
+/// cycle-budgeted [`Server::tick_reference`] must produce byte-identical
+/// PCM sample streams and counters from identical initial state, across
+/// randomized configurations, program mixes and throttling schedules.
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+
+    /// A program that draws a random mix of every op kind from its VM
+    /// RNG stream — exercises compute stalls, fused work ops, plain and
+    /// write accesses, and bus-locking atomics.
+    struct RandomOps;
+
+    impl VmProgram for RandomOps {
+        fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+            match ctx.rng.next_below(6) {
+                0 => MemOp::read(ctx.rng.next_below(4096)),
+                1 => MemOp::write(ctx.rng.next_below(1 << 16)),
+                2 => MemOp::Compute {
+                    cycles: ctx.rng.range_inclusive(0, 20_000) as u32,
+                },
+                3 => MemOp::Atomic { line: ctx.rng.next_below(256) },
+                _ => MemOp::Work {
+                    compute: ctx.rng.range_inclusive(1, 5_000) as u32,
+                    line: ctx.rng.next_below(8192),
+                    write: ctx.rng.chance(0.5),
+                },
+            }
+        }
+        fn name(&self) -> &str {
+            "random-ops"
+        }
+    }
+
+    /// A reactive program: streams while hitting, jumps on a miss — makes
+    /// the `last_outcome` feedback path part of the pinned behaviour.
+    struct Reactive {
+        pos: u64,
+    }
+
+    impl VmProgram for Reactive {
+        fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
+            if ctx.last_outcome == Some(AccessOutcome::Miss) {
+                self.pos = ctx.rng.next_below(1 << 14);
+            } else {
+                self.pos += 1;
+            }
+            MemOp::read(self.pos)
+        }
+        fn name(&self) -> &str {
+            "reactive"
+        }
+    }
+
+    fn random_config(rng: &mut Rng) -> ServerConfig {
+        ServerConfig {
+            geometry: CacheGeometry {
+                sets: 1 << rng.range_inclusive(4, 9),
+                ways: rng.range_inclusive(1, 8) as usize,
+            },
+            tick_cycles: rng.range_inclusive(10_000, 60_000),
+            hit_cycles: rng.range_inclusive(1, 60),
+            miss_cycles: rng.range_inclusive(100, 500),
+            atomic_lock_cycles: rng.range_inclusive(200, 1_500),
+            t_pcm_secs: 0.01,
+            seed: rng.next_u64(),
+            monitor_tax_cycles: rng.range_inclusive(0, 2_000),
+            dram_service_cycles: rng.range_inclusive(0, 80),
+        }
+    }
+
+    fn populate(server: &mut Server, kinds: &[u64], parallelisms: &[u8]) {
+        for (i, (&kind, &par)) in kinds.iter().zip(parallelisms).enumerate() {
+            let program: Box<dyn VmProgram> = match kind {
+                0 => Box::new(RandomOps),
+                1 => Box::new(Reactive { pos: 0 }),
+                _ => Box::new(crate::program::IdleProgram),
+            };
+            server.add_vm_parallel(format!("vm-{i}"), program, par);
+        }
+    }
+
+    fn assert_reports_equal(a: &TickReport, b: &TickReport, round: usize, t: u64) {
+        assert_eq!(a.tick, b.tick, "round {round} tick {t}");
+        assert_eq!(
+            a.time_secs.to_bits(),
+            b.time_secs.to_bits(),
+            "round {round} tick {t}: time differs"
+        );
+        assert_eq!(a.samples, b.samples, "round {round} tick {t}: samples differ");
+    }
+
+    #[test]
+    fn event_engine_matches_reference_on_randomized_configs() {
+        let mut rng = Rng::new(0xE0E27_15EED);
+        for round in 0..30 {
+            let cfg = random_config(&mut rng);
+            let n_vms = rng.range_inclusive(1, 5) as usize;
+            let kinds: Vec<u64> = (0..n_vms).map(|_| rng.next_below(3)).collect();
+            let parallelisms: Vec<u8> =
+                (0..n_vms).map(|_| rng.range_inclusive(1, 4) as u8).collect();
+            let monitor_load = if rng.chance(0.3) { rng.range_inclusive(1, 200) } else { 0 };
+            let ticks = rng.range_inclusive(20, 40);
+
+            // A throttling script, applied identically to both engines:
+            // (tick, Some(vm to protect) | None = resume all).
+            let mut script: Vec<(u64, Option<u16>)> = Vec::new();
+            if rng.chance(0.6) {
+                let pause_at = rng.range_inclusive(2, ticks / 2);
+                let resume_at = rng.range_inclusive(pause_at + 1, ticks - 1);
+                let protected = rng.next_below(n_vms as u64) as u16;
+                script.push((pause_at, Some(protected)));
+                script.push((resume_at, None));
+            }
+
+            let build = |cfg: ServerConfig| {
+                let mut server = Server::new(cfg);
+                populate(&mut server, &kinds, &parallelisms);
+                server.set_monitor_load(monitor_load);
+                server
+            };
+            let mut event = build(cfg);
+            let mut reference = build(cfg);
+
+            for t in 0..ticks {
+                for &(at, action) in &script {
+                    if at == t {
+                        match action {
+                            Some(vm) => {
+                                event.pause_all_except(VmId(vm));
+                                reference.pause_all_except(VmId(vm));
+                            }
+                            None => {
+                                event.resume_all();
+                                reference.resume_all();
+                            }
+                        }
+                    }
+                }
+                let a = event.tick();
+                let b = reference.tick_reference();
+                assert_reports_equal(&a, &b, round, t);
+            }
+
+            // Verdict-relevant cumulative counters must agree too.
+            assert_eq!(event.bus_stats(), reference.bus_stats(), "round {round}: bus");
+            assert_eq!(
+                event.dram_mean_wait().to_bits(),
+                reference.dram_mean_wait().to_bits(),
+                "round {round}: dram"
+            );
+            for (id, _) in reference.hypervisor().iter() {
+                assert_eq!(
+                    event.vm_work(id),
+                    reference.vm_work(id),
+                    "round {round}: work of {id}"
+                );
+                assert_eq!(
+                    event.hypervisor().vm(id).paused_ticks(),
+                    reference.hypervisor().vm(id).paused_ticks(),
+                    "round {round}: paused ticks of {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_after_interleaved_stepping() {
+        // Alternating which engine variant drives the same server must be
+        // legal too: both step functions leave identical state behind.
+        let cfg = ServerConfig {
+            geometry: CacheGeometry { sets: 64, ways: 4 },
+            tick_cycles: 30_000,
+            ..ServerConfig::default()
+        };
+        let build = || {
+            let mut s = Server::new(cfg);
+            populate(&mut s, &[0, 1, 0], &[1, 2, 1]);
+            s
+        };
+        let mut a = build();
+        let mut b = build();
+        for t in 0..20u64 {
+            let ra = if t % 2 == 0 { a.tick() } else { a.tick_reference() };
+            let rb = b.tick_reference();
+            assert_reports_equal(&ra, &rb, 0, t);
+        }
     }
 }

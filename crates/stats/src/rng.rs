@@ -65,6 +65,7 @@ impl Rng {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -84,6 +85,7 @@ impl Rng {
     ///
     /// Uses the widening-multiply technique with a rejection step, so the
     /// result is unbiased for every bound.
+    #[inline]
     pub fn next_below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
             return 0;
@@ -103,6 +105,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "range_inclusive requires lo <= hi");
         if lo == 0 && hi == u64::MAX {
@@ -112,11 +115,13 @@ impl Rng {
     }
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
@@ -132,6 +137,50 @@ impl Rng {
     /// Normal sample with the given mean and standard deviation.
     pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
         mean + std_dev * self.next_gaussian()
+    }
+}
+
+/// A uniform sampler over `[0, bound)` with the rejection threshold of
+/// Lemire's method precomputed at construction.
+///
+/// [`Rng::next_below`] recomputes `bound.wrapping_neg() % bound` — a
+/// 64-bit division — on every call; hot loops that draw the same bound
+/// millions of times (workload address and compute-cycle draws) build
+/// one of these instead. `sample` consumes the generator stream
+/// draw-for-draw identically to `next_below(bound)`, so swapping one in
+/// never changes a seeded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformU64 {
+    bound: u64,
+    threshold: u64,
+}
+
+impl UniformU64 {
+    /// Creates a sampler over `[0, bound)`; a zero bound always yields 0.
+    pub fn new(bound: u64) -> Self {
+        let threshold = if bound == 0 { 0 } else { bound.wrapping_neg() % bound };
+        UniformU64 { bound, threshold }
+    }
+
+    /// The sampler's exclusive upper bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Draws the next value, consuming exactly the stream that
+    /// `rng.next_below(self.bound())` would.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(self.bound as u128);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 }
 
@@ -263,6 +312,24 @@ mod tests {
             }
         }
         assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn uniform_u64_matches_next_below_stream() {
+        // Same seed, same bounds: the precomputed sampler must produce
+        // the identical value sequence AND leave the generator in the
+        // identical state as `next_below`.
+        for bound in [1u64, 2, 3, 7, 21, 100, 40_960, 1 << 40] {
+            let mut a = Rng::new(0xBEEF ^ bound);
+            let mut b = Rng::new(0xBEEF ^ bound);
+            let sampler = UniformU64::new(bound);
+            for _ in 0..500 {
+                assert_eq!(sampler.sample(&mut a), b.next_below(bound));
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "stream diverged for {bound}");
+        }
+        assert_eq!(UniformU64::new(0).sample(&mut Rng::new(1)), 0);
+        assert_eq!(UniformU64::new(17).bound(), 17);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! make naive raw-data thresholding inaccurate.
 
 use memdos_sim::program::{MemOp, ProgramCtx, VmProgram};
-use memdos_sim::rng::{Rng, Zipf};
+use memdos_sim::rng::{Rng, UniformU64, Zipf};
 
 /// A contiguous range of cache-line addresses in the VM's address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,8 +145,76 @@ pub struct EpisodeSpec {
     pub phase: PhaseSpec,
 }
 
+/// Hot fields of the phase currently executing, copied out of its
+/// [`PhaseSpec`] on phase entry so the per-op path reads one small
+/// struct instead of chasing the spec vector twice per operation. The
+/// address and compute draws use [`UniformU64`] samplers whose rejection
+/// thresholds are computed once here instead of once per op — the value
+/// stream is unchanged, only the per-op divisions disappear.
+#[derive(Clone, Copy)]
+struct ActivePhase {
+    region: Region,
+    pattern: ActivePattern,
+    compute: (u32, u32),
+    /// Sampler over `compute.1 - compute.0 + 1`, matching the
+    /// `range_inclusive` draw of the unoptimized path.
+    compute_sampler: UniformU64,
+    write_prob: f64,
+    work_per_op: u64,
+}
+
+/// Pattern state specialized for the per-op path.
+#[derive(Clone, Copy)]
+enum ActivePattern {
+    /// Stride pre-reduced modulo the region so the cursor advances with
+    /// a conditional subtract instead of a division.
+    Sequential { stride_red: u64 },
+    Random { lines: UniformU64 },
+    /// Sampled through the machine's prebuilt `zipf` table.
+    Zipf,
+    HotCold {
+        hot_prob: f64,
+        hot: UniformU64,
+        all: UniformU64,
+    },
+}
+
+impl ActivePhase {
+    fn from_spec(spec: &PhaseSpec) -> Self {
+        let pattern = match spec.pattern {
+            Pattern::Sequential { stride } => ActivePattern::Sequential {
+                stride_red: stride % spec.region.lines,
+            },
+            Pattern::Random => ActivePattern::Random {
+                lines: UniformU64::new(spec.region.lines),
+            },
+            Pattern::Zipf { .. } => ActivePattern::Zipf,
+            Pattern::HotCold { hot_frac, hot_prob } => {
+                let hot_lines = ((spec.region.lines as f64 * hot_frac).ceil() as u64)
+                    .clamp(1, spec.region.lines);
+                ActivePattern::HotCold {
+                    hot_prob,
+                    hot: UniformU64::new(hot_lines),
+                    all: UniformU64::new(spec.region.lines),
+                }
+            }
+        };
+        ActivePhase {
+            region: spec.region,
+            pattern,
+            compute: spec.compute,
+            compute_sampler: UniformU64::new(
+                spec.compute.1 as u64 - spec.compute.0 as u64 + 1,
+            ),
+            write_prob: spec.write_prob,
+            work_per_op: spec.work_per_op,
+        }
+    }
+}
+
 /// A cyclic phase-machine workload implementing
 /// [`VmProgram`].
+#[derive(Clone)]
 pub struct PhaseMachine {
     name: String,
     phases: Vec<PhaseSpec>,
@@ -160,12 +228,10 @@ pub struct PhaseMachine {
     current: usize,
     ops_left: u64,
     started: bool,
-    /// Sequential cursor, persisted across phase instances per phase
-    /// (one extra slot for the episode phase).
+    /// Sequential cursor per phase, storing the current *region offset*
+    /// (already stride-advanced and wrapped), persisted across phase
+    /// instances (one extra slot for the episode phase).
     seq_pos: Vec<u64>,
-    /// An access that has been generated but whose preceding compute
-    /// burst was just emitted.
-    pending: Option<MemOp>,
     work: u64,
     /// Completed full cycles through the phase list.
     cycles_completed: u64,
@@ -174,6 +240,11 @@ pub struct PhaseMachine {
     /// Current modulation multiplier and ops until its resample.
     mod_factor: f64,
     mod_left: u64,
+    /// Cached hot fields of the phase at `current`.
+    active: ActivePhase,
+    /// Operations remaining until the next burst stall fires; `None`
+    /// until the first gap is sampled.
+    burst_gap: Option<u64>,
 }
 
 impl std::fmt::Debug for PhaseMachine {
@@ -202,6 +273,7 @@ impl PhaseMachine {
             })
             .collect();
         let n = phases.len();
+        let active = ActivePhase::from_spec(&phases[0]);
         PhaseMachine {
             name: name.into(),
             phases,
@@ -213,12 +285,13 @@ impl PhaseMachine {
             ops_left: 0,
             started: false,
             seq_pos: vec![0; n + 1],
-            pending: None,
             work: 0,
             cycles_completed: 0,
             episodes_run: 0,
             mod_factor: 1.0,
             mod_left: 0,
+            active,
+            burst_gap: None,
         }
     }
 
@@ -280,50 +353,63 @@ impl PhaseMachine {
 
     fn enter_phase(&mut self, idx: usize, rng: &mut Rng) {
         self.current = idx;
+        self.active = ActivePhase::from_spec(self.spec(idx));
         let (lo, hi) = self.spec(idx).ops;
         self.ops_left = rng.range_inclusive(lo, hi);
     }
 
     fn gen_line(&mut self, rng: &mut Rng) -> u64 {
-        let phase = self.spec(self.current);
-        let region = phase.region;
-        let offset = match phase.pattern {
-            Pattern::Sequential { stride } => {
+        let region = self.active.region;
+        let offset = match self.active.pattern {
+            ActivePattern::Sequential { stride_red } => {
                 match self.seq_pos.get_mut(self.current) {
-                    Some(pos) => {
-                        let line = (*pos).wrapping_mul(stride) % region.lines;
-                        *pos = pos.wrapping_add(1);
+                    Some(off) => {
+                        let line = *off;
+                        let next = *off + stride_red;
+                        *off = if next >= region.lines { next - region.lines } else { next };
                         line
                     }
                     None => 0,
                 }
             }
-            Pattern::Random => rng.next_below(region.lines),
+            ActivePattern::Random { lines } => lines.sample(rng),
             // The constructor builds a sampler for every Zipf phase; fall
             // back to a uniform draw if that invariant is ever broken.
-            Pattern::Zipf { .. } => match self.zipf.get(self.current).and_then(Option::as_ref) {
+            ActivePattern::Zipf => match self.zipf.get(self.current).and_then(Option::as_ref) {
                 Some(z) => z.sample(rng),
                 None => rng.next_below(region.lines),
             },
-            Pattern::HotCold { hot_frac, hot_prob } => {
-                let hot_lines = ((region.lines as f64 * hot_frac).ceil() as u64)
-                    .clamp(1, region.lines);
+            ActivePattern::HotCold { hot_prob, hot, all } => {
                 if rng.chance(hot_prob) {
-                    rng.next_below(hot_lines)
+                    hot.sample(rng)
                 } else {
-                    rng.next_below(region.lines)
+                    all.sample(rng)
                 }
             }
         };
         region.base + offset
     }
+
+    /// Samples the number of operations until the next burst fires: the
+    /// geometric gap between successes of an independent per-op Bernoulli
+    /// trial with probability `p`. Statistically identical to drawing the
+    /// trial every operation, at one `ln` per burst instead of one
+    /// uniform draw per op.
+    fn sample_burst_gap(rng: &mut Rng, p: f64) -> u64 {
+        if p >= 1.0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        // `next_f64` is in [0, 1); flip it into (0, 1] so ln() is finite.
+        let u = 1.0 - rng.next_f64();
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
 }
 
 impl VmProgram for PhaseMachine {
     fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> MemOp {
-        if let Some(op) = self.pending.take() {
-            return op;
-        }
         if !self.started {
             self.started = true;
             self.enter_phase(0, ctx.rng);
@@ -361,36 +447,56 @@ impl VmProgram for PhaseMachine {
         }
 
         let line = self.gen_line(ctx.rng);
-        let phase = self.spec(self.current);
-        let write_prob = phase.write_prob;
-        let work_per_op = phase.work_per_op;
-        let compute_range = phase.compute;
-        let write = ctx.rng.chance(write_prob);
-        self.work += work_per_op;
-        let access = MemOp::Access { line, write };
+        let write_prob = self.active.write_prob;
+        let compute_range = self.active.compute;
+        // Degenerate probabilities need no draw; most phases never write.
+        let write = if write_prob <= 0.0 {
+            false
+        } else if write_prob >= 1.0 {
+            true
+        } else {
+            ctx.rng.chance(write_prob)
+        };
+        self.work += self.active.work_per_op;
 
         let mut compute = if compute_range.1 == 0 {
             0
         } else {
-            let base = ctx
-                .rng
-                .range_inclusive(compute_range.0 as u64, compute_range.1 as u64)
-                as f64;
-            (base * self.mod_factor).round().min(u32::MAX as f64) as u32
+            let base = compute_range.0 as u64 + self.active.compute_sampler.sample(ctx.rng);
+            // lint:allow(float-eq) -- 1.0 is the exact sentinel stored when
+            // no modulation is configured, not a computed value; bitwise
+            // equality is the intended test.
+            if self.mod_factor == 1.0 {
+                // Integer-valued base: multiplying by 1.0 and rounding is
+                // the identity, so skip the float trip entirely.
+                base as u32
+            } else {
+                (base as f64 * self.mod_factor).round().min(u32::MAX as f64) as u32
+            }
         };
         if let Some(burst) = self.burst {
-            if ctx.rng.chance(burst.prob_per_op) {
+            let gap = match self.burst_gap {
+                Some(g) => g,
+                None => Self::sample_burst_gap(ctx.rng, burst.prob_per_op),
+            };
+            if gap == 0 {
                 compute = compute.saturating_add(
                     ctx.rng.range_inclusive(burst.cycles.0 as u64, burst.cycles.1 as u64)
                         as u32,
                 );
+                self.burst_gap = Some(Self::sample_burst_gap(ctx.rng, burst.prob_per_op));
+            } else {
+                self.burst_gap = Some(gap - 1);
             }
         }
         if compute == 0 {
-            access
+            MemOp::Access { line, write }
         } else {
-            self.pending = Some(access);
-            MemOp::Compute { cycles: compute }
+            // Fused form: one `next_op` round-trip instead of a Compute
+            // followed by a pended Access — the engine runs the compute
+            // and issues the access at the VM's next scheduling slot,
+            // exactly as the split emission did.
+            MemOp::Work { compute, line, write }
         }
     }
 
@@ -400,6 +506,10 @@ impl VmProgram for PhaseMachine {
 
     fn work_completed(&self) -> u64 {
         self.work
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn VmProgram>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -518,10 +628,10 @@ mod tests {
                 (7, 7),
             )],
         );
+        // Non-zero compute fuses into a Work op: 7 cycles then the access.
         let ops = run_ops(&mut pm, 6, 6);
-        for pair in ops.chunks(2) {
-            assert!(matches!(pair[0], MemOp::Compute { cycles: 7 }));
-            assert!(matches!(pair[1], MemOp::Access { .. }));
+        for op in ops {
+            assert!(matches!(op, MemOp::Work { compute: 7, line, .. } if line < 4));
         }
     }
 
@@ -540,9 +650,12 @@ mod tests {
         let r = Region::new(0, 4);
         let mut pm = PhaseMachine::new("b", vec![spec((1000, 1000), r, Pattern::Random)])
             .with_burst(BurstSpec { prob_per_op: 1.0, cycles: (500, 500) });
+        // The phase itself has zero compute; the burst stall fuses with
+        // the access into a Work op.
         let ops = run_ops(&mut pm, 4, 8);
-        assert!(matches!(ops[0], MemOp::Compute { cycles: 500 }));
-        assert!(matches!(ops[1], MemOp::Access { .. }));
+        for op in ops {
+            assert!(matches!(op, MemOp::Work { compute: 500, .. }));
+        }
     }
 
     #[test]
@@ -583,7 +696,7 @@ mod tests {
         let computes: Vec<u32> = ops
             .iter()
             .filter_map(|op| match op {
-                MemOp::Compute { cycles } => Some(*cycles),
+                MemOp::Work { compute, .. } => Some(*compute),
                 _ => None,
             })
             .collect();

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Full local gate: format, lint, build, test — the same sequence CI runs.
 # With --lint-only, stop after the static analysis pass (fast pre-commit).
+# With --sim-only, lint and then run just the simulation-engine gate:
+# the sim/metrics/runner test suites (event-vs-reference equivalence,
+# fork-sweep bit-identity, grid worker invariance) — the fast loop when
+# iterating on the discrete-event engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 lint_only=0
+sim_only=0
 for arg in "$@"; do
     case "$arg" in
         --lint-only) lint_only=1 ;;
-        *) echo "usage: $0 [--lint-only]" >&2; exit 2 ;;
+        --sim-only) sim_only=1 ;;
+        *) echo "usage: $0 [--lint-only|--sim-only]" >&2; exit 2 ;;
     esac
 done
 
@@ -30,6 +36,13 @@ cargo run -q -p xtask -- lint
 
 if [ "$lint_only" -eq 1 ]; then
     echo "Lint passed (--lint-only: skipping build and tests)."
+    exit 0
+fi
+
+if [ "$sim_only" -eq 1 ]; then
+    echo "==> cargo test (simulation engine: sim + metrics + runner)"
+    cargo test -q -p memdos-sim -p memdos-metrics -p memdos-runner
+    echo "Simulation-engine gate passed (--sim-only: skipping the full workspace)."
     exit 0
 fi
 
