@@ -120,6 +120,17 @@ pub trait Detector {
 
     /// Number of inactive→active transitions so far.
     fn activations(&self) -> u64;
+
+    /// Estimated heap bytes of the detector's working set (smoothing
+    /// windows, reference samples). A deterministic capacity-based
+    /// accounting figure — fleet hosts budget tens of thousands of
+    /// detector stacks against a memory ceiling, so the estimate must
+    /// replay identically run to run; it is not an allocator
+    /// measurement. Defaults to `0` for schemes whose state is a few
+    /// scalars.
+    fn resident_bytes_hint(&self) -> usize {
+        0
+    }
 }
 
 /// Uniform construction from a Stage-1 profile: every scheme builds the

@@ -242,6 +242,15 @@ impl Detector for KsTestDetector {
     fn activations(&self) -> u64 {
         self.activations
     }
+
+    fn resident_bytes_hint(&self) -> usize {
+        std::mem::size_of::<KsTestDetector>()
+            + (self.ref_access.capacity()
+                + self.ref_miss.capacity()
+                + self.mon_access.capacity()
+                + self.mon_miss.capacity())
+                * std::mem::size_of::<f64>()
+    }
 }
 
 impl Default for KsTestDetector {

@@ -201,6 +201,20 @@ impl Profiler {
         self.observations
     }
 
+    /// Estimated heap bytes held by the profiler: both smoothing
+    /// pipelines plus the recorded MA/EWMA series (which grow with the
+    /// profiling window). Deterministic capacity accounting, used for
+    /// fleet resident-memory estimates.
+    pub fn resident_bytes_hint(&self) -> usize {
+        std::mem::size_of::<Profiler>()
+            + self.access_pipe.resident_bytes_hint()
+            + self.miss_pipe.resident_bytes_hint()
+            + (self.access_ma.capacity()
+                + self.access_ewma.capacity()
+                + self.miss_ewma.capacity())
+                * std::mem::size_of::<f64>()
+    }
+
     /// Finalises the profile.
     ///
     /// # Errors

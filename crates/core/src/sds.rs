@@ -132,6 +132,13 @@ impl Detector for Sds {
     fn activations(&self) -> u64 {
         self.activations
     }
+
+    fn resident_bytes_hint(&self) -> usize {
+        std::mem::size_of::<Sds>()
+            + self.b_access.resident_bytes_hint()
+            + self.b_miss.resident_bytes_hint()
+            + self.p.as_ref().map_or(0, SdsP::resident_bytes_hint)
+    }
 }
 
 impl FromProfile for Sds {

@@ -106,6 +106,13 @@ impl SdsB {
         self.last_ewma
     }
 
+    /// Estimated heap bytes held by this channel (the smoothing
+    /// pipeline's ring buffer plus the rendered name). Deterministic
+    /// capacity accounting, used for fleet resident-memory estimates.
+    pub fn resident_bytes_hint(&self) -> usize {
+        self.pipeline.resident_bytes_hint() + self.name.capacity()
+    }
+
     /// Verdict reflecting the current counter/alarm state.
     fn verdict(&self) -> Verdict {
         if self.active {

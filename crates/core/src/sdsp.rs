@@ -120,6 +120,15 @@ impl SdsP {
         self.consecutive
     }
 
+    /// Estimated heap bytes held by this channel (MA ring buffer, the
+    /// `W_P` MA-value window and the rendered name). Deterministic
+    /// capacity accounting, used for fleet resident-memory estimates.
+    pub fn resident_bytes_hint(&self) -> usize {
+        self.ma.resident_bytes_hint()
+            + self.window.capacity() * std::mem::size_of::<f64>()
+            + self.name.capacity()
+    }
+
     /// Verdict reflecting the current counter/alarm state.
     fn verdict(&self) -> Verdict {
         if self.active {

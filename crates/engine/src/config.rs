@@ -1,0 +1,270 @@
+//! The unified engine configuration surface.
+//!
+//! Every knob the engine honours lives in one [`Config`] struct:
+//! construct it in code (struct literal or the builder methods), or
+//! resolve the `MEMDOS_ENGINE_*` environment once at process startup
+//! with [`Config::from_env`]. [`crate::engine::Engine::new`] takes a
+//! `Config` and nothing else — the engine itself never reads the
+//! environment, so a library embedder (or a test replaying the same
+//! stream at several worker counts) passes explicit values instead of
+//! mutating process-global state.
+//!
+//! | env var | field |
+//! |---|---|
+//! | `MEMDOS_THREADS` | [`Config::workers`] |
+//! | `MEMDOS_ENGINE_BATCH` | [`Config::batch`] |
+//! | `MEMDOS_ENGINE_MAX_SESSIONS` | [`Config::max_sessions`] |
+//! | `MEMDOS_ENGINE_DROP_LOG` | [`Config::drop_log_every`] |
+//! | `MEMDOS_ENGINE_PROF` | [`Config::prof`] |
+//! | `MEMDOS_ENGINE_PROFILE_TICKS` | [`Config::session`]`.profile_ticks` |
+//! | `MEMDOS_ENGINE_QUEUE` | [`Config::session`]`.queue_capacity` |
+//! | `MEMDOS_ENGINE_QUARANTINE` | [`Config::session`]`.quarantine_after` |
+//! | `MEMDOS_ENGINE_IDLE` | [`Config::session`]`.idle_timeout` |
+//! | `MEMDOS_ENGINE_DROP` | [`Config::session`]`.drop_policy` |
+//! | `MEMDOS_ENGINE_KSTEST` | [`Config::session`]`.kstest` |
+
+use crate::session::SessionConfig;
+use memdos_core::CoreError;
+
+/// Engine configuration. All knobs flow through this struct; see the
+/// module docs for the environment-variable mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Worker threads for session dispatch (>= 1). The log is identical
+    /// at any value; this only sets the parallelism.
+    pub workers: usize,
+    /// Input lines between flushes (>= 1). Keep at or below the session
+    /// queue capacity to rule out backpressure drops from batching alone
+    /// (see the engine module docs on determinism).
+    pub batch: usize,
+    /// Memory ceiling: maximum concurrently open (non-closing) sessions;
+    /// `0` disables the ceiling. When an open would exceed it, the
+    /// least-recently-seen open session is evicted — closed with reason
+    /// `evicted` and reclaimed at the next flush; an evicted tenant that
+    /// speaks again reopens as a new generation, exactly like any other
+    /// closed tenant.
+    pub max_sessions: usize,
+    /// Drop-burst coalescing interval (>= 1): inside one backpressure
+    /// burst, a `dropped` event is logged for the first loss and then
+    /// every `drop_log_every`-th, so a sustained overload degrades the
+    /// log gracefully instead of flooding it one event per lost sample.
+    /// The totals stay exact in the event payloads and in
+    /// [`crate::engine::EngineStats`].
+    pub drop_log_every: u64,
+    /// Decode clean lines through the borrowed zero-allocation parser
+    /// (`true`, the default). `false` forces every line through the
+    /// allocating slow path; the log is identical either way — this
+    /// switch exists so equivalence tests can prove it.
+    pub fast_parse: bool,
+    /// Collect per-stage ns counters (decode/dispatch/step/merge/write)
+    /// and emit them in the final `engine_stats` line. Off by default:
+    /// the counters are wall-clock measurements, so enabling them makes
+    /// the stats line (and only the stats line) non-reproducible.
+    pub prof: bool,
+    /// Configuration applied to every session the engine opens.
+    pub session: SessionConfig,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 1,
+            batch: 256,
+            max_sessions: 0,
+            drop_log_every: 64,
+            fast_parse: true,
+            prof: false,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+impl Config {
+    /// Sets the worker count (builder style).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the flush batch size (builder style).
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the open-session memory ceiling (builder style); `0`
+    /// disables it.
+    #[must_use]
+    pub fn max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Sets the drop-burst coalescing interval (builder style).
+    #[must_use]
+    pub fn drop_log_every(mut self, every: u64) -> Self {
+        self.drop_log_every = every;
+        self
+    }
+
+    /// Enables or disables the zero-allocation parse path (builder
+    /// style).
+    #[must_use]
+    pub fn fast_parse(mut self, fast_parse: bool) -> Self {
+        self.fast_parse = fast_parse;
+        self
+    }
+
+    /// Enables or disables the per-stage profiler (builder style).
+    #[must_use]
+    pub fn prof(mut self, prof: bool) -> Self {
+        self.prof = prof;
+        self
+    }
+
+    /// Sets the per-session configuration (builder style).
+    #[must_use]
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Validates the configuration — the shared `validate()` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "workers",
+                reason: "must be positive",
+            });
+        }
+        if self.batch == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "batch",
+                reason: "must be positive",
+            });
+        }
+        if self.drop_log_every == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "drop_log_every",
+                reason: "must be positive",
+            });
+        }
+        self.session.validate()
+    }
+
+    /// Builds a configuration from the `MEMDOS_ENGINE_*` environment
+    /// variables (see the module docs for the mapping), with
+    /// `MEMDOS_THREADS` supplying the worker count. Unset variables take
+    /// their defaults; set-but-invalid ones are an error — the engine is
+    /// a long-running service, so a typo must fail loudly at startup
+    /// rather than be silently ignored. Call this once, at process
+    /// startup (the CLI does so in `main`); everything downstream takes
+    /// the resolved `Config` by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid
+    /// variable, in the same diagnostic style as the `MEMDOS_THREADS`
+    /// parse (`NAME=value is not a ...`).
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = Config {
+            workers: memdos_runner::threads(),
+            ..Config::default()
+        };
+        cfg.batch = env_usize("MEMDOS_ENGINE_BATCH", cfg.batch)?;
+        cfg.max_sessions = env_usize("MEMDOS_ENGINE_MAX_SESSIONS", cfg.max_sessions)?;
+        cfg.session.profile_ticks =
+            env_u64("MEMDOS_ENGINE_PROFILE_TICKS", cfg.session.profile_ticks)?;
+        cfg.session.queue_capacity =
+            env_usize("MEMDOS_ENGINE_QUEUE", cfg.session.queue_capacity)?;
+        cfg.session.quarantine_after =
+            env_u64("MEMDOS_ENGINE_QUARANTINE", cfg.session.quarantine_after)?;
+        cfg.session.idle_timeout = env_u64("MEMDOS_ENGINE_IDLE", cfg.session.idle_timeout)?;
+        cfg.drop_log_every = env_u64("MEMDOS_ENGINE_DROP_LOG", cfg.drop_log_every)?;
+        cfg.prof = env_bool("MEMDOS_ENGINE_PROF", cfg.prof)?;
+        if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
+            cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
+                .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
+        }
+        if let Ok(v) = std::env::var("MEMDOS_ENGINE_KSTEST") {
+            cfg.session.kstest = match v.trim() {
+                "1" | "true" | "on" => Some(memdos_core::config::KsTestParams::default()),
+                "0" | "false" | "off" => None,
+                other => {
+                    return Err(format!(
+                        "MEMDOS_ENGINE_KSTEST={other:?} is not a boolean \
+                         (use 1/0, true/false or on/off)"
+                    ))
+                }
+            };
+        }
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok(cfg)
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> Result<u64, String> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("{name}={v:?} is not a non-negative integer")),
+        Err(_) => Ok(default),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> Result<usize, String> {
+    env_u64(name, default as u64).map(|n| n as usize)
+}
+
+fn env_bool(name: &str, default: bool) -> Result<bool, String> {
+    match std::env::var(name) {
+        Ok(v) => match v.trim() {
+            "1" | "true" | "on" => Ok(true),
+            "0" | "false" | "off" => Ok(false),
+            other => Err(format!(
+                "{name}={other:?} is not a boolean (use 1/0, true/false or on/off)"
+            )),
+        },
+        Err(_) => Ok(default),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = Config::default()
+            .workers(4)
+            .batch(512)
+            .max_sessions(1_000)
+            .drop_log_every(16)
+            .fast_parse(false)
+            .prof(true);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.batch, 512);
+        assert_eq!(cfg.max_sessions, 1_000);
+        assert_eq!(cfg.drop_log_every, 16);
+        assert!(!cfg.fast_parse);
+        assert!(cfg.prof);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_knobs() {
+        assert!(Config::default().workers(0).validate().is_err());
+        assert!(Config::default().batch(0).validate().is_err());
+        assert!(Config::default().drop_log_every(0).validate().is_err());
+        // A zero ceiling means "no ceiling", not "no sessions".
+        assert!(Config::default().max_sessions(0).validate().is_ok());
+    }
+}

@@ -23,7 +23,7 @@
 //! deterministic in the seed, so the demo stream doubles as the fixture
 //! for the replay-determinism tier-1 test.
 
-use crate::engine::EngineConfig;
+use crate::config::Config;
 use crate::protocol::Record;
 use crate::session::SessionConfig;
 use memdos_attacks::schedule::Scheduled;
@@ -107,8 +107,8 @@ pub fn demo_sds_params() -> SdsParams {
 }
 
 /// Engine configuration matched to the demo stream.
-pub fn demo_engine_config(workers: usize) -> EngineConfig {
-    EngineConfig {
+pub fn demo_engine_config(workers: usize) -> Config {
+    Config {
         workers,
         batch: 256,
         session: SessionConfig {
@@ -116,7 +116,7 @@ pub fn demo_engine_config(workers: usize) -> EngineConfig {
             sds: demo_sds_params(),
             ..SessionConfig::default()
         },
-        ..EngineConfig::default()
+        ..Config::default()
     }
 }
 
@@ -135,8 +135,8 @@ pub const SOAK_LAYOUT: DemoLayout = DemoLayout {
 };
 
 /// Engine configuration matched to [`SOAK_LAYOUT`].
-pub fn soak_engine_config(workers: usize) -> EngineConfig {
-    EngineConfig {
+pub fn soak_engine_config(workers: usize) -> Config {
+    Config {
         session: SessionConfig {
             profile_ticks: SOAK_LAYOUT.profile_ticks,
             ..demo_engine_config(workers).session

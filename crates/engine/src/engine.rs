@@ -1,13 +1,54 @@
-//! The multi-tenant engine: session registry, batched dispatch, and the
-//! deterministic event log.
+//! The multi-tenant engine: slab-backed session registry, batched
+//! dispatch, and the deterministic event log.
 //!
 //! Ingestion is single-threaded: each input line receives a global
-//! arrival index (`seq`) and is routed to its tenant's [`Session`] queue.
-//! Every `batch` lines the engine **flushes**: sessions are sharded
-//! across the persistent [`memdos_runner::ShardPool`] workers (per-tenant
-//! order preserved, tenants processed in parallel), each drains its queue
-//! sequentially into a recycled event buffer, and the produced events
-//! are merge-sorted by `(seq, sub)` into the log.
+//! arrival index (`seq`) and is routed to its tenant's [`Session`]
+//! queue. Every `batch` lines the engine **flushes**: the sessions that
+//! queued work (tracked in a duplicate-free dirty list — a fleet host
+//! holds tens of thousands of sessions and must never scan them all per
+//! flush) are sharded across the persistent [`memdos_runner::ShardPool`]
+//! workers, each drains its queue sequentially into a per-shard run, and
+//! the runs are merged into the log in `(seq, sub)` order.
+//!
+//! ## Session storage at fleet scale
+//!
+//! Sessions live in an owner-checked slab (`engine::slab`) addressed by
+//! dense `u32` slots; the tenant table maps the interned [`TenantId`] to
+//! the slab slot, so the hot routing path performs one `BTreeMap` name
+//! lookup and two vector index hops — no per-session boxing, no hashing.
+//! Closed incarnations are reclaimed at the flush that drains their
+//! final events (their slot returns to a LIFO free list; final counters
+//! are retained for [`Engine::snapshots`]), so steady-state churn reuses
+//! memory instead of growing forever.
+//!
+//! `Config::max_sessions` sets an explicit ceiling on concurrently open
+//! sessions. At the ceiling, opening a new session **evicts** the
+//! least-recently-seen open session first: the victim is closed with
+//! reason `evicted` (an ordinary close — the verdict history already in
+//! the log and the final accounting are preserved) and its memory is
+//! reclaimed at the next flush; if the evicted tenant speaks again it
+//! reopens as a new generation, reusing the close/reopen machinery.
+//! Recency is tracked in a lazy min-heap keyed by `(last_seen, tenant)`:
+//! entries are refreshed on pop rather than on every sample, so the hot
+//! path pays nothing and eviction costs `O(log n)` amortised. The same
+//! heap drives the idle scan, which therefore no longer walks every
+//! tenant per flush. Quarantined sessions are exempt from the idle
+//! timeout (their verdict must stay visible) but remain evictable under
+//! ceiling pressure, and terminal sessions that stay resident are shrunk
+//! to a husk (detectors and buffers dropped, identity and counters
+//! kept).
+//!
+//! ## Hierarchical merge
+//!
+//! Workers sort their own runs by `(seq, sub)` before handing them back
+//! (the pool's finish hook), so the engine performs a K-way heap merge
+//! over ~`workers + 1` sorted runs (session runs plus the ingest-event
+//! run, which is sorted by construction) and renders straight into the
+//! log. The old single `sort` over the concatenated events cost
+//! `O(E log E)` on one thread; the merge moves the `log`-factor work
+//! onto the workers and keeps the single-threaded part at
+//! `O(E log K)`, which is what lets verdict merging scale past a
+//! handful of shards.
 //!
 //! ## Ingest fast path
 //!
@@ -18,7 +59,7 @@
 //! fast path cannot represent (escape sequences in protocol strings)
 //! fall back to the allocating [`JsonObject`] parser; lines it rejects
 //! go through [`jsonl::resync_line`] recovery, exactly as the slow path
-//! always did. `EngineConfig::fast_parse` turns the fast path off so
+//! always did. `Config::fast_parse` turns the fast path off so
 //! equivalence tests can pin that both routes produce byte-identical
 //! logs.
 //!
@@ -31,10 +72,10 @@
 //! * a session's events depend only on the sample sequence it received
 //!   (queues drain fully at each flush, so flush boundaries do not change
 //!   what any session observes, only when it observes it);
-//! * backpressure drops are decided at ingest time, before any worker
-//!   runs;
-//! * `(seq, sub)` keys are unique across all events, so the merge-sort
-//!   has exactly one order.
+//! * backpressure drops, idle closes and evictions are decided at
+//!   ingest/flush boundaries, before any worker runs;
+//! * `(seq, sub)` keys are unique across all events, so the K-way merge
+//!   has exactly one order regardless of how sessions were sharded.
 //!
 //! The log is also identical across **batch sizes** as long as no
 //! session queue overflows (i.e. `batch <= queue_capacity`, or the input
@@ -42,168 +83,27 @@
 //! queues, so a larger batch holds samples longer and can trip the drop
 //! policy earlier — backpressure is timing, and timing is what `batch`
 //! configures. `tests/engine_replay_determinism.rs` (tier-1) pins the
-//! worker-count guarantee on the demo stream.
+//! worker-count guarantee on the demo stream and
+//! `tests/engine_fleet_determinism.rs` pins it across evictions at fleet
+//! scale.
 
+pub use crate::config::Config;
 use crate::protocol::Record;
-use crate::session::{CloseReason, Offered, Session, SessionConfig, SessionEvent, SessionState};
+use crate::session::{
+    CloseReason, Offered, Session, SessionEvent, SessionSnapshot, SessionState,
+};
+use crate::slab::Slab;
 use memdos_core::detector::Observation;
 use memdos_core::CoreError;
 use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, LineBuf, RawKind, RawParse, Segment};
 use memdos_runner::ShardPool;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::io::BufRead;
 
 /// Sub-index that sorts an ingest-side event (malformed line, dropped
 /// sample) after any session-side events of the same arrival index.
 const SUB_INGEST: u32 = u32::MAX;
-
-/// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EngineConfig {
-    /// Worker threads for session dispatch (>= 1). The log is identical
-    /// at any value; this only sets the parallelism.
-    pub workers: usize,
-    /// Input lines between flushes (>= 1). Keep at or below the session
-    /// queue capacity to rule out backpressure drops from batching alone
-    /// (see the module docs on determinism).
-    pub batch: usize,
-    /// Drop-burst coalescing interval (>= 1): inside one backpressure
-    /// burst, a `dropped` event is logged for the first loss and then
-    /// every `drop_log_every`-th, so a sustained overload degrades the
-    /// log gracefully instead of flooding it one event per lost sample.
-    /// The totals stay exact in the event payloads and in
-    /// [`EngineStats`].
-    pub drop_log_every: u64,
-    /// Decode clean lines through the borrowed zero-allocation parser
-    /// (`true`, the default). `false` forces every line through the
-    /// allocating [`JsonObject`] slow path; the log is identical either
-    /// way — this switch exists so equivalence tests can prove it.
-    pub fast_parse: bool,
-    /// Collect per-stage ns counters (decode/dispatch/step/merge/write)
-    /// and emit them in the final `engine_stats` line. Off by default:
-    /// the counters are wall-clock measurements, so enabling them makes
-    /// the stats line (and only the stats line) non-reproducible.
-    pub prof: bool,
-    /// Configuration applied to every session the engine opens.
-    pub session: SessionConfig,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            workers: 1,
-            batch: 256,
-            drop_log_every: 64,
-            fast_parse: true,
-            prof: false,
-            session: SessionConfig::default(),
-        }
-    }
-}
-
-impl EngineConfig {
-    /// Validates the configuration — the shared `validate()` contract.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidParameter`] naming the offending
-    /// field.
-    pub fn validate(&self) -> Result<(), CoreError> {
-        if self.workers == 0 {
-            return Err(CoreError::InvalidParameter {
-                name: "workers",
-                reason: "must be positive",
-            });
-        }
-        if self.batch == 0 {
-            return Err(CoreError::InvalidParameter {
-                name: "batch",
-                reason: "must be positive",
-            });
-        }
-        if self.drop_log_every == 0 {
-            return Err(CoreError::InvalidParameter {
-                name: "drop_log_every",
-                reason: "must be positive",
-            });
-        }
-        self.session.validate()
-    }
-
-    /// Builds a configuration from the `MEMDOS_ENGINE_*` environment
-    /// variables (see the README), with `MEMDOS_THREADS` supplying the
-    /// worker count. Unset variables take their defaults; set-but-invalid
-    /// ones are an error — the engine is a long-running service, so a
-    /// typo must fail loudly at startup rather than be silently ignored.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable description of the first invalid
-    /// variable.
-    pub fn from_env() -> Result<Self, String> {
-        let mut cfg = EngineConfig {
-            workers: memdos_runner::threads(),
-            ..EngineConfig::default()
-        };
-        cfg.batch = env_usize("MEMDOS_ENGINE_BATCH", cfg.batch)?;
-        cfg.session.profile_ticks =
-            env_u64("MEMDOS_ENGINE_PROFILE_TICKS", cfg.session.profile_ticks)?;
-        cfg.session.queue_capacity =
-            env_usize("MEMDOS_ENGINE_QUEUE", cfg.session.queue_capacity)?;
-        cfg.session.quarantine_after =
-            env_u64("MEMDOS_ENGINE_QUARANTINE", cfg.session.quarantine_after)?;
-        cfg.session.idle_timeout = env_u64("MEMDOS_ENGINE_IDLE", cfg.session.idle_timeout)?;
-        cfg.drop_log_every = env_u64("MEMDOS_ENGINE_DROP_LOG", cfg.drop_log_every)?;
-        cfg.prof = env_bool("MEMDOS_ENGINE_PROF", cfg.prof)?;
-        if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
-            cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
-                .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
-        }
-        if let Ok(v) = std::env::var("MEMDOS_ENGINE_KSTEST") {
-            cfg.session.kstest = match v.trim() {
-                "1" | "true" | "on" => {
-                    Some(memdos_core::config::KsTestParams::default())
-                }
-                "0" | "false" | "off" => None,
-                other => {
-                    return Err(format!(
-                        "MEMDOS_ENGINE_KSTEST={other:?} is not a boolean \
-                         (use 1/0, true/false or on/off)"
-                    ))
-                }
-            };
-        }
-        cfg.validate().map_err(|e| e.to_string())?;
-        Ok(cfg)
-    }
-}
-
-fn env_u64(name: &str, default: u64) -> Result<u64, String> {
-    match std::env::var(name) {
-        Ok(v) => v
-            .trim()
-            .parse::<u64>()
-            .map_err(|_| format!("{name}={v:?} is not a non-negative integer")),
-        Err(_) => Ok(default),
-    }
-}
-
-fn env_usize(name: &str, default: usize) -> Result<usize, String> {
-    env_u64(name, default as u64).map(|n| n as usize)
-}
-
-fn env_bool(name: &str, default: bool) -> Result<bool, String> {
-    match std::env::var(name) {
-        Ok(v) => match v.trim() {
-            "1" | "true" | "on" => Ok(true),
-            "0" | "false" | "off" => Ok(false),
-            other => Err(format!(
-                "{name}={other:?} is not a boolean (use 1/0, true/false or on/off)"
-            )),
-        },
-        Err(_) => Ok(default),
-    }
-}
 
 /// Engine-level recovery and degradation counters, surfaced in the
 /// `engine_stats` log line written by [`Engine::finish`].
@@ -221,6 +121,8 @@ pub struct EngineStats {
     pub recoveries: u64,
     /// Sessions closed by the idle timeout.
     pub idle_closed: u64,
+    /// Sessions evicted by the memory ceiling (`Config::max_sessions`).
+    pub evicted: u64,
     /// Sessions reopened after a close (tenant churn).
     pub reopened: u64,
     /// High-water mark of total queued items observed at a flush.
@@ -228,10 +130,10 @@ pub struct EngineStats {
 }
 
 /// Per-stage wall-clock counters for the ingest path, collected only
-/// when `MEMDOS_ENGINE_PROF=1` (`EngineConfig::prof`). Disabled, the
-/// probes cost two predictable branches per line and never read a
-/// clock, so the counters cannot perturb what they measure. The clock
-/// is [`memdos_runner::monotonic_ns`] — wall time is harness territory,
+/// when `MEMDOS_ENGINE_PROF=1` (`Config::prof`). Disabled, the probes
+/// cost two predictable branches per line and never read a clock, so
+/// the counters cannot perturb what they measure. The clock is
+/// [`memdos_runner::monotonic_ns`] — wall time is harness territory,
 /// and these numbers only ever surface as diagnostics in the final
 /// `engine_stats` line, never in an event the determinism contract
 /// covers.
@@ -244,9 +146,12 @@ struct StageProf {
     dispatch_ns: u64,
     /// Session queue draining (detector stepping) across the pool.
     step_ns: u64,
-    /// The `(seq, sub)` merge-sort of the flush's events.
+    /// Imposing the `(seq, sub)` order on the flush's events: the sort
+    /// on the inline path, the fused K-way merge + render on the pooled
+    /// path.
     merge_ns: u64,
-    /// Event rendering and log append.
+    /// Event rendering and log append (inline path; the pooled path
+    /// bills its fused merge+render loop to `merge_ns`).
     write_ns: u64,
 }
 
@@ -288,39 +193,67 @@ impl TenantId {
     }
 }
 
-/// Per-tenant routing state kept at the ingest side, so reopen and idle
-/// decisions never depend on flush timing (which would break the
-/// worker-count determinism guarantee).
+/// Final accounting of a reclaimed incarnation, retained per tenant so
+/// [`Engine::snapshots`] can serve closed tenants after their session
+/// memory was returned to the slab.
+#[derive(Debug, Clone, Copy)]
+struct RetiredSession {
+    generation: u32,
+    ingested: u64,
+    dropped: u64,
+    alarms: u64,
+}
+
+/// Per-tenant routing state kept at the ingest side, so reopen, idle
+/// and eviction decisions never depend on flush timing (which would
+/// break the worker-count determinism guarantee).
 #[derive(Debug)]
 struct TenantSlot {
-    /// Index into `Engine::sessions` of the current incarnation.
-    session: usize,
+    /// Slab slot of the current incarnation; `None` once it was closed,
+    /// drained and reclaimed.
+    session: Option<u32>,
     /// Arrival index of the tenant's most recent record.
     last_seen: u64,
-    /// The engine has routed a close (ctl or idle) to this incarnation.
+    /// The engine has routed a close (ctl, idle or evicted) to this
+    /// incarnation.
     closed_at_ingest: bool,
     /// Incarnation counter (0 = first session).
     generation: u32,
+    /// Final counters of the last reclaimed incarnation.
+    retired: Option<RetiredSession>,
 }
 
 /// The multi-tenant streaming detection engine.
 pub struct Engine {
-    config: EngineConfig,
-    /// Sessions in creation order; [`ShardPool::run_sharded`] restores
-    /// this order after every flush, so slot entries stay valid. Closed
-    /// incarnations stay in place (append-only) so their final events
-    /// drain normally.
-    sessions: Vec<Session>,
+    config: Config,
+    /// Owner-checked session storage; slots are recycled across tenant
+    /// churn. See the module docs on fleet-scale storage.
+    slab: Slab<Session>,
     /// Tenant-name intern table: name → dense [`TenantId`]. Consulted
     /// once per record; every later step keys on the `Copy` id.
     ids: BTreeMap<String, TenantId>,
     /// Routing state per interned tenant, indexed by [`TenantId`].
     slots: Vec<TenantSlot>,
+    /// Slab slots that queued work since the last flush, in first-queue
+    /// order (duplicate-free via the slab's dirty flag). The flush
+    /// working set — never the whole slab.
+    dirty: Vec<u32>,
+    /// Lazy recency heap over open sessions, keyed by
+    /// `(last_seen, TenantId)`: stale entries are dropped or re-pushed
+    /// at pop time. Shared by the idle scan and the ceiling eviction.
+    lru: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Open (not closed-at-ingest) resident sessions — what the memory
+    /// ceiling bounds.
+    open_count: usize,
+    /// Incarnations ever opened (reopens count once per incarnation).
+    sessions_opened: u64,
     /// Events produced at ingest time (malformed lines, drops), merged
-    /// with session events at the next flush.
+    /// with session events at the next flush. Sorted by construction:
+    /// `seq` increases monotonically at ingest and `sub` is constant.
     ingest_events: Vec<SessionEvent>,
     /// Persistent dispatch pool, spawned lazily at the first flush that
-    /// can use more than one worker.
+    /// can use more than one worker. Its finish hook sorts each shard's
+    /// run so [`Engine::merge_runs`] can K-way merge.
     pool: Option<ShardPool<Session, SessionEvent>>,
     /// `config.workers` clamped to the machine's available parallelism:
     /// oversubscribing a CPU-bound pool adds channel latency without
@@ -328,8 +261,18 @@ pub struct Engine {
     /// ran ~40 % *slower* than inline). The log is byte-identical at
     /// any width, so the clamp is unobservable in output.
     effective_workers: usize,
-    /// Recycled flush-event buffer (capacity survives across flushes).
+    /// Recycled flush-event buffer for the inline path.
     events_buf: Vec<SessionEvent>,
+    /// Recycled working set of sessions lent out of the slab for a
+    /// flush, with their `(slab slot, owner)` keys alongside.
+    scratch: Vec<Session>,
+    scratch_meta: Vec<(u32, u32)>,
+    /// Recycled per-shard run buffers for the pooled path.
+    runs: Vec<Vec<SessionEvent>>,
+    /// Recycled K-way merge state: `(seq, sub, run)` min-heap and
+    /// per-run cursors.
+    merge_heap: BinaryHeap<Reverse<(u64, u32, usize)>>,
+    merge_pos: Vec<usize>,
     /// Recycled log-line writer.
     render: LineBuf,
     prof: StageProf,
@@ -342,7 +285,9 @@ pub struct Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("sessions", &self.sessions.len())
+            .field("sessions_opened", &self.sessions_opened)
+            .field("open_sessions", &self.open_count)
+            .field("resident_sessions", &self.slab.len())
             .field("next_seq", &self.next_seq)
             .field("log_lines", &self.log.len())
             .field("stats", &self.stats)
@@ -351,22 +296,33 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Creates an engine with no sessions.
+    /// Creates an engine with no sessions. This is the only constructor:
+    /// every knob arrives through [`Config`] (resolve the environment
+    /// once with [`Config::from_env`] if that is where the knobs live).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for an invalid `config`.
-    pub fn new(config: EngineConfig) -> Result<Self, CoreError> {
+    pub fn new(config: Config) -> Result<Self, CoreError> {
         config.validate()?;
         Ok(Engine {
             config,
-            sessions: Vec::new(),
+            slab: Slab::new(),
             ids: BTreeMap::new(),
             slots: Vec::new(),
+            dirty: Vec::new(),
+            lru: BinaryHeap::new(),
+            open_count: 0,
+            sessions_opened: 0,
             ingest_events: Vec::new(),
             pool: None,
             effective_workers: config.workers.min(memdos_runner::cores()),
             events_buf: Vec::new(),
+            scratch: Vec::new(),
+            scratch_meta: Vec::new(),
+            runs: Vec::new(),
+            merge_heap: BinaryHeap::new(),
+            merge_pos: Vec::new(),
             render: LineBuf::new(),
             prof: StageProf::new(config.prof),
             next_seq: 0,
@@ -377,14 +333,20 @@ impl Engine {
     }
 
     /// The configuration the engine runs with.
-    pub fn config(&self) -> &EngineConfig {
+    pub fn config(&self) -> &Config {
         &self.config
     }
 
     /// Number of sessions ever opened (reopened tenants count once per
     /// incarnation).
     pub fn session_count(&self) -> usize {
-        self.sessions.len()
+        self.sessions_opened as usize
+    }
+
+    /// Open (not closing) resident sessions right now — the number the
+    /// `Config::max_sessions` ceiling bounds.
+    pub fn open_sessions(&self) -> usize {
+        self.open_count
     }
 
     /// Input spans that failed to decode so far.
@@ -397,9 +359,68 @@ impl Engine {
         self.stats
     }
 
-    /// Read-only view of the sessions, in creation order.
-    pub fn sessions(&self) -> &[Session] {
-        &self.sessions
+    /// Read-only snapshots of every tenant ever seen, in tenant-name
+    /// order: live sessions report their current lifecycle state and
+    /// working set; reclaimed tenants report the retained final
+    /// accounting with `live: false`. This is the stable introspection
+    /// surface (see DESIGN.md) — the fleet bench and the CLI summary
+    /// consume it instead of session internals.
+    pub fn snapshots(&self) -> impl Iterator<Item = SessionSnapshot<'_>> {
+        self.ids.iter().filter_map(move |(name, id)| {
+            let slot = self.slots.get(id.index())?;
+            if let Some(s) = slot.session.and_then(|idx| self.slab.get(idx, id.0)) {
+                return Some(s.snapshot());
+            }
+            let r = slot.retired?;
+            Some(SessionSnapshot {
+                tenant: name,
+                generation: r.generation,
+                state: SessionState::Closed,
+                live: false,
+                queued: 0,
+                resident_bytes: 0,
+                ingested: r.ingested,
+                dropped: r.dropped,
+                alarms: r.alarms,
+            })
+        })
+    }
+
+    /// The snapshot for one tenant, if it was ever seen.
+    pub fn snapshot(&self, tenant: &str) -> Option<SessionSnapshot<'_>> {
+        let id = self.tenant_id(tenant)?;
+        let slot = self.slots.get(id.index())?;
+        if let Some(s) = slot.session.and_then(|idx| self.slab.get(idx, id.0)) {
+            return Some(s.snapshot());
+        }
+        let r = slot.retired?;
+        let (name, _) = self.ids.get_key_value(tenant)?;
+        Some(SessionSnapshot {
+            tenant: name,
+            generation: r.generation,
+            state: SessionState::Closed,
+            live: false,
+            queued: 0,
+            resident_bytes: 0,
+            ingested: r.ingested,
+            dropped: r.dropped,
+            alarms: r.alarms,
+        })
+    }
+
+    /// Estimated resident heap bytes of the session fleet: every live
+    /// session's working set ([`Session::resident_bytes`]) plus the
+    /// engine's per-tenant tables. Deterministic capacity accounting —
+    /// the number the fleet bench reports and the ceiling is judged
+    /// against — not an allocator measurement.
+    pub fn resident_bytes(&self) -> usize {
+        let sessions: usize = self.slab.iter().map(|(_, s)| s.resident_bytes()).sum();
+        let names: usize = self.ids.keys().map(|k| k.capacity()).sum();
+        sessions
+            + names
+            + self.slab.capacity() * std::mem::size_of::<Option<(u32, bool, Session)>>()
+            + self.slots.len() * std::mem::size_of::<TenantSlot>()
+            + self.lru.len() * std::mem::size_of::<Reverse<(u64, u32)>>()
     }
 
     /// The event log emitted so far, one JSONL line per entry. Call
@@ -418,7 +439,8 @@ impl Engine {
     }
 
     /// Allocates an arrival index for an engine-originated event (idle
-    /// close, stats line) without counting it toward the batch.
+    /// close, eviction, stats line) without counting it toward the
+    /// batch.
     fn alloc_seq_quiet(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -572,17 +594,22 @@ impl Engine {
     /// input line — nothing is cloned unless a session opens.
     // hot-path
     fn route_sample(&mut self, seq: u64, tenant: &str, obs: Observation) {
-        let Some(i) = self.sample_session(seq, tenant) else {
+        let Some((idx, owner)) = self.sample_session(seq, tenant) else {
             return;
         };
-        let Some(session) = self.sessions.get_mut(i) else {
+        let Some(session) = self.slab.get_mut(idx, owner) else {
             return;
         };
-        match session.offer(seq, obs) {
+        let offered = session.offer(seq, obs);
+        let queued = session.queued();
+        if queued > 0 && self.slab.mark_dirty(idx) {
+            self.dirty.push(idx);
+        }
+        match offered {
             Offered::Admitted => {}
             Offered::Recovered { burst } => {
                 self.stats.recoveries += 1;
-                let payload = match self.sessions.get(i) {
+                let payload = match self.slab.get(idx, owner) {
                     Some(s) => s.recovered_event(burst),
                     None => return,
                 };
@@ -599,7 +626,7 @@ impl Engine {
                 // the log (graceful degradation). Exact totals
                 // ride along in each event and in the stats.
                 if burst == 1 || burst % self.config.drop_log_every == 0 {
-                    let payload = match self.sessions.get(i) {
+                    let payload = match self.slab.get(idx, owner) {
                         Some(s) => s.drop_event(terminal, burst),
                         None => return,
                     };
@@ -613,10 +640,15 @@ impl Engine {
     /// first for an unknown tenant, so the lifecycle stays visible).
     // hot-path
     fn route_close(&mut self, seq: u64, tenant: &str) {
-        if let Some(i) = self.close_session(seq, tenant) {
-            if let Some(session) = self.sessions.get_mut(i) {
-                session.offer_close(seq, CloseReason::Ctl);
-            }
+        let Some((idx, owner)) = self.close_session(seq, tenant) else {
+            return;
+        };
+        let Some(session) = self.slab.get_mut(idx, owner) else {
+            return;
+        };
+        session.offer_close(seq, CloseReason::Ctl);
+        if self.slab.mark_dirty(idx) {
+            self.dirty.push(idx);
         }
     }
 
@@ -626,12 +658,13 @@ impl Engine {
         self.ids.get(tenant).copied()
     }
 
-    /// Looks up (or opens, or reopens after churn) the session a sample
-    /// for `tenant` should land in, returning its index.
+    /// Looks up (or opens, or reopens after churn/eviction) the session
+    /// a sample for `tenant` should land in, returning its
+    /// `(slab slot, owner)` address.
     // hot-path
-    fn sample_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
+    fn sample_session(&mut self, seq: u64, tenant: &str) -> Option<(u32, u32)> {
         enum Plan {
-            Use(usize),
+            Use(u32, u32),
             Open,
             Reopen(u32),
         }
@@ -639,10 +672,11 @@ impl Engine {
             Some(id) => match self.slots.get_mut(id.index()) {
                 Some(slot) => {
                     slot.last_seen = seq;
-                    if slot.closed_at_ingest {
-                        Plan::Reopen(slot.generation.saturating_add(1))
-                    } else {
-                        Plan::Use(slot.session)
+                    match slot.session {
+                        Some(idx) if !slot.closed_at_ingest => Plan::Use(idx, id.0),
+                        // Closed (and possibly reclaimed): the tenant is
+                        // speaking again — churn.
+                        Some(_) | None => Plan::Reopen(slot.generation.saturating_add(1)),
                     }
                 }
                 None => Plan::Open,
@@ -650,43 +684,62 @@ impl Engine {
             None => Plan::Open,
         };
         match plan {
-            Plan::Use(i) => Some(i),
+            Plan::Use(idx, owner) => Some((idx, owner)),
             Plan::Open => self.open_session(seq, tenant, 0),
             Plan::Reopen(generation) => {
-                // Tenant churn: a closed tenant is speaking again. The
-                // old incarnation stays in `sessions` (its final events
-                // drain normally); samples route to a fresh session.
-                let i = self.open_session(seq, tenant, generation)?;
+                // Tenant churn: a closed tenant is speaking again. A
+                // still-draining old incarnation keeps its slab slot
+                // until its final events drain; samples route to a
+                // fresh session.
+                let addr = self.open_session(seq, tenant, generation)?;
                 self.stats.reopened += 1;
-                Some(i)
+                Some(addr)
             }
         }
     }
 
     /// Opens incarnation `generation` of `tenant` and points the tenant
-    /// slot at it, interning the name on first contact. The only
-    /// per-tenant allocations in the whole routing path live here.
+    /// slot at it, interning the name on first contact and evicting the
+    /// least-recently-seen open session first when the memory ceiling is
+    /// reached. The only per-tenant allocations in the whole routing
+    /// path live here.
     // lint:allow(hot-propagate) -- session open is once per tenant incarnation; interning the key and the failure event may allocate
-    fn open_session(&mut self, seq: u64, tenant: &str, generation: u32) -> Option<usize> {
+    fn open_session(&mut self, seq: u64, tenant: &str, generation: u32) -> Option<(u32, u32)> {
+        if self.config.max_sessions > 0 {
+            while self.open_count >= self.config.max_sessions {
+                if !self.evict_lru() {
+                    break;
+                }
+            }
+        }
         match Session::open_generation(tenant, self.config.session, generation) {
             Ok(session) => {
-                let i = self.sessions.len();
-                self.sessions.push(session);
-                let slot =
-                    TenantSlot { session: i, last_seen: seq, closed_at_ingest: false, generation };
-                match self.tenant_id(tenant) {
-                    Some(id) => {
-                        if let Some(s) = self.slots.get_mut(id.index()) {
-                            *s = slot;
-                        }
-                    }
+                self.sessions_opened += 1;
+                let owner = match self.tenant_id(tenant) {
+                    Some(id) => id.0,
                     None => {
                         let id = TenantId(self.slots.len() as u32);
-                        self.slots.push(slot);
+                        self.slots.push(TenantSlot {
+                            session: None,
+                            last_seen: seq,
+                            closed_at_ingest: false,
+                            generation: 0,
+                            retired: None,
+                        });
                         self.ids.insert(tenant.to_string(), id);
+                        id.0
                     }
+                };
+                let idx = self.slab.insert(owner, session);
+                if let Some(slot) = self.slots.get_mut(owner as usize) {
+                    slot.session = Some(idx);
+                    slot.last_seen = seq;
+                    slot.closed_at_ingest = false;
+                    slot.generation = generation;
                 }
-                Some(i)
+                self.open_count += 1;
+                self.lru.push(Reverse((seq, owner)));
+                Some((idx, owner))
             }
             Err(e) => {
                 // Unreachable when `config` validated, but a session that
@@ -701,25 +754,76 @@ impl Engine {
         }
     }
 
+    /// Evicts the least-recently-seen open session to make room under
+    /// the memory ceiling: an ordinary close with reason `evicted`,
+    /// decided at ingest time so it replays identically at any worker
+    /// count. Stale heap entries (tenant closed, or spoke since the
+    /// entry was pushed) are dropped or refreshed lazily. Returns
+    /// `false` when no open session remains to evict.
+    fn evict_lru(&mut self) -> bool {
+        let (owner, idx) = loop {
+            let Some(Reverse((seen, owner))) = self.lru.pop() else {
+                return false;
+            };
+            let Some(slot) = self.slots.get(owner as usize) else {
+                continue;
+            };
+            if slot.closed_at_ingest {
+                continue;
+            }
+            let Some(idx) = slot.session else {
+                continue;
+            };
+            if slot.last_seen != seen {
+                // The tenant spoke after this entry was pushed; re-arm
+                // at its true recency and keep looking.
+                self.lru.push(Reverse((slot.last_seen, owner)));
+                continue;
+            }
+            break (owner, idx);
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(slot) = self.slots.get_mut(owner as usize) {
+            slot.closed_at_ingest = true;
+        }
+        self.open_count = self.open_count.saturating_sub(1);
+        self.stats.evicted += 1;
+        if let Some(session) = self.slab.get_mut(idx, owner) {
+            session.offer_close(seq, CloseReason::Evicted);
+        }
+        if self.slab.mark_dirty(idx) {
+            self.dirty.push(idx);
+        }
+        true
+    }
+
     /// Resolves the session a close for `tenant` addresses, marking the
     /// slot closed at the ingest side. A close for an unknown tenant
-    /// opens a session first so the lifecycle stays visible in the log.
+    /// opens a session first so the lifecycle stays visible in the log;
+    /// a close for an already-reclaimed tenant is a no-op (the old
+    /// behaviour for a closed-but-resident session was an idempotent
+    /// close that logged nothing).
     // hot-path
-    fn close_session(&mut self, seq: u64, tenant: &str) -> Option<usize> {
-        if let Some(slot) =
-            self.tenant_id(tenant).and_then(|id| self.slots.get_mut(id.index()))
-        {
-            slot.last_seen = seq;
-            slot.closed_at_ingest = true;
-            return Some(slot.session);
+    fn close_session(&mut self, seq: u64, tenant: &str) -> Option<(u32, u32)> {
+        if let Some(id) = self.tenant_id(tenant) {
+            if let Some(slot) = self.slots.get_mut(id.index()) {
+                slot.last_seen = seq;
+                let was_open = !slot.closed_at_ingest && slot.session.is_some();
+                slot.closed_at_ingest = true;
+                let addr = slot.session.map(|idx| (idx, id.0));
+                if was_open {
+                    self.open_count = self.open_count.saturating_sub(1);
+                }
+                return addr;
+            }
         }
-        let i = self.open_session(seq, tenant, 0)?;
-        if let Some(slot) =
-            self.tenant_id(tenant).and_then(|id| self.slots.get_mut(id.index()))
-        {
+        let (idx, owner) = self.open_session(seq, tenant, 0)?;
+        if let Some(slot) = self.slots.get_mut(owner as usize) {
             slot.closed_at_ingest = true;
         }
-        Some(i)
+        self.open_count = self.open_count.saturating_sub(1);
+        Some((idx, owner))
     }
 
     /// Records one malformed span in the log and the stats. The reason
@@ -735,98 +839,233 @@ impl Engine {
         self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload: o });
     }
 
-    /// Dispatches every session's queued items across the persistent
+    /// Dispatches the dirty sessions' queued items across the persistent
     /// worker pool and appends the produced events to the log in
-    /// `(seq, sub)` order, then applies the idle timeout. Sessions are
-    /// sharded in place and the event buffer is recycled, so a
-    /// steady-state flush performs no per-flush allocations beyond the
-    /// log lines themselves.
+    /// `(seq, sub)` order, then reclaims closed incarnations and applies
+    /// the idle timeout. Only sessions that queued work are touched — a
+    /// 50k-tenant fleet with a handful of active tenants pays for the
+    /// handful. All working buffers are recycled, so a steady-state
+    /// flush performs no per-flush allocations beyond the log lines
+    /// themselves.
     pub fn flush(&mut self) {
-        if self.pending == 0
-            && self.ingest_events.is_empty()
-            && self.sessions.iter().all(|s| s.queued() == 0)
-        {
+        if self.pending == 0 && self.ingest_events.is_empty() && self.dirty.is_empty() {
             return;
         }
         self.pending = 0;
-        let queued: u64 = self.sessions.iter().map(|s| s.queued() as u64).sum();
+        // Lend the flush's working set out of the slab, in the
+        // (deterministic) order sessions first queued work.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut meta = std::mem::take(&mut self.scratch_meta);
+        let mut queued: u64 = 0;
+        for di in 0..self.dirty.len() {
+            let Some(&idx) = self.dirty.get(di) else {
+                break;
+            };
+            if let Some((owner, session)) = self.slab.lend(idx) {
+                queued += session.queued() as u64;
+                meta.push((idx, owner));
+                scratch.push(session);
+            }
+        }
+        self.dirty.clear();
         self.stats.peak_queued = self.stats.peak_queued.max(queued);
-        let mut events = std::mem::take(&mut self.events_buf);
-        events.append(&mut self.ingest_events);
         let t0 = self.prof.start();
-        if self.effective_workers <= 1 || self.sessions.len() <= 1 {
+        if self.effective_workers <= 1 || scratch.len() <= 1 {
             // A single worker (or session) would serialise through the
             // pool anyway; keep the channel machinery out of the path.
-            for s in self.sessions.iter_mut() {
+            let mut events = std::mem::take(&mut self.events_buf);
+            for s in scratch.iter_mut() {
                 s.process_queued_into(&mut events);
             }
+            let d = self.prof.lap(t0);
+            self.prof.step_ns += d;
+            events.append(&mut self.ingest_events);
+            // `(seq, sub)` keys are unique, so this imposes the one
+            // total order.
+            let t1 = self.prof.start();
+            events.sort_by_key(|e| (e.seq, e.sub));
+            let d = self.prof.lap(t1);
+            self.prof.merge_ns += d;
+            let t2 = self.prof.start();
+            for ev in &events {
+                let line = render_event(&mut self.render, ev);
+                self.log.push(line);
+            }
+            let d = self.prof.lap(t2);
+            self.prof.write_ns += d;
+            events.clear();
+            self.events_buf = events;
         } else {
             let workers = self.effective_workers;
             let pool = self.pool.get_or_insert_with(|| {
-                ShardPool::new(workers, |s: &mut Session, out: &mut Vec<SessionEvent>| {
-                    s.process_queued_into(out)
-                })
+                ShardPool::with_finish(
+                    workers,
+                    |s: &mut Session, out: &mut Vec<SessionEvent>| s.process_queued_into(out),
+                    // Each worker sorts its own runs, so the engine only
+                    // merges (see the module docs on the hierarchical
+                    // merge).
+                    |run: &mut Vec<SessionEvent>| run.sort_by_key(|e| (e.seq, e.sub)),
+                )
             });
-            pool.run_sharded(&mut self.sessions, &mut events);
+            let mut runs = std::mem::take(&mut self.runs);
+            pool.run_sharded_runs(&mut scratch, &mut runs);
+            let d = self.prof.lap(t0);
+            self.prof.step_ns += d;
+            let t1 = self.prof.start();
+            runs.push(std::mem::take(&mut self.ingest_events));
+            self.merge_runs(&mut runs);
+            // The ingest run went in last and `merge_runs` does not
+            // reorder the run list; reclaim its capacity.
+            if let Some(ingest) = runs.pop() {
+                self.ingest_events = ingest;
+            }
+            let d = self.prof.lap(t1);
+            self.prof.merge_ns += d;
+            self.runs = runs;
         }
-        let d = self.prof.lap(t0);
-        self.prof.step_ns += d;
-        // `(seq, sub)` keys are unique, so this imposes the one total
-        // order regardless of the shard-completion order events arrived
-        // in.
-        let t1 = self.prof.start();
-        events.sort_by_key(|e| (e.seq, e.sub));
-        let d = self.prof.lap(t1);
-        self.prof.merge_ns += d;
-        let t2 = self.prof.start();
-        for ev in &events {
-            let line = render_event(&mut self.render, ev);
-            self.log.push(line);
+        // Return sessions to the slab; reclaim closed-at-ingest
+        // incarnations (slot to the free list, final counters retained).
+        for ((idx, owner), session) in meta.drain(..).zip(scratch.drain(..)) {
+            self.put_back(idx, owner, session);
         }
-        let d = self.prof.lap(t2);
-        self.prof.write_ns += d;
-        events.clear();
-        self.events_buf = events;
+        self.scratch = scratch;
+        self.scratch_meta = meta;
         self.check_idle();
     }
 
+    /// K-way merges pre-sorted event runs into the log. Every run is
+    /// sorted by `(seq, sub)` (worker finish hooks sort shard runs; the
+    /// ingest run is sorted by construction) and the keys are globally
+    /// unique, so popping the smallest head across runs renders the one
+    /// total order without re-sorting. Heap and cursors are recycled.
+    /// Runs come back cleared.
+    fn merge_runs(&mut self, runs: &mut [Vec<SessionEvent>]) {
+        self.merge_heap.clear();
+        self.merge_pos.clear();
+        self.merge_pos.resize(runs.len(), 0);
+        for (rid, run) in runs.iter().enumerate() {
+            if let Some(e) = run.first() {
+                self.merge_heap.push(Reverse((e.seq, e.sub, rid)));
+            }
+        }
+        while let Some(Reverse((_, _, rid))) = self.merge_heap.pop() {
+            let Some(p) = self.merge_pos.get_mut(rid) else {
+                continue;
+            };
+            let at = *p;
+            *p = at + 1;
+            let Some(run) = runs.get(rid) else {
+                continue;
+            };
+            let Some(ev) = run.get(at) else {
+                continue;
+            };
+            let line = render_event(&mut self.render, ev);
+            self.log.push(line);
+            if let Some(next) = run.get(at + 1) {
+                self.merge_heap.push(Reverse((next.seq, next.sub, rid)));
+            }
+        }
+        for run in runs.iter_mut() {
+            run.clear();
+        }
+    }
+
+    /// Returns one lent session to the slab after a flush, or retires
+    /// it: a closed incarnation whose close the ingest side decided is
+    /// fully drained now, so its slot is reclaimed and its final
+    /// counters retained for snapshots. A session closed worker-side
+    /// only (failed profile) stays resident — later samples must still
+    /// drop against its policy — but shrunk to a husk.
+    fn put_back(&mut self, idx: u32, owner: u32, mut session: Session) {
+        let closed = session.state() == SessionState::Closed;
+        let (is_current, closing) = match self.slots.get(owner as usize) {
+            Some(slot) => (slot.session == Some(idx), slot.closed_at_ingest),
+            None => (false, false),
+        };
+        if closed && is_current && closing {
+            if let Some(slot) = self.slots.get_mut(owner as usize) {
+                slot.retired = Some(RetiredSession {
+                    generation: session.generation(),
+                    ingested: session.ingested(),
+                    dropped: session.dropped(),
+                    alarms: session.alarms(),
+                });
+                slot.session = None;
+            }
+            self.slab.release(idx);
+        } else if closed && !is_current {
+            // A superseded incarnation: the tenant reopened before this
+            // one drained. The live incarnation owns the tenant's state;
+            // just free the slot.
+            self.slab.release(idx);
+        } else {
+            session.shrink_terminal();
+            self.slab.restore(idx, owner, session);
+        }
+    }
+
     /// Closes sessions whose tenants have been silent for more than
-    /// `idle_timeout` arrival indices. Runs at flush boundaries, which
-    /// are a pure function of the input (line count vs `batch`), so the
-    /// transition replays deterministically at any worker count. The
-    /// synthetic close consumes a fresh arrival index and drains at the
-    /// next flush.
+    /// `idle_timeout` arrival indices, walking the shared recency heap
+    /// instead of every tenant: pop while the oldest entry is past the
+    /// timeout, dropping or refreshing stale entries lazily (same
+    /// protocol as eviction). Quarantined and worker-closed sessions are
+    /// exempt — they re-arm at the current index so they stay evictable
+    /// under ceiling pressure. Runs at flush boundaries, which are a
+    /// pure function of the input, so the transition replays
+    /// deterministically at any worker count. The synthetic close
+    /// consumes a fresh arrival index and drains at the next flush.
     fn check_idle(&mut self) {
         let timeout = self.config.session.idle_timeout;
         if timeout == 0 {
             return;
         }
-        // BTreeMap name order keeps the scan (and the seq each close
-        // gets) deterministic; collecting `Copy` ids costs no clones.
-        let stale: Vec<TenantId> = self
-            .ids
-            .values()
-            .copied()
-            .filter(|id| {
-                self.slots.get(id.index()).is_some_and(|slot| {
-                    !slot.closed_at_ingest
-                        && self.next_seq.saturating_sub(slot.last_seen) > timeout
-                        && self.sessions.get(slot.session).is_some_and(|s| {
-                            matches!(
-                                s.state(),
-                                SessionState::Profiling | SessionState::Monitoring
-                            )
-                        })
-                })
-            })
-            .collect();
-        for id in stale {
-            let seq = self.alloc_seq_quiet();
-            if let Some(slot) = self.slots.get_mut(id.index()) {
-                slot.closed_at_ingest = true;
-                if let Some(session) = self.sessions.get_mut(slot.session) {
-                    session.offer_close(seq, CloseReason::Idle);
+        loop {
+            let Some(&Reverse((seen, owner))) = self.lru.peek() else {
+                break;
+            };
+            if self.next_seq.saturating_sub(seen) <= timeout {
+                break;
+            }
+            self.lru.pop();
+            let Some(slot) = self.slots.get(owner as usize) else {
+                continue;
+            };
+            if slot.closed_at_ingest {
+                continue;
+            }
+            let Some(idx) = slot.session else {
+                continue;
+            };
+            if slot.last_seen != seen {
+                self.lru.push(Reverse((slot.last_seen, owner)));
+                continue;
+            }
+            let state = self.slab.get(idx, owner).map(Session::state);
+            match state {
+                Some(SessionState::Profiling) | Some(SessionState::Monitoring) => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if let Some(slot) = self.slots.get_mut(owner as usize) {
+                        slot.closed_at_ingest = true;
+                    }
+                    self.open_count = self.open_count.saturating_sub(1);
                     self.stats.idle_closed += 1;
+                    if let Some(session) = self.slab.get_mut(idx, owner) {
+                        session.offer_close(seq, CloseReason::Idle);
+                    }
+                    if self.slab.mark_dirty(idx) {
+                        self.dirty.push(idx);
+                    }
+                }
+                Some(SessionState::Quarantined) | Some(SessionState::Closed) | None => {
+                    // Exempt from the idle timeout; re-arm as if seen
+                    // now so the entry stops looking stale but the
+                    // session stays reachable for eviction.
+                    self.lru.push(Reverse((self.next_seq, owner)));
+                    if let Some(slot) = self.slots.get_mut(owner as usize) {
+                        slot.last_seen = self.next_seq;
+                    }
                 }
             }
         }
@@ -840,8 +1079,7 @@ impl Engine {
         // bound guards the invariant rather than trusting it.
         for _ in 0..4 {
             self.flush();
-            if self.ingest_events.is_empty() && self.sessions.iter().all(|s| s.queued() == 0)
-            {
+            if self.ingest_events.is_empty() && self.dirty.is_empty() {
                 break;
             }
         }
@@ -849,13 +1087,15 @@ impl Engine {
         let s = self.stats;
         let mut o = JsonObject::new();
         o.push_str("event", "engine_stats")
-            .push_num("sessions", self.sessions.len() as f64)
+            .push_num("sessions", self.sessions_opened as f64)
+            .push_num("open_sessions", self.open_count as f64)
             .push_num("malformed", s.malformed as f64)
             .push_num("resynced", s.resynced as f64)
             .push_num("drops_backpressure", s.drops_backpressure as f64)
             .push_num("drops_terminal", s.drops_terminal as f64)
             .push_num("recoveries", s.recoveries as f64)
             .push_num("idle_closed", s.idle_closed as f64)
+            .push_num("evicted", s.evicted as f64)
             .push_num("reopened", s.reopened as f64)
             .push_num("peak_queued", s.peak_queued as f64);
         if self.prof.enabled {
@@ -889,13 +1129,14 @@ fn render_event(buf: &mut LineBuf, ev: &SessionEvent) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionConfig;
 
-    fn fast_config(workers: usize, batch: usize) -> EngineConfig {
-        EngineConfig {
+    fn fast_config(workers: usize, batch: usize) -> Config {
+        Config {
             workers,
             batch,
             session: SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() },
-            ..EngineConfig::default()
+            ..Config::default()
         }
     }
 
@@ -918,7 +1159,7 @@ mod tests {
         lines
     }
 
-    fn run(config: EngineConfig, lines: &[String]) -> Vec<String> {
+    fn run(config: Config, lines: &[String]) -> Vec<String> {
         let mut engine = Engine::new(config).unwrap();
         for line in lines {
             engine.ingest_line(line);
@@ -1083,6 +1324,115 @@ mod tests {
     }
 
     #[test]
+    fn ceiling_evicts_lru_and_tenant_reopens() {
+        let mut config = fast_config(1, 4);
+        config.max_sessions = 2;
+        let mut engine = Engine::new(config).unwrap();
+        // vm-a is the least recently seen when vm-c arrives.
+        engine.ingest_line(r#"{"tenant":"vm-a","access":1,"miss":2}"#);
+        engine.ingest_line(r#"{"tenant":"vm-b","access":1,"miss":2}"#);
+        engine.ingest_line(r#"{"tenant":"vm-c","access":1,"miss":2}"#);
+        assert_eq!(engine.open_sessions(), 2, "ceiling enforced");
+        assert_eq!(engine.stats().evicted, 1);
+        // The evicted tenant speaks again: new generation.
+        engine.ingest_line(r#"{"tenant":"vm-a","access":3,"miss":4}"#);
+        engine.finish();
+        assert_eq!(engine.stats().reopened, 1);
+        assert!(engine.log_lines().iter().any(|l| {
+            l.contains(r#""event":"closed""#)
+                && l.contains(r#""tenant":"vm-a""#)
+                && l.contains(r#""reason":"evicted""#)
+        }));
+        let gen1 = engine.log_lines().iter().any(|l| {
+            l.contains(r#""event":"opened""#)
+                && l.contains(r#""tenant":"vm-a""#)
+                && l.contains(r#""gen":1"#)
+        });
+        assert!(gen1, "evicted tenant reopens as a new generation");
+        assert!(engine.open_sessions() <= 2);
+    }
+
+    #[test]
+    fn eviction_log_is_worker_invariant() {
+        // Rolling churn across 8 tenants under a ceiling of 3; drops,
+        // evictions and reopens must replay byte-identically.
+        let mut lines = Vec::new();
+        for i in 0..2_000u64 {
+            let tenant = format!("vm-{}", i % 8);
+            lines.push(format!(
+                r#"{{"tenant":"{tenant}","access":{},"miss":2}}"#,
+                1000 + i % 10
+            ));
+            if i % 97 == 0 {
+                lines.push(format!(r#"{{"tenant":"vm-{}","ctl":"close"}}"#, (i / 97) % 8));
+            }
+        }
+        let config = |workers: usize| {
+            let mut c = fast_config(workers, 64);
+            c.max_sessions = 3;
+            c
+        };
+        let reference = run(config(1), &lines);
+        assert!(
+            reference.iter().any(|l| l.contains(r#""reason":"evicted""#)),
+            "scenario must actually evict"
+        );
+        for workers in [2, 4, 8] {
+            assert_eq!(run(config(workers), &lines), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn snapshots_serve_live_and_retired_tenants() {
+        let mut engine = Engine::new(fast_config(1, 4)).unwrap();
+        engine.ingest_line(r#"{"tenant":"vm-live","access":1,"miss":2}"#);
+        engine.ingest_line(r#"{"tenant":"vm-gone","access":1,"miss":2}"#);
+        engine.ingest_line(r#"{"tenant":"vm-gone","ctl":"close"}"#);
+        engine.finish();
+        let snaps: Vec<_> = engine.snapshots().collect();
+        assert_eq!(snaps.len(), 2);
+        // Name order: vm-gone, vm-live.
+        let gone = engine.snapshot("vm-gone").expect("retired snapshot");
+        assert!(!gone.live);
+        assert_eq!(gone.state, SessionState::Closed);
+        assert_eq!(gone.ingested, 1);
+        assert_eq!(gone.resident_bytes, 0);
+        let live = engine.snapshot("vm-live").expect("live snapshot");
+        assert!(live.live);
+        assert_eq!(live.state, SessionState::Profiling);
+        assert!(live.resident_bytes > 0);
+        assert!(engine.resident_bytes() >= live.resident_bytes);
+        assert!(engine.snapshot("vm-unknown").is_none());
+    }
+
+    #[test]
+    fn merge_runs_orders_presorted_runs() {
+        let mut engine = Engine::new(fast_config(1, 4)).unwrap();
+        let ev = |seq: u64, sub: u32| {
+            let mut o = JsonObject::new();
+            o.push_str("event", "probe");
+            SessionEvent { seq, sub, payload: o }
+        };
+        let mut runs = vec![
+            vec![ev(0, 1), ev(3, 0), ev(9, 0)],
+            vec![ev(0, 0), ev(4, 2), ev(4, 5)],
+            Vec::new(),
+            vec![ev(2, 0)],
+        ];
+        engine.merge_runs(&mut runs);
+        let keys: Vec<u64> = engine
+            .log_lines()
+            .iter()
+            .map(|l| {
+                let o = JsonObject::parse(l).expect("line parses");
+                o.get_f64("seq").expect("seq") as u64
+            })
+            .collect();
+        assert_eq!(keys, vec![0, 0, 2, 3, 4, 4, 9]);
+        assert!(runs.iter().all(Vec::is_empty), "runs come back cleared");
+    }
+
+    #[test]
     fn drop_bursts_are_coalesced_and_recovery_logged() {
         let mut config = fast_config(1, 1_000_000);
         config.session.queue_capacity = 4;
@@ -1125,8 +1475,10 @@ mod tests {
         assert!(stats_line.contains(r#""event":"engine_stats""#));
         assert!(stats_line.contains(r#""malformed":1"#));
         assert!(stats_line.contains(r#""sessions":1"#));
+        assert!(stats_line.contains(r#""evicted":0"#));
         let obj = JsonObject::parse(stats_line).expect("stats line parses");
         assert!(obj.get_f64("peak_queued").is_some());
+        assert_eq!(obj.get_f64("open_sessions"), Some(1.0));
     }
 
     #[test]
@@ -1160,7 +1512,7 @@ mod tests {
         for workers in [1usize, 4] {
             let fast = run(fast_config(workers, 256), &lines);
             let slow = run(
-                EngineConfig { fast_parse: false, ..fast_config(workers, 256) },
+                Config { fast_parse: false, ..fast_config(workers, 256) },
                 &lines,
             );
             assert_eq!(fast, slow, "workers={workers}");
@@ -1171,7 +1523,7 @@ mod tests {
     fn profiler_fields_appear_only_when_enabled() {
         let run_stats_line = |prof: bool| {
             let mut engine =
-                Engine::new(EngineConfig { prof, ..fast_config(1, 8) }).unwrap();
+                Engine::new(Config { prof, ..fast_config(1, 8) }).unwrap();
             engine.ingest_line(r#"{"tenant":"vm-0","access":1,"miss":2}"#);
             engine.finish();
             engine.log_lines().last().cloned().expect("stats line")
@@ -1190,10 +1542,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_config() {
-        assert!(Engine::new(EngineConfig { workers: 0, ..EngineConfig::default() }).is_err());
-        assert!(Engine::new(EngineConfig { batch: 0, ..EngineConfig::default() }).is_err());
+        assert!(Engine::new(Config { workers: 0, ..Config::default() }).is_err());
+        assert!(Engine::new(Config { batch: 0, ..Config::default() }).is_err());
         assert!(
-            Engine::new(EngineConfig { drop_log_every: 0, ..EngineConfig::default() }).is_err()
+            Engine::new(Config { drop_log_every: 0, ..Config::default() }).is_err()
         );
     }
 }

@@ -12,11 +12,18 @@
 //!   behind the uniform [`memdos_core::detector::Detector`] /
 //!   [`memdos_core::detector::FromProfile`] surface, and bounded queues
 //!   with an explicit backpressure drop policy.
-//! * [`engine`] — the session registry, batched dispatch onto the
+//! * [`config`] — the one [`Config`] struct every knob arrives
+//!   through: builder methods for programmatic use, a single
+//!   [`Config::from_env`] for the CLI (resolved once in `main`, never
+//!   scattered through the engine).
+//! * [`engine`] — the slab-backed session registry (dense slots keyed
+//!   by the interned tenant id, an explicit `max_sessions` memory
+//!   ceiling with LRU-idle eviction), batched dispatch onto the
 //!   [`memdos_runner`] worker pool (sharded by tenant: per-tenant order
 //!   preserved, tenants parallel), and the deterministic `(seq, sub)`
-//!   merge-sorted event log. Replaying the same input yields a
-//!   byte-identical log at any worker count and batch size.
+//!   hierarchically-merged event log. Replaying the same input yields a
+//!   byte-identical log at any worker count and batch size — including
+//!   across evictions.
 //! * [`demo`] — the four-tenant demo stream (two periodic victims, two
 //!   non-periodic, bus-locking and LLC-cleansing attack windows), which
 //!   doubles as the fixture for the replay-determinism tier-1 test.
@@ -37,13 +44,14 @@
 //! ## Example
 //!
 //! ```rust
-//! use memdos_engine::engine::{Engine, EngineConfig};
+//! use memdos_engine::engine::Engine;
 //! use memdos_engine::session::SessionConfig;
+//! use memdos_engine::Config;
 //!
-//! let mut engine = Engine::new(EngineConfig {
-//!     session: SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() },
-//!     ..EngineConfig::default()
-//! })
+//! let mut engine = Engine::new(
+//!     Config::default()
+//!         .session(SessionConfig { profile_ticks: 2_000, ..SessionConfig::default() }),
+//! )
 //! .unwrap();
 //! for i in 0..2_100u64 {
 //!     engine.ingest_line(&format!(
@@ -59,8 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod config;
 pub mod demo;
 pub mod engine;
+pub mod fleet;
 pub mod protocol;
 pub mod session;
+mod slab;
 pub mod soak;
+
+pub use config::Config;

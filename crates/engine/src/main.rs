@@ -6,12 +6,14 @@
 //! memdos-engine replay [path]     # replay a JSONL file (or stdin)
 //! memdos-engine serve <addr>      # ingest JSONL over TCP
 //! memdos-engine soak [--seeds N] [--base-seed S]   # chaos soak
+//! memdos-engine fleet [tenants] [seed]             # fleet-scale replay
 //! ```
 //!
 //! Configuration comes from the environment: `MEMDOS_THREADS` (worker
 //! count) and the `MEMDOS_ENGINE_*` knobs (see the README and
-//! [`EngineConfig::from_env`]). The verdict event log goes to stdout;
-//! diagnostics go to stderr.
+//! [`Config::from_env`]), resolved **once** here in `main` — the
+//! library layer only ever sees the explicit [`Config`] value. The
+//! verdict event log goes to stdout; diagnostics go to stderr.
 //!
 //! `serve` accepts one connection at a time and ingests it to EOF — the
 //! parallelism budget goes to tenant dispatch inside the engine, not to
@@ -25,8 +27,10 @@
 
 use memdos_engine::chaos::Backoff;
 use memdos_engine::demo::{demo_engine_config, demo_jsonl, LAYOUT, TENANTS};
-use memdos_engine::engine::{Engine, EngineConfig};
+use memdos_engine::engine::Engine;
+use memdos_engine::fleet::{fleet_engine_config, fleet_jsonl, fleet_scenario};
 use memdos_engine::soak::{run_soak, SoakConfig};
+use memdos_engine::Config;
 use std::io::{BufReader, Write};
 
 fn main() {
@@ -45,6 +49,7 @@ fn run(args: &[String]) -> i32 {
         Some("replay") => cmd_replay(args.get(1)),
         Some("serve") => cmd_serve(args.get(1)),
         Some("soak") => cmd_soak(args.get(1..).unwrap_or(&[])),
+        Some("fleet") => cmd_fleet(args.get(1), args.get(2)),
         Some(other) => {
             eprintln!("memdos-engine: unknown command {other:?}");
             usage();
@@ -60,7 +65,7 @@ fn run(args: &[String]) -> i32 {
 fn usage() {
     eprintln!(
         "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr> \
-         | soak [--seeds N] [--base-seed S]>"
+         | soak [--seeds N] [--base-seed S] | fleet [tenants] [seed]>"
     );
 }
 
@@ -77,7 +82,7 @@ fn parse_seed(arg: Option<&String>) -> Result<u64, String> {
 /// Builds the engine from the environment, preferring the demo's
 /// profile/SDS settings for the demo commands.
 fn engine_from_env(demo_defaults: bool) -> Result<Engine, String> {
-    let mut config = EngineConfig::from_env()?;
+    let mut config = Config::from_env()?;
     if demo_defaults {
         let demo = demo_engine_config(config.workers);
         config.session.profile_ticks = demo.session.profile_ticks;
@@ -134,16 +139,85 @@ fn cmd_demo(seed: Option<&String>) -> i32 {
         engine.log_lines().len(),
         engine.session_count()
     );
-    for session in engine.sessions() {
+    for snap in engine.snapshots() {
         eprintln!(
             "memdos-engine:   {}: {} ({} alarms, {} ingested, {} dropped)",
-            session.tenant(),
-            session.state().label(),
-            session.alarms(),
-            session.ingested(),
-            session.dropped()
+            snap.tenant,
+            snap.state.label(),
+            snap.alarms,
+            snap.ingested,
+            snap.dropped
         );
     }
+    0
+}
+
+fn cmd_fleet(tenants: Option<&String>, seed: Option<&String>) -> i32 {
+    let tenants = match tenants {
+        None => 10_000u32,
+        Some(s) => match s.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("memdos-engine: tenants {s:?} is not a positive integer");
+                return 2;
+            }
+        },
+    };
+    let seed = match parse_seed(seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    // Environment knobs still apply (MEMDOS_THREADS, ceiling override);
+    // the fleet profile/SDS settings replace the Table 1 defaults.
+    let env = match Config::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let ceiling = if env.max_sessions > 0 { env.max_sessions } else { 16_384 };
+    let config = Config { workers: env.workers, prof: env.prof, ..fleet_engine_config(env.workers, ceiling) };
+    let scenario = fleet_scenario(tenants, seed);
+    eprintln!(
+        "memdos-engine: fleet: {tenants} tenants over {} ticks (seed {seed}, {} workers, \
+         ceiling {ceiling})",
+        scenario.span_ticks, config.workers
+    );
+    let lines = match fleet_jsonl(&scenario) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("memdos-engine: fleet: {e}");
+            return 2;
+        }
+    };
+    let mut engine = match Engine::new(config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    for line in &lines {
+        engine.ingest_line(line);
+    }
+    engine.finish();
+    print_new_log(&engine, 0);
+    let stats = engine.stats();
+    eprintln!(
+        "memdos-engine: fleet: {} input lines, {} log events, {} sessions opened, \
+         {} open at end, {} evicted, {} reopened, ~{} KiB resident",
+        lines.len(),
+        engine.log_lines().len(),
+        engine.session_count(),
+        engine.open_sessions(),
+        stats.evicted,
+        stats.reopened,
+        engine.resident_bytes() / 1024
+    );
     0
 }
 

@@ -100,6 +100,10 @@ pub enum CloseReason {
     /// The engine closed the session after an idle gap (no records for
     /// more than `idle_timeout` arrival indices).
     Idle,
+    /// The engine evicted the least-recently-seen session to stay under
+    /// its memory ceiling (`Config::max_sessions`). The tenant may
+    /// reopen as a new generation the next time it speaks.
+    Evicted,
 }
 
 impl CloseReason {
@@ -108,6 +112,7 @@ impl CloseReason {
         match self {
             CloseReason::Ctl => "ctl",
             CloseReason::Idle => "idle",
+            CloseReason::Evicted => "evicted",
         }
     }
 }
@@ -235,6 +240,37 @@ pub struct SessionEvent {
     pub payload: JsonObject,
 }
 
+/// A read-only introspection snapshot of one tenant session — the
+/// stable public surface for fleet observers (the `engine_fleet` bench,
+/// the `demo` summary, external monitoring), so nothing outside this
+/// module reaches into `Session` internals. Obtained from
+/// `Engine::snapshots()` / `Engine::snapshot()`; `live: false` marks a
+/// retired incarnation whose memory was reclaimed and whose counters
+/// are served from the engine's retained final accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSnapshot<'a> {
+    /// The tenant this session monitors.
+    pub tenant: &'a str,
+    /// Incarnation of the tenant (0 = first session, +1 per reopen).
+    pub generation: u32,
+    /// Current lifecycle state (always `Closed` when not live).
+    pub state: SessionState,
+    /// `true` while the session is resident in the engine; `false` once
+    /// its slot was reclaimed (closed and drained).
+    pub live: bool,
+    /// Items queued for the next engine flush.
+    pub queued: usize,
+    /// Estimated resident heap bytes (see [`Session::resident_bytes`];
+    /// 0 when not live).
+    pub resident_bytes: usize,
+    /// Samples accepted over the incarnation's lifetime.
+    pub ingested: u64,
+    /// Samples lost to backpressure or a terminal state.
+    pub dropped: u64,
+    /// Primary-detector alarm activations.
+    pub alarms: u64,
+}
+
 /// A per-tenant detection session.
 pub struct Session {
     tenant: String,
@@ -355,6 +391,61 @@ impl Session {
     /// Queued items awaiting the next engine flush.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Read-only introspection snapshot of this (live) session.
+    pub fn snapshot(&self) -> SessionSnapshot<'_> {
+        SessionSnapshot {
+            tenant: &self.tenant,
+            generation: self.generation,
+            state: self.state,
+            live: true,
+            queued: self.queue.len(),
+            resident_bytes: self.resident_bytes(),
+            ingested: self.ingested,
+            dropped: self.dropped,
+            alarms: self.alarms,
+        }
+    }
+
+    /// Estimated heap bytes this session keeps resident: the tenant
+    /// name, the sample queue, the profiler's smoothing buffers and each
+    /// armed detector's working set (via
+    /// [`Detector::resident_bytes_hint`]). This is a deterministic
+    /// capacity-based accounting estimate, not an allocator measurement
+    /// — it exists so a ceiling/eviction decision and the fleet bench
+    /// read the same number on every run.
+    pub fn resident_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Session>()
+            + self.tenant.capacity()
+            + self.queue.capacity() * std::mem::size_of::<Item>()
+            + self.last_verdicts.capacity() * std::mem::size_of::<Verdict>();
+        if let Some(p) = &self.profiler {
+            bytes += p.resident_bytes_hint();
+        }
+        for det in &self.detectors {
+            bytes += std::mem::size_of::<Box<dyn Detector + Send>>() + det.resident_bytes_hint();
+        }
+        bytes
+    }
+
+    /// Releases the working set of a terminal session that must stay
+    /// resident (quarantined, or closed worker-side with no ingest-side
+    /// close): detectors, profiler and queue capacity are dropped, the
+    /// identity and counters remain so later samples still drop against
+    /// the right policy and the final accounting stays intact. Terminal
+    /// states never process another observation, so nothing behavioural
+    /// is lost. No-op for live sessions or non-empty queues.
+    pub(crate) fn shrink_terminal(&mut self) {
+        let terminal =
+            matches!(self.state, SessionState::Quarantined | SessionState::Closed);
+        if !terminal || !self.queue.is_empty() {
+            return;
+        }
+        self.profiler = None;
+        self.detectors = Vec::new();
+        self.last_verdicts = Vec::new();
+        self.queue.shrink_to_fit();
     }
 
     /// Enqueues one sample under the backpressure policy, reporting what

@@ -21,7 +21,8 @@
 
 use crate::chaos::{FaultPlan, FaultPlanConfig, FaultTrace, FAULT_CLASSES};
 use crate::demo::{demo_jsonl, soak_engine_config, DemoLayout, SOAK_LAYOUT};
-use crate::engine::{Engine, EngineConfig, EngineStats};
+use crate::config::Config;
+use crate::engine::{Engine, EngineStats};
 use memdos_metrics::jsonl::JsonObject;
 use memdos_stats::rng::derive_seed;
 
@@ -184,7 +185,7 @@ impl SoakReport {
 /// — a queue smaller than the flush batch (every batch overflows and
 /// recovers), a live idle timeout (muted tenants must close), and a
 /// one-alarm quarantine budget (attacked tenants go terminal).
-pub fn scenario_engine_config(workers: usize, layout: &DemoLayout) -> EngineConfig {
+pub fn scenario_engine_config(workers: usize, layout: &DemoLayout) -> Config {
     let mut cfg = soak_engine_config(workers);
     cfg.session.profile_ticks = layout.profile_ticks;
     cfg.batch = 1_024;
@@ -197,7 +198,7 @@ pub fn scenario_engine_config(workers: usize, layout: &DemoLayout) -> EngineConf
 /// Replays `lines` into a fresh engine and returns its log and
 /// counters.
 fn run_engine(
-    config: EngineConfig,
+    config: Config,
     lines: &[String],
 ) -> Result<(Vec<String>, EngineStats, usize), String> {
     let mut engine = Engine::new(config).map_err(|e| e.to_string())?;

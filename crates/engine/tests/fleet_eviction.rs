@@ -1,0 +1,220 @@
+//! Eviction edge cases for the memory-ceiling path (Issue 8): evicting
+//! a quarantined session must not lose its verdict, evicted tenants
+//! reopen with a bumped generation, eviction composes with queue
+//! backpressure, and — under seeded churn — slab slot recycling never
+//! aliases a live tenant.
+
+use memdos_core::config::{SdsBParams, SdsPParams, SdsParams};
+use memdos_engine::engine::Engine;
+use memdos_engine::session::SessionConfig;
+use memdos_engine::Config;
+use memdos_metrics::jsonl::JsonObject;
+use memdos_stats::rng::Rng;
+
+/// A config whose sessions move fast: Stage-1 completes after 40
+/// samples (EWMA window 20, step 1 → 39-sample minimum history) and a
+/// single alarm quarantines.
+fn edge_config(max_sessions: usize) -> Config {
+    Config {
+        workers: 1,
+        batch: 8,
+        max_sessions,
+        session: SessionConfig {
+            profile_ticks: 40,
+            sds: SdsParams {
+                sdsb: SdsBParams { window: 20, step: 1, h_c: 5, ..SdsBParams::default() },
+                sdsp: SdsPParams { window: 20, step: 1, ..SdsPParams::default() },
+            },
+            quarantine_after: 1,
+            queue_capacity: 64,
+            ..SessionConfig::default()
+        },
+        ..Config::default()
+    }
+}
+
+fn sample(tenant: &str, access: f64) -> String {
+    format!(r#"{{"tenant":"{tenant}","access":{access},"miss":50}}"#)
+}
+
+/// Feeds `n` samples for `tenant` at a flat level.
+fn feed(engine: &mut Engine, tenant: &str, n: usize, access: f64) {
+    for _ in 0..n {
+        engine.ingest_line(&sample(tenant, access));
+    }
+}
+
+#[test]
+fn evicting_a_quarantined_session_preserves_its_verdict() {
+    let mut engine = Engine::new(edge_config(2)).unwrap();
+    // vm-q profiles on a flat signal, then collapses: one alarm →
+    // quarantined.
+    feed(&mut engine, "vm-q", 60, 1_000.0);
+    feed(&mut engine, "vm-q", 100, 100.0);
+    engine.flush();
+    assert!(
+        engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"quarantined""#) && l.contains(r#""tenant":"vm-q""#)),
+        "setup: vm-q must reach quarantine"
+    );
+    // Two newer tenants push vm-q (the LRU entry) out over the ceiling.
+    feed(&mut engine, "vm-b", 4, 1_000.0);
+    feed(&mut engine, "vm-c", 4, 1_000.0);
+    engine.finish();
+    assert_eq!(engine.stats().evicted, 1);
+    // The eviction closes vm-q without losing what it knew: the close
+    // event carries the alarm count, and the retained snapshot agrees.
+    let closed = engine
+        .log_lines()
+        .iter()
+        .find(|l| {
+            l.contains(r#""event":"closed""#)
+                && l.contains(r#""tenant":"vm-q""#)
+                && l.contains(r#""reason":"evicted""#)
+        })
+        .expect("vm-q must close with reason evicted");
+    let obj = JsonObject::parse(closed).expect("closed event parses");
+    assert!(obj.get_f64("alarms").unwrap_or(0.0) >= 1.0, "verdict lost: {closed}");
+    let snap = engine.snapshot("vm-q").expect("retired tenant stays introspectable");
+    assert!(!snap.live);
+    assert!(snap.alarms >= 1);
+}
+
+#[test]
+fn evicted_tenant_reopens_with_a_bumped_generation() {
+    let mut engine = Engine::new(edge_config(2)).unwrap();
+    feed(&mut engine, "vm-a", 4, 1_000.0);
+    feed(&mut engine, "vm-b", 4, 1_000.0);
+    feed(&mut engine, "vm-c", 4, 1_000.0); // evicts vm-a
+    feed(&mut engine, "vm-a", 4, 1_000.0); // reopens as generation 1
+    engine.finish();
+    assert_eq!(engine.stats().evicted, 2, "reopening vm-a evicts again in turn");
+    assert_eq!(engine.stats().reopened, 1);
+    let opened_a: Vec<&String> = engine
+        .log_lines()
+        .iter()
+        .filter(|l| l.contains(r#""event":"opened""#) && l.contains(r#""tenant":"vm-a""#))
+        .collect();
+    assert_eq!(opened_a.len(), 2);
+    assert!(opened_a[0].contains(r#""gen":0"#));
+    assert!(opened_a[1].contains(r#""gen":1"#));
+    let snap = engine.snapshot("vm-a").expect("vm-a snapshot");
+    assert_eq!(snap.generation, 1);
+}
+
+#[test]
+fn eviction_under_backpressure_drains_the_queue_before_the_close() {
+    // A large batch holds vm-bp's samples queued; its queue (capacity
+    // 64) overflows into a drop burst, and then the eviction lands
+    // while the queue is still full.
+    let mut config = edge_config(2);
+    config.batch = 10_000;
+    let mut engine = Engine::new(config).unwrap();
+    feed(&mut engine, "vm-bp", 100, 1_000.0); // 64 queued, 36 dropped
+    feed(&mut engine, "vm-b", 2, 1_000.0);
+    feed(&mut engine, "vm-c", 2, 1_000.0); // evicts vm-bp mid-backpressure
+    engine.finish();
+    assert_eq!(engine.stats().evicted, 1);
+    assert!(engine.stats().drops_backpressure > 0, "setup: backpressure must fire");
+    // The queued samples are processed before the close: the closed
+    // event accounts for every admitted sample and is vm-bp's last
+    // lifecycle event.
+    let closed = engine
+        .log_lines()
+        .iter()
+        .find(|l| {
+            l.contains(r#""event":"closed""#)
+                && l.contains(r#""tenant":"vm-bp""#)
+                && l.contains(r#""reason":"evicted""#)
+        })
+        .expect("vm-bp must close with reason evicted");
+    let obj = JsonObject::parse(closed).expect("closed event parses");
+    // The Oldest drop policy admits every arrival and displaces queued
+    // ones: all 100 count as ingested, the 36 displaced as dropped.
+    assert_eq!(obj.get_f64("ingested"), Some(100.0), "admission accounting survives eviction");
+    assert_eq!(obj.get_f64("dropped"), Some(36.0), "drop accounting survives eviction");
+}
+
+#[test]
+fn seeded_churn_fuzz_slab_reuse_never_aliases_live_tenants() {
+    // 64 tenants over a 16-slot ceiling with random closes: slots
+    // recycle constantly. If a recycled slot ever aliased a live
+    // tenant, the per-tenant event streams below would interleave
+    // wrongly — a generation would repeat, or a sample event would land
+    // between a close and the next open.
+    let mut engine = Engine::new(edge_config(16)).unwrap();
+    let mut rng = Rng::new(0xA11A5);
+    for _ in 0..20_000 {
+        let tenant = format!("vm-{:02}", rng.next_below(64));
+        if rng.chance(0.05) {
+            engine.ingest_line(&format!(r#"{{"tenant":"{tenant}","ctl":"close"}}"#));
+        } else {
+            engine.ingest_line(&sample(&tenant, 1_000.0));
+        }
+    }
+    engine.finish();
+    assert!(engine.open_sessions() <= 16, "ceiling held under churn");
+    assert!(engine.stats().evicted > 0, "fuzz must exercise eviction");
+    assert!(engine.stats().reopened > 0, "fuzz must exercise reopens");
+
+    // Replay the log per tenant: generations strictly increase by one
+    // per open, opens and closes alternate, and nothing but terminal
+    // drops appears for a tenant while it is closed.
+    let mut open_gen: std::collections::BTreeMap<String, Option<u64>> =
+        std::collections::BTreeMap::new();
+    let mut last_gen: std::collections::BTreeMap<String, i64> =
+        std::collections::BTreeMap::new();
+    for line in engine.log_lines() {
+        let obj = JsonObject::parse(line).expect("log line parses");
+        let Some(event) = obj.get_str("event") else { continue };
+        let Some(tenant) = obj.get_str("tenant") else { continue };
+        let entry = open_gen.entry(tenant.to_string()).or_default();
+        match event {
+            "opened" => {
+                let generation = obj.get_f64("gen").expect("opened has gen") as u64;
+                assert!(entry.is_none(), "{tenant}: opened gen {generation} while open");
+                let prev = last_gen.get(tenant).copied().unwrap_or(-1);
+                assert_eq!(
+                    generation as i64,
+                    prev + 1,
+                    "{tenant}: generation must bump by exactly one"
+                );
+                last_gen.insert(tenant.to_string(), generation as i64);
+                *entry = Some(generation);
+            }
+            "closed" => {
+                assert!(entry.is_some(), "{tenant}: closed while not open: {line}");
+                *entry = None;
+            }
+            "dropped" => {
+                // Terminal drops are the only sample traffic a closed
+                // tenant may log.
+                if entry.is_none() {
+                    assert_eq!(
+                        obj.get("terminal").and_then(|v| v.as_bool()),
+                        Some(true),
+                        "{tenant}: non-terminal event while closed: {line}"
+                    );
+                }
+            }
+            _ => {
+                assert!(
+                    entry.is_some(),
+                    "{tenant}: event {event:?} while closed: {line}"
+                );
+            }
+        }
+    }
+    // Snapshots agree with the replayed lifecycle state.
+    for snap in engine.snapshots() {
+        let open = open_gen.get(snap.tenant).copied().flatten();
+        assert_eq!(
+            open.is_some(),
+            snap.live,
+            "{}: snapshot live flag disagrees with the log",
+            snap.tenant
+        );
+    }
+}

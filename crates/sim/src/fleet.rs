@@ -1,0 +1,507 @@
+//! Fleet scenario generator: thousands of heterogeneous tenant VMs on
+//! one synthetic timeline, for exercising the engine at cloud-host
+//! scale (50k sessions) where simulating every VM's cache behaviour
+//! tick-by-tick ([`crate::server`]) would dominate the experiment.
+//!
+//! Each tenant is stamped from a [`VmTemplate`] — a closed-form signal
+//! model (baseline, periodic component, jitter) of one catalogue
+//! application's PCM trace shape — rather than a full [`crate::cache`]
+//! simulation: the engine under test only sees `(AccessNum, MissNum)`
+//! per sample, so the template preserves exactly what reaches it. The
+//! catalogue side of the mapping lives in `memdos-workloads`
+//! (`Application::fleet_template`), which depends on this crate and not
+//! vice versa.
+//!
+//! Scheduling is what makes the scenario *fleet-shaped*:
+//!
+//! * **staggered arrivals** — tenants come up spread across the opening
+//!   stretch of the timeline, not in one thundering herd;
+//! * **zipf-skewed activity** — each tenant draws a Zipf rank that sets
+//!   its sampling interval, so a few tenants are chatty and the long
+//!   tail is quiet, the shape real multi-tenant hosts show;
+//! * **churn** — a seeded fraction of tenants departs mid-timeline
+//!   (an explicit close) and returns later, exercising the engine's
+//!   close/reopen generation machinery and, under a memory ceiling,
+//!   its eviction path.
+//!
+//! Generation is a pure function of [`FleetConfig`] (including the
+//! seed): the iterator merges per-tenant event streams through a binary
+//! heap keyed by `(tick, tenant)`, so items arrive in deterministic
+//! global timeline order at `O(log n)` per item, streaming — the whole
+//! fleet is never materialised.
+
+use crate::rng::{derive_seed, Rng, Zipf};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Closed-form signal model of one application's PCM trace: the shape a
+/// [`crate::pcm`] sampler would report for a VM running it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmTemplate {
+    /// Application name (tenant names embed it).
+    pub app: &'static str,
+    /// Baseline `AccessNum` per sample.
+    pub base_access: f64,
+    /// Peak-to-baseline swing of the periodic `AccessNum` component
+    /// (0 for non-periodic applications).
+    pub amp_access: f64,
+    /// Baseline `MissNum` per sample.
+    pub base_miss: f64,
+    /// Periodic `MissNum` swing.
+    pub amp_miss: f64,
+    /// Period of the repeating phase pattern, in ticks (0 = none).
+    pub period_ticks: u64,
+    /// Relative Gaussian jitter applied to both statistics.
+    pub jitter: f64,
+}
+
+impl VmTemplate {
+    /// The template's `(AccessNum, MissNum)` at local tick `t`, with
+    /// per-tenant deterministic jitter from `rng`.
+    fn sample(&self, t: u64, rng: &mut Rng) -> (f64, f64) {
+        let phase_high = match self.period_ticks {
+            0 => false,
+            p => (t % p) < p / 2,
+        };
+        let (a, m) = if phase_high {
+            (self.base_access + self.amp_access, self.base_miss + self.amp_miss)
+        } else {
+            (self.base_access, self.base_miss)
+        };
+        let access = a * (1.0 + self.jitter * rng.next_gaussian());
+        let miss = m * (1.0 + self.jitter * rng.next_gaussian());
+        (access.max(0.0), miss.max(0.0))
+    }
+}
+
+/// Parameters of one fleet scenario. The scenario is a pure function of
+/// this struct — same config, same item sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of tenant VMs.
+    pub tenants: u32,
+    /// Timeline length in ticks; no event is scheduled at or past it.
+    pub span_ticks: u64,
+    /// Zipf exponent of the activity skew (larger = fewer chatty
+    /// tenants carrying more of the traffic).
+    pub zipf_s: f64,
+    /// Sampling interval of the chattiest rank, in ticks.
+    pub min_interval: u64,
+    /// Sampling interval of the quietest rank, in ticks.
+    pub max_interval: u64,
+    /// Per-tenant probability of one departure/return churn cycle.
+    pub churn: f64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            tenants: 1_000,
+            span_ticks: 4_096,
+            zipf_s: 1.1,
+            min_interval: 1,
+            max_interval: 32,
+            churn: 0.2,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the configuration — the shared `validate()` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("tenants must be positive".to_string());
+        }
+        if self.span_ticks == 0 {
+            return Err("span_ticks must be positive".to_string());
+        }
+        if !(self.zipf_s > 0.0) {
+            return Err("zipf_s must be positive".to_string());
+        }
+        if self.min_interval == 0 || self.max_interval < self.min_interval {
+            return Err("intervals must satisfy 1 <= min_interval <= max_interval".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.churn) {
+            return Err("churn must be within [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One scheduled fleet event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetItem {
+    /// Global timeline tick.
+    pub tick: u64,
+    /// Tenant index in `[0, tenants)`.
+    pub tenant: u32,
+    /// Index into the template slice this tenant was stamped from.
+    pub template: u32,
+    /// What happens.
+    pub kind: FleetEventKind,
+}
+
+/// The kind of a [`FleetItem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetEventKind {
+    /// One PCM sample.
+    Sample {
+        /// `AccessNum` for this tick.
+        access: f64,
+        /// `MissNum` for this tick.
+        miss: f64,
+    },
+    /// The tenant departs (explicit close; it may return later).
+    Close,
+}
+
+/// Ranks the activity skew into a concrete sampling interval.
+const ACTIVITY_RANKS: u64 = 64;
+
+/// Per-tenant schedule state.
+#[derive(Debug)]
+struct Tenant {
+    rng: Rng,
+    template: u32,
+    /// Ticks between this tenant's samples (zipf-ranked).
+    interval: u64,
+    /// Local sample clock, drives the template phase.
+    local_tick: u64,
+    /// Departure tick of the scheduled churn cycle, if any.
+    depart_at: Option<u64>,
+    /// Return tick after departure, if any.
+    return_at: Option<u64>,
+    /// A close is due before the next sample.
+    closing: bool,
+}
+
+/// The streaming fleet generator. Create with [`FleetGenerator::new`],
+/// consume as an iterator of [`FleetItem`]s in global `(tick, tenant)`
+/// order.
+#[derive(Debug)]
+pub struct FleetGenerator {
+    config: FleetConfig,
+    templates: usize,
+    tenants: Vec<Tenant>,
+    /// Next event per live tenant, keyed `(tick, tenant)`.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl FleetGenerator {
+    /// Builds the generator for `config` over `templates` (tenant `i`
+    /// is stamped from a seeded draw over the slice).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for an invalid `config` or
+    /// an empty template slice.
+    pub fn new(config: FleetConfig, templates: &[VmTemplate]) -> Result<Self, String> {
+        config.validate()?;
+        if templates.is_empty() {
+            return Err("fleet needs at least one template".to_string());
+        }
+        let zipf = Zipf::new(ACTIVITY_RANKS, config.zipf_s);
+        let stagger = (config.span_ticks / 8).max(1);
+        let mut tenants = Vec::with_capacity(config.tenants as usize);
+        let mut heap = BinaryHeap::with_capacity(config.tenants as usize);
+        for i in 0..config.tenants {
+            let mut rng = Rng::new(derive_seed(config.seed, i as u64));
+            let template = rng.next_below(templates.len() as u64) as u32;
+            // Zipf rank 0 is the most probable draw, so it maps to the
+            // *quiet* end: the long tail of tenants samples slowly and
+            // the rare high ranks are the chatty minority.
+            let rank = zipf.sample(&mut rng);
+            let interval = config.max_interval
+                - rank * (config.max_interval - config.min_interval) / ACTIVITY_RANKS.max(1);
+            let arrival = rng.next_below(stagger);
+            let (depart_at, return_at) = if rng.chance(config.churn) {
+                // One churn cycle: depart somewhere in the middle
+                // half of the timeline, return after a gap.
+                let span = config.span_ticks;
+                let depart = span / 4 + rng.next_below((span / 2).max(1));
+                let gap = 1 + rng.next_below((span / 8).max(1));
+                let ret = depart + gap;
+                (Some(depart), if ret < span { Some(ret) } else { None })
+            } else {
+                (None, None)
+            };
+            tenants.push(Tenant {
+                rng,
+                template,
+                interval: interval.max(1),
+                local_tick: 0,
+                depart_at,
+                return_at,
+                closing: false,
+            });
+            if arrival < config.span_ticks {
+                heap.push(Reverse((arrival, i)));
+            }
+        }
+        Ok(FleetGenerator {
+            config,
+            templates: templates.len(),
+            tenants,
+            heap,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The template index tenant `i` was stamped from.
+    pub fn template_of(&self, tenant: u32) -> Option<u32> {
+        self.tenants.get(tenant as usize).map(|t| t.template)
+    }
+
+    /// Number of templates the generator draws from.
+    pub fn template_count(&self) -> usize {
+        self.templates
+    }
+
+    /// Emits the event for `(tick, tenant)` and schedules the tenant's
+    /// next one. The caller resolves the template slice; the item only
+    /// carries the index, so the generator never borrows the templates.
+    fn step(&mut self, tick: u64, idx: u32, templates: &[VmTemplate]) -> Option<FleetItem> {
+        let span = self.config.span_ticks;
+        let t = self.tenants.get_mut(idx as usize)?;
+        if t.closing {
+            // Departure: emit the close, then schedule the return leg
+            // (if the cycle has one inside the timeline).
+            t.closing = false;
+            t.depart_at = None;
+            if let Some(ret) = t.return_at.take() {
+                self.heap.push(Reverse((ret, idx)));
+            }
+            return Some(FleetItem {
+                tick,
+                tenant: idx,
+                template: t.template,
+                kind: FleetEventKind::Close,
+            });
+        }
+        let tpl = templates.get(t.template as usize)?;
+        let (access, miss) = tpl.sample(t.local_tick, &mut t.rng);
+        t.local_tick += 1;
+        let next = tick + t.interval;
+        match t.depart_at {
+            // The departure falls before the next sample: close next.
+            Some(depart) if depart <= next => {
+                t.closing = true;
+                self.heap.push(Reverse((depart.max(tick + 1), idx)));
+            }
+            _ => {
+                if next < span {
+                    self.heap.push(Reverse((next, idx)));
+                }
+            }
+        }
+        Some(FleetItem {
+            tick,
+            tenant: idx,
+            template: t.template,
+            kind: FleetEventKind::Sample { access, miss },
+        })
+    }
+
+    /// Pulls the next item in global timeline order. An explicit method
+    /// (rather than `Iterator`) because the caller owns the template
+    /// slice; [`FleetGenerator::drive`] adapts it to a closure loop.
+    pub fn next_item(&mut self, templates: &[VmTemplate]) -> Option<FleetItem> {
+        loop {
+            let Reverse((tick, idx)) = self.heap.pop()?;
+            if tick >= self.config.span_ticks {
+                continue;
+            }
+            if let Some(item) = self.step(tick, idx, templates) {
+                return Some(item);
+            }
+        }
+    }
+
+    /// Runs the whole scenario, invoking `f` per item in timeline
+    /// order. Returns the number of items emitted.
+    pub fn drive(&mut self, templates: &[VmTemplate], mut f: impl FnMut(FleetItem)) -> u64 {
+        let mut n = 0;
+        while let Some(item) = self.next_item(templates) {
+            f(item);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_templates() -> Vec<VmTemplate> {
+        vec![
+            VmTemplate {
+                app: "flat",
+                base_access: 1_000.0,
+                amp_access: 0.0,
+                base_miss: 100.0,
+                amp_miss: 0.0,
+                period_ticks: 0,
+                jitter: 0.01,
+            },
+            VmTemplate {
+                app: "square",
+                base_access: 400.0,
+                amp_access: 800.0,
+                base_miss: 40.0,
+                amp_miss: 60.0,
+                period_ticks: 50,
+                jitter: 0.02,
+            },
+        ]
+    }
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            tenants: 64,
+            span_ticks: 512,
+            churn: 0.5,
+            seed: 7,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn collect(config: FleetConfig, templates: &[VmTemplate]) -> Vec<FleetItem> {
+        let mut gen = FleetGenerator::new(config, templates).unwrap();
+        let mut items = Vec::new();
+        gen.drive(templates, |it| items.push(it));
+        items
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let templates = test_templates();
+        let a = collect(small_config(), &templates);
+        let b = collect(small_config(), &templates);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = collect(FleetConfig { seed: 8, ..small_config() }, &templates);
+        assert_ne!(a, c, "different seed, different scenario");
+    }
+
+    #[test]
+    fn items_arrive_in_timeline_order_within_span() {
+        let templates = test_templates();
+        let items = collect(small_config(), &templates);
+        let mut last = (0, 0);
+        for it in &items {
+            assert!(it.tick < small_config().span_ticks);
+            let key = (it.tick, it.tenant);
+            assert!(key >= last, "out of order: {key:?} after {last:?}");
+            last = key;
+        }
+    }
+
+    #[test]
+    fn every_tenant_appears_and_templates_are_heterogeneous() {
+        let templates = test_templates();
+        let config = small_config();
+        let items = collect(config, &templates);
+        let mut seen = vec![false; config.tenants as usize];
+        let mut tpl_seen = vec![false; templates.len()];
+        for it in &items {
+            if let Some(s) = seen.get_mut(it.tenant as usize) {
+                *s = true;
+            }
+            if let Some(s) = tpl_seen.get_mut(it.template as usize) {
+                *s = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every tenant schedules at least one event");
+        assert!(tpl_seen.iter().all(|&s| s), "both templates are in use");
+    }
+
+    #[test]
+    fn churn_emits_closes_followed_by_returns() {
+        let templates = test_templates();
+        let items = collect(small_config(), &templates);
+        let closes =
+            items.iter().filter(|it| it.kind == FleetEventKind::Close).count();
+        assert!(closes > 0, "churn 0.5 over 64 tenants must close some");
+        // At least one tenant samples again after its close.
+        let mut returned = false;
+        let mut closed: Vec<bool> = vec![false; 64];
+        for it in &items {
+            match it.kind {
+                FleetEventKind::Close => {
+                    if let Some(c) = closed.get_mut(it.tenant as usize) {
+                        *c = true;
+                    }
+                }
+                FleetEventKind::Sample { .. } => {
+                    if closed.get(it.tenant as usize).copied().unwrap_or(false) {
+                        returned = true;
+                    }
+                }
+            }
+        }
+        assert!(returned, "some churned tenant returns inside the timeline");
+    }
+
+    #[test]
+    fn activity_is_skewed() {
+        let templates = test_templates();
+        let config = FleetConfig { tenants: 256, churn: 0.0, ..small_config() };
+        let items = collect(config, &templates);
+        let mut counts = vec![0u64; 256];
+        for it in &items {
+            if let Some(c) = counts.get_mut(it.tenant as usize) {
+                *c += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = counts.iter().take(26).sum::<u64>();
+        let total = counts.iter().sum::<u64>();
+        // The chatty decile carries a far outsized share (well past its
+        // proportional 10%).
+        assert!(
+            top * 4 > total,
+            "top 10% of tenants should carry an outsized share (top {top} of {total})"
+        );
+    }
+
+    #[test]
+    fn samples_follow_the_template_shape() {
+        let templates = test_templates();
+        let config = FleetConfig { tenants: 8, churn: 0.0, ..small_config() };
+        let items = collect(config, &templates);
+        for it in &items {
+            if let FleetEventKind::Sample { access, miss } = it.kind {
+                assert!(access >= 0.0 && miss >= 0.0);
+                assert!(access.is_finite() && miss.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let templates = test_templates();
+        for bad in [
+            FleetConfig { tenants: 0, ..FleetConfig::default() },
+            FleetConfig { span_ticks: 0, ..FleetConfig::default() },
+            FleetConfig { zipf_s: 0.0, ..FleetConfig::default() },
+            FleetConfig { min_interval: 0, ..FleetConfig::default() },
+            FleetConfig { min_interval: 9, max_interval: 3, ..FleetConfig::default() },
+            FleetConfig { churn: 1.5, ..FleetConfig::default() },
+        ] {
+            assert!(FleetGenerator::new(bad, &templates).is_err(), "{bad:?}");
+        }
+        assert!(FleetGenerator::new(FleetConfig::default(), &[]).is_err());
+    }
+}

@@ -15,6 +15,10 @@
 //!   lock** semantics that the bus-locking attack exploits: while an
 //!   atomic operation holds the bus, no other VM's memory operation can
 //!   proceed.
+//! * [`fleet`] — the fleet scenario generator: thousands of
+//!   template-stamped tenant VMs with staggered arrivals, zipf-skewed
+//!   activity and seeded churn, streamed in deterministic timeline
+//!   order for engine-scale experiments.
 //! * [`program`] — the [`program::VmProgram`] trait: a guest workload is a
 //!   generator of memory operations (cache accesses, bus-locking atomics,
 //!   pure compute).
@@ -76,6 +80,7 @@
 pub mod bus;
 pub mod cache;
 pub mod event;
+pub mod fleet;
 pub mod hypervisor;
 pub mod pcm;
 pub mod program;

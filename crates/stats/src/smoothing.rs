@@ -102,6 +102,13 @@ impl MovingAverage {
         self.emitted
     }
 
+    /// Heap bytes held by the sample ring buffer — a deterministic
+    /// capacity-based accounting figure for resident-memory estimates
+    /// (the buffer is the operator's only allocation).
+    pub fn resident_bytes_hint(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Feeds one raw sample; returns `Some(M_n)` when a new window
     /// completes (every `ΔW` samples once `W` samples have been seen).
     ///
@@ -305,6 +312,12 @@ impl Pipeline {
     /// Slide step `ΔW`.
     pub fn step(&self) -> usize {
         self.ma.step()
+    }
+
+    /// Heap bytes held by the pipeline (the MA ring buffer; the EWMA is
+    /// two scalars). See [`MovingAverage::resident_bytes_hint`].
+    pub fn resident_bytes_hint(&self) -> usize {
+        self.ma.resident_bytes_hint()
     }
 }
 

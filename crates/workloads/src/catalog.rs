@@ -127,6 +127,38 @@ impl Application {
         }
     }
 
+    /// The closed-form fleet signal template for this application: the
+    /// `(AccessNum, MissNum)` shape its full [`PhaseMachine`] simulation
+    /// produces, reduced to baseline + periodic swing + jitter so a
+    /// 50k-tenant fleet scenario ([`memdos_sim::fleet`]) can stamp
+    /// tenants without running 50k cache simulations. Periodic
+    /// applications (PCA, FaceNet) carry a square-wave component; the
+    /// rest are flat with application-specific levels.
+    pub fn fleet_template(&self) -> memdos_sim::fleet::VmTemplate {
+        use memdos_sim::fleet::VmTemplate;
+        let (base_access, amp_access, base_miss, amp_miss, period_ticks) = match self {
+            Application::Bayes => (1_100.0, 0.0, 130.0, 0.0, 0),
+            Application::Svm => (1_400.0, 0.0, 90.0, 0.0, 0),
+            Application::KMeans => (1_250.0, 0.0, 160.0, 0.0, 0),
+            Application::Pca => (700.0, 900.0, 60.0, 120.0, 120),
+            Application::Aggregation => (950.0, 0.0, 210.0, 0.0, 0),
+            Application::Join => (1_050.0, 0.0, 240.0, 0.0, 0),
+            Application::Scan => (900.0, 0.0, 260.0, 0.0, 0),
+            Application::TeraSort => (1_600.0, 0.0, 300.0, 0.0, 0),
+            Application::PageRank => (1_300.0, 0.0, 180.0, 0.0, 0),
+            Application::FaceNet => (600.0, 1_000.0, 50.0, 100.0, 100),
+        };
+        VmTemplate {
+            app: self.name(),
+            base_access,
+            amp_access,
+            base_miss,
+            amp_miss,
+            period_ticks,
+            jitter: 0.02,
+        }
+    }
+
     /// The statistic a detector should monitor against a given attack
     /// (§3.1): `AccessNum` for bus locking, `MissNum` for LLC cleansing.
     pub fn stat_for_attack(bus_locking: bool) -> Stat {
@@ -190,6 +222,18 @@ mod tests {
         for app in Application::ALL {
             let pm = app.build_machine(81_920);
             assert_eq!(memdos_sim::program::VmProgram::name(&pm), app.name());
+        }
+    }
+
+    #[test]
+    fn fleet_templates_cover_the_catalogue() {
+        for app in Application::ALL {
+            let t = app.fleet_template();
+            assert_eq!(t.app, app.name());
+            assert!(t.base_access > 0.0 && t.base_miss > 0.0);
+            // Periodicity flags match the paper's classification.
+            assert_eq!(t.period_ticks > 0, app.is_periodic(), "{app}");
+            assert_eq!(t.amp_access > 0.0, app.is_periodic(), "{app}");
         }
     }
 

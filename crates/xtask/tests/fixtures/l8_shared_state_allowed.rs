@@ -25,6 +25,31 @@ pub fn classify(op: &MemOp, c: &Cell) -> u32 {
 static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
 static LIMIT: u64 = 1024;
 
+/// Owner-checked slab in the engine's style: plain vectors, integer
+/// generations and a lend/restore discipline instead of interior
+/// mutability. The names echo concurrency idioms ("slots", "free
+/// list", "generation") but nothing here is shared state.
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    generation: u32,
+}
+
+impl<T> Slab<T> {
+    pub fn lend(&mut self, idx: usize) -> Option<T> {
+        self.generation = self.generation.wrapping_add(1);
+        self.slots.get_mut(idx).and_then(Option::take)
+    }
+
+    pub fn restore(&mut self, idx: usize, value: T) {
+        if let Some(slot) = self.slots.get_mut(idx) {
+            *slot = Some(value);
+        } else {
+            self.free.push(idx as u32);
+        }
+    }
+}
+
 pub fn justified() {
     // lint:allow(shared-state) -- documented escape hatch exercised by the fixture
     let counter = std::sync::atomic::AtomicU64::new(0);

@@ -15,3 +15,13 @@ pub struct Holder {
 }
 
 static mut GLOBAL_TICKS: u64 = 0;
+
+/// A slab that guards each slot with a lock and hands out atomic
+/// generations — the design the engine's owner-checked slab exists to
+/// avoid. Every primitive must fire even when buried in a generic
+/// container type.
+pub struct LockedSlab<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    free: RwLock<Vec<u32>>,
+    generation: AtomicUsize,
+}

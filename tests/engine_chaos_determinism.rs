@@ -8,8 +8,9 @@
 //! counts 1, 2 and 4. Distinct seeds must produce distinct fault
 //! traces — otherwise the soak's N scenarios would silently retest one.
 //!
-//! Worker counts are passed explicitly through `EngineConfig` (not via
-//! `MEMDOS_THREADS`) because Rust tests share one process environment.
+//! Worker counts are passed explicitly through `engine::Config` (not
+//! via `MEMDOS_THREADS`) because Rust tests share one process
+//! environment.
 
 use memdos::engine::chaos::{FaultPlan, FaultPlanConfig};
 use memdos::engine::demo::{demo_jsonl, DemoLayout};

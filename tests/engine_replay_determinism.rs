@@ -3,9 +3,9 @@
 //!
 //! Replaying the four-tenant demo JSONL must produce a byte-identical
 //! verdict event log across reruns and across worker counts 1, 2 and 8.
-//! Worker counts are passed explicitly through `EngineConfig` — the
+//! Worker counts are passed explicitly through `engine::Config` — the
 //! exact value `MEMDOS_THREADS` would inject via
-//! `EngineConfig::from_env()` — because Rust tests share one process
+//! `Config::from_env()` — because Rust tests share one process
 //! environment and mutating it mid-suite races other tests.
 
 use memdos::engine::demo::{demo_engine_config, demo_jsonl, LAYOUT, TENANTS};
