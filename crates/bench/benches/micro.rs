@@ -37,7 +37,14 @@
 //! carries the fleet-scale session-storage numbers —
 //! `engine_fleet_samples_per_sec_{1k,10k,50k}`, the deterministic
 //! resident-bytes estimates per size, the eviction count at the
-//! oversubscribed 50k size, and `engine_fleet_scaling_t4`. CI
+//! oversubscribed 50k size, and `engine_fleet_scaling_t4`; a fifth,
+//! `BENCH_8.json` (override with `MEMDOS_BENCH_OUT_RESPOND`), carries
+//! the closed-loop mitigation numbers — the deterministic
+//! `mitigation_recovery_latency_ticks` / `mitigation_false_quarantine_ticks`
+//! outcomes of the seeded respond scenarios and the respond-loop
+//! throughput at 1 and 4 workers (no scaling key: the feedback loop is
+//! a serial cycle, so workers buy per-flush dispatch, not loop-level
+//! speedup). CI
 //! compares all of them against their counterparts under
 //! `crates/bench/baseline/` via `cargo run -p xtask -- bench-check`.
 //!
@@ -703,6 +710,69 @@ fn bench_engine_fleet(report: &mut Report) {
     report.push("engine_fleet_scaling_t4", scaling);
 }
 
+/// Closed-loop mitigation: the respond driver (seeded fleet scenario →
+/// engine → mitigation actions → generator throttle) end to end,
+/// emitted into the separate `BENCH_8.json` report. The scenario
+/// outcomes are pure functions of the seed — the recovery latency of
+/// the confirmed true-attacker case and the false-quarantine cost of
+/// the benign-shift case are recorded verbatim so drift is visible in
+/// the artifact diff (`crates/engine/tests/mitigation_scenarios.rs`
+/// pins the exact values). Throughput covers the whole loop — generate,
+/// ingest, decide, apply — at 1 and 4 workers, best of three passes of
+/// several replays each.
+fn bench_mitigation_recovery(report: &mut Report) {
+    use memdos_engine::respond::{
+        respond_engine_config, respond_scenario, run_respond, RespondScenario,
+    };
+
+    const TENANTS: u32 = 6;
+    const SEED: u64 = 42;
+    const REPS: u32 = 8;
+    let run_once = |kind: RespondScenario, workers: usize| {
+        run_respond(&respond_scenario(kind, TENANTS, SEED), respond_engine_config(workers), None)
+            .expect("respond scenario presets are valid")
+    };
+
+    let confirmed = run_once(RespondScenario::TrueAttacker, 1);
+    assert!(
+        confirmed.stats.mitigations_escalated >= 1,
+        "bench scenario must confirm the attacker"
+    );
+    report.push(
+        "mitigation_recovery_latency_ticks",
+        confirmed.stats.recovery_latency_ticks as f64,
+    );
+    let benign = run_once(RespondScenario::BenignShift, 1);
+    assert!(
+        benign.stats.mitigations_released >= 1,
+        "bench scenario must release the false quarantine"
+    );
+    report.push(
+        "mitigation_false_quarantine_ticks",
+        benign.stats.false_quarantine_ticks as f64,
+    );
+
+    for workers in [1usize, 4] {
+        let mut per_sec = 0.0f64;
+        for _pass in 0..3 {
+            let t = Instant::now();
+            let mut lines = 0u64;
+            for _rep in 0..REPS {
+                let r = run_once(RespondScenario::TrueAttacker, workers);
+                lines += r.lines_fed;
+                black_box(r.log.len());
+            }
+            let secs = t.elapsed().as_secs_f64().max(1e-9);
+            per_sec = per_sec.max(lines as f64 / secs);
+        }
+        println!("respond_loop_t{workers}               {per_sec:>12.0} samples/s");
+        report.push(&format!("respond_samples_per_sec_t{workers}"), per_sec);
+        if workers == 1 {
+            report.push("respond_line_ns", 1.0e9 / per_sec.max(1e-9));
+        }
+    }
+}
+
 fn main() {
     // Classic bench-runner convention: an optional substring filter
     // (`cargo bench -p memdos-bench --bench micro -- engine`) selects
@@ -746,5 +816,10 @@ fn main() {
         let mut fleet_report = Report::default();
         bench_engine_fleet(&mut fleet_report);
         fleet_report.write("MEMDOS_BENCH_OUT_FLEET", "BENCH_7.json");
+    }
+    if runs("mitigation_recovery") {
+        let mut respond_report = Report::default();
+        bench_mitigation_recovery(&mut respond_report);
+        respond_report.write("MEMDOS_BENCH_OUT_RESPOND", "BENCH_8.json");
     }
 }

@@ -313,6 +313,67 @@ fn stepping_long_past_alarm_is_safe() {
 }
 
 #[test]
+fn throttle_induced_counter_discontinuity_keeps_invariants_and_clears() {
+    // The mitigation loop's execution throttle scales the controlled
+    // tenant's own PCM counters discontinuously to the throttle duty
+    // (~25 %) and restores them on release — two step edges no benign
+    // workload produces. A detector watching the throttled tenant must
+    // keep the per-step contract through both edges and clear once the
+    // control lifts; the collapse edge itself is allowed (expected, for
+    // the flat-band scheme) to read as an alarm, which is exactly why
+    // the engine samples *victim* recovery rather than the throttled
+    // tenant's own detector.
+    const DUTY: f64 = 0.25;
+    for mut case in cases() {
+        let mut became = 0u64;
+        let mut drive = |case: &mut Case, start: u64, ticks: u64, scale: f64, became: &mut u64| {
+            for i in start..start + ticks {
+                let base = (case.benign)(i);
+                let obs = Observation {
+                    access_num: base.access_num * scale,
+                    miss_num: base.miss_num * scale,
+                };
+                let step = case.det.on_observation(obs);
+                if step.became_active {
+                    *became += 1;
+                    assert!(case.det.alarm_active(), "{}: tick {i}", case.label);
+                }
+                assert_eq!(case.det.activations(), *became, "{}: tick {i}", case.label);
+                assert_eq!(
+                    step.verdict.same_class(&Verdict::Alarm),
+                    case.det.alarm_active(),
+                    "{}: tick {i}: verdict {:?} disagrees with alarm_active()",
+                    case.label,
+                    step.verdict
+                );
+            }
+        };
+        let (b, a, r) = (case.benign_ticks, case.attack_ticks, case.recovery_ticks);
+        drive(&mut case, 0, b, 1.0, &mut became);
+        assert!(!case.det.alarm_active(), "{}: false alarm before the throttle", case.label);
+
+        // The control lands: counters collapse to the duty cycle.
+        drive(&mut case, b, a, DUTY, &mut became);
+        if case.label == "SDS/B" {
+            assert!(
+                became >= 1,
+                "{}: a 4x counter collapse must leave the profiled band",
+                case.label
+            );
+        }
+
+        // The control lifts: counters restore, and whatever the
+        // discontinuity triggered must clear on the benign signal.
+        drive(&mut case, b + a, r, 1.0, &mut became);
+        assert!(
+            !case.det.alarm_active(),
+            "{}: alarm did not clear after the throttle lifted",
+            case.label
+        );
+    }
+}
+
+#[test]
 fn nan_observations_never_panic_and_stay_normal() {
     for mut case in cases() {
         for i in 0..5u64 {

@@ -22,9 +22,88 @@
 //! | `MEMDOS_ENGINE_IDLE` | [`Config::session`]`.idle_timeout` |
 //! | `MEMDOS_ENGINE_DROP` | [`Config::session`]`.drop_policy` |
 //! | `MEMDOS_ENGINE_KSTEST` | [`Config::session`]`.kstest` |
+//! | `MEMDOS_ENGINE_MITIGATION` | [`Config::mitigation`]`.enabled` |
+//! | `MEMDOS_ENGINE_CONFIRM_BUDGET` | [`Config::mitigation`]`.confirm_budget` |
+//! | `MEMDOS_ENGINE_HOLD_TICKS` | [`Config::mitigation`]`.hold_ticks` |
+//! | `MEMDOS_ENGINE_DEGRADED_BELOW` | [`Config::mitigation`]`.degraded_below` |
+//! | `MEMDOS_ENGINE_MAX_RUNG` | [`Config::mitigation`]`.max_rung` |
 
 use crate::session::SessionConfig;
 use memdos_core::CoreError;
+
+/// Policy of the quarantine-driven response loop
+/// ([`crate::mitigation`]). Disabled by default: with `enabled = false`
+/// the engine never scans for victims, never engages a control, and the
+/// fleet-scale hot path pays nothing.
+///
+/// Budgets are measured in *seq ticks* — ingest arrival indices — so
+/// every decision point is a pure function of the input stream and the
+/// mitigation event log stays byte-identical at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationPolicy {
+    /// Master switch for the response loop.
+    pub enabled: bool,
+    /// Seq ticks an engaged control may take to show victim recovery
+    /// before the case climbs the escalation ladder.
+    pub confirm_budget: u64,
+    /// Seq ticks a verdict must hold before it becomes terminal: an
+    /// innocent case releases after this hold, and victim recovery must
+    /// stick this long before the attack counts as confirmed.
+    pub hold_ticks: u64,
+    /// Victim recovery ratio (monitoring EWMA over profile baseline)
+    /// below which a victim counts as degraded, in `(0, 1]`.
+    pub degraded_below: f64,
+    /// Highest escalation rung the ladder may reach: 0 throttle,
+    /// 1 pause, 2 evict.
+    pub max_rung: u8,
+}
+
+impl Default for MitigationPolicy {
+    fn default() -> Self {
+        MitigationPolicy {
+            enabled: false,
+            confirm_budget: 400,
+            hold_ticks: 160,
+            degraded_below: 0.95,
+            max_rung: 2,
+        }
+    }
+}
+
+impl MitigationPolicy {
+    /// An enabled policy with the default budgets.
+    pub fn enabled() -> Self {
+        MitigationPolicy { enabled: true, ..MitigationPolicy::default() }
+    }
+
+    /// Validates the policy — the shared `validate()` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.confirm_budget == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "mitigation.confirm_budget",
+                reason: "must be positive",
+            });
+        }
+        if !(self.degraded_below > 0.0 && self.degraded_below <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "mitigation.degraded_below",
+                reason: "must be within (0, 1]",
+            });
+        }
+        if self.max_rung > 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "mitigation.max_rung",
+                reason: "must be 0 (throttle), 1 (pause) or 2 (evict)",
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Engine configuration. All knobs flow through this struct; see the
 /// module docs for the environment-variable mapping.
@@ -63,6 +142,8 @@ pub struct Config {
     pub prof: bool,
     /// Configuration applied to every session the engine opens.
     pub session: SessionConfig,
+    /// Quarantine-driven response policy (off by default).
+    pub mitigation: MitigationPolicy,
 }
 
 impl Default for Config {
@@ -75,6 +156,7 @@ impl Default for Config {
             fast_parse: true,
             prof: false,
             session: SessionConfig::default(),
+            mitigation: MitigationPolicy::default(),
         }
     }
 }
@@ -131,6 +213,13 @@ impl Config {
         self
     }
 
+    /// Sets the mitigation policy (builder style).
+    #[must_use]
+    pub fn mitigation(mut self, mitigation: MitigationPolicy) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
     /// Validates the configuration — the shared `validate()` contract.
     ///
     /// # Errors
@@ -156,6 +245,7 @@ impl Config {
                 reason: "must be positive",
             });
         }
+        self.mitigation.validate()?;
         self.session.validate()
     }
 
@@ -189,6 +279,14 @@ impl Config {
         cfg.session.idle_timeout = env_u64("MEMDOS_ENGINE_IDLE", cfg.session.idle_timeout)?;
         cfg.drop_log_every = env_u64("MEMDOS_ENGINE_DROP_LOG", cfg.drop_log_every)?;
         cfg.prof = env_bool("MEMDOS_ENGINE_PROF", cfg.prof)?;
+        cfg.mitigation.enabled = env_bool("MEMDOS_ENGINE_MITIGATION", cfg.mitigation.enabled)?;
+        cfg.mitigation.confirm_budget =
+            env_u64("MEMDOS_ENGINE_CONFIRM_BUDGET", cfg.mitigation.confirm_budget)?;
+        cfg.mitigation.hold_ticks = env_u64("MEMDOS_ENGINE_HOLD_TICKS", cfg.mitigation.hold_ticks)?;
+        cfg.mitigation.degraded_below =
+            env_f64("MEMDOS_ENGINE_DEGRADED_BELOW", cfg.mitigation.degraded_below)?;
+        cfg.mitigation.max_rung =
+            env_u64("MEMDOS_ENGINE_MAX_RUNG", cfg.mitigation.max_rung as u64)? as u8;
         if let Ok(v) = std::env::var("MEMDOS_ENGINE_DROP") {
             cfg.session.drop_policy = crate::session::DropPolicy::parse(&v)
                 .map_err(|e| format!("MEMDOS_ENGINE_DROP: {e}"))?;
@@ -222,6 +320,16 @@ fn env_u64(name: &str, default: u64) -> Result<u64, String> {
 
 fn env_usize(name: &str, default: usize) -> Result<usize, String> {
     env_u64(name, default as u64).map(|n| n as usize)
+}
+
+fn env_f64(name: &str, default: f64) -> Result<f64, String> {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(x),
+            _ => Err(format!("{name}={v:?} is not a finite number")),
+        },
+        Err(_) => Ok(default),
+    }
 }
 
 fn env_bool(name: &str, default: bool) -> Result<bool, String> {
@@ -266,5 +374,23 @@ mod tests {
         assert!(Config::default().drop_log_every(0).validate().is_err());
         // A zero ceiling means "no ceiling", not "no sessions".
         assert!(Config::default().max_sessions(0).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_mitigation_policy() {
+        let with = |p: MitigationPolicy| Config::default().mitigation(p);
+        assert!(with(MitigationPolicy::enabled()).validate().is_ok());
+        assert!(with(MitigationPolicy { confirm_budget: 0, ..MitigationPolicy::enabled() })
+            .validate()
+            .is_err());
+        assert!(with(MitigationPolicy { degraded_below: 0.0, ..MitigationPolicy::enabled() })
+            .validate()
+            .is_err());
+        assert!(with(MitigationPolicy { degraded_below: 1.5, ..MitigationPolicy::enabled() })
+            .validate()
+            .is_err());
+        assert!(with(MitigationPolicy { max_rung: 3, ..MitigationPolicy::enabled() })
+            .validate()
+            .is_err());
     }
 }

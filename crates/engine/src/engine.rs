@@ -88,6 +88,7 @@
 //! scale.
 
 pub use crate::config::Config;
+use crate::mitigation::{CaseStep, Coordinator, MitigationAction};
 use crate::protocol::Record;
 use crate::session::{
     CloseReason, Offered, Session, SessionEvent, SessionSnapshot, SessionState,
@@ -98,7 +99,7 @@ use memdos_core::CoreError;
 use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, LineBuf, RawKind, RawParse, Segment};
 use memdos_runner::ShardPool;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::io::BufRead;
 
 /// Sub-index that sorts an ingest-side event (malformed line, dropped
@@ -127,6 +128,23 @@ pub struct EngineStats {
     pub reopened: u64,
     /// High-water mark of total queued items observed at a flush.
     pub peak_queued: u64,
+    /// Mitigation cases opened (one per engaged control).
+    pub mitigations_engaged: u64,
+    /// Cases that ended in a false-quarantine release.
+    pub mitigations_released: u64,
+    /// Cases that ended escalated (confirmed attack, or the ladder
+    /// topped out at eviction).
+    pub mitigations_escalated: u64,
+    /// Active cases aborted because the session closed underneath them.
+    pub mitigations_aborted: u64,
+    /// Quarantine notices that arrived for an already-closing session.
+    pub mitigation_skipped: u64,
+    /// Total seq-ticks from an engaged control to the victim recovery
+    /// that confirmed it, summed over escalated cases.
+    pub recovery_latency_ticks: u64,
+    /// Total seq-ticks innocents spent under a control they did not
+    /// deserve, summed over released cases.
+    pub false_quarantine_ticks: u64,
 }
 
 /// Per-stage wall-clock counters for the ingest path, collected only
@@ -221,6 +239,9 @@ struct TenantSlot {
     generation: u32,
     /// Final counters of the last reclaimed incarnation.
     retired: Option<RetiredSession>,
+    /// The current incarnation sits in the terminal-eviction FIFO
+    /// (dedup flag; see [`Engine::evict_lru`]).
+    terminal_queued: bool,
 }
 
 /// The multi-tenant streaming detection engine.
@@ -276,6 +297,22 @@ pub struct Engine {
     /// Recycled log-line writer.
     render: LineBuf,
     prof: StageProf,
+    /// The mitigation response loop: per-tenant cases, rung memory and
+    /// the pending control actions for the enclosing driver.
+    mitigation: Coordinator,
+    /// Quarantine notices collected at put-back time, consumed by the
+    /// mitigation step at the end of the same flush:
+    /// `(tenant id, notice seq, tenant name)`.
+    notices: Vec<(u32, u64, String)>,
+    /// Active cases aborted this flush because their session closed:
+    /// `(tenant id, tenant name)`, for the `mitigation_released` event.
+    aborted_cases: Vec<(u32, String)>,
+    /// Terminal-but-resident sessions (quarantined verdicts,
+    /// worker-closed husks), in the order they turned terminal. The
+    /// ceiling eviction drains this before touching the recency heap:
+    /// their detection work is done, so they go first instead of
+    /// pinning slots while live tenants get evicted around them.
+    terminal_fifo: VecDeque<(u32, u32)>,
     next_seq: u64,
     pending: usize,
     log: Vec<String>,
@@ -325,6 +362,10 @@ impl Engine {
             merge_pos: Vec::new(),
             render: LineBuf::new(),
             prof: StageProf::new(config.prof),
+            mitigation: Coordinator::new(config.mitigation),
+            notices: Vec::new(),
+            aborted_cases: Vec::new(),
+            terminal_fifo: VecDeque::new(),
             next_seq: 0,
             pending: 0,
             log: Vec::new(),
@@ -369,7 +410,9 @@ impl Engine {
         self.ids.iter().filter_map(move |(name, id)| {
             let slot = self.slots.get(id.index())?;
             if let Some(s) = slot.session.and_then(|idx| self.slab.get(idx, id.0)) {
-                return Some(s.snapshot());
+                let mut snap = s.snapshot();
+                snap.mitigation = self.mitigation.case_status(id.0);
+                return Some(snap);
             }
             let r = slot.retired?;
             Some(SessionSnapshot {
@@ -382,6 +425,8 @@ impl Engine {
                 ingested: r.ingested,
                 dropped: r.dropped,
                 alarms: r.alarms,
+                recovery_ratio: None,
+                mitigation: None,
             })
         })
     }
@@ -391,7 +436,9 @@ impl Engine {
         let id = self.tenant_id(tenant)?;
         let slot = self.slots.get(id.index())?;
         if let Some(s) = slot.session.and_then(|idx| self.slab.get(idx, id.0)) {
-            return Some(s.snapshot());
+            let mut snap = s.snapshot();
+            snap.mitigation = self.mitigation.case_status(id.0);
+            return Some(snap);
         }
         let r = slot.retired?;
         let (name, _) = self.ids.get_key_value(tenant)?;
@@ -405,6 +452,8 @@ impl Engine {
             ingested: r.ingested,
             dropped: r.dropped,
             alarms: r.alarms,
+            recovery_ratio: None,
+            mitigation: None,
         })
     }
 
@@ -725,6 +774,7 @@ impl Engine {
                             closed_at_ingest: false,
                             generation: 0,
                             retired: None,
+                            terminal_queued: false,
                         });
                         self.ids.insert(tenant.to_string(), id);
                         id.0
@@ -736,6 +786,9 @@ impl Engine {
                     slot.last_seen = seq;
                     slot.closed_at_ingest = false;
                     slot.generation = generation;
+                    // Any FIFO entry for the previous incarnation is
+                    // stale now; the pop-side re-validation drops it.
+                    slot.terminal_queued = false;
                 }
                 self.open_count += 1;
                 self.lru.push(Reverse((seq, owner)));
@@ -754,13 +807,36 @@ impl Engine {
         }
     }
 
-    /// Evicts the least-recently-seen open session to make room under
-    /// the memory ceiling: an ordinary close with reason `evicted`,
-    /// decided at ingest time so it replays identically at any worker
-    /// count. Stale heap entries (tenant closed, or spoke since the
+    /// Evicts one open session to make room under the memory ceiling:
+    /// an ordinary close with reason `evicted`, decided at ingest time
+    /// so it replays identically at any worker count. Terminal-but-
+    /// resident sessions (quarantined verdicts whose idle exemption
+    /// would otherwise pin their slots forever, worker-closed husks) go
+    /// first, in the order they turned terminal; only when none remain
+    /// does the least-recently-seen live session go. Stale entries in
+    /// either structure (tenant closed, reopened, or spoke since the
     /// entry was pushed) are dropped or refreshed lazily. Returns
     /// `false` when no open session remains to evict.
     fn evict_lru(&mut self) -> bool {
+        while let Some((idx, owner)) = self.terminal_fifo.pop_front() {
+            let Some(slot) = self.slots.get_mut(owner as usize) else {
+                continue;
+            };
+            slot.terminal_queued = false;
+            if slot.closed_at_ingest || slot.session != Some(idx) {
+                continue;
+            }
+            let terminal = self
+                .slab
+                .get(idx, owner)
+                .map(|s| matches!(s.state(), SessionState::Quarantined | SessionState::Closed))
+                .unwrap_or(false);
+            if !terminal {
+                continue;
+            }
+            self.evict_at(idx, owner);
+            return true;
+        }
         let (owner, idx) = loop {
             let Some(Reverse((seen, owner))) = self.lru.pop() else {
                 return false;
@@ -782,6 +858,13 @@ impl Engine {
             }
             break (owner, idx);
         };
+        self.evict_at(idx, owner);
+        true
+    }
+
+    /// The close bookkeeping of one ceiling eviction, shared by the
+    /// terminal-FIFO and recency-heap paths of [`Engine::evict_lru`].
+    fn evict_at(&mut self, idx: u32, owner: u32) {
         let seq = self.next_seq;
         self.next_seq += 1;
         if let Some(slot) = self.slots.get_mut(owner as usize) {
@@ -795,7 +878,6 @@ impl Engine {
         if self.slab.mark_dirty(idx) {
             self.dirty.push(idx);
         }
-        true
     }
 
     /// Resolves the session a close for `tenant` addresses, marking the
@@ -931,6 +1013,7 @@ impl Engine {
         self.scratch = scratch;
         self.scratch_meta = meta;
         self.check_idle();
+        self.step_mitigation();
     }
 
     /// K-way merges pre-sorted event runs into the log. Every run is
@@ -977,7 +1060,13 @@ impl Engine {
     /// counters retained for snapshots. A session closed worker-side
     /// only (failed profile) stays resident — later samples must still
     /// drop against its policy — but shrunk to a husk.
+    // lint:allow(hot-propagate) -- the quarantine-notice capture allocates the tenant name once per quarantine transition, never per sample
     fn put_back(&mut self, idx: u32, owner: u32, mut session: Session) {
+        if let Some(seq) = session.take_quarantine_notice() {
+            if self.mitigation.enabled() {
+                self.notices.push((owner, seq, session.tenant().to_string()));
+            }
+        }
         let closed = session.state() == SessionState::Closed;
         let (is_current, closing) = match self.slots.get(owner as usize) {
             Some(slot) => (slot.session == Some(idx), slot.closed_at_ingest),
@@ -994,14 +1083,29 @@ impl Engine {
                 slot.session = None;
             }
             self.slab.release(idx);
+            if let Some(case) = self.mitigation.on_session_closed(owner) {
+                if !case.state().terminal() {
+                    self.aborted_cases.push((owner, case.tenant().to_string()));
+                }
+            }
         } else if closed && !is_current {
             // A superseded incarnation: the tenant reopened before this
             // one drained. The live incarnation owns the tenant's state;
             // just free the slot.
             self.slab.release(idx);
         } else {
+            let terminal =
+                matches!(session.state(), SessionState::Quarantined | SessionState::Closed);
             session.shrink_terminal();
             self.slab.restore(idx, owner, session);
+            if terminal && is_current && !closing {
+                if let Some(slot) = self.slots.get_mut(owner as usize) {
+                    if !slot.terminal_queued {
+                        slot.terminal_queued = true;
+                        self.terminal_fifo.push_back((idx, owner));
+                    }
+                }
+            }
         }
     }
 
@@ -1071,6 +1175,215 @@ impl Engine {
         }
     }
 
+    /// The mitigation response step, run at the end of every flush.
+    /// Flush boundaries are a pure function of the input stream, so
+    /// every decision here — engage, confirm, climb, release — and its
+    /// `mitigation_*` event replays identically at any worker count.
+    /// Consumes the quarantine notices the flush drained (engaging a
+    /// control on each freshly quarantined tenant, or skipping a
+    /// notice whose session already closed underneath it), feeds one
+    /// victim-recovery sample to every active case, renders the event
+    /// lines under fresh quiet arrival indices and queues the control
+    /// actions for the driver ([`Engine::take_mitigation_actions`]).
+    fn step_mitigation(&mut self) {
+        if !self.mitigation.enabled() {
+            return;
+        }
+        // Active cases aborted by a close that drained this flush: the
+        // coordinator already queued the release action; log and count.
+        if !self.aborted_cases.is_empty() {
+            let aborted = std::mem::take(&mut self.aborted_cases);
+            for (_, tenant) in aborted {
+                self.stats.mitigations_aborted += 1;
+                let mut o = JsonObject::new();
+                o.push_str("event", "mitigation_released")
+                    .push_str("tenant", tenant)
+                    .push_str("reason", "closed");
+                self.push_mitigation_event(o);
+            }
+        }
+        if self.notices.is_empty() && !self.mitigation.has_active() {
+            return;
+        }
+        let degraded = self.victims_degraded();
+        let notices = std::mem::take(&mut self.notices);
+        for (owner, seq, tenant) in notices {
+            let quarantined = self
+                .slots
+                .get(owner as usize)
+                .filter(|slot| !slot.closed_at_ingest)
+                .and_then(|slot| slot.session)
+                .and_then(|idx| self.slab.get(idx, owner))
+                .map(|s| s.state() == SessionState::Quarantined)
+                .unwrap_or(false);
+            if !quarantined {
+                // The session closed (or is closing) underneath its own
+                // quarantine: nothing is left to control.
+                self.stats.mitigation_skipped += 1;
+                let mut o = JsonObject::new();
+                o.push_str("event", "mitigation_skipped")
+                    .push_str("tenant", tenant)
+                    .push_str("reason", "closed");
+                self.push_mitigation_event(o);
+                continue;
+            }
+            let Some(engaged) = self.mitigation.engage(owner, &tenant, seq, degraded) else {
+                continue;
+            };
+            self.stats.mitigations_engaged += 1;
+            let mut o = JsonObject::new();
+            o.push_str("event", "mitigation_engaged")
+                .push_str("tenant", tenant.clone())
+                .push_str("rung", engaged.rung.label())
+                .push_bool("degraded", engaged.degraded);
+            self.push_mitigation_event(o);
+            if engaged.terminal {
+                // Rung memory already sat at evict: terminal on engage,
+                // the one legal shortcut past `Confirming`.
+                self.stats.mitigations_escalated += 1;
+                let mut o = JsonObject::new();
+                o.push_str("event", "mitigation_escalated")
+                    .push_str("tenant", tenant)
+                    .push_str("rung", engaged.rung.label())
+                    .push_str("reason", "engage");
+                self.push_mitigation_event(o);
+                self.close_for_mitigation(owner, CloseReason::Escalated);
+            }
+        }
+        if !self.mitigation.has_active() {
+            return;
+        }
+        let now = self.next_seq;
+        let updates = self.mitigation.sample_active(now, degraded);
+        for u in updates {
+            let mut o = JsonObject::new();
+            match u.step {
+                CaseStep::Hold => continue,
+                CaseStep::Confirming => {
+                    o.push_str("event", "mitigation_confirming")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", u.rung.label());
+                }
+                CaseStep::Recovered { latency } => {
+                    o.push_str("event", "mitigation_recovered")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", u.rung.label())
+                        .push_num("latency", latency as f64);
+                }
+                CaseStep::Relapsed => {
+                    o.push_str("event", "mitigation_relapsed")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", u.rung.label());
+                }
+                CaseStep::Climbed { rung } => {
+                    o.push_str("event", "mitigation_climbed")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", rung.label());
+                }
+                CaseStep::Evicted => {
+                    self.stats.mitigations_escalated += 1;
+                    o.push_str("event", "mitigation_escalated")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", u.rung.label())
+                        .push_str("reason", "budget");
+                    self.push_mitigation_event(o);
+                    self.close_for_mitigation(u.id, CloseReason::Escalated);
+                    continue;
+                }
+                CaseStep::Confirmed { rung, latency } => {
+                    self.stats.mitigations_escalated += 1;
+                    self.stats.recovery_latency_ticks += latency;
+                    o.push_str("event", "mitigation_escalated")
+                        .push_str("tenant", u.tenant)
+                        .push_str("rung", rung.label())
+                        .push_str("reason", "confirmed")
+                        .push_num("latency", latency as f64);
+                }
+                CaseStep::Released { cost } => {
+                    self.stats.mitigations_released += 1;
+                    self.stats.false_quarantine_ticks += cost;
+                    o.push_str("event", "mitigation_released")
+                        .push_str("tenant", u.tenant)
+                        .push_str("reason", "verdict")
+                        .push_num("cost", cost as f64);
+                    self.push_mitigation_event(o);
+                    self.close_for_mitigation(u.id, CloseReason::Released);
+                    continue;
+                }
+            }
+            self.push_mitigation_event(o);
+        }
+    }
+
+    /// Whether any victim — a `Monitoring` session of a tenant other
+    /// than the mitigated ones — currently reports an access level
+    /// below the recovery threshold (see `Session::recovery_ratio`).
+    fn victims_degraded(&self) -> bool {
+        let threshold = self.config.mitigation.degraded_below;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.closed_at_ingest {
+                continue;
+            }
+            let Some(idx) = slot.session else {
+                continue;
+            };
+            if self.mitigation.has_case(i as u32) {
+                continue;
+            }
+            let Some(session) = self.slab.get(idx, i as u32) else {
+                continue;
+            };
+            if let Some(ratio) = session.recovery_ratio() {
+                if ratio < threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Closes one session on the mitigation loop's decision (release of
+    /// a false quarantine, or eviction of a confirmed attacker): same
+    /// ingest-side bookkeeping as a ceiling eviction, under a quiet
+    /// arrival index, draining at the next flush.
+    fn close_for_mitigation(&mut self, owner: u32, reason: CloseReason) {
+        let Some(slot) = self.slots.get(owner as usize) else {
+            return;
+        };
+        if slot.closed_at_ingest {
+            return;
+        }
+        let Some(idx) = slot.session else {
+            return;
+        };
+        let seq = self.alloc_seq_quiet();
+        if let Some(slot) = self.slots.get_mut(owner as usize) {
+            slot.closed_at_ingest = true;
+        }
+        self.open_count = self.open_count.saturating_sub(1);
+        if let Some(session) = self.slab.get_mut(idx, owner) {
+            session.offer_close(seq, reason);
+        }
+        if self.slab.mark_dirty(idx) {
+            self.dirty.push(idx);
+        }
+    }
+
+    /// Appends one engine-originated `mitigation_*` event under a fresh
+    /// quiet arrival index; it merges into the log at the next flush.
+    fn push_mitigation_event(&mut self, payload: JsonObject) {
+        let seq = self.alloc_seq_quiet();
+        self.ingest_events.push(SessionEvent { seq, sub: SUB_INGEST, payload });
+    }
+
+    /// Drains the control actions the mitigation loop decided since
+    /// the last call, in decision order. The closed-loop driver
+    /// (`memdos-engine respond`) applies these to the workload; a
+    /// caller that never drains them runs detection-only.
+    pub fn take_mitigation_actions(&mut self) -> Vec<MitigationAction> {
+        self.mitigation.take_actions()
+    }
+
     /// Drains everything still queued (including closes the idle check
     /// enqueued at the final flush) and appends one `engine_stats` log
     /// line with the recovery counters. Call once at end of stream.
@@ -1098,6 +1411,17 @@ impl Engine {
             .push_num("evicted", s.evicted as f64)
             .push_num("reopened", s.reopened as f64)
             .push_num("peak_queued", s.peak_queued as f64);
+        if self.mitigation.enabled() {
+            // Mitigation counters appear only when the loop is live, so
+            // detection-only logs are byte-identical to older runs.
+            o.push_num("mitigations_engaged", s.mitigations_engaged as f64)
+                .push_num("mitigations_released", s.mitigations_released as f64)
+                .push_num("mitigations_escalated", s.mitigations_escalated as f64)
+                .push_num("mitigations_aborted", s.mitigations_aborted as f64)
+                .push_num("mitigation_skipped", s.mitigation_skipped as f64)
+                .push_num("recovery_latency_ticks", s.recovery_latency_ticks as f64)
+                .push_num("false_quarantine_ticks", s.false_quarantine_ticks as f64);
+        }
         if self.prof.enabled {
             // Wall-clock diagnostics (MEMDOS_ENGINE_PROF=1): these make
             // the stats line — and only the stats line — vary run to run.

@@ -95,6 +95,7 @@ pub fn fleet_scenario(tenants: u32, seed: u64) -> FleetConfig {
         max_interval: 64,
         churn: 0.2,
         seed,
+        attack: None,
     }
 }
 

@@ -37,9 +37,20 @@
 //!   demo stream, each replayed at several worker counts, asserting no
 //!   panic, bounded memory, byte-identical logs and full fault-class
 //!   coverage.
+//! * [`mitigation`] — the quarantine-driven response state machine
+//!   (`Throttled → Confirming → Released | Escalated`): a capped
+//!   throttle→pause→evict escalation ladder with per-tenant rung
+//!   memory, confirmed from *victim* counter recovery, emitting
+//!   `mitigation_*` events under the same determinism contract as the
+//!   verdict log.
+//! * [`respond`] — the closed-loop driver: a seeded
+//!   [`memdos_sim::fleet`] scenario with a ground-truth attacker feeds
+//!   the engine, and the engine's mitigation actions feed back into
+//!   the generator's throttle levels — detection changes the workload
+//!   it is detecting.
 //!
 //! The `memdos-engine` binary wraps this as a CLI: `demo`, `gen-demo`,
-//! `replay` (file or stdin), `serve` (TCP) and `soak`.
+//! `replay` (file or stdin), `serve` (TCP), `soak` and `respond`.
 //!
 //! ## Example
 //!
@@ -71,7 +82,9 @@ pub mod config;
 pub mod demo;
 pub mod engine;
 pub mod fleet;
+pub mod mitigation;
 pub mod protocol;
+pub mod respond;
 pub mod session;
 mod slab;
 pub mod soak;

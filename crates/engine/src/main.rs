@@ -7,6 +7,7 @@
 //! memdos-engine serve <addr>      # ingest JSONL over TCP
 //! memdos-engine soak [--seeds N] [--base-seed S]   # chaos soak
 //! memdos-engine fleet [tenants] [seed]             # fleet-scale replay
+//! memdos-engine respond [scenario] [tenants] [seed] [--chaos S]  # closed loop
 //! ```
 //!
 //! Configuration comes from the environment: `MEMDOS_THREADS` (worker
@@ -24,11 +25,19 @@
 //! demo stream) and exits non-zero unless every scenario's verdict log
 //! is byte-identical across worker counts 1/2/4, memory stays bounded,
 //! and every fault class fired. The JSONL report goes to stdout.
+//!
+//! `respond` runs one closed-loop mitigation scenario: a seeded fleet
+//! with a ground-truth attacker feeds the engine, and the engine's
+//! mitigation actions throttle the generator back. The verdict log
+//! (`mitigation_*` events included) goes to stdout; the applied-action
+//! trace and the mitigation counters go to stderr. `--chaos S` routes
+//! the wire through a seeded fault plan first.
 
 use memdos_engine::chaos::Backoff;
 use memdos_engine::demo::{demo_engine_config, demo_jsonl, LAYOUT, TENANTS};
 use memdos_engine::engine::Engine;
 use memdos_engine::fleet::{fleet_engine_config, fleet_jsonl, fleet_scenario};
+use memdos_engine::respond::{respond_engine_config, respond_scenario, run_respond, RespondScenario};
 use memdos_engine::soak::{run_soak, SoakConfig};
 use memdos_engine::Config;
 use std::io::{BufReader, Write};
@@ -50,6 +59,7 @@ fn run(args: &[String]) -> i32 {
         Some("serve") => cmd_serve(args.get(1)),
         Some("soak") => cmd_soak(args.get(1..).unwrap_or(&[])),
         Some("fleet") => cmd_fleet(args.get(1), args.get(2)),
+        Some("respond") => cmd_respond(args.get(1..).unwrap_or(&[])),
         Some(other) => {
             eprintln!("memdos-engine: unknown command {other:?}");
             usage();
@@ -65,7 +75,8 @@ fn run(args: &[String]) -> i32 {
 fn usage() {
     eprintln!(
         "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr> \
-         | soak [--seeds N] [--base-seed S] | fleet [tenants] [seed]>"
+         | soak [--seeds N] [--base-seed S] | fleet [tenants] [seed] \
+         | respond [true-attacker|benign-shift|quiet-resume] [tenants] [seed] [--chaos S]>"
     );
 }
 
@@ -217,6 +228,113 @@ fn cmd_fleet(tenants: Option<&String>, seed: Option<&String>) -> i32 {
         stats.evicted,
         stats.reopened,
         engine.resident_bytes() / 1024
+    );
+    0
+}
+
+fn cmd_respond(args: &[String]) -> i32 {
+    let mut scenario = RespondScenario::TrueAttacker;
+    let mut tenants = 6u32;
+    let mut seed = 42u64;
+    let mut chaos: Option<u64> = None;
+    let mut positional = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--chaos" {
+            match it.next().and_then(|v| v.trim().parse::<u64>().ok()) {
+                Some(s) => chaos = Some(s),
+                None => {
+                    eprintln!("memdos-engine: --chaos requires a non-negative integer seed");
+                    return 2;
+                }
+            }
+            continue;
+        }
+        match positional {
+            0 => match RespondScenario::parse(arg) {
+                Some(kind) => scenario = kind,
+                None => {
+                    eprintln!(
+                        "memdos-engine: unknown respond scenario {arg:?} \
+                         (true-attacker | benign-shift | quiet-resume)"
+                    );
+                    return 2;
+                }
+            },
+            1 => match arg.trim().parse::<u32>() {
+                Ok(n) if n >= 2 => tenants = n,
+                _ => {
+                    eprintln!("memdos-engine: tenants {arg:?} must be an integer >= 2");
+                    return 2;
+                }
+            },
+            2 => match arg.trim().parse::<u64>() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    eprintln!("memdos-engine: seed {arg:?} is not a non-negative integer");
+                    return 2;
+                }
+            },
+            _ => {
+                eprintln!("memdos-engine: unexpected respond argument {arg:?}");
+                return 2;
+            }
+        }
+        positional += 1;
+    }
+    let workers = memdos_runner::threads();
+    eprintln!(
+        "memdos-engine: respond: scenario {} ({tenants} tenants, seed {seed}, {workers} \
+         workers{})",
+        scenario.label(),
+        match chaos {
+            Some(s) => format!(", chaos seed {s}"),
+            None => String::new(),
+        }
+    );
+    let fleet = respond_scenario(scenario, tenants, seed);
+    let report = match run_respond(&fleet, respond_engine_config(workers), chaos) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("memdos-engine: respond: {e}");
+            return 2;
+        }
+    };
+    {
+        let out = std::io::stdout();
+        let mut out = out.lock();
+        for line in &report.log {
+            if writeln!(out, "{line}").is_err() {
+                return 1;
+            }
+        }
+    }
+    if let Some(attacker) = &report.attacker {
+        eprintln!("memdos-engine: respond: ground-truth attacker {attacker}");
+    }
+    for action in &report.actions {
+        eprintln!(
+            "memdos-engine: respond:   tick {:>5}: {} {}{}",
+            action.tick,
+            action.kind.label(),
+            action.tenant,
+            if action.applied { "" } else { " (not applied)" }
+        );
+    }
+    let stats = report.stats;
+    eprintln!(
+        "memdos-engine: respond: {} lines fed, {} log events; engaged {}, released {}, \
+         escalated {}, aborted {}, skipped {}; recovery latency {} ticks, false-quarantine \
+         cost {} ticks",
+        report.lines_fed,
+        report.log.len(),
+        stats.mitigations_engaged,
+        stats.mitigations_released,
+        stats.mitigations_escalated,
+        stats.mitigations_aborted,
+        stats.mitigation_skipped,
+        stats.recovery_latency_ticks,
+        stats.false_quarantine_ticks
     );
     0
 }

@@ -104,6 +104,13 @@ pub enum CloseReason {
     /// its memory ceiling (`Config::max_sessions`). The tenant may
     /// reopen as a new generation the next time it speaks.
     Evicted,
+    /// The mitigation loop released a false quarantine: the control was
+    /// lifted and the session closes so the tenant deterministically
+    /// re-profiles as a new generation on its next sample.
+    Released,
+    /// The mitigation ladder escalated to eviction: the confirmed
+    /// attacker's session is closed and its control sticks.
+    Escalated,
 }
 
 impl CloseReason {
@@ -113,6 +120,8 @@ impl CloseReason {
             CloseReason::Ctl => "ctl",
             CloseReason::Idle => "idle",
             CloseReason::Evicted => "evicted",
+            CloseReason::Released => "released",
+            CloseReason::Escalated => "escalated",
         }
     }
 }
@@ -269,7 +278,18 @@ pub struct SessionSnapshot<'a> {
     pub dropped: u64,
     /// Primary-detector alarm activations.
     pub alarms: u64,
+    /// Monitored access level over the profile baseline (see
+    /// [`Session::recovery_ratio`]); `None` outside `Monitoring`.
+    pub recovery_ratio: Option<f64>,
+    /// Mitigation case attached to this tenant, if any (filled in by
+    /// the engine — a session does not know it is being mitigated).
+    pub mitigation: Option<crate::mitigation::MitigationStatus>,
 }
+
+/// Smoothing factor of the per-session recovery EWMA: heavy enough to
+/// damp sample jitter, light enough that a mitigated attack shows up
+/// within a handful of victim samples.
+const RECOVERY_ALPHA: f64 = 0.2;
 
 /// A per-tenant detection session.
 pub struct Session {
@@ -293,6 +313,17 @@ pub struct Session {
     /// reopen after a close (tenant churn).
     generation: u32,
     opened_logged: bool,
+    /// Profile-time mean `AccessNum` (`Profile.access.mu`), captured
+    /// when the detector stack arms; 0 until then. The denominator of
+    /// [`Session::recovery_ratio`].
+    baseline_access: f64,
+    /// EWMA of the monitored `AccessNum`, seeded at the baseline — the
+    /// smoothed live level the mitigation loop compares against the
+    /// baseline to decide whether this (victim) tenant is degraded.
+    ewma_access: f64,
+    /// Arrival index of the sample that quarantined this session, kept
+    /// until the engine's mitigation step consumes it.
+    quarantine_notice: Option<u64>,
 }
 
 impl std::fmt::Debug for Session {
@@ -350,6 +381,9 @@ impl Session {
             alarms: 0,
             generation,
             opened_logged: false,
+            baseline_access: 0.0,
+            ewma_access: 0.0,
+            quarantine_notice: None,
         })
     }
 
@@ -393,6 +427,27 @@ impl Session {
         self.queue.len()
     }
 
+    /// The monitored access level relative to the profile baseline:
+    /// `EWMA(AccessNum) / Profile.access.mu`. `None` until the detector
+    /// stack is armed (no baseline yet) or once the session leaves
+    /// `Monitoring` — only actively monitored sessions count as victims
+    /// for the mitigation loop's recovery confirmation.
+    pub fn recovery_ratio(&self) -> Option<f64> {
+        if self.state != SessionState::Monitoring || !(self.baseline_access > 0.0) {
+            return None;
+        }
+        Some(self.ewma_access / self.baseline_access)
+    }
+
+    /// Consumes the pending quarantine notice: the arrival index of the
+    /// sample whose alarm quarantined this session. Set exactly once per
+    /// incarnation; the engine's mitigation step drains it at the flush
+    /// boundary (even if an ingest-side close has since landed — that is
+    /// how a quarantine-while-closing is detected and skipped).
+    pub(crate) fn take_quarantine_notice(&mut self) -> Option<u64> {
+        self.quarantine_notice.take()
+    }
+
     /// Read-only introspection snapshot of this (live) session.
     pub fn snapshot(&self) -> SessionSnapshot<'_> {
         SessionSnapshot {
@@ -405,6 +460,8 @@ impl Session {
             ingested: self.ingested,
             dropped: self.dropped,
             alarms: self.alarms,
+            recovery_ratio: self.recovery_ratio(),
+            mitigation: None,
         }
     }
 
@@ -542,7 +599,12 @@ impl Session {
                 }
                 Item::Obs(_, obs) => match self.state {
                     SessionState::Profiling => self.step_profiling(obs, &mut emit),
-                    SessionState::Monitoring => self.step_monitoring(obs, &mut emit),
+                    SessionState::Monitoring => {
+                        self.step_monitoring(obs, &mut emit);
+                        if self.state == SessionState::Quarantined {
+                            self.quarantine_notice = Some(seq);
+                        }
+                    }
                     SessionState::Quarantined | SessionState::Closed => {
                         // Items queued before the state flipped; counted
                         // when offered, nothing to process.
@@ -577,6 +639,8 @@ impl Session {
                 self.last_verdicts = vec![Verdict::Normal; stack.len()];
                 self.detectors = stack;
                 self.state = SessionState::Monitoring;
+                self.baseline_access = profile.access.mu;
+                self.ewma_access = profile.access.mu;
                 let mut o = JsonObject::new();
                 o.push_str("event", "profile_ready")
                     .push_str("tenant", &self.tenant)
@@ -600,6 +664,7 @@ impl Session {
 
     fn step_monitoring(&mut self, obs: Observation, emit: &mut impl FnMut(JsonObject)) {
         self.monitor_ticks += 1;
+        self.ewma_access += RECOVERY_ALPHA * (obs.access_num - self.ewma_access);
         let mut primary_became_active = false;
         for (i, det) in self.detectors.iter_mut().enumerate() {
             // Throttle requests (KStest) are ignored: passive streaming.

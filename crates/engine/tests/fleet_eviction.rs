@@ -83,6 +83,40 @@ fn evicting_a_quarantined_session_preserves_its_verdict() {
 }
 
 #[test]
+fn eviction_prefers_a_terminal_session_over_a_less_recent_live_one() {
+    let mut engine = Engine::new(edge_config(2)).unwrap();
+    // vm-old is a live innocent and the least-recently-seen session;
+    // vm-q quarantines *after* it, so by pure LRU vm-q is the safer
+    // (most recent) entry. But a quarantined session pins its slot
+    // forever — it will never speak again, while vm-old might — so the
+    // ceiling must take the terminal session first.
+    feed(&mut engine, "vm-old", 4, 1_000.0);
+    feed(&mut engine, "vm-q", 60, 1_000.0);
+    feed(&mut engine, "vm-q", 100, 100.0);
+    engine.flush();
+    assert!(
+        engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"quarantined""#) && l.contains(r#""tenant":"vm-q""#)),
+        "setup: vm-q must reach quarantine"
+    );
+    feed(&mut engine, "vm-new", 4, 1_000.0); // over the ceiling
+    engine.finish();
+    assert_eq!(engine.stats().evicted, 1);
+    assert!(
+        engine.log_lines().iter().any(|l| {
+            l.contains(r#""event":"closed""#)
+                && l.contains(r#""tenant":"vm-q""#)
+                && l.contains(r#""reason":"evicted""#)
+        }),
+        "the quarantined session is the eviction victim"
+    );
+    let old = engine.snapshot("vm-old").expect("vm-old snapshot");
+    assert!(old.live, "the live innocent keeps its slot despite being older");
+}
+
+#[test]
 fn evicted_tenant_reopens_with_a_bumped_generation() {
     let mut engine = Engine::new(edge_config(2)).unwrap();
     feed(&mut engine, "vm-a", 4, 1_000.0);

@@ -1,0 +1,400 @@
+//! Ground-truth scenario regression suite for the mitigation loop.
+//!
+//! Each respond scenario carries a labelled attacker and a designed
+//! arc; the whole closed loop is a pure function of the seed, so this
+//! suite pins not just "an attacker was throttled" but the *exact*
+//! recovery latency, false-quarantine cost and applied-action trace of
+//! each arc. A drift in any of them means the detect→respond timing
+//! changed and somebody should look.
+//!
+//! The suite also covers the two paths the fleet scenarios cannot
+//! reach deterministically: a quarantine notice racing a close in the
+//! same batch (skip, never engage), and a seeded fuzz over the raw
+//! case FSM asserting it never skips states, never doubles a control
+//! and always terminates.
+
+use memdos_engine::config::MitigationPolicy;
+use memdos_engine::engine::Engine;
+use memdos_engine::mitigation::{
+    ActionKind, Case, CaseState, CaseStep, Coordinator, Rung,
+};
+use memdos_engine::respond::{
+    respond_engine_config, respond_scenario, run_respond, RespondReport, RespondScenario,
+};
+use memdos_stats::rng::{derive_seed, Rng};
+
+const TENANTS: u32 = 6;
+const SEED: u64 = 42;
+
+fn run(kind: RespondScenario) -> RespondReport {
+    let scenario = respond_scenario(kind, TENANTS, SEED);
+    run_respond(&scenario, respond_engine_config(1), None).expect("scenario is valid")
+}
+
+fn count_events(report: &RespondReport, event: &str) -> usize {
+    let needle = format!(r#""event":"{event}""#);
+    report.log.iter().filter(|l| l.contains(&needle)).count()
+}
+
+fn has_event_with(report: &RespondReport, event: &str, fields: &[&str]) -> bool {
+    let needle = format!(r#""event":"{event}""#);
+    report
+        .log
+        .iter()
+        .any(|l| l.contains(&needle) && fields.iter().all(|f| l.contains(f)))
+}
+
+/// The applied-action trace as `(round tick, kind)` pairs; every
+/// scenario in this suite only ever acts on the labelled attacker, so
+/// the tenant is asserted separately.
+fn action_arc(report: &RespondReport) -> Vec<(u64, ActionKind)> {
+    let attacker = report.attacker.clone().expect("scenario labels an attacker");
+    for a in &report.actions {
+        assert_eq!(a.tenant, attacker, "every action targets the ground-truth attacker");
+        assert!(a.applied, "the generator accepts every action");
+    }
+    report.actions.iter().map(|a| (a.tick, a.kind)).collect()
+}
+
+#[test]
+fn true_attacker_is_throttled_and_confirmed_by_victim_recovery() {
+    let report = run(RespondScenario::TrueAttacker);
+    // One case: engage → confirm → control sticks. Recovery latency is
+    // the seq distance from the throttle landing to the victims' EWMA
+    // crossing back over the recovery threshold.
+    assert_eq!(report.stats.mitigations_engaged, 1);
+    assert_eq!(report.stats.mitigations_escalated, 1);
+    assert_eq!(report.stats.mitigations_released, 0);
+    assert_eq!(report.stats.mitigations_aborted, 0);
+    assert_eq!(report.stats.mitigation_skipped, 0);
+    assert_eq!(report.stats.recovery_latency_ticks, 70);
+    assert_eq!(report.stats.false_quarantine_ticks, 0);
+    assert_eq!(report.stats.reopened, 0, "the control sticks; no re-profile");
+    assert_eq!(action_arc(&report), vec![(560, ActionKind::Throttle)]);
+    assert_eq!(count_events(&report, "quarantined"), 1);
+    assert!(has_event_with(
+        &report,
+        "mitigation_engaged",
+        &[r#""rung":"throttle""#, r#""degraded":true"#]
+    ));
+    assert!(has_event_with(&report, "mitigation_recovered", &[r#""latency":70"#]));
+    assert!(has_event_with(
+        &report,
+        "mitigation_escalated",
+        &[r#""reason":"confirmed""#, r#""latency":70"#]
+    ));
+    assert_eq!(count_events(&report, "mitigation_released"), 0);
+}
+
+#[test]
+fn benign_phase_change_is_released_and_reprofiled_not_escalated() {
+    let report = run(RespondScenario::BenignShift);
+    // The collapse looks attacker-shaped, but no victim is degraded at
+    // engage time, so the case takes the innocent path: hold briefly,
+    // release, bill the hold as false-quarantine cost, and re-profile
+    // the tenant on its new level through the close/reopen machinery.
+    assert_eq!(report.stats.mitigations_engaged, 1);
+    assert_eq!(report.stats.mitigations_released, 1);
+    assert_eq!(report.stats.mitigations_escalated, 0);
+    assert_eq!(report.stats.mitigations_aborted, 0);
+    assert_eq!(report.stats.mitigation_skipped, 0);
+    assert_eq!(report.stats.recovery_latency_ticks, 0);
+    assert_eq!(report.stats.false_quarantine_ticks, 166);
+    assert_eq!(report.stats.reopened, 1, "release re-profiles via close/reopen");
+    assert_eq!(
+        action_arc(&report),
+        vec![(560, ActionKind::Throttle), (656, ActionKind::Release)]
+    );
+    assert!(has_event_with(
+        &report,
+        "mitigation_engaged",
+        &[r#""rung":"throttle""#, r#""degraded":false"#]
+    ));
+    assert!(has_event_with(
+        &report,
+        "mitigation_released",
+        &[r#""reason":"verdict""#, r#""cost":166"#]
+    ));
+    // The re-profile on the shifted level is clean: the one quarantine
+    // is the original false alarm, and the reopened generation reaches
+    // profile_ready without another alarm.
+    assert_eq!(count_events(&report, "quarantined"), 1);
+    assert_eq!(count_events(&report, "profile_ready"), TENANTS as usize + 1);
+    assert_eq!(count_events(&report, "mitigation_escalated"), 0);
+}
+
+#[test]
+fn quiet_attacker_that_resumes_re_engages_one_rung_up() {
+    let report = run(RespondScenario::QuietResume);
+    // First window: benign-looking, released at cost 166. Second
+    // window: real victim pressure — rung memory starts the new case
+    // at pause, and victim recovery confirms it there.
+    assert_eq!(report.stats.mitigations_engaged, 2);
+    assert_eq!(report.stats.mitigations_released, 1);
+    assert_eq!(report.stats.mitigations_escalated, 1);
+    assert_eq!(report.stats.mitigations_aborted, 0);
+    assert_eq!(report.stats.mitigation_skipped, 0);
+    assert_eq!(report.stats.recovery_latency_ticks, 44);
+    assert_eq!(report.stats.false_quarantine_ticks, 166);
+    assert_eq!(report.stats.reopened, 1);
+    assert_eq!(
+        action_arc(&report),
+        vec![
+            (560, ActionKind::Throttle),
+            (656, ActionKind::Release),
+            (1_088, ActionKind::Pause),
+        ]
+    );
+    assert!(has_event_with(
+        &report,
+        "mitigation_engaged",
+        &[r#""rung":"throttle""#, r#""degraded":false"#]
+    ));
+    assert!(
+        has_event_with(
+            &report,
+            "mitigation_engaged",
+            &[r#""rung":"pause""#, r#""degraded":true"#]
+        ),
+        "the second engagement starts one rung up"
+    );
+    assert!(has_event_with(
+        &report,
+        "mitigation_escalated",
+        &[r#""reason":"confirmed""#, r#""latency":44"#]
+    ));
+}
+
+#[test]
+fn quarantine_racing_a_close_in_the_same_batch_is_skipped_not_engaged() {
+    // Raw-lines edge: the alarm that quarantines a tenant and the
+    // tenant's explicit close land in the same ingest batch. By the
+    // time the mitigation pass runs at the end of the flush the session
+    // is already closing, so the notice must be dropped — engaging a
+    // control on a departed tenant would throttle whoever reuses the
+    // slot next.
+    let mut engine = Engine::new(respond_engine_config(1)).unwrap();
+    let sample = |access: u64| {
+        format!(r#"{{"tenant":"vm-q","access":{access},"miss":100}}"#)
+    };
+    // Profile (mild deterministic wobble so the band has width), then
+    // stable monitoring, then a collapse that alarms, then the close —
+    // all well inside one 2 048-line batch.
+    for i in 0..40u64 {
+        engine.ingest_line(&sample(1_000 + i % 3));
+    }
+    for i in 0..30u64 {
+        engine.ingest_line(&sample(1_000 + i % 3));
+    }
+    for _ in 0..10 {
+        engine.ingest_line(&sample(100));
+    }
+    engine.ingest_line(r#"{"tenant":"vm-q","ctl":"close"}"#);
+    engine.finish();
+    let stats = engine.stats();
+    assert_eq!(stats.mitigation_skipped, 1);
+    assert_eq!(stats.mitigations_engaged, 0);
+    assert_eq!(stats.mitigations_aborted, 0);
+    let log = engine.log_lines();
+    assert!(log.iter().any(|l| l.contains(r#""event":"quarantined""#)));
+    assert!(log
+        .iter()
+        .any(|l| l.contains(r#""event":"mitigation_skipped""#)
+            && l.contains(r#""tenant":"vm-q""#)
+            && l.contains(r#""reason":"closed""#)));
+    assert!(!log.iter().any(|l| l.contains(r#""event":"mitigation_engaged""#)));
+}
+
+/// Seeded fuzz over the raw case FSM: random engage rungs, degraded
+/// flags and sample spacings. Asserts the transition relation exactly —
+/// the FSM never skips `Confirming` (the engage-at-evict shortcut is
+/// the one exception), the rung only climbs, terminal states absorb —
+/// and that every case terminates in `Released` or `Escalated`.
+#[test]
+fn fsm_fuzz_never_skips_states_and_always_terminates() {
+    for trial in 0..500u64 {
+        let mut rng = Rng::new(derive_seed(0x0F5_F022, trial));
+        let policy = MitigationPolicy {
+            enabled: true,
+            confirm_budget: 20 + rng.next_below(100),
+            hold_ticks: 5 + rng.next_below(20),
+            degraded_below: 0.95,
+            max_rung: rng.next_below(3) as u8,
+        };
+        let engage_rung = Rung::from_index(rng.next_below(u64::from(policy.max_rung) + 1) as u8);
+        let engage_degraded = rng.chance(0.5);
+        let (mut case, action) = Case::engage("vm-f".into(), engage_rung, 0, engage_degraded);
+        if engage_rung == Rung::Evict {
+            // The one legal shortcut past Confirming: an engage that is
+            // already at the top of the ladder is terminal immediately.
+            assert_eq!(action, ActionKind::Evict);
+            assert_eq!(case.state(), CaseState::Escalated);
+        } else {
+            assert_eq!(case.state(), CaseState::Throttled);
+        }
+        let mut now = 0u64;
+        let mut prev_state = case.state();
+        let mut prev_rung = case.rung();
+        let mut steps = 0u32;
+        while !case.state().terminal() {
+            steps += 1;
+            assert!(steps < 5_000, "trial {trial}: the FSM must terminate");
+            now += 1 + rng.next_below(7);
+            let step = case.sample(now, rng.chance(0.5), &policy);
+            let state = case.state();
+            match (prev_state, state) {
+                (CaseState::Throttled, CaseState::Confirming) => {
+                    assert_eq!(step, CaseStep::Confirming, "trial {trial}")
+                }
+                (CaseState::Confirming, CaseState::Confirming) => assert!(
+                    matches!(
+                        step,
+                        CaseStep::Hold | CaseStep::Recovered { .. } | CaseStep::Relapsed
+                    ),
+                    "trial {trial}: {step:?}"
+                ),
+                (CaseState::Confirming, CaseState::Throttled) => {
+                    // A ladder climb re-engages: strictly one rung up,
+                    // never straight to eviction through this arm.
+                    assert!(matches!(step, CaseStep::Climbed { .. }), "trial {trial}");
+                    assert!(case.rung() > prev_rung, "trial {trial}: climb must ascend");
+                    assert_ne!(case.rung(), Rung::Evict, "trial {trial}");
+                }
+                (CaseState::Confirming, CaseState::Released) => {
+                    assert!(matches!(step, CaseStep::Released { .. }), "trial {trial}")
+                }
+                (CaseState::Confirming, CaseState::Escalated) => assert!(
+                    matches!(step, CaseStep::Confirmed { .. } | CaseStep::Evicted),
+                    "trial {trial}: {step:?}"
+                ),
+                other => panic!("trial {trial}: illegal transition {other:?} on {step:?}"),
+            }
+            assert!(case.rung() >= prev_rung, "trial {trial}: the rung never descends");
+            assert!(
+                case.rung().index() <= policy.max_rung,
+                "trial {trial}: the ladder cap holds"
+            );
+            prev_state = state;
+            prev_rung = case.rung();
+        }
+        // Terminal states absorb every further sample.
+        let terminal = case.state();
+        for _ in 0..5 {
+            now += 1 + rng.next_below(7);
+            assert_eq!(case.sample(now, rng.chance(0.5), &policy), CaseStep::Hold);
+            assert_eq!(case.state(), terminal);
+        }
+    }
+}
+
+/// Seeded fuzz over the coordinator: random interleavings of engage,
+/// session-close and recovery samples across three tenants. Asserts an
+/// engaged control is never doubled (`engage` on a resident case is a
+/// no-op) and that the per-tenant control stream only ever climbs
+/// between releases.
+#[test]
+fn coordinator_fuzz_never_doubles_a_control() {
+    for trial in 0..200u64 {
+        let mut rng = Rng::new(derive_seed(0xC00D, trial));
+        let policy = MitigationPolicy {
+            enabled: true,
+            confirm_budget: 20 + rng.next_below(100),
+            hold_ticks: 5 + rng.next_below(20),
+            degraded_below: 0.95,
+            max_rung: rng.next_below(3) as u8,
+        };
+        let mut coord = Coordinator::new(policy);
+        // Per-tenant audit state: the rung of the control currently in
+        // force, if any. A control action must strictly out-rank it; a
+        // release (or a session close) clears it.
+        let mut in_force: [Option<u8>; 3] = [None; 3];
+        let audit = |actions: Vec<memdos_engine::mitigation::MitigationAction>,
+                     in_force: &mut [Option<u8>; 3],
+                     trial: u64| {
+            for action in actions {
+                let id: usize = action.tenant.strip_prefix("vm-").unwrap().parse().unwrap();
+                match action.kind {
+                    ActionKind::Throttle | ActionKind::Pause | ActionKind::Evict => {
+                        let rung = match action.kind {
+                            ActionKind::Throttle => 0u8,
+                            ActionKind::Pause => 1,
+                            _ => 2,
+                        };
+                        if let Some(held) = in_force[id] {
+                            assert!(
+                                rung > held,
+                                "trial {trial}: {} re-issued at rung {rung} over {held}",
+                                action.tenant
+                            );
+                        }
+                        in_force[id] = Some(rung);
+                    }
+                    ActionKind::Release => {
+                        assert!(
+                            in_force[id].is_some(),
+                            "trial {trial}: release with no control in force"
+                        );
+                        in_force[id] = None;
+                    }
+                }
+            }
+        };
+        let mut now = 0u64;
+        for _ in 0..300 {
+            now += 1 + rng.next_below(5);
+            let id = rng.next_below(3) as u32;
+            match rng.next_below(5) {
+                0 => {
+                    let resident = coord.has_case(id);
+                    let engaged = coord.engage(id, &format!("vm-{id}"), now, rng.chance(0.5));
+                    assert_eq!(
+                        engaged.is_none(),
+                        resident,
+                        "trial {trial}: engage is a no-op iff a case is resident"
+                    );
+                }
+                1 => {
+                    coord.on_session_closed(id);
+                    audit(coord.take_actions(), &mut in_force, trial);
+                    // An escalated case keeps its control but drops its
+                    // bookkeeping on close; either way the tenant slot
+                    // is vacated and the next control starts fresh.
+                    in_force[id as usize] = None;
+                }
+                _ => {
+                    for update in coord.sample_active(now, rng.chance(0.5)) {
+                        let legal = match update.step {
+                            CaseStep::Confirming
+                            | CaseStep::Recovered { .. }
+                            | CaseStep::Relapsed => update.state == CaseState::Confirming,
+                            CaseStep::Climbed { rung } => {
+                                update.state == CaseState::Throttled && update.rung == rung
+                            }
+                            CaseStep::Evicted => {
+                                update.state == CaseState::Escalated
+                                    && update.rung == Rung::Evict
+                            }
+                            CaseStep::Confirmed { rung, .. } => {
+                                update.state == CaseState::Escalated && update.rung == rung
+                            }
+                            CaseStep::Released { .. } => update.state == CaseState::Released,
+                            CaseStep::Hold => false,
+                        };
+                        assert!(legal, "trial {trial}: {update:?}");
+                    }
+                }
+            }
+            audit(coord.take_actions(), &mut in_force, trial);
+        }
+        // Drain: with victims reporting recovered, every active case
+        // must terminate within its hold budget.
+        let mut spins = 0;
+        while coord.has_active() {
+            spins += 1;
+            assert!(spins < 200, "trial {trial}: active cases must drain");
+            now += 7;
+            coord.sample_active(now, false);
+            audit(coord.take_actions(), &mut in_force, trial);
+        }
+    }
+}

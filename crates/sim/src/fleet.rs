@@ -74,6 +74,112 @@ impl VmTemplate {
     }
 }
 
+/// One activity window of a scripted attack: the attacker is live on
+/// `[from, until)` and exerts `severity` pressure on every co-located
+/// tenant while unmitigated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackWindow {
+    /// First tick the attacker is active (inclusive).
+    pub from: u64,
+    /// First tick past the window (exclusive).
+    pub until: u64,
+    /// Fraction of every victim's `AccessNum` the attack steals while
+    /// the attacker runs unthrottled, in `[0, 1]`. A window with
+    /// severity `0` models an attacker-shaped trace change with no
+    /// victim impact (e.g. a benign phase change).
+    pub severity: f64,
+}
+
+impl AttackWindow {
+    /// Whether the window covers tick `t`.
+    pub fn active(&self, t: u64) -> bool {
+        t >= self.from && t < self.until
+    }
+}
+
+/// A ground-truth-labelled attacker scripted into a fleet scenario.
+///
+/// This is the closed-form counterpart of the cycle-accurate attack VMs
+/// in [`crate::attack`]: while a window is active the labelled tenant's
+/// own `AccessNum` collapses by `collapse` (a bus-locking loop issues
+/// few ordinary accesses — the signature the SDS detectors key on) and
+/// every *other* tenant's `AccessNum` degrades by the window severity,
+/// scaled by whatever mitigation the respond loop has applied to the
+/// attacker via [`FleetGenerator::set_throttle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetAttack {
+    /// Tenant index of the labelled attacker.
+    pub attacker: u32,
+    /// The attacker's own access collapse while a window is active, in
+    /// `[0, 1]`.
+    pub collapse: f64,
+    /// First activity window.
+    pub first: AttackWindow,
+    /// Optional second window (quiet-then-resume scenarios).
+    pub second: Option<AttackWindow>,
+}
+
+impl FleetAttack {
+    /// The window covering tick `t`, if any.
+    pub fn window_at(&self, t: u64) -> Option<AttackWindow> {
+        if self.first.active(t) {
+            Some(self.first)
+        } else {
+            self.second.filter(|w| w.active(t))
+        }
+    }
+
+    fn validate(&self, tenants: u32) -> Result<(), String> {
+        if self.attacker >= tenants {
+            return Err("attack.attacker must index a tenant".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.collapse) {
+            return Err("attack.collapse must be within [0, 1]".to_string());
+        }
+        for w in std::iter::once(self.first).chain(self.second) {
+            if w.from >= w.until {
+                return Err("attack window must satisfy from < until".to_string());
+            }
+            if !(0.0..=1.0).contains(&w.severity) {
+                return Err("attack window severity must be within [0, 1]".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mitigation level the respond loop has applied to one tenant —
+/// the fleet-scale counterpart of [`crate::hypervisor`] execution
+/// throttling ([`crate::hypervisor::Hypervisor::throttle`] /
+/// [`crate::hypervisor::Hypervisor::pause`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThrottleLevel {
+    /// Unrestricted.
+    #[default]
+    Run,
+    /// Execution-throttled: the tenant runs at [`THROTTLE_DUTY`] duty,
+    /// and so does any pressure it exerts.
+    Throttled,
+    /// Fully paused: the tenant makes no progress and emits no samples
+    /// (its schedule keeps advancing so a later resume picks up).
+    Paused,
+}
+
+/// Duty factor of a [`ThrottleLevel::Throttled`] tenant: its own trace
+/// and any attack pressure it exerts both scale by this.
+pub const THROTTLE_DUTY: f64 = 0.25;
+
+impl ThrottleLevel {
+    /// Duty factor: 1 running, [`THROTTLE_DUTY`] throttled, 0 paused.
+    pub fn duty(self) -> f64 {
+        match self {
+            ThrottleLevel::Run => 1.0,
+            ThrottleLevel::Throttled => THROTTLE_DUTY,
+            ThrottleLevel::Paused => 0.0,
+        }
+    }
+}
+
 /// Parameters of one fleet scenario. The scenario is a pure function of
 /// this struct — same config, same item sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +199,8 @@ pub struct FleetConfig {
     pub churn: f64,
     /// Scenario seed.
     pub seed: u64,
+    /// Optional scripted attacker with ground-truth label.
+    pub attack: Option<FleetAttack>,
 }
 
 impl Default for FleetConfig {
@@ -105,6 +213,7 @@ impl Default for FleetConfig {
             max_interval: 32,
             churn: 0.2,
             seed: 0xF1EE7,
+            attack: None,
         }
     }
 }
@@ -130,6 +239,9 @@ impl FleetConfig {
         }
         if !(0.0..=1.0).contains(&self.churn) {
             return Err("churn must be within [0, 1]".to_string());
+        }
+        if let Some(attack) = &self.attack {
+            attack.validate(self.tenants)?;
         }
         Ok(())
     }
@@ -192,6 +304,8 @@ pub struct FleetGenerator {
     tenants: Vec<Tenant>,
     /// Next event per live tenant, keyed `(tick, tenant)`.
     heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Mitigation level per tenant, set by the respond loop.
+    throttle: Vec<ThrottleLevel>,
 }
 
 impl FleetGenerator {
@@ -245,17 +359,42 @@ impl FleetGenerator {
                 heap.push(Reverse((arrival, i)));
             }
         }
+        let throttle = vec![ThrottleLevel::Run; config.tenants as usize];
         Ok(FleetGenerator {
             config,
             templates: templates.len(),
             tenants,
             heap,
+            throttle,
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// Ground-truth attacker index, if the scenario scripts one.
+    pub fn attacker(&self) -> Option<u32> {
+        self.config.attack.map(|a| a.attacker)
+    }
+
+    /// Applies a mitigation level to `tenant` — the feedback edge of the
+    /// respond loop. Takes effect from the tenant's next scheduled
+    /// sample. Returns `false` for an unknown tenant.
+    pub fn set_throttle(&mut self, tenant: u32, level: ThrottleLevel) -> bool {
+        match self.throttle.get_mut(tenant as usize) {
+            Some(slot) => {
+                *slot = level;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current mitigation level of `tenant`.
+    pub fn throttle_of(&self, tenant: u32) -> Option<ThrottleLevel> {
+        self.throttle.get(tenant as usize).copied()
     }
 
     /// The template index tenant `i` was stamped from.
@@ -289,9 +428,40 @@ impl FleetGenerator {
                 kind: FleetEventKind::Close,
             });
         }
-        let tpl = templates.get(t.template as usize)?;
-        let (access, miss) = tpl.sample(t.local_tick, &mut t.rng);
-        t.local_tick += 1;
+        let level = self.throttle.get(idx as usize).copied().unwrap_or_default();
+        let emitted = if level == ThrottleLevel::Paused {
+            // A paused VM makes no progress: no sample, local clock
+            // frozen — but its schedule keeps ticking so a later
+            // resume picks up immediately.
+            None
+        } else {
+            let tpl = templates.get(t.template as usize)?;
+            let (mut access, mut miss) = tpl.sample(t.local_tick, &mut t.rng);
+            t.local_tick += 1;
+            // An execution-throttled tenant runs at reduced duty.
+            access *= level.duty();
+            miss *= level.duty();
+            if let Some(atk) = self.config.attack {
+                if let Some(w) = atk.window_at(tick) {
+                    if idx == atk.attacker {
+                        // The attack payload's own trace: ordinary
+                        // accesses collapse while the locking loop runs.
+                        access *= (1.0 - atk.collapse).max(0.0);
+                    } else {
+                        // Victim-side pressure, scaled by whatever duty
+                        // the respond loop has left the attacker.
+                        let duty = self
+                            .throttle
+                            .get(atk.attacker as usize)
+                            .copied()
+                            .unwrap_or_default()
+                            .duty();
+                        access *= (1.0 - w.severity * duty).max(0.0);
+                    }
+                }
+            }
+            Some((access, miss))
+        };
         let next = tick + t.interval;
         match t.depart_at {
             // The departure falls before the next sample: close next.
@@ -305,6 +475,7 @@ impl FleetGenerator {
                 }
             }
         }
+        let (access, miss) = emitted?;
         Some(FleetItem {
             tick,
             tenant: idx,
@@ -486,6 +657,134 @@ mod tests {
                 assert!(access >= 0.0 && miss >= 0.0);
                 assert!(access.is_finite() && miss.is_finite());
             }
+        }
+    }
+
+    fn attack_config() -> FleetConfig {
+        FleetConfig {
+            tenants: 4,
+            span_ticks: 400,
+            min_interval: 1,
+            max_interval: 1,
+            churn: 0.0,
+            seed: 11,
+            attack: Some(FleetAttack {
+                attacker: 1,
+                collapse: 0.9,
+                first: AttackWindow { from: 100, until: 300, severity: 0.4 },
+                second: None,
+            }),
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Mean access per tenant over a tick range.
+    fn mean_access(items: &[FleetItem], tenant: u32, from: u64, until: u64) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for it in items {
+            if it.tenant == tenant && it.tick >= from && it.tick < until {
+                if let FleetEventKind::Sample { access, .. } = it.kind {
+                    sum += access;
+                    n += 1;
+                }
+            }
+        }
+        sum / (n.max(1) as f64)
+    }
+
+    #[test]
+    fn attack_window_collapses_attacker_and_degrades_victims() {
+        let templates = test_templates();
+        let items = collect(attack_config(), &templates);
+        let atk_before = mean_access(&items, 1, 0, 100);
+        let atk_during = mean_access(&items, 1, 120, 280);
+        assert!(
+            atk_during < atk_before * 0.2,
+            "attacker access must collapse by ~collapse: {atk_before} -> {atk_during}"
+        );
+        let vic_before = mean_access(&items, 0, 0, 100);
+        let vic_during = mean_access(&items, 0, 120, 280);
+        let ratio = vic_during / vic_before;
+        assert!(
+            (0.5..0.7).contains(&ratio),
+            "victim access must degrade by ~severity: ratio {ratio}"
+        );
+        let vic_after = mean_access(&items, 0, 300, 400);
+        assert!(vic_after / vic_before > 0.9, "victims recover after the window");
+    }
+
+    #[test]
+    fn throttling_the_attacker_restores_victims_proportionally() {
+        let templates = test_templates();
+        let mut gen = FleetGenerator::new(attack_config(), &templates).unwrap();
+        assert_eq!(gen.attacker(), Some(1));
+        assert!(gen.set_throttle(1, ThrottleLevel::Throttled));
+        assert!(!gen.set_throttle(99, ThrottleLevel::Throttled));
+        let mut items = Vec::new();
+        gen.drive(&templates, |it| items.push(it));
+        // Residual victim pressure is severity * THROTTLE_DUTY = 0.1.
+        let vic_before = mean_access(&items, 0, 0, 100);
+        let vic_during = mean_access(&items, 0, 120, 280);
+        let ratio = vic_during / vic_before;
+        assert!(
+            (0.85..0.95).contains(&ratio),
+            "throttled attacker leaves only residual pressure: ratio {ratio}"
+        );
+        // The attacker's own trace also runs at reduced duty.
+        let atk_before_throttled = mean_access(&items, 1, 0, 100);
+        let flat = 1_000.0;
+        assert!(atk_before_throttled < flat * 0.5);
+    }
+
+    #[test]
+    fn paused_tenants_emit_nothing_until_resumed() {
+        let templates = test_templates();
+        let mut gen = FleetGenerator::new(attack_config(), &templates).unwrap();
+        gen.set_throttle(1, ThrottleLevel::Paused);
+        let mut items = Vec::new();
+        // Drain the first half of the timeline paused, then resume.
+        while let Some(it) = gen.next_item(&templates) {
+            if it.tick >= 200 {
+                items.push(it);
+                break;
+            }
+            items.push(it);
+        }
+        assert!(
+            items.iter().all(|it| it.tenant != 1),
+            "a paused tenant emits no samples"
+        );
+        gen.set_throttle(1, ThrottleLevel::Run);
+        let mut resumed = false;
+        while let Some(it) = gen.next_item(&templates) {
+            if it.tenant == 1 {
+                resumed = true;
+                break;
+            }
+        }
+        assert!(resumed, "a resumed tenant samples again");
+    }
+
+    #[test]
+    fn rejects_invalid_attack() {
+        let templates = test_templates();
+        let base = attack_config();
+        let tweak = |f: fn(&mut FleetAttack)| {
+            let mut config = base;
+            let mut atk = config.attack.unwrap();
+            f(&mut atk);
+            config.attack = Some(atk);
+            config
+        };
+        for bad in [
+            tweak(|a| a.attacker = 4),
+            tweak(|a| a.collapse = 1.5),
+            tweak(|a| a.first.until = a.first.from),
+            tweak(|a| a.first.severity = -0.1),
+            tweak(|a| a.second = Some(AttackWindow { from: 9, until: 3, severity: 0.1 })),
+        ] {
+            assert!(FleetGenerator::new(bad, &templates).is_err(), "{bad:?}");
         }
     }
 

@@ -67,6 +67,9 @@ pub struct Vm {
     /// lets shared-prefix capture sweeps fork one warm-up across attack
     /// variants.
     pub(crate) parallelism_from: u64,
+    /// Parallelism saved by [`Hypervisor::throttle`], restored on
+    /// [`Hypervisor::unthrottle`]; `None` while unthrottled.
+    pub(crate) unthrottled_parallelism: Option<u8>,
 }
 
 impl Vm {
@@ -95,6 +98,12 @@ impl Vm {
         self.paused_ticks
     }
 
+    /// Whether this VM is currently execution-throttled (its memory-level
+    /// parallelism clamped to 1 by [`Hypervisor::throttle`]).
+    pub fn throttled(&self) -> bool {
+        self.unthrottled_parallelism.is_some()
+    }
+
     /// Memory-level parallelism effective at `tick`.
     #[inline]
     pub(crate) fn parallelism_at(&self, tick: u64) -> u8 {
@@ -120,6 +129,7 @@ impl Vm {
             paused_ticks: self.paused_ticks,
             parallelism: self.parallelism,
             parallelism_from: self.parallelism_from,
+            unthrottled_parallelism: self.unthrottled_parallelism,
         })
     }
 }
@@ -171,6 +181,7 @@ impl Hypervisor {
             paused_ticks: 0,
             parallelism: parallelism.max(1),
             parallelism_from,
+            unthrottled_parallelism: None,
         });
         id
     }
@@ -229,6 +240,39 @@ impl Hypervisor {
     pub fn resume(&mut self, id: VmId) {
         if let Some(vm) = self.vms.get_mut(id.0 as usize) {
             vm.state = VmState::Running;
+        }
+    }
+
+    /// Execution-throttles one VM without descheduling it: its
+    /// memory-level parallelism is clamped to 1 (the multi-threaded
+    /// attack payload of Zhang et al. degrades to a single serial
+    /// stream) while the VM keeps running — the mitigation rung below
+    /// [`Hypervisor::pause`] on the respond ladder. Idempotent; returns
+    /// `false` if the VM was already throttled or unknown.
+    pub fn throttle(&mut self, id: VmId) -> bool {
+        match self.vms.get_mut(id.0 as usize) {
+            Some(vm) if vm.unthrottled_parallelism.is_none() => {
+                vm.unthrottled_parallelism = Some(vm.parallelism);
+                vm.parallelism = 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lifts an execution throttle, restoring the parallelism the VM
+    /// was registered with. Idempotent; returns `false` if the VM was
+    /// not throttled or unknown.
+    pub fn unthrottle(&mut self, id: VmId) -> bool {
+        match self.vms.get_mut(id.0 as usize) {
+            Some(vm) => match vm.unthrottled_parallelism.take() {
+                Some(saved) => {
+                    vm.parallelism = saved;
+                    true
+                }
+                None => false,
+            },
+            None => false,
         }
     }
 
@@ -310,6 +354,23 @@ mod tests {
         hv.pause(VmId(1));
         hv.pause_all_except(VmId(1));
         assert_eq!(hv.running(), vec![VmId(1)]);
+    }
+
+    #[test]
+    fn throttle_clamps_parallelism_and_unthrottle_restores_it() {
+        let mut hv = Hypervisor::new();
+        let id = hv.add_vm("vm-t", Box::new(IdleProgram), DomainId(1), Rng::new(2), 4, 0);
+        assert!(!hv.vm(id).throttled());
+        assert!(hv.throttle(id));
+        assert!(hv.vm(id).throttled());
+        assert_eq!(hv.vm(id).parallelism_at(u64::MAX), 1);
+        assert_eq!(hv.vm(id).state(), VmState::Running, "throttling is not a pause");
+        assert!(!hv.throttle(id), "throttle is idempotent");
+        assert!(hv.unthrottle(id));
+        assert!(!hv.vm(id).throttled());
+        assert_eq!(hv.vm(id).parallelism_at(u64::MAX), 4);
+        assert!(!hv.unthrottle(id), "unthrottle is idempotent");
+        assert!(!hv.throttle(VmId(9)), "unknown VM is a no-op");
     }
 
     #[test]

@@ -248,6 +248,18 @@ impl Server {
         self.hv.resume_all();
     }
 
+    /// Execution-throttles one VM (parallelism clamped to 1) — the
+    /// first rung of the respond mitigation ladder. Returns `false` if
+    /// already throttled.
+    pub fn throttle_vm(&mut self, vm: VmId) -> bool {
+        self.hv.throttle(vm)
+    }
+
+    /// Lifts an execution throttle, restoring registered parallelism.
+    pub fn unthrottle_vm(&mut self, vm: VmId) -> bool {
+        self.hv.unthrottle(vm)
+    }
+
     /// Sets the number of cache lines the monitoring process touches per
     /// tick (LLC pollution caused by the detection system itself).
     pub fn set_monitor_load(&mut self, lines_per_tick: u64) {

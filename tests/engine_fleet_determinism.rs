@@ -36,6 +36,7 @@ fn fleet_lines() -> &'static [String] {
             max_interval: 64,
             churn: 0.2,
             seed: 0xF1EE7,
+            attack: None,
         };
         fleet_jsonl(&config).expect("fleet config is valid")
     })
