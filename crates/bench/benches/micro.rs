@@ -44,7 +44,14 @@
 //! outcomes of the seeded respond scenarios and the respond-loop
 //! throughput at 1 and 4 workers (no scaling key: the feedback loop is
 //! a serial cycle, so workers buy per-flush dispatch, not loop-level
-//! speedup). CI
+//! speedup); a sixth, `BENCH_9.json` (override with
+//! `MEMDOS_BENCH_OUT_BINARY`), carries the binary wire-format numbers —
+//! the raw frame-decode cost (`engine_binary_decode_sample_ns`, the
+//! ingest-throughput claim the wire format was built for), the full
+//! binary pipeline (`engine_binary_ingest_sample_ns` /
+//! `engine_binary_samples_per_sec`), the paired binary-over-JSONL
+//! pipeline speedup (`speedup_binary_wire`), and
+//! `engine_binary_scaling_t4`. CI
 //! compares all of them against their counterparts under
 //! `crates/bench/baseline/` via `cargo run -p xtask -- bench-check`.
 //!
@@ -579,6 +586,125 @@ fn bench_engine_ingest(report: &mut Report) {
     report.push("engine_ingest_scaling_t4", scaling);
 }
 
+/// Binary wire-format throughput, emitted into the separate
+/// `BENCH_9.json` report. The same 4-tenant record stream as
+/// `bench_engine_ingest` is rendered twice — JSONL text and binary
+/// frames — so every comparison is over identical records.
+///
+/// Three measurements:
+/// * `engine_binary_decode_sample_ns` — the raw [`BinDecoder`] cost per
+///   frame (checksum + fixed-width field reads), with no engine behind
+///   it. This is the wire format's headline number: the decode itself
+///   must stay deep under the ~100 ns/sample ingest budget so the
+///   detector pipeline, not the codec, is the throughput ceiling.
+/// * `engine_binary_ingest_sample_ns` — the full negotiated pipeline
+///   (sniff → decode → wire-id route → columnar batch step → log), plus
+///   the paired `speedup_binary_wire` ratio against the identical JSONL
+///   stream. Measured as back-to-back pairs for the same reason as the
+///   scaling ratios: the two halves share the machine's current state.
+/// * `engine_binary_scaling_t4` — paired 4-worker speedup of the binary
+///   pipeline, gated absolutely at the 0.95 parity floor like the other
+///   `*scaling*` keys.
+fn bench_engine_binary(report: &mut Report) {
+    use memdos_engine::engine::Engine;
+    use memdos_engine::session::SessionConfig;
+    use memdos_engine::Config;
+    use memdos_metrics::binary::{BinDecoder, Encoder, MAGIC};
+
+    const TENANTS: u64 = 4;
+    const TICKS: u64 = 4_000;
+    let mut jsonl: Vec<u8> = Vec::new();
+    let mut binary: Vec<u8> = Vec::new();
+    let mut enc = Encoder::new();
+    for i in 0..TICKS {
+        for t in 0..TENANTS {
+            let h = (i * TENANTS + t).wrapping_mul(2654435761);
+            let (access, miss) = ((1_000 + h % 17) as f64, (100 + h % 7) as f64);
+            jsonl.extend_from_slice(
+                format!("{{\"tenant\":\"vm-{t}\",\"access\":{access},\"miss\":{miss}}}\n")
+                    .as_bytes(),
+            );
+            enc.sample(&format!("vm-{t}"), access, miss, &mut binary)
+                .expect("bench tenant names are valid");
+        }
+    }
+    for t in 0..TENANTS {
+        jsonl.extend_from_slice(format!("{{\"tenant\":\"vm-{t}\",\"ctl\":\"close\"}}\n").as_bytes());
+        enc.close(&format!("vm-{t}"), &mut binary).expect("bench tenant names are valid");
+    }
+    let total = (TENANTS * TICKS + TENANTS) as f64;
+
+    // Raw decode: frames through the checksummed decoder, no engine.
+    let body = &binary[MAGIC.len()..];
+    let mut scratch = Vec::new();
+    let decode_ns = bench("binary_decode_16k_frames", || {
+        let mut dec = BinDecoder::new();
+        for chunk in body.chunks(64 * 1024) {
+            dec.push_bytes(chunk);
+            dec.drain_into(&mut scratch);
+            black_box(scratch.len());
+        }
+        black_box(dec.finish().len());
+        assert_eq!(dec.resynced(), 0, "bench stream must decode cleanly");
+    });
+    report.push("engine_binary_decode_sample_ns", decode_ns / total);
+    report.push("engine_binary_decode_samples_per_sec", 1.0e9 * total / decode_ns);
+
+    let config_for = |workers: usize| Config {
+        workers,
+        session: SessionConfig { profile_ticks: TICKS / 2, ..SessionConfig::default() },
+        ..Config::default()
+    };
+    // A default-capacity BufReader gives both formats the production
+    // chunking (8 KiB reads, as from stdin or a socket) instead of one
+    // giant slice per call.
+    let replay = |workers: usize, bytes: &[u8]| {
+        let mut engine =
+            Engine::new(config_for(workers)).expect("bench engine configuration is valid");
+        engine
+            .ingest_reader(std::io::BufReader::new(bytes))
+            .expect("in-memory reads cannot fail");
+        engine.flush();
+        black_box(engine.log_lines().len());
+    };
+
+    let bin_ns = bench("engine_binary_16k_frames", || replay(1, &binary));
+    report.push("engine_binary_ingest_sample_ns", bin_ns / total);
+    report.push("engine_binary_samples_per_sec", 1.0e9 * total / bin_ns);
+
+    // Paired binary/JSONL replays — see `bench_engine_ingest` for why
+    // format and scaling comparisons are measured relatively.
+    const PAIRS: usize = 15;
+    let paired_ratio = |mut a: Box<dyn FnMut()>, mut b: Box<dyn FnMut()>| {
+        let mut ratios: Vec<f64> = (0..PAIRS)
+            .map(|_| {
+                let t = Instant::now();
+                a();
+                let na = t.elapsed().as_nanos().max(1) as f64;
+                let t = Instant::now();
+                b();
+                let nb = t.elapsed().as_nanos().max(1) as f64;
+                na / nb
+            })
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios.get(PAIRS / 2).copied().unwrap_or(1.0)
+    };
+    let speedup = paired_ratio(
+        Box::new(|| replay(1, &jsonl)),
+        Box::new(|| replay(1, &binary)),
+    );
+    println!("{:<28} {speedup:>12.3} x", "speedup_binary_wire");
+    report.push("speedup_binary_wire", speedup);
+
+    let scaling = paired_ratio(
+        Box::new(|| replay(1, &binary)),
+        Box::new(|| replay(4, &binary)),
+    );
+    println!("{:<28} {scaling:>12.3} x", "engine_binary_scaling_t4");
+    report.push("engine_binary_scaling_t4", scaling);
+}
+
 /// Chaos-path throughput: a compact fault-injected demo stream replayed
 /// end to end (resync, backpressure drops/recoveries, idle closes,
 /// reopen generations all exercised), emitted into the separate
@@ -806,6 +932,11 @@ fn main() {
         let mut engine_report = Report::default();
         bench_engine_ingest(&mut engine_report);
         engine_report.write("MEMDOS_BENCH_OUT_ENGINE", "BENCH_5.json");
+    }
+    if runs("engine_binary") {
+        let mut binary_report = Report::default();
+        bench_engine_binary(&mut binary_report);
+        binary_report.write("MEMDOS_BENCH_OUT_BINARY", "BENCH_9.json");
     }
     if runs("engine_soak") {
         let mut soak_report = Report::default();

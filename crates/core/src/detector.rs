@@ -43,6 +43,65 @@ impl From<&PcmSample> for Observation {
     }
 }
 
+/// A columnar batch of observations: the structure-of-arrays twin of
+/// [`Observation`], borrowed from the caller's column buffers so batch
+/// stepping never copies or re-packs samples.
+///
+/// Both columns must be the same length; [`ObservationBatch::new`]
+/// truncates to the shorter one so a malformed caller cannot cause an
+/// out-of-bounds read.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservationBatch<'a> {
+    access: &'a [f64],
+    miss: &'a [f64],
+}
+
+impl<'a> ObservationBatch<'a> {
+    /// Wraps two equal-length columns (truncating to the shorter).
+    pub fn new(access: &'a [f64], miss: &'a [f64]) -> Self {
+        let n = access.len().min(miss.len());
+        let access = access.get(..n).unwrap_or(access);
+        let miss = miss.get(..n).unwrap_or(miss);
+        ObservationBatch { access, miss }
+    }
+
+    /// Number of observations in the batch.
+    pub fn len(&self) -> usize {
+        self.access.len()
+    }
+
+    /// Whether the batch holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.access.is_empty()
+    }
+
+    /// The access-counter column.
+    pub fn access(&self) -> &'a [f64] {
+        self.access
+    }
+
+    /// The miss-counter column.
+    pub fn miss(&self) -> &'a [f64] {
+        self.miss
+    }
+
+    /// The column for one statistic.
+    pub fn column(&self, which: Stat) -> &'a [f64] {
+        match which {
+            Stat::AccessNum => self.access,
+            Stat::MissNum => self.miss,
+        }
+    }
+
+    /// Iterates the batch as scalar [`Observation`]s, in order.
+    pub fn iter(&self) -> impl Iterator<Item = Observation> + 'a {
+        self.access
+            .iter()
+            .zip(self.miss)
+            .map(|(&access_num, &miss_num)| Observation { access_num, miss_num })
+    }
+}
+
 /// A hypervisor action requested by a detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThrottleRequest {
@@ -115,6 +174,25 @@ pub trait Detector {
     /// Feeds the PCM statistics of one tick.
     fn on_observation(&mut self, obs: Observation) -> DetectorStep;
 
+    /// Feeds a columnar batch of consecutive ticks, appending exactly
+    /// one [`DetectorStep`] per observation to `out` (existing contents
+    /// are preserved).
+    ///
+    /// The contract is *bit-identical equivalence* with scalar stepping:
+    /// for any batch, the appended steps and the detector's final state
+    /// must match calling [`Detector::on_observation`] once per
+    /// observation in order — batching is a throughput optimisation,
+    /// never a semantic fork (`detector_conformance` pins this for every
+    /// scheme). The default implementation is that scalar loop; schemes
+    /// whose per-tick work is a smoothing push (SDS/B, SDS/P, SDS)
+    /// override it with branch-light columnar loops.
+    // hot-path
+    fn step_batch(&mut self, batch: ObservationBatch<'_>, out: &mut Vec<DetectorStep>) {
+        for obs in batch.iter() {
+            out.push(self.on_observation(obs));
+        }
+    }
+
     /// Whether the scheme's detection condition is currently satisfied.
     fn alarm_active(&self) -> bool;
 
@@ -160,11 +238,18 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
     fn on_observation(&mut self, obs: Observation) -> DetectorStep {
         (**self).on_observation(obs)
     }
+    // hot-path
+    fn step_batch(&mut self, batch: ObservationBatch<'_>, out: &mut Vec<DetectorStep>) {
+        (**self).step_batch(batch, out)
+    }
     fn alarm_active(&self) -> bool {
         (**self).alarm_active()
     }
     fn activations(&self) -> u64 {
         (**self).activations()
+    }
+    fn resident_bytes_hint(&self) -> usize {
+        (**self).resident_bytes_hint()
     }
 }
 

@@ -13,7 +13,9 @@
 //! periodic structure lives (Figs. 2(g), 6(a)).
 
 use crate::config::{SdsBParams, SdsParams, SdsPParams};
-use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
+use crate::detector::{
+    Detector, DetectorStep, FromProfile, Observation, ObservationBatch, Verdict,
+};
 use crate::profile::Profile;
 use crate::sdsb::SdsB;
 use crate::sdsp::SdsP;
@@ -123,6 +125,81 @@ impl Detector for Sds {
         }
         self.active = now_active;
         DetectorStep { verdict: self.verdict(), became_active: became, throttle: None }
+    }
+
+    /// Columnar stepping: each channel's statistic column is selected
+    /// once per batch and all three channels advance in one fused loop,
+    /// so the per-observation work is three smoothing pushes plus the
+    /// agreement combine — no virtual dispatch, no per-observation
+    /// statistic selection. The combine and verdict bodies mirror
+    /// [`Detector::on_observation`] and `Sds::verdict` line for line, so
+    /// the step stream is bit-identical to scalar stepping.
+    // hot-path
+    fn step_batch(&mut self, batch: ObservationBatch<'_>, out: &mut Vec<DetectorStep>) {
+        let col_a = batch.column(self.b_access.stat());
+        let col_m = batch.column(self.b_miss.stat());
+        out.reserve(col_a.len());
+        match self.p.take() {
+            Some(mut p) => {
+                let col_p = batch.column(p.params().stat);
+                for ((&a, &m), &pr) in col_a.iter().zip(col_m).zip(col_p) {
+                    self.b_access.step_raw(a);
+                    self.b_miss.step_raw(m);
+                    p.advance(pr);
+                    let b_active =
+                        self.b_access.alarm_active() || self.b_miss.alarm_active();
+                    let now_active = b_active && p.alarm_active();
+                    let became = now_active && !self.active;
+                    if became {
+                        self.activations += 1;
+                    }
+                    self.active = now_active;
+                    let verdict = if self.active {
+                        Verdict::Alarm
+                    } else {
+                        let streak = self
+                            .b_access
+                            .consecutive_violations()
+                            .max(self.b_miss.consecutive_violations())
+                            .max(p.consecutive_changes());
+                        if streak > 0 {
+                            Verdict::Suspicious { consecutive: streak }
+                        } else {
+                            Verdict::Normal
+                        }
+                    };
+                    out.push(DetectorStep { verdict, became_active: became, throttle: None });
+                }
+                self.p = Some(p);
+            }
+            None => {
+                for (&a, &m) in col_a.iter().zip(col_m) {
+                    self.b_access.step_raw(a);
+                    self.b_miss.step_raw(m);
+                    let now_active =
+                        self.b_access.alarm_active() || self.b_miss.alarm_active();
+                    let became = now_active && !self.active;
+                    if became {
+                        self.activations += 1;
+                    }
+                    self.active = now_active;
+                    let verdict = if self.active {
+                        Verdict::Alarm
+                    } else {
+                        let streak = self
+                            .b_access
+                            .consecutive_violations()
+                            .max(self.b_miss.consecutive_violations());
+                        if streak > 0 {
+                            Verdict::Suspicious { consecutive: streak }
+                        } else {
+                            Verdict::Normal
+                        }
+                    };
+                    out.push(DetectorStep { verdict, became_active: became, throttle: None });
+                }
+            }
+        }
     }
 
     fn alarm_active(&self) -> bool {

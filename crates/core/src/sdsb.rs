@@ -18,7 +18,9 @@
 //! [`DetectorStep`]/[`Verdict`] surface.
 
 use crate::config::SdsBParams;
-use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
+use crate::detector::{
+    Detector, DetectorStep, FromProfile, Observation, ObservationBatch, Verdict,
+};
 use crate::profile::{Profile, StatProfile};
 use crate::CoreError;
 use memdos_sim::pcm::Stat;
@@ -124,8 +126,11 @@ impl SdsB {
         }
     }
 
-    /// Feeds one raw sample of the monitored statistic.
-    fn step_raw(&mut self, raw: f64) -> DetectorStep {
+    /// Feeds one raw sample of the monitored statistic. Crate-visible so
+    /// the combined [`crate::sds::Sds`] batch loop can step its channels
+    /// with pre-selected columns; external callers go through
+    /// [`Detector::on_observation`].
+    pub(crate) fn step_raw(&mut self, raw: f64) -> DetectorStep {
         let mut became = false;
         if let Some(s) = self.pipeline.push(raw) {
             self.last_ewma = Some(s.ewma);
@@ -154,12 +159,49 @@ impl Detector for SdsB {
         self.step_raw(obs.stat(self.params.stat))
     }
 
+    /// Columnar stepping: one pass over the statistic's column with the
+    /// verdict cached between pipeline emissions, so the per-sample work
+    /// between window steps is a single `Pipeline::push` and a copy —
+    /// no virtual dispatch, no statistic re-selection, no verdict
+    /// recomputation. Bit-identical to the scalar loop by construction
+    /// (the emission arm is `step_raw`'s body verbatim).
+    // hot-path
+    fn step_batch(&mut self, batch: ObservationBatch<'_>, out: &mut Vec<DetectorStep>) {
+        let col = batch.column(self.params.stat);
+        out.reserve(col.len());
+        let mut quiet = DetectorStep { verdict: self.verdict(), became_active: false, throttle: None };
+        for &raw in col {
+            if let Some(s) = self.pipeline.push(raw) {
+                self.last_ewma = Some(s.ewma);
+                if self.range.is_violation(s.ewma) {
+                    self.consecutive = self.consecutive.saturating_add(1);
+                } else {
+                    self.consecutive = 0;
+                }
+                let now_active = self.consecutive >= self.params.h_c;
+                let became = now_active && !self.active;
+                if became {
+                    self.activations += 1;
+                }
+                self.active = now_active;
+                quiet = DetectorStep { verdict: self.verdict(), became_active: false, throttle: None };
+                out.push(DetectorStep { verdict: quiet.verdict, became_active: became, throttle: None });
+            } else {
+                out.push(quiet);
+            }
+        }
+    }
+
     fn alarm_active(&self) -> bool {
         self.active
     }
 
     fn activations(&self) -> u64 {
         self.activations
+    }
+
+    fn resident_bytes_hint(&self) -> usize {
+        SdsB::resident_bytes_hint(self)
     }
 }
 

@@ -17,7 +17,9 @@
 //! surface.
 
 use crate::config::SdsPParams;
-use crate::detector::{Detector, DetectorStep, FromProfile, Observation, Verdict};
+use crate::detector::{
+    Detector, DetectorStep, FromProfile, Observation, ObservationBatch, Verdict,
+};
 use crate::profile::Profile;
 use crate::CoreError;
 use memdos_stats::period::PeriodDetector;
@@ -147,7 +149,9 @@ impl SdsP {
     }
 
     /// Core update; returns `true` on an inactive→active transition.
-    fn advance(&mut self, raw: f64) -> bool {
+    /// Crate-visible so the combined [`crate::sds::Sds`] batch loop can
+    /// step the period channel with a pre-selected column.
+    pub(crate) fn advance(&mut self, raw: f64) -> bool {
         let Some(m) = self.ma.push(raw) else {
             return false;
         };
@@ -204,12 +208,36 @@ impl Detector for SdsP {
         self.step_raw(obs.stat(self.params.stat))
     }
 
+    /// Columnar stepping over the statistic's column: the statistic is
+    /// selected once per batch instead of per observation and the loop
+    /// is monomorphic (no virtual dispatch). `advance` is a single MA
+    /// push on most ticks — the DFT-ACF recompute cadence dominates, so
+    /// the equivalence with scalar stepping is structural: the body is
+    /// `step_raw` with the column pre-selected.
+    // hot-path
+    fn step_batch(&mut self, batch: ObservationBatch<'_>, out: &mut Vec<DetectorStep>) {
+        let col = batch.column(self.params.stat);
+        out.reserve(col.len());
+        for &raw in col {
+            let became = self.advance(raw);
+            out.push(DetectorStep {
+                verdict: self.verdict(),
+                became_active: became,
+                throttle: None,
+            });
+        }
+    }
+
     fn alarm_active(&self) -> bool {
         self.active
     }
 
     fn activations(&self) -> u64 {
         self.activations
+    }
+
+    fn resident_bytes_hint(&self) -> usize {
+        SdsP::resident_bytes_hint(self)
     }
 }
 

@@ -17,7 +17,9 @@
 //! are clean), so the KStest baseline runs its real protocol.
 
 use memdos_core::config::{KsTestParams, SdsBParams, SdsPParams, SdsParams};
-use memdos_core::detector::{Detector, FromProfile, Observation, ThrottleRequest, Verdict};
+use memdos_core::detector::{
+    Detector, DetectorStep, FromProfile, Observation, ObservationBatch, ThrottleRequest, Verdict,
+};
 use memdos_core::kstest::KsTestDetector;
 use memdos_core::profile::{Profile, Profiler, ProfilerConfig};
 use memdos_core::sds::Sds;
@@ -371,6 +373,91 @@ fn throttle_induced_counter_discontinuity_keeps_invariants_and_clears() {
             case.label
         );
     }
+}
+
+#[test]
+fn step_batch_is_bit_identical_to_scalar_stepping() {
+    // The Detector::step_batch contract: for any batch boundaries, the
+    // step stream and final state must match scalar stepping exactly —
+    // including batches that straddle the benign→attack edge and the
+    // alarm-activation boundary (the single-batch pattern covers the
+    // whole stream in one call), and Suspicious streak values mid-climb.
+    // KStest runs the default scalar-loop implementation; the three SDS
+    // schemes run their real columnar implementations. Stepping goes
+    // through Box<dyn Detector>, so the blanket forwarding is pinned too.
+    let patterns: [&[usize]; 5] = [&[1], &[3, 1, 7], &[64], &[1 << 20], &[1, 2, 3, 5, 8, 13, 21]];
+    for pattern in patterns {
+        let scalar_cases = cases();
+        let batch_cases = cases();
+        for (mut s, mut b) in scalar_cases.into_iter().zip(batch_cases) {
+            // Benign → attack → benign, with no throttle feedback (both
+            // sides consume the identical pre-built stream).
+            let total = s.benign_ticks + s.attack_ticks + s.recovery_ticks;
+            let stream: Vec<Observation> = (0..total)
+                .map(|i| {
+                    if i < s.benign_ticks || i >= s.benign_ticks + s.attack_ticks {
+                        (s.benign)(i)
+                    } else {
+                        attack_obs(i)
+                    }
+                })
+                .collect();
+            let scalar_steps: Vec<DetectorStep> =
+                stream.iter().map(|o| s.det.on_observation(*o)).collect();
+
+            let access: Vec<f64> = stream.iter().map(|o| o.access_num).collect();
+            let miss: Vec<f64> = stream.iter().map(|o| o.miss_num).collect();
+            let mut batch_steps = Vec::new();
+            let mut at = 0usize;
+            let mut pi = 0usize;
+            while at < stream.len() {
+                let take = pattern[pi % pattern.len()].min(stream.len() - at);
+                pi += 1;
+                let batch = ObservationBatch::new(&access[at..at + take], &miss[at..at + take]);
+                b.det.step_batch(batch, &mut batch_steps);
+                at += take;
+            }
+
+            assert_eq!(
+                scalar_steps.len(),
+                batch_steps.len(),
+                "{}: step_batch must append exactly one step per observation",
+                s.label
+            );
+            for (i, (sv, bv)) in scalar_steps.iter().zip(&batch_steps).enumerate() {
+                assert_eq!(
+                    sv, bv,
+                    "{}: pattern {pattern:?} diverges from scalar at tick {i}",
+                    s.label
+                );
+            }
+            assert_eq!(s.det.alarm_active(), b.det.alarm_active(), "{}", s.label);
+            assert_eq!(s.det.activations(), b.det.activations(), "{}", s.label);
+            // The stream must actually cross an alarm boundary for the
+            // schemes with a real columnar implementation, or the test
+            // would pin nothing.
+            if matches!(s.label, "SDS/B" | "SDS/P" | "SDS") {
+                assert!(
+                    b.det.activations() >= 1,
+                    "{}: batch stream never activated — boundary not exercised",
+                    s.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn step_batch_appends_and_preserves_existing_steps() {
+    // Sessions reuse one output buffer across detectors; step_batch must
+    // append, never clear.
+    let mut case = cases().remove(0);
+    let access = [1000.0, 1001.0, 1002.0];
+    let miss = [100.0, 100.0, 100.0];
+    let mut out = vec![DetectorStep::quiet()];
+    case.det.step_batch(ObservationBatch::new(&access, &miss), &mut out);
+    assert_eq!(out.len(), 4, "one pre-existing step plus one per observation");
+    assert_eq!(out.first(), Some(&DetectorStep::quiet()));
 }
 
 #[test]

@@ -96,7 +96,8 @@ use crate::session::{
 use crate::slab::Slab;
 use memdos_core::detector::Observation;
 use memdos_core::CoreError;
-use memdos_metrics::jsonl::{self, Decoder, Frame, JsonObject, LineBuf, RawKind, RawParse, Segment};
+use memdos_metrics::binary::{self, BinDecoder, BinFrame};
+use memdos_metrics::jsonl::{self, JsonObject, LineBuf, RawKind, RawParse, Segment};
 use memdos_runner::ShardPool;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -160,6 +161,9 @@ struct StageProf {
     enabled: bool,
     /// Line → record decoding (fast parse, fallback and resync).
     decode_ns: u64,
+    /// Binary-stream decoding (frame scan, checksum, resync) when the
+    /// reader negotiated the binary wire format.
+    decode_bin_ns: u64,
     /// Record → session routing (intern lookup, offer, drop policy).
     dispatch_ns: u64,
     /// Session queue draining (detector stepping) across the pool.
@@ -209,6 +213,32 @@ impl TenantId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+}
+
+/// Binary-protocol tenant directory for one ingest stream: wire id →
+/// tenant name, as bound by [`BinFrame::Define`] frames. `cached`
+/// memoises the engine's interned [`TenantId`] — ids are stable for the
+/// engine's lifetime, so once warm a sample routes with two vector hops
+/// and no `BTreeMap` name lookup at all.
+#[derive(Debug, Default)]
+struct WireTable {
+    slots: Vec<Option<WireEntry>>,
+}
+
+#[derive(Debug)]
+struct WireEntry {
+    name: String,
+    cached: Option<TenantId>,
+}
+
+/// Carry state for the chunked JSONL line splitter: the partial line
+/// spanning reads, discard mode for an oversized line, and the
+/// physical-line count [`Engine::ingest_reader`] reports.
+#[derive(Debug, Default)]
+struct LineCarry {
+    buf: Vec<u8>,
+    discarding: Option<u64>,
+    lines: u64,
 }
 
 /// Final accounting of a reclaimed incarnation, retained per tenant so
@@ -577,49 +607,267 @@ impl Engine {
         }
     }
 
-    /// Ingests every byte of `reader` through the resynchronising
-    /// [`Decoder`] (draining the engine at EOF) and returns the number of
-    /// physical lines consumed. Invalid UTF-8, oversized lines and
-    /// corrupted records are logged and skipped, never fatal.
+    /// Ingests every byte of `reader`, negotiating the wire format from
+    /// the first bytes of the stream: a stream opening with the binary
+    /// preamble ([`binary::MAGIC`]) decodes through the [`BinDecoder`];
+    /// anything else is JSONL, split into physical lines that take the
+    /// same fast parse as [`Engine::ingest_line`]. Returns the number of
+    /// input spans consumed (physical lines for JSONL, frames for
+    /// binary).
+    /// Invalid UTF-8, oversized lines and corrupted frames are logged
+    /// and skipped, never fatal.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the reader; input ingested before the
     /// error remains processed.
     pub fn ingest_reader<R: BufRead>(&mut self, mut reader: R) -> std::io::Result<u64> {
-        let mut dec = Decoder::new();
+        // Sniff up to one preamble, accumulating across short reads.
+        // Divergence from the magic at any byte settles on JSONL with
+        // the sniffed bytes replayed into the line decoder.
+        let mut sniffed: Vec<u8> = Vec::new();
+        let is_binary = loop {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                break false;
+            }
+            let need = binary::MAGIC.len().saturating_sub(sniffed.len());
+            let take = need.min(chunk.len());
+            sniffed.extend_from_slice(chunk.get(..take).unwrap_or(chunk));
+            reader.consume(take);
+            let prefix = binary::MAGIC.get(..sniffed.len()).unwrap_or(&[]);
+            if sniffed != prefix {
+                break false;
+            }
+            if sniffed.len() == binary::MAGIC.len() {
+                break true;
+            }
+        };
+        if is_binary {
+            self.ingest_reader_binary(reader)
+        } else {
+            self.ingest_reader_jsonl(&sniffed, reader)
+        }
+    }
+
+    /// The JSONL arm of [`Engine::ingest_reader`]; `prefix` holds bytes
+    /// the format sniff already consumed from the reader.
+    ///
+    /// Framing (line split, 64 KiB line cap, UTF-8 splitting, the
+    /// physical-line count) mirrors [`jsonl::Decoder`]; each complete line then
+    /// takes [`Engine::ingest_line`]'s borrowed zero-allocation parse
+    /// instead of the decoder's owned [`JsonObject`] path — same events,
+    /// a fraction of the per-line cost.
+    fn ingest_reader_jsonl<R: BufRead>(
+        &mut self,
+        prefix: &[u8],
+        mut reader: R,
+    ) -> std::io::Result<u64> {
+        let mut carry = LineCarry::default();
+        self.ingest_jsonl_chunk(&mut carry, prefix);
         loop {
             let len = {
                 let chunk = reader.fill_buf()?;
                 if chunk.is_empty() {
                     break;
                 }
-                dec.push_bytes(chunk);
+                self.ingest_jsonl_chunk(&mut carry, chunk);
                 chunk.len()
             };
             reader.consume(len);
-            for frame in dec.drain() {
-                self.ingest_frame(frame);
+        }
+        // Trailing unterminated line at end of stream.
+        if let Some(dropped) = carry.discarding.take() {
+            carry.lines += 1;
+            self.push_oversized_line(dropped);
+        } else if !carry.buf.is_empty() {
+            carry.lines += 1;
+            let line = std::mem::take(&mut carry.buf);
+            self.ingest_jsonl_line(&line);
+        }
+        self.flush();
+        Ok(carry.lines)
+    }
+
+    /// Splits one chunk of a JSONL byte stream into physical lines,
+    /// feeding each complete line through the fast line path. Lines
+    /// longer than [`jsonl::DEFAULT_MAX_LINE`] are discarded wholesale
+    /// (one `malformed` event), so a stream that stops sending newlines
+    /// cannot grow the carry buffer without bound. Not `// hot-path`
+    /// itself: the per-sample contract is enforced on
+    /// [`Engine::ingest_line`], which every complete line goes through;
+    /// this wrapper only manages the carry buffer (reused, not grown
+    /// per line) and the fault paths.
+    fn ingest_jsonl_chunk(&mut self, carry: &mut LineCarry, chunk: &[u8]) {
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let head = rest.get(..nl).unwrap_or(rest);
+            rest = rest.get(nl + 1..).unwrap_or(&[]);
+            carry.lines += 1;
+            if let Some(dropped) = carry.discarding.take() {
+                self.push_oversized_line(dropped + head.len() as u64);
+            } else if carry.buf.is_empty() {
+                self.ingest_jsonl_line(head);
+            } else {
+                carry.buf.extend_from_slice(head);
+                let line = std::mem::take(&mut carry.buf);
+                self.ingest_jsonl_line(&line);
+                // Reuse the carry allocation for the next split line.
+                carry.buf = line;
+                carry.buf.clear();
             }
         }
-        for frame in dec.finish() {
-            self.ingest_frame(frame);
+        match carry.discarding.as_mut() {
+            Some(dropped) => *dropped += rest.len() as u64,
+            None => {
+                carry.buf.extend_from_slice(rest);
+                if carry.buf.len() > jsonl::DEFAULT_MAX_LINE {
+                    carry.discarding = Some(carry.buf.len() as u64);
+                    carry.buf.clear();
+                }
+            }
+        }
+    }
+
+    /// Ingests one complete physical line (no trailing newline),
+    /// splitting around invalid UTF-8 exactly as [`jsonl::Decoder`] does: each
+    /// valid fragment takes the normal line path, each offending span
+    /// becomes a `malformed` event, and scanning resumes after it.
+    fn ingest_jsonl_line(&mut self, line: &[u8]) {
+        let mut rest = line;
+        loop {
+            match std::str::from_utf8(rest) {
+                Ok(text) => {
+                    if !text.trim().is_empty() {
+                        self.ingest_line(text);
+                    }
+                    return;
+                }
+                Err(e) => {
+                    let valid = e.valid_up_to();
+                    if let Some(prefix) =
+                        rest.get(..valid).and_then(|p| std::str::from_utf8(p).ok())
+                    {
+                        if !prefix.trim().is_empty() {
+                            self.ingest_line(prefix);
+                        }
+                    }
+                    let bad = e.error_len().unwrap_or(rest.len() - valid).max(1);
+                    let seq = self.alloc_seq();
+                    self.push_malformed(seq, "invalid UTF-8", Some(bad));
+                    if self.pending >= self.config.batch {
+                        self.flush();
+                    }
+                    let next = (valid + bad).min(rest.len());
+                    rest = rest.get(next..).unwrap_or(&[]);
+                    if rest.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Logs one oversized-line rejection (`dropped` bytes discarded).
+    fn push_oversized_line(&mut self, dropped: u64) {
+        let seq = self.alloc_seq();
+        let reason = format!("line exceeds the {}-byte cap", jsonl::DEFAULT_MAX_LINE);
+        self.push_malformed(seq, &reason, Some(dropped as usize));
+        if self.pending >= self.config.batch {
+            self.flush();
+        }
+    }
+
+    /// The binary arm of [`Engine::ingest_reader`]: the preamble is
+    /// already consumed; everything after is fixed-width frames.
+    fn ingest_reader_binary<R: BufRead>(&mut self, mut reader: R) -> std::io::Result<u64> {
+        let mut dec = BinDecoder::new();
+        let mut frames: Vec<BinFrame> = Vec::new();
+        let mut wire = WireTable::default();
+        loop {
+            let len = {
+                let chunk = reader.fill_buf()?;
+                if chunk.is_empty() {
+                    break;
+                }
+                let t0 = self.prof.start();
+                dec.push_bytes(chunk);
+                let d = self.prof.lap(t0);
+                self.prof.decode_bin_ns += d;
+                chunk.len()
+            };
+            reader.consume(len);
+            dec.drain_into(&mut frames);
+            for frame in frames.drain(..) {
+                self.ingest_bin_frame(frame, &mut wire);
+            }
+        }
+        let t0 = self.prof.start();
+        let tail = dec.finish();
+        let d = self.prof.lap(t0);
+        self.prof.decode_bin_ns += d;
+        for frame in tail {
+            self.ingest_bin_frame(frame, &mut wire);
         }
         self.stats.resynced += dec.resynced();
         self.flush();
-        Ok(dec.lines())
+        Ok(dec.frames())
     }
 
-    /// Routes one decoded frame (from [`Decoder`]) into the engine.
-    fn ingest_frame(&mut self, frame: Frame) {
-        let seq = self.alloc_seq();
+    /// Routes one decoded binary frame. Sample and close frames consume
+    /// an arrival index exactly like their JSONL twins (so a converted
+    /// stream replays under identical `seq` values); a define frame is
+    /// zero-width metadata — it binds a wire id without consuming a
+    /// `seq` — unless it is invalid, in which case it surfaces as an
+    /// ordinary `malformed` span.
+    // hot-path
+    fn ingest_bin_frame(&mut self, frame: BinFrame, wire: &mut WireTable) {
         match frame {
-            Frame::Object(obj) => match Record::from_object(&obj) {
-                Ok(record) => self.ingest_record(seq, record),
-                Err(e) => self.push_malformed(seq, e.reason(), None),
-            },
-            Frame::Skipped { bytes, reason } => {
-                self.push_malformed(seq, &reason, Some(bytes));
+            BinFrame::Sample { tenant, access, miss } => {
+                let seq = self.alloc_seq();
+                let t0 = self.prof.start();
+                let obs = Observation { access_num: access, miss_num: miss };
+                match wire.slots.get_mut(tenant as usize).and_then(Option::as_mut) {
+                    Some(entry) => self.route_sample_wire(seq, entry, obs),
+                    None => self.push_malformed(seq, "undefined wire id", None),
+                }
+                let d = self.prof.lap(t0);
+                self.prof.dispatch_ns += d;
+            }
+            BinFrame::Close { tenant } => {
+                let seq = self.alloc_seq();
+                let t0 = self.prof.start();
+                match wire.slots.get(tenant as usize).and_then(Option::as_ref) {
+                    Some(entry) => {
+                        let name = &entry.name;
+                        self.route_close(seq, name);
+                    }
+                    None => self.push_malformed(seq, "undefined wire id", None),
+                }
+                let d = self.prof.lap(t0);
+                self.prof.dispatch_ns += d;
+            }
+            BinFrame::Define { tenant, name } => {
+                if tenant >= binary::MAX_WIRE_ID {
+                    let seq = self.alloc_seq();
+                    self.push_malformed(seq, "wire id out of range", None);
+                } else {
+                    let slot = tenant as usize;
+                    if wire.slots.len() <= slot {
+                        wire.slots.resize_with(slot + 1, || None);
+                    }
+                    if let Some(e) = wire.slots.get_mut(slot) {
+                        *e = Some(WireEntry { name, cached: None });
+                    }
+                    // No seq consumed: defines are invisible to the
+                    // event log, so binary and JSONL replays of the
+                    // same stream stay byte-identical.
+                    return;
+                }
+            }
+            BinFrame::Skipped { bytes, reason } => {
+                let seq = self.alloc_seq();
+                self.push_malformed(seq, reason, Some(bytes));
             }
         }
         if self.pending >= self.config.batch {
@@ -646,6 +894,44 @@ impl Engine {
         let Some((idx, owner)) = self.sample_session(seq, tenant) else {
             return;
         };
+        self.offer_sample(idx, owner, seq, obs);
+    }
+
+    /// Routes one binary sample through the wire directory. A warm
+    /// `cached` id skips the name lookup; a cold one resolves by name
+    /// (opening the session if the tenant is new) and warms the cache —
+    /// interned ids never go stale, so the hint is set at most once per
+    /// wire binding.
+    // hot-path
+    fn route_sample_wire(&mut self, seq: u64, entry: &mut WireEntry, obs: Observation) {
+        let id = match entry.cached {
+            Some(id) => id,
+            None => match self.tenant_id(&entry.name) {
+                Some(id) => {
+                    entry.cached = Some(id);
+                    id
+                }
+                None => {
+                    let addr = self.sample_session(seq, &entry.name);
+                    entry.cached = self.tenant_id(&entry.name);
+                    let Some((idx, owner)) = addr else {
+                        return;
+                    };
+                    self.offer_sample(idx, owner, seq, obs);
+                    return;
+                }
+            },
+        };
+        let Some((idx, owner)) = self.sample_session_known(seq, id, &entry.name) else {
+            return;
+        };
+        self.offer_sample(idx, owner, seq, obs);
+    }
+
+    /// Offers one sample to the session at `(idx, owner)` and logs what
+    /// happened — the shared back half of every sample route.
+    // hot-path
+    fn offer_sample(&mut self, idx: u32, owner: u32, seq: u64, obs: Observation) {
         let Some(session) = self.slab.get_mut(idx, owner) else {
             return;
         };
@@ -712,24 +998,32 @@ impl Engine {
     /// `(slab slot, owner)` address.
     // hot-path
     fn sample_session(&mut self, seq: u64, tenant: &str) -> Option<(u32, u32)> {
+        match self.tenant_id(tenant) {
+            Some(id) => self.sample_session_known(seq, id, tenant),
+            None => self.open_session(seq, tenant, 0),
+        }
+    }
+
+    /// [`Engine::sample_session`] for a caller that already interned the
+    /// tenant (the binary wire directory caches the id), skipping the
+    /// name lookup.
+    // hot-path
+    fn sample_session_known(&mut self, seq: u64, id: TenantId, tenant: &str) -> Option<(u32, u32)> {
         enum Plan {
             Use(u32, u32),
             Open,
             Reopen(u32),
         }
-        let plan = match self.tenant_id(tenant) {
-            Some(id) => match self.slots.get_mut(id.index()) {
-                Some(slot) => {
-                    slot.last_seen = seq;
-                    match slot.session {
-                        Some(idx) if !slot.closed_at_ingest => Plan::Use(idx, id.0),
-                        // Closed (and possibly reclaimed): the tenant is
-                        // speaking again — churn.
-                        Some(_) | None => Plan::Reopen(slot.generation.saturating_add(1)),
-                    }
+        let plan = match self.slots.get_mut(id.index()) {
+            Some(slot) => {
+                slot.last_seen = seq;
+                match slot.session {
+                    Some(idx) if !slot.closed_at_ingest => Plan::Use(idx, id.0),
+                    // Closed (and possibly reclaimed): the tenant is
+                    // speaking again — churn.
+                    Some(_) | None => Plan::Reopen(slot.generation.saturating_add(1)),
                 }
-                None => Plan::Open,
-            },
+            }
             None => Plan::Open,
         };
         match plan {
@@ -1427,6 +1721,7 @@ impl Engine {
             // the stats line — and only the stats line — vary run to run.
             let p = self.prof;
             o.push_num("prof_decode_ns", p.decode_ns as f64)
+                .push_num("prof_decode_bin_ns", p.decode_bin_ns as f64)
                 .push_num("prof_dispatch_ns", p.dispatch_ns as f64)
                 .push_num("prof_step_ns", p.step_ns as f64)
                 .push_num("prof_merge_ns", p.merge_ns as f64)
@@ -1561,6 +1856,46 @@ mod tests {
             .log_lines()
             .iter()
             .any(|l| l.contains(r#""event":"closed""#)));
+    }
+
+    #[test]
+    fn ingest_reader_negotiates_binary_from_preamble() {
+        let mut bytes = Vec::new();
+        let mut enc = memdos_metrics::binary::Encoder::new();
+        enc.sample("vm-0", 1.0, 2.0, &mut bytes).unwrap();
+        enc.sample("vm-1", 3.0, 4.0, &mut bytes).unwrap();
+        enc.close("vm-0", &mut bytes).unwrap();
+        let mut engine = Engine::new(fast_config(1, 256)).unwrap();
+        // 2 defines + 2 samples + 1 close.
+        let n = engine.ingest_reader(&bytes[..]).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(engine.malformed(), 0);
+        assert_eq!(engine.session_count(), 2);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""event":"closed""#) && l.contains(r#""tenant":"vm-0""#)));
+        // Defines are zero-width: the close (3rd record) sits at seq 2,
+        // exactly where the JSONL twin of this stream would put it.
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(r#""seq":2"#) && l.contains(r#""event":"closed""#)));
+    }
+
+    #[test]
+    fn binary_undefined_wire_id_is_malformed_not_fatal() {
+        let mut bytes = Vec::new();
+        binary::write_preamble(&mut bytes);
+        binary::write_sample(&mut bytes, 7, 1.0, 2.0);
+        let mut engine = Engine::new(fast_config(1, 256)).unwrap();
+        engine.ingest_reader(&bytes[..]).unwrap();
+        assert_eq!(engine.malformed(), 1);
+        assert!(engine
+            .log_lines()
+            .iter()
+            .any(|l| l.contains("undefined wire id")));
+        assert_eq!(engine.session_count(), 0);
     }
 
     #[test]
@@ -1855,9 +2190,14 @@ mod tests {
         let plain = run_stats_line(false);
         assert!(!plain.contains("prof_decode_ns"));
         let profiled = run_stats_line(true);
-        for key in
-            ["prof_decode_ns", "prof_dispatch_ns", "prof_step_ns", "prof_merge_ns", "prof_write_ns"]
-        {
+        for key in [
+            "prof_decode_ns",
+            "prof_decode_bin_ns",
+            "prof_dispatch_ns",
+            "prof_step_ns",
+            "prof_merge_ns",
+            "prof_write_ns",
+        ] {
             assert!(profiled.contains(key), "missing {key} in {profiled}");
         }
         let obj = JsonObject::parse(&profiled).expect("stats line parses");

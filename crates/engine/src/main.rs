@@ -60,6 +60,7 @@ fn run(args: &[String]) -> i32 {
         Some("soak") => cmd_soak(args.get(1..).unwrap_or(&[])),
         Some("fleet") => cmd_fleet(args.get(1), args.get(2)),
         Some("respond") => cmd_respond(args.get(1..).unwrap_or(&[])),
+        Some("convert") => cmd_convert(args.get(1..).unwrap_or(&[])),
         Some(other) => {
             eprintln!("memdos-engine: unknown command {other:?}");
             usage();
@@ -76,7 +77,8 @@ fn usage() {
     eprintln!(
         "usage: memdos-engine <demo [seed] | gen-demo [seed] | replay [path] | serve <addr> \
          | soak [--seeds N] [--base-seed S] | fleet [tenants] [seed] \
-         | respond [true-attacker|benign-shift|quiet-resume] [tenants] [seed] [--chaos S]>"
+         | respond [true-attacker|benign-shift|quiet-resume] [tenants] [seed] [--chaos S] \
+         | convert <jsonl2bin|bin2jsonl> [in|-] [out|-]>"
     );
 }
 
@@ -282,7 +284,16 @@ fn cmd_respond(args: &[String]) -> i32 {
         }
         positional += 1;
     }
-    let workers = memdos_runner::threads();
+    // Environment knobs still apply (worker count, the stage profiler);
+    // the scenario profile/SDS settings replace the Table 1 defaults.
+    let env = match Config::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("memdos-engine: {e}");
+            return 2;
+        }
+    };
+    let workers = env.workers;
     eprintln!(
         "memdos-engine: respond: scenario {} ({tenants} tenants, seed {seed}, {workers} \
          workers{})",
@@ -293,7 +304,8 @@ fn cmd_respond(args: &[String]) -> i32 {
         }
     );
     let fleet = respond_scenario(scenario, tenants, seed);
-    let report = match run_respond(&fleet, respond_engine_config(workers), chaos) {
+    let config = Config { prof: env.prof, ..respond_engine_config(workers) };
+    let report = match run_respond(&fleet, config, chaos) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("memdos-engine: respond: {e}");
@@ -337,6 +349,213 @@ fn cmd_respond(args: &[String]) -> i32 {
         stats.false_quarantine_ticks
     );
     0
+}
+
+/// Re-encodes a record stream between the JSONL and binary wire
+/// formats (`jsonl2bin` / `bin2jsonl`). Input and output default to
+/// stdin/stdout; `-` selects them explicitly. Spans neither decoder
+/// accepts are skipped with a count on stderr — a converted stream
+/// carries exactly the records of the source, so replaying either
+/// through the engine produces the same verdict log (pinned by the
+/// binary equivalence suite).
+fn cmd_convert(args: &[String]) -> i32 {
+    let direction = match args.first().map(String::as_str) {
+        Some(d @ ("jsonl2bin" | "bin2jsonl")) => d,
+        _ => {
+            eprintln!("memdos-engine: convert requires a direction: jsonl2bin | bin2jsonl");
+            return 2;
+        }
+    };
+    let reader: Box<dyn std::io::BufRead> = match args.get(1).map(String::as_str) {
+        None | Some("-") => Box::new(std::io::stdin().lock()),
+        Some(p) => match std::fs::File::open(p) {
+            Ok(f) => Box::new(BufReader::new(f)),
+            Err(e) => {
+                eprintln!("memdos-engine: convert: {p}: {e}");
+                return 1;
+            }
+        },
+    };
+    let writer: Box<dyn Write> = match args.get(2).map(String::as_str) {
+        None | Some("-") => Box::new(std::io::stdout().lock()),
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("memdos-engine: convert: {p}: {e}");
+                return 1;
+            }
+        },
+    };
+    let result = match direction {
+        "jsonl2bin" => convert_jsonl2bin(reader, writer),
+        _ => convert_bin2jsonl(reader, writer),
+    };
+    match result {
+        Ok((records, skipped)) => {
+            eprintln!(
+                "memdos-engine: convert: {direction}: {records} records, {skipped} spans skipped"
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("memdos-engine: convert: {e}");
+            1
+        }
+    }
+}
+
+/// The `jsonl2bin` arm: decode lines, re-encode frames. The encoder
+/// interns tenant names to dense wire ids and emits each tenant's
+/// define frame before its first record.
+fn convert_jsonl2bin(
+    mut reader: Box<dyn std::io::BufRead>,
+    mut writer: Box<dyn Write>,
+) -> Result<(u64, u64), String> {
+    use memdos_engine::protocol::Record;
+    use memdos_metrics::binary::Encoder;
+    use memdos_metrics::jsonl::{Decoder, Frame};
+    let mut dec = Decoder::new();
+    let mut enc = Encoder::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut records = 0u64;
+    let mut skipped = 0u64;
+    let mut encode = |frame: Frame, out: &mut Vec<u8>| -> Result<(), String> {
+        let obj = match frame {
+            Frame::Object(obj) => obj,
+            Frame::Skipped { .. } => {
+                skipped += 1;
+                return Ok(());
+            }
+        };
+        let record = match Record::from_object(&obj) {
+            Ok(r) => r,
+            Err(_) => {
+                skipped += 1;
+                return Ok(());
+            }
+        };
+        match record {
+            Record::Sample { tenant, obs } => enc
+                .sample(&tenant, obs.access_num, obs.miss_num, out)
+                .map_err(|e| e.to_string())?,
+            Record::Close { tenant } => enc.close(&tenant, out).map_err(|e| e.to_string())?,
+        }
+        records += 1;
+        Ok(())
+    };
+    loop {
+        let len = {
+            let chunk = reader.fill_buf().map_err(|e| e.to_string())?;
+            if chunk.is_empty() {
+                break;
+            }
+            dec.push_bytes(chunk);
+            chunk.len()
+        };
+        reader.consume(len);
+        for frame in dec.drain() {
+            encode(frame, &mut out)?;
+        }
+        if out.len() >= 64 * 1024 {
+            writer.write_all(&out).map_err(|e| e.to_string())?;
+            out.clear();
+        }
+    }
+    for frame in dec.finish() {
+        encode(frame, &mut out)?;
+    }
+    writer.write_all(&out).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    Ok((records, skipped))
+}
+
+/// The `bin2jsonl` arm: decode frames, render protocol lines. Define
+/// frames populate the local wire directory and emit nothing — they
+/// have no JSONL twin.
+fn convert_bin2jsonl(
+    mut reader: Box<dyn std::io::BufRead>,
+    mut writer: Box<dyn Write>,
+) -> Result<(u64, u64), String> {
+    use memdos_metrics::binary::{BinDecoder, BinFrame, MAGIC};
+    use memdos_metrics::jsonl::LineBuf;
+    let mut dec = BinDecoder::new();
+    let mut names: Vec<Option<String>> = Vec::new();
+    let mut line = LineBuf::new();
+    let mut records = 0u64;
+    let mut skipped = 0u64;
+    // The decoder leaves the preamble to the caller (the engine's
+    // reader sniffs it the same way); anything else at the front goes
+    // through frame resync like any other corruption.
+    let mut preamble = 0usize;
+    let mut render = |frame: BinFrame, writer: &mut Box<dyn Write>| -> Result<(), String> {
+        match frame {
+            BinFrame::Define { tenant, name } => {
+                let slot = tenant as usize;
+                if names.len() <= slot {
+                    names.resize_with(slot + 1, || None);
+                }
+                if let Some(e) = names.get_mut(slot) {
+                    *e = Some(name);
+                }
+            }
+            BinFrame::Sample { tenant, access, miss } => {
+                match names.get(tenant as usize).and_then(Option::as_ref) {
+                    Some(name) => {
+                        line.begin()
+                            .field_str("tenant", name)
+                            .field_num("access", access)
+                            .field_num("miss", miss);
+                        writeln!(writer, "{}", line.end()).map_err(|e| e.to_string())?;
+                        records += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            BinFrame::Close { tenant } => {
+                match names.get(tenant as usize).and_then(Option::as_ref) {
+                    Some(name) => {
+                        line.begin().field_str("tenant", name).field_str("ctl", "close");
+                        writeln!(writer, "{}", line.end()).map_err(|e| e.to_string())?;
+                        records += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            BinFrame::Skipped { .. } => skipped += 1,
+        }
+        Ok(())
+    };
+    loop {
+        let len = {
+            let chunk = reader.fill_buf().map_err(|e| e.to_string())?;
+            if chunk.is_empty() {
+                break;
+            }
+            let mut body = chunk;
+            while preamble < MAGIC.len() {
+                match (body.first(), MAGIC.get(preamble)) {
+                    (Some(b), Some(m)) if b == m => {
+                        preamble += 1;
+                        body = body.get(1..).unwrap_or(&[]);
+                    }
+                    _ => {
+                        preamble = MAGIC.len();
+                    }
+                }
+            }
+            dec.push_bytes(body);
+            chunk.len()
+        };
+        reader.consume(len);
+        for frame in dec.drain() {
+            render(frame, &mut writer)?;
+        }
+    }
+    for frame in dec.finish() {
+        render(frame, &mut writer)?;
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+    Ok((records, skipped))
 }
 
 fn cmd_gen_demo(seed: Option<&String>) -> i32 {

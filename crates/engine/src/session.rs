@@ -22,7 +22,7 @@
 //! and every drop is logged so backpressure is visible, never silent.
 
 use memdos_core::config::{KsTestParams, SdsParams};
-use memdos_core::detector::{Detector, Observation, Verdict};
+use memdos_core::detector::{Detector, DetectorStep, Observation, ObservationBatch, Verdict};
 use memdos_core::kstest::KsTestDetector;
 use memdos_core::profile::{Profiler, ProfilerConfig};
 use memdos_core::sds::Sds;
@@ -290,6 +290,26 @@ pub struct SessionSnapshot<'a> {
 /// damp sample jitter, light enough that a mitigated attack shows up
 /// within a handful of victim samples.
 const RECOVERY_ALPHA: f64 = 0.2;
+
+/// Reusable per-worker columnar buffers for the monitoring batch path:
+/// a run of consecutive queued samples is transposed into
+/// structure-of-arrays columns so every armed detector steps the whole
+/// run through its branch-light [`Detector::step_batch`] loop, and the
+/// per-detector step columns (detector-major) are then replayed in the
+/// exact scalar emission order. Shared by every session on the worker
+/// between flushes, so steady-state batching allocates nothing.
+#[derive(Default)]
+struct BatchScratch {
+    seqs: Vec<u64>,
+    access: Vec<f64>,
+    miss: Vec<f64>,
+    steps: Vec<Vec<DetectorStep>>,
+}
+
+thread_local! {
+    // lint:allow(shared-state) -- per-worker columnar scratch; thread_local makes it worker-private by construction
+    static SCRATCH: std::cell::RefCell<BatchScratch> = std::cell::RefCell::new(BatchScratch::default());
+}
 
 /// A per-tenant detection session.
 pub struct Session {
@@ -566,6 +586,17 @@ impl Session {
     // hot-path
     pub(crate) fn process_queued_into(&mut self, events: &mut Vec<SessionEvent>) {
         while let Some(item) = self.queue.pop_front() {
+            // Steady-state fast path: a monitoring session consuming a
+            // sample takes the columnar batch route, which also swallows
+            // the run of consecutive samples queued behind it. Control
+            // items, state transitions and the once-per-incarnation
+            // `opened` event stay on the scalar path below.
+            if self.opened_logged && self.state == SessionState::Monitoring {
+                if let Item::Obs(seq, obs) = item {
+                    self.step_monitoring_run(seq, obs, events);
+                    continue;
+                }
+            }
             let seq = item.seq();
             let mut sub = 0u32;
             let mut emit = |payload: JsonObject| {
@@ -699,6 +730,142 @@ impl Session {
                 emit(o);
             }
         }
+    }
+
+    /// Gathers the run of consecutive queued samples starting at
+    /// `(seq0, obs0)` into the worker's columnar scratch and batch-steps
+    /// it. Only called with `state == Monitoring` and the `opened` event
+    /// already emitted, so every event the run produces follows the
+    /// scalar per-item emission rules exactly.
+    // hot-path
+    fn step_monitoring_run(
+        &mut self,
+        seq0: u64,
+        obs0: Observation,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let scratch = &mut *scratch;
+            scratch.seqs.clear();
+            scratch.access.clear();
+            scratch.miss.clear();
+            scratch.seqs.push(seq0);
+            scratch.access.push(obs0.access_num);
+            scratch.miss.push(obs0.miss_num);
+            while let Some(&Item::Obs(seq, obs)) = self.queue.front() {
+                scratch.seqs.push(seq);
+                scratch.access.push(obs.access_num);
+                scratch.miss.push(obs.miss_num);
+                self.queue.pop_front();
+            }
+            self.step_monitoring_batch(scratch, events);
+        });
+    }
+
+    /// Steps every armed detector over one columnar run and replays the
+    /// per-tick emission in scalar order. Bit-identical to calling
+    /// [`Session::step_monitoring`] once per sample: the primary steps
+    /// the whole run first so a mid-run quarantine can cut the batch at
+    /// the exact sample the scalar loop would have stopped processing
+    /// at; secondaries then step the surviving prefix and the trailing
+    /// samples are dropped, matching the scalar terminal-state arm.
+    // hot-path
+    fn step_monitoring_batch(
+        &mut self,
+        scratch: &mut BatchScratch,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        let BatchScratch { seqs, access, miss, steps } = scratch;
+        let n = seqs.len();
+        while steps.len() < self.detectors.len() {
+            steps.push(Vec::new());
+        }
+        for col in steps.iter_mut() {
+            col.clear();
+        }
+        let batch = ObservationBatch::new(access, miss);
+        let mut dets = self.detectors.iter_mut().zip(steps.iter_mut());
+        let mut cut = n;
+        if let Some((primary, out)) = dets.next() {
+            primary.step_batch(batch, out);
+            if self.config.quarantine_after > 0 {
+                // Walk the primary's alarm stream to find where a
+                // quarantine would cut the run short. Oversteppping the
+                // primary past the cut is unobservable: its session is
+                // terminal afterwards and only `alarms` up to the cut
+                // are ever accounted.
+                let mut alarms = self.alarms;
+                for (i, step) in out.iter().enumerate() {
+                    if step.became_active {
+                        alarms += 1;
+                        if alarms >= self.config.quarantine_after {
+                            cut = i + 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            let prefix = ObservationBatch::new(
+                access.get(..cut).unwrap_or(access),
+                miss.get(..cut).unwrap_or(miss),
+            );
+            for (det, out) in dets {
+                det.step_batch(prefix, out);
+            }
+        }
+        for i in 0..cut {
+            let Some(&seq) = seqs.get(i) else {
+                break;
+            };
+            let mut sub = 0u32;
+            self.monitor_ticks += 1;
+            let access_num = access.get(i).copied().unwrap_or(0.0);
+            self.ewma_access += RECOVERY_ALPHA * (access_num - self.ewma_access);
+            let mut primary_became_active = false;
+            for (d, det) in self.detectors.iter().enumerate() {
+                // Throttle requests (KStest) are ignored: passive
+                // streaming, same as the scalar path.
+                let Some(step) = steps.get(d).and_then(|col| col.get(i)).copied() else {
+                    continue;
+                };
+                if d == 0 && step.became_active {
+                    primary_became_active = true;
+                }
+                let Some(last) = self.last_verdicts.get_mut(d) else {
+                    continue;
+                };
+                if !step.verdict.same_class(last) {
+                    let mut o = JsonObject::new();
+                    o.push_str("event", "verdict")
+                        .push_str("tenant", &self.tenant)
+                        .push_str("detector", det.name())
+                        .push_str("from", last.label())
+                        .push_str("to", step.verdict.label())
+                        .push_num("tick", self.monitor_ticks as f64);
+                    events.push(SessionEvent { seq, sub, payload: o });
+                    sub += 1;
+                    *last = step.verdict;
+                }
+            }
+            if primary_became_active {
+                self.alarms += 1;
+                if self.config.quarantine_after > 0
+                    && self.alarms >= self.config.quarantine_after
+                {
+                    self.state = SessionState::Quarantined;
+                    let mut o = JsonObject::new();
+                    o.push_str("event", "quarantined")
+                        .push_str("tenant", &self.tenant)
+                        .push_num("alarms", self.alarms as f64);
+                    events.push(SessionEvent { seq, sub, payload: o });
+                    self.quarantine_notice = Some(seq);
+                }
+            }
+        }
+        // Samples behind a mid-run quarantine: the scalar loop would
+        // have hit the terminal-state arm once per item.
+        self.dropped += (n - cut) as u64;
     }
 
     /// One `dropped` event payload (the engine logs it at the arrival

@@ -22,6 +22,9 @@
 //!   reporting format.
 //! * [`jsonl`] — the hand-rolled line-delimited JSON codec behind the
 //!   engine's streaming wire protocol (std-only, flat objects).
+//! * [`binary`] — the fixed-width little-endian binary wire format
+//!   negotiated on the same protocol (magic preamble, frame checksums,
+//!   tenant-id dictionary, resynchronising streaming decoder).
 //! * [`robustness`] — failure injection on the measurement channel
 //!   (dropout / noise / freezes), an extension beyond the paper.
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod binary;
 pub mod delay;
 pub mod experiment;
 pub mod jsonl;

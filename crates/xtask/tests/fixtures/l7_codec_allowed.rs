@@ -1,0 +1,31 @@
+//! Fixture: the allocation-free shape of the binary frame codec —
+//! fixed-width little-endian writes through a caller-owned buffer,
+//! static resync reasons, and a justified allow where a define frame's
+//! name payload must own its bytes.
+
+/// Appends one fixed-width sample frame; no owned strings anywhere.
+// hot-path
+pub fn write_sample(out: &mut Vec<u8>, tenant: u32, access: f64) {
+    out.push(0xA5);
+    out.push(0);
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&access.to_bits().to_le_bytes());
+}
+
+/// Static reasons cost nothing per skipped span.
+// hot-path
+pub fn skip_reason(kind: u8) -> &'static str {
+    if kind == 0 {
+        "bad frame marker"
+    } else {
+        "frame checksum mismatch"
+    }
+}
+
+/// A define frame binds a tenant name once per stream, and the binding
+/// must own its bytes.
+// hot-path
+pub fn define_name(payload: &[u8]) -> String {
+    // lint:allow(hot-alloc) -- a define frame binds a name once per tenant, not per sample
+    String::from(core::str::from_utf8(payload).unwrap_or(""))
+}

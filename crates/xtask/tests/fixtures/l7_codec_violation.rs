@@ -1,0 +1,20 @@
+//! Fixture: allocation inside `// hot-path` frame-codec functions — the
+//! binary wire format's per-sample encode/decode must not build owned
+//! strings, so every allocating idiom in a marked codec function must
+//! fire L7/hot-alloc.
+
+/// Decodes a tenant-name payload the allocating way.
+// hot-path
+pub fn decode_name(payload: &[u8]) -> String {
+    let mut name = String::new();
+    for &b in payload {
+        name.push(b as char);
+    }
+    name
+}
+
+/// Renders a resync reason per skipped span.
+// hot-path
+pub fn skip_reason(bytes: usize) -> String {
+    format!("skipped {bytes} bytes")
+}

@@ -1,0 +1,31 @@
+//! Fixture: what L9/hot-propagate must NOT flag in the codec — a
+//! checksum fold that never allocates, a justified define-frame hop
+//! that may, and an allocating helper no hot function reaches.
+
+/// The marked encode entry point.
+// hot-path
+pub fn encode_sample(out: &mut Vec<u8>, tenant: u32) {
+    push_header(out, tenant);
+    // lint:allow(hot-propagate) -- the define hop runs once per tenant, not per sample
+    define(out, tenant);
+}
+
+/// Fletcher-style checksum fold plus fixed-width writes; alloc-free.
+fn push_header(out: &mut Vec<u8>, tenant: u32) {
+    let mut sum = 0u32;
+    for &b in tenant.to_le_bytes().iter() {
+        sum = (sum + u32::from(b)) % 255;
+    }
+    out.push(sum as u8);
+    out.extend_from_slice(&tenant.to_le_bytes());
+}
+
+/// Allocates, but the only chain into it is justified at the call site.
+fn define(out: &mut Vec<u8>, tenant: u32) {
+    out.extend_from_slice(tenant.to_string().as_bytes());
+}
+
+/// Allocates, but no hot function can reach it.
+pub fn describe(tenant: u32) -> String {
+    format!("tenant {tenant}")
+}

@@ -1,0 +1,20 @@
+//! Fixture: a transitive allocation in the codec's decode chain that
+//! the local L7 scan cannot see — the hot entry only calls helpers, and
+//! the owned diagnostic String is built two hops away, so only the
+//! call-graph rule (L9/hot-propagate) connects the chain.
+
+/// The marked decode entry point: locally allocation-free.
+// hot-path
+pub fn decode_frame(buf: &[u8]) -> usize {
+    validate(buf)
+}
+
+/// Pass-through hop: also clean on its own lines.
+fn validate(buf: &[u8]) -> usize {
+    reason_of(buf).len()
+}
+
+/// The hidden allocation, two hops from the hot entry.
+fn reason_of(buf: &[u8]) -> String {
+    format!("bad frame of {} bytes", buf.len())
+}

@@ -202,6 +202,24 @@ fn l7_hot_alloc_spares_buffers_cold_paths_allows_and_tests() {
 }
 
 #[test]
+fn l7_hot_alloc_fires_in_the_binary_codec_shape() {
+    let src = include_str!("fixtures/l7_codec_violation.rs");
+    let findings = check_source("fixture.rs", src, HOT_SCOPE);
+    // String::new() in the name decode, format! in the reason render
+    assert_eq!(count(&findings, "L7/hot-alloc"), 2, "{findings:?}");
+    // Outside the hot-path-checked crates the same code is legal.
+    let findings = check_source("fixture.rs", src, LIB_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l7_codec_fixed_width_writes_and_justified_define_pass() {
+    let src = include_str!("fixtures/l7_codec_allowed.rs");
+    let findings = check_source("fixture.rs", src, HOT_SCOPE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn l4_missing_forbid_unsafe_fires() {
     let src = include_str!("fixtures/l4_missing_forbid.rs");
     let findings = check_forbid_unsafe("lib.rs", src);
@@ -268,6 +286,27 @@ fn l9_catches_the_transitive_allocation_l7_misses() {
 fn l9_spares_alloc_free_chains_justified_call_sites_and_cold_code() {
     let src = include_str!("fixtures/l9_hot_propagate_allowed.rs");
     let findings = analyze(&[("engine/src/f.rs", "engine", src, HOT_SCOPE)]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l9_catches_transitive_allocation_in_the_decode_chain() {
+    let src = include_str!("fixtures/l9_codec_violation.rs");
+    // The hot decode entry allocates nothing on its own lines.
+    let local = check_source("engine/src/codec.rs", src, HOT_SCOPE);
+    assert_eq!(count(&local, "L7/hot-alloc"), 0, "{local:?}");
+    let findings = analyze(&[("engine/src/codec.rs", "engine", src, HOT_SCOPE)]);
+    assert_eq!(count(&findings, "L9/hot-propagate"), 1, "{findings:?}");
+    let Some(f) = findings.iter().find(|f| f.rule == "L9/hot-propagate") else {
+        return;
+    };
+    assert!(f.message.contains("decode_frame -> validate -> reason_of"), "{}", f.message);
+}
+
+#[test]
+fn l9_spares_checksum_folds_and_justified_define_hops() {
+    let src = include_str!("fixtures/l9_codec_allowed.rs");
+    let findings = analyze(&[("engine/src/codec.rs", "engine", src, HOT_SCOPE)]);
     assert!(findings.is_empty(), "{findings:?}");
 }
 
